@@ -1,0 +1,64 @@
+// A2 — ablation of the numerical flux choice (paper Eq. 5 / Section II):
+// with central fluxes the semi-discrete scheme conserves total
+// particle+field energy exactly (only the RK3 time error remains); with
+// penalty (local Lax-Friedrichs) fluxes a controlled, strictly dissipative
+// error appears. In neither case may energy *grow* — growth is the
+// signature of the aliasing instability the scheme eliminates.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "app/vlasov_maxwell_app.hpp"
+
+namespace {
+using namespace vdg;
+constexpr double kPi = std::numbers::pi;
+}  // namespace
+
+int main() {
+  std::printf("A2: flux choice vs energy conservation (nonlinear Landau problem)\n\n");
+  std::printf("%-22s %16s %16s %14s\n", "flux (Vlasov/Maxwell)", "rel dE (t=5)", "rel dM (t=5)",
+              "L2(f) change");
+
+  for (const FluxType flux : {FluxType::Central, FluxType::Penalty}) {
+    VlasovMaxwellParams params;
+    const double k = 0.5;
+    params.confGrid = Grid::make({12}, {0.0}, {2.0 * kPi / k});
+    params.polyOrder = 2;
+    params.family = BasisFamily::Serendipity;
+    params.field.flux = flux;
+    params.cflFrac = 0.5;
+    const double amp = 0.1;  // nonlinear amplitude: aliasing would show here
+    params.initField = [k, amp](const double* x, double* em) {
+      for (int c = 0; c < 8; ++c) em[c] = 0.0;
+      em[0] = -amp * std::sin(k * x[0]) / k;
+    };
+    SpeciesParams elc;
+    elc.charge = -1.0;
+    elc.mass = 1.0;
+    elc.flux = flux;
+    elc.velGrid = Grid::make({24}, {-6.0}, {6.0});
+    elc.init = [=](const double* z) {
+      return (1.0 + amp * std::cos(k * z[0])) * std::exp(-0.5 * z[1] * z[1]) /
+             std::sqrt(2.0 * kPi);
+    };
+    VlasovMaxwellApp app(params, {elc});
+
+    const auto e0 = app.energetics();
+    const double l20 = app.distfL2(0);
+    while (app.time() < 5.0) app.step();
+    const auto e1 = app.energetics();
+    const double l21 = app.distfL2(0);
+
+    const double dE = (e1.totalEnergy() - e0.totalEnergy()) / e0.totalEnergy();
+    const double dM = (e1.mass[0] - e0.mass[0]) / e0.mass[0];
+    std::printf("%-22s %16.3e %16.3e %14.3e\n",
+                flux == FluxType::Central ? "central" : "penalty (LLF)", dE, dM,
+                (l21 - l20) / l20);
+  }
+  std::printf("\nexpected shape: central -> |dE| at the RK3 time-error level and L2 ~\n"
+              "conserved; penalty -> small *negative* dE and L2 decay; mass exact for\n"
+              "both; never energy growth (that would be the aliasing instability).\n");
+  return 0;
+}

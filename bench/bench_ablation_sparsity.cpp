@@ -1,0 +1,89 @@
+// A1 — ablation of the paper's core design choice: executing the volume
+// tensor contraction C_lmn alpha_m f_n as a *sparse tape* (possible because
+// the modal orthonormal basis makes C_lmn sparse) versus as the dense
+// O(Np^3) triple loop a naive implementation would use. The sparsity win is
+// the difference between a usable and an unusable 5-D/6-D method.
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "tensors/vlasov_tensors.hpp"
+
+namespace {
+using namespace vdg;
+using Clock = std::chrono::steady_clock;
+
+double timeIt(const std::function<void()>& fn) {
+  fn();
+  const auto t0 = Clock::now();
+  int reps = 0;
+  double el = 0.0;
+  while (el < 0.3 && reps < 10000) {
+    fn();
+    ++reps;
+    el = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  return el / reps;
+}
+}  // namespace
+
+int main() {
+  std::printf("A1: sparse tape vs dense Np^3 contraction of the volume tensor\n\n");
+  std::printf("%-14s %6s %10s %12s %12s %9s %9s\n", "basis", "Np", "nnz", "dense[us]",
+              "sparse[us]", "speedup", "fill");
+
+  const BasisSpec specs[] = {
+      {1, 1, 1, BasisFamily::Tensor},      {1, 1, 2, BasisFamily::Serendipity},
+      {1, 2, 2, BasisFamily::Serendipity}, {2, 2, 1, BasisFamily::Serendipity},
+      {2, 3, 1, BasisFamily::Serendipity}, {2, 3, 2, BasisFamily::Serendipity},
+  };
+  for (const BasisSpec& spec : specs) {
+    const VlasovKernelSet& ks = vlasovKernels(spec);
+    const int np = ks.numPhaseModes;
+    const Tape3& tape = ks.volume.back();  // one acceleration direction
+
+    // Dense tensor reconstructed from the tape.
+    std::vector<double> dense(static_cast<std::size_t>(np) * np * np, 0.0);
+    for (const Tape3::Term& t : tape.terms)
+      dense[(static_cast<std::size_t>(t.l) * np + t.m) * np + t.n] += t.c;
+
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<double> a(static_cast<std::size_t>(np)), f(static_cast<std::size_t>(np)),
+        outS(static_cast<std::size_t>(np), 0.0), outD(static_cast<std::size_t>(np), 0.0);
+    for (double& v : a) v = u(rng);
+    for (double& v : f) v = u(rng);
+
+    const double tDense = timeIt([&] {
+      for (int l = 0; l < np; ++l) {
+        double s = 0.0;
+        const double* row = dense.data() + static_cast<std::size_t>(l) * np * np;
+        for (int m = 0; m < np; ++m)
+          for (int n = 0; n < np; ++n)
+            s += row[static_cast<std::size_t>(m) * np + n] * a[static_cast<std::size_t>(m)] *
+                 f[static_cast<std::size_t>(n)];
+        outD[static_cast<std::size_t>(l)] = s;
+      }
+    });
+    const double tSparse = timeIt([&] {
+      for (double& v : outS) v = 0.0;
+      tape.execute(a, f, outS, 1.0);
+    });
+
+    // Same answer?
+    double diff = 0.0;
+    for (int l = 0; l < np; ++l)
+      diff = std::max(diff, std::abs(outS[static_cast<std::size_t>(l)] -
+                                     outD[static_cast<std::size_t>(l)]));
+    const double fill = static_cast<double>(tape.terms.size()) /
+                        (static_cast<double>(np) * np * np);
+    std::printf("%-14s %6d %10zu %12.2f %12.2f %9.1f %9.4f%s\n", spec.name().c_str(), np,
+                tape.terms.size(), tDense * 1e6, tSparse * 1e6, tDense / tSparse, fill,
+                diff < 1e-10 ? "" : "  [MISMATCH]");
+  }
+  std::printf("\nThe modal orthonormal basis leaves only a few %% of C_lmn nonzero;\n"
+              "executing the nonzeros directly is what makes 5-D/6-D affordable (Sec. II).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E1 — Fig. 1 and Section III op-count claim: the modal (alias-free,
+// matrix-free, quadrature-free) kernels use far fewer multiplications than
+// the alias-free quadrature/dense-matrix baseline. The paper quotes ~70
+// multiplications for the 1X2V p1 volume streaming kernel versus ~250 for
+// the quadrature version of the same update.
+
+#include <cstdio>
+
+#include "quad/quad_vlasov.hpp"
+#include "tensors/emit.hpp"
+#include "tensors/vlasov_tensors.hpp"
+
+int main() {
+  using namespace vdg;
+  std::printf("E1: operation counts, modal sparse tapes vs quadrature/dense baseline\n");
+  std::printf("(paper Fig. 1: ~70 multiplications for the 1X2V p1 volume streaming kernel;\n");
+  std::printf(" paper Sec. III: ~250 for the alias-free nodal/quadrature equivalent)\n\n");
+
+  const BasisSpec fig1{1, 2, 1, BasisFamily::Tensor};
+  const EmittedKernel k = emitStreamingVolumeKernel(fig1);
+  std::printf("emitted volume streaming kernel %s: %zu multiplications, %zu adds\n",
+              fig1.name().c_str(), k.multiplies, k.adds);
+
+  // Quadrature version of the same volume term: interpolate f to the
+  // quadrature points (Nq x Np), pointwise multiply by v, project back
+  // (Np x Nq), per configuration direction.
+  {
+    const Basis& b = basisFor(fig1);
+    const int np = b.numModes();
+    const int nq1 = (3 * fig1.polyOrder + 2 + 1) / 2;
+    int nq = 1;
+    for (int d = 0; d < fig1.ndim(); ++d) nq *= nq1;
+    const std::size_t quadMults =
+        static_cast<std::size_t>(np) * nq  // interpolate f
+        + static_cast<std::size_t>(nq)     // pointwise v*f
+        + static_cast<std::size_t>(np) * nq;  // project back
+    std::printf("quadrature volume streaming equivalent: %zu multiplications (Np=%d, Nq=%d)\n\n",
+                quadMults, np, nq);
+  }
+
+  std::printf("%-14s %6s %12s %12s %8s\n", "basis", "Np", "modal-mults", "quad-mults", "ratio");
+  const BasisSpec specs[] = {
+      {1, 1, 1, BasisFamily::Tensor},      {1, 1, 2, BasisFamily::Serendipity},
+      {1, 2, 1, BasisFamily::Tensor},      {1, 2, 2, BasisFamily::Serendipity},
+      {1, 3, 1, BasisFamily::Serendipity}, {2, 2, 1, BasisFamily::Serendipity},
+      {2, 3, 1, BasisFamily::Serendipity}, {2, 3, 2, BasisFamily::Serendipity},
+  };
+  for (const BasisSpec& s : specs) {
+    const VlasovKernelSet& ks = vlasovKernels(s);
+    const Grid dummy = [&] {
+      Grid g;
+      g.ndim = s.ndim();
+      for (int d = 0; d < g.ndim; ++d) {
+        g.cells[static_cast<std::size_t>(d)] = 2;
+        g.lower[static_cast<std::size_t>(d)] = 0.0;
+        g.upper[static_cast<std::size_t>(d)] = 1.0;
+      }
+      return g;
+    }();
+    VlasovParams vp;
+    const QuadVlasovUpdater quad(s, dummy, vp);
+    const std::size_t mm = ks.updateMultiplyCount();
+    const std::size_t qm = quad.updateMultiplyCount();
+    std::printf("%-14s %6d %12zu %12zu %8.1f\n", s.name().c_str(), ks.numPhaseModes, mm, qm,
+                static_cast<double>(qm) / static_cast<double>(mm));
+  }
+  std::printf("\nShape check vs paper: the modal kernel needs several-fold fewer\n"
+              "multiplications at p1 and the advantage grows with Np (Sec. III).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E3 — Table I: full-cost comparison of the alias-free modal (matrix-free,
+// quadrature-free) algorithm against the alias-free quadrature/dense-matrix
+// baseline (the cost structure of the nodal scheme + Eigen of Juno et al.
+// 2018), on the paper's configuration: 2X3V, polynomial order 2,
+// Serendipity basis (112 DOF/cell), TWO species (electron + proton)
+// Vlasov-Maxwell with a 3-stage SSP-RK3 step.
+//
+// The paper's grid is 16^2 x 16^3 on a Macbook; this container gets a
+// reduced grid (the comparison is per-step cost on identical grids, so the
+// ratio — the paper's ~16-17x — is the reproducible quantity).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "dg/maxwell.hpp"
+#include "dg/moments.hpp"
+#include "dg/vlasov.hpp"
+#include "quad/quad_vlasov.hpp"
+
+namespace {
+
+using namespace vdg;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct StepTimes {
+  double total = 0.0;
+  double vlasov = 0.0;
+};
+
+/// One SSP-RK3 step of the two-species Vlasov-Maxwell system, timing the
+/// Vlasov solves separately (as Table I does). `Solver` is either the modal
+/// or the quadrature updater.
+template <typename Solver>
+StepTimes timeStep(const BasisSpec& spec, const Grid& pg, const Grid& cg, int nStages = 3) {
+  const int np = basisFor(spec).numModes();
+  const int npc = basisFor(spec.configSpec()).numModes();
+
+  VlasovParams elcP, ionP;
+  elcP.charge = -1.0;
+  elcP.mass = 1.0;
+  ionP.charge = 1.0;
+  ionP.mass = 1836.0;
+  const Solver elc(spec, pg, elcP);
+  const Solver ion(spec, pg, ionP);
+  const MaxwellUpdater mx(spec.configSpec(), cg, MaxwellParams{});
+  const MomentUpdater mom(spec, pg);
+
+  Field fe(pg, np), fi(pg, np), em(cg, kEmComps * npc);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    fe.at(idx)[0] = u(rng);
+    fi.at(idx)[0] = u(rng);
+  });
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    for (int k = 0; k < em.ncomp(); ++k) em.at(idx)[k] = 0.1 * u(rng);
+  });
+
+  Field rhsE(pg, np), rhsI(pg, np), rhsEm(cg, kEmComps * npc);
+  Field cur(cg, 3 * npc);
+
+  StepTimes t;
+  const auto tStep0 = Clock::now();
+  for (int stage = 0; stage < nStages; ++stage) {
+    for (int d = 0; d < spec.cdim; ++d) {
+      fe.syncPeriodic(d);
+      fi.syncPeriodic(d);
+      em.syncPeriodic(d);
+    }
+    const auto tv0 = Clock::now();
+    elc.advance(fe, &em, rhsE);
+    ion.advance(fi, &em, rhsI);
+    t.vlasov += secondsSince(tv0);
+
+    mx.advance(em, rhsEm);
+    cur.setZero();
+    mom.accumulateCurrent(fe, elcP.charge, cur);
+    mom.accumulateCurrent(fi, ionP.charge, cur);
+    mx.addCurrentSource(cur, rhsEm);
+
+    // Stage accumulation (forward-Euler shape; the RK3 combine cost is the
+    // same data movement the paper's accumulation step has).
+    const double dt = 1e-6;
+    fe.axpy(dt, rhsE);
+    fi.axpy(dt, rhsI);
+    em.axpy(dt, rhsEm);
+  }
+  t.total = secondsSince(tStep0);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const BasisSpec spec{2, 3, 2, BasisFamily::Serendipity};
+  const Grid cg = Grid::make({4, 4}, {0.0, 0.0}, {1.0, 1.0});
+  const Grid vg = Grid::make({6, 6, 6}, {-4.0, -4.0, -4.0}, {4.0, 4.0, 4.0});
+  const Grid pg = Grid::phase(cg, vg);
+
+  std::printf("E3: Table I — modal vs quadrature/dense baseline\n");
+  std::printf("setup: 2X3V, p2 Serendipity (%d DOF/cell), two species, SSP-RK3,\n",
+              basisFor(spec).numModes());
+  std::printf("grid %dx%d x %dx%dx%d = %zu phase cells (paper: 16^2 x 16^3)\n\n", cg.cells[0],
+              cg.cells[1], vg.cells[0], vg.cells[1], vg.cells[2], pg.numCells());
+
+  std::printf("timing modal step...\n");
+  const StepTimes modal = timeStep<VlasovUpdater>(spec, pg, cg);
+  std::printf("timing quadrature/dense step (this is the slow one)...\n");
+  const StepTimes nodal = timeStep<QuadVlasovUpdater>(spec, pg, cg);
+
+  std::printf("\n%-34s %14s %14s\n", "", "total s/step", "Vlasov s/step");
+  std::printf("%-34s %14.3f %14.3f\n", "quadrature/dense (nodal-equiv)", nodal.total,
+              nodal.vlasov);
+  std::printf("%-34s %14.3f %14.3f\n", "modal (alias/matrix/quad-free)", modal.total,
+              modal.vlasov);
+  std::printf("%-34s %14.1f %14.1f\n", "reduction factor", nodal.total / modal.total,
+              nodal.vlasov / modal.vlasov);
+  std::printf("\npaper Table I: total reduction ~16x, Vlasov-only reduction ~17x\n");
+  const double r = nodal.vlasov / modal.vlasov;
+  std::printf("%s\n", (r > 5.0) ? "SHAPE OK: order-of-magnitude speedup of the modal scheme"
+                                : "SHAPE MISMATCH: modal speedup below expectations");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Landau damping of a Langmuir wave (the canonical validation of the
+// delicate field-particle coupling the paper is about): a k vt/wp = 0.5
+// density perturbation rings at the Langmuir frequency and damps at the
+// kinetic rate gamma ~= -0.1533 — physics that aliasing errors in the
+// J.E exchange would corrupt.
+//
+// Writes landau_field_energy.csv (t, electric field energy, J.E transfer)
+// and prints the measured damping rate.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "app/vlasov_maxwell_app.hpp"
+#include "io/field_io.hpp"
+
+int main() {
+  using namespace vdg;
+  constexpr double kPi = std::numbers::pi;
+  const double k = 0.5, amp = 1e-3;
+
+  VlasovMaxwellParams params;
+  params.confGrid = Grid::make({32}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.cflFrac = 0.8;
+  params.initField = [=](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -amp * std::sin(k * x[0]) / k;  // Ex solving Gauss's law
+  };
+
+  SpeciesParams elc;
+  elc.name = "elc";
+  elc.charge = -1.0;
+  elc.mass = 1.0;
+  elc.velGrid = Grid::make({32}, {-6.0}, {6.0});
+  elc.init = [=](const double* z) {
+    return (1.0 + amp * std::cos(k * z[0])) * std::exp(-0.5 * z[1] * z[1]) /
+           std::sqrt(2.0 * kPi);
+  };
+
+  VlasovMaxwellApp app(params, {elc});
+  CsvWriter csv("landau_field_energy.csv", "t,electricEnergy,energyTransfer");
+
+  std::vector<double> tPeaks, ePeaks;
+  double prev2 = 0.0, prev1 = 0.0, tPrev1 = 0.0;
+  while (app.time() < 25.0) {
+    app.step();
+    const auto e = app.energetics();
+    csv.row({e.time, e.electricEnergy, app.energyTransfer(0)});
+    if (prev1 > prev2 && prev1 > e.electricEnergy && prev1 > 1e-14) {
+      tPeaks.push_back(tPrev1);
+      ePeaks.push_back(prev1);
+    }
+    prev2 = prev1;
+    prev1 = e.electricEnergy;
+    tPrev1 = e.time;
+  }
+
+  std::printf("Landau damping: k vt/wp = %.2f, %zu field-energy peaks recorded\n", k,
+              tPeaks.size());
+  if (tPeaks.size() >= 3) {
+    double st = 0, sy = 0, stt = 0, sty = 0;
+    const double n = static_cast<double>(tPeaks.size());
+    for (std::size_t i = 0; i < tPeaks.size(); ++i) {
+      st += tPeaks[i];
+      sy += std::log(ePeaks[i]);
+      stt += tPeaks[i] * tPeaks[i];
+      sty += tPeaks[i] * std::log(ePeaks[i]);
+    }
+    const double gamma = 0.5 * (n * sty - st * sy) / (n * stt - st * st);
+    std::printf("measured damping rate gamma = %.4f (theory: -0.1533)\n", gamma);
+    // Oscillation frequency from peak spacing (peaks at half periods).
+    const double period =
+        2.0 * (tPeaks.back() - tPeaks.front()) / static_cast<double>(tPeaks.size() - 1);
+    std::printf("measured frequency      w    = %.4f (theory:  1.4156)\n", 2.0 * kPi / period);
+  }
+  std::printf("time series written to landau_field_energy.csv\n");
+  return 0;
+}

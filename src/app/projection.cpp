@@ -1,0 +1,96 @@
+#include "app/projection.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "math/gauss_legendre.hpp"
+
+namespace vdg {
+
+namespace {
+
+struct QuadCache {
+  std::vector<double> nodes;    // nq^ndim x ndim reference points
+  std::vector<double> weights;  // nq^ndim
+  std::vector<double> basisAt;  // nq^ndim x numModes
+  int npts = 0;
+};
+
+QuadCache makeCache(const Basis& basis, int numQuad) {
+  const int nd = basis.ndim();
+  const QuadRule rule = gauss_legendre(numQuad);
+  int npts = 1;
+  for (int d = 0; d < nd; ++d) npts *= numQuad;
+  QuadCache c;
+  c.npts = npts;
+  c.nodes.resize(static_cast<std::size_t>(npts) * nd);
+  c.weights.resize(static_cast<std::size_t>(npts));
+  c.basisAt.resize(static_cast<std::size_t>(npts) * basis.numModes());
+  std::vector<int> id(static_cast<std::size_t>(nd), 0);
+  for (int q = 0; q < npts; ++q) {
+    double w = 1.0;
+    for (int d = 0; d < nd; ++d) {
+      c.nodes[static_cast<std::size_t>(q) * nd + d] = rule.nodes[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+      w *= rule.weights[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+    }
+    c.weights[static_cast<std::size_t>(q)] = w;
+    basis.evalAll(&c.nodes[static_cast<std::size_t>(q) * nd],
+                  &c.basisAt[static_cast<std::size_t>(q) * basis.numModes()]);
+    for (int d = 0; d < nd; ++d) {
+      if (++id[static_cast<std::size_t>(d)] < numQuad) break;
+      id[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+void projectVectorOnBasis(const Basis& basis, const Grid& grid, const VectorFn& fn, int ncomp,
+                          Field& field, int numQuad) {
+  const int nd = basis.ndim();
+  const int np = basis.numModes();
+  assert(grid.ndim == nd && field.ncomp() == ncomp * np);
+  if (numQuad <= 0) numQuad = basis.spec().polyOrder + 2;
+  const QuadCache cache = makeCache(basis, numQuad);
+
+  std::vector<double> z(static_cast<std::size_t>(nd));
+  std::vector<double> vals(static_cast<std::size_t>(ncomp));
+  forEachCell(grid, [&](const MultiIndex& idx) {
+    double* out = field.at(idx);
+    for (int c = 0; c < ncomp * np; ++c) out[c] = 0.0;
+    for (int q = 0; q < cache.npts; ++q) {
+      for (int d = 0; d < nd; ++d)
+        z[static_cast<std::size_t>(d)] = grid.cellCenter(d, idx[d]) +
+                                         0.5 * grid.dx(d) *
+                                             cache.nodes[static_cast<std::size_t>(q) * nd + d];
+      fn(z.data(), vals.data());
+      const double* w = &cache.basisAt[static_cast<std::size_t>(q) * np];
+      const double wq = cache.weights[static_cast<std::size_t>(q)];
+      for (int c = 0; c < ncomp; ++c) {
+        const double s = wq * vals[static_cast<std::size_t>(c)];
+        double* oc = out + c * np;
+        for (int l = 0; l < np; ++l) oc[l] += s * w[l];
+      }
+    }
+  });
+}
+
+void projectOnBasis(const Basis& basis, const Grid& grid, const ScalarFn& fn, Field& field,
+                    int numQuad) {
+  projectVectorOnBasis(
+      basis, grid, [&fn](const double* z, double* out) { out[0] = fn(z); }, 1, field, numQuad);
+}
+
+double integrateDomain(const Basis& basis, const Grid& grid, const Field& field, int comp) {
+  double jac = 1.0;
+  for (int d = 0; d < grid.ndim; ++d) jac *= 0.5 * grid.dx(d);
+  const double w0 = std::pow(2.0, 0.5 * grid.ndim);
+  const int np = basis.numModes();
+  double total = 0.0;
+  forEachCell(grid, [&](const MultiIndex& idx) { total += field.at(idx)[comp * np]; });
+  return total * jac * w0;
+}
+
+}  // namespace vdg

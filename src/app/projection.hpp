@@ -1,0 +1,37 @@
+#pragma once
+// Projection of initial conditions onto the modal basis. This is the one
+// place quadrature legitimately appears (as it does in Gkeyll): it runs
+// once at setup on user-supplied analytic functions, not in the update
+// loop, so it has no bearing on the alias-free/quadrature-free character
+// of the solver itself.
+
+#include <functional>
+
+#include "basis/basis.hpp"
+#include "grid/grid.hpp"
+
+namespace vdg {
+
+/// Scalar function of the physical coordinates (size grid.ndim).
+using ScalarFn = std::function<double(const double* z)>;
+
+/// Vector function writing `ncomp` values at physical point z.
+using VectorFn = std::function<void(const double* z, double* out)>;
+
+/// L2-project `fn` onto `field` (ncomp == basis.numModes()) with a
+/// per-direction Gauss-Legendre rule of `numQuad` points (default p+2,
+/// exact for polynomial data of degree 2p+3).
+void projectOnBasis(const Basis& basis, const Grid& grid, const ScalarFn& fn, Field& field,
+                    int numQuad = 0);
+
+/// Project an ncomp-vector function onto `field` (ncomp() ==
+/// ncomp * basis.numModes(), component-major per cell).
+void projectVectorOnBasis(const Basis& basis, const Grid& grid, const VectorFn& fn, int ncomp,
+                          Field& field, int numQuad = 0);
+
+/// Integral over the whole domain of component `comp` of a DG field:
+/// sum_cells J_cell * coeff_0 * 2^{ndim/2}.
+[[nodiscard]] double integrateDomain(const Basis& basis, const Grid& grid, const Field& field,
+                                     int comp = 0);
+
+}  // namespace vdg

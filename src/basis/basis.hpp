@@ -1,0 +1,90 @@
+#pragma once
+// Modal orthonormal basis sets on the reference cell [-1,1]^ndim.
+//
+// All three families of the paper (maximal-order, Serendipity, tensor
+// product) are realized as subsets of products of orthonormal Legendre
+// polynomials psi_k, selected by a rule on the multi-index of per-direction
+// degrees:
+//   tensor:        max_i a_i <= p                (Np = (p+1)^d)
+//   maximal-order: sum_i a_i <= p                (Np = C(d+p, p))
+//   Serendipity:   sum_{i: a_i>=2} a_i <= p      (e.g. 5-D p2: Np = 112)
+// Because the selection rules are monotone under lowering any single degree,
+// each subset spans exactly the corresponding polynomial space, and the
+// basis is orthonormal (products of orthonormal 1-D factors). This is what
+// lets every DG tensor factorize into the exact 1-D tables in math/.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "math/multi_index.hpp"
+
+namespace vdg {
+
+enum class BasisFamily { MaximalOrder, Serendipity, Tensor };
+
+[[nodiscard]] std::string to_string(BasisFamily f);
+
+/// Identifies a basis set: cdim configuration dimensions followed by vdim
+/// velocity dimensions (vdim = 0 for configuration-space fields), polynomial
+/// order p, and the family selection rule.
+struct BasisSpec {
+  int cdim = 1;
+  int vdim = 0;
+  int polyOrder = 1;
+  BasisFamily family = BasisFamily::Serendipity;
+
+  [[nodiscard]] int ndim() const { return cdim + vdim; }
+  [[nodiscard]] BasisSpec configSpec() const {
+    return BasisSpec{cdim, 0, polyOrder, family};
+  }
+  friend bool operator==(const BasisSpec&, const BasisSpec&) = default;
+  [[nodiscard]] std::string name() const;  // e.g. "2x3v_p2_ser"
+};
+
+/// An immutable, validated modal basis set.
+class Basis {
+ public:
+  explicit Basis(const BasisSpec& spec);
+
+  [[nodiscard]] const BasisSpec& spec() const { return spec_; }
+  [[nodiscard]] int ndim() const { return spec_.ndim(); }
+  [[nodiscard]] int numModes() const { return static_cast<int>(modes_.size()); }
+  [[nodiscard]] const std::vector<MultiIndex>& modes() const { return modes_; }
+  [[nodiscard]] const MultiIndex& mode(int l) const { return modes_[static_cast<std::size_t>(l)]; }
+
+  /// Index of a multi-index in this basis, or -1 if not a member.
+  [[nodiscard]] int indexOf(const MultiIndex& a) const;
+
+  /// Evaluate basis function l at reference point eta (size ndim).
+  [[nodiscard]] double evalMode(int l, const double* eta) const;
+
+  /// d/d eta_d of basis function l at eta.
+  [[nodiscard]] double evalModeDeriv(int l, int d, const double* eta) const;
+
+  /// Evaluate all modes at eta into out (size numModes).
+  void evalAll(const double* eta, double* out) const;
+
+  /// Evaluate f(eta) = sum_l coeff[l] w_l(eta).
+  [[nodiscard]] double evalExpansion(const double* coeff, const double* eta) const;
+
+  /// The (ndim-1)-dimensional face basis (same family and order). For all
+  /// three families the restriction of a volume mode to a face maps onto
+  /// exactly one face mode (the multi-index with the face-normal dimension
+  /// dropped); construction asserts this closure property.
+  [[nodiscard]] Basis faceBasis(int dir) const;
+
+ private:
+  BasisSpec spec_;
+  std::vector<MultiIndex> modes_;
+  std::unordered_map<MultiIndex, int, MultiIndexHash> index_;
+};
+
+/// Shared, cached basis lookup (bases are immutable; the cache avoids
+/// rebuilding mode tables for every updater).
+const Basis& basisFor(const BasisSpec& spec);
+
+/// Expected Serendipity dimension by the Arnold-Awanou formula (for tests).
+[[nodiscard]] int serendipityDim(int ndim, int p);
+
+}  // namespace vdg

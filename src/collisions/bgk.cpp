@@ -1,0 +1,158 @@
+#include "collisions/bgk.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/gauss_legendre.hpp"
+
+namespace vdg {
+
+BgkUpdater::BgkUpdater(const BasisSpec& spec, const Grid& phaseGrid, const BgkParams& params)
+    : phase_(&basisFor(spec)), grid_(phaseGrid), params_(params), cdim_(spec.cdim),
+      vdim_(spec.vdim), np_(phase_->numModes()),
+      npc_(basisFor(spec.configSpec()).numModes()),
+      mom_(std::make_unique<MomentUpdater>(spec, phaseGrid)) {
+  if (phaseGrid.ndim != spec.ndim())
+    throw std::invalid_argument("BgkUpdater: grid/basis dimensionality mismatch");
+  const int nq1 = spec.polyOrder + 2;
+  const QuadRule rule = gauss_legendre(nq1);
+  const int nd = spec.ndim();
+  nq_ = 1;
+  for (int d = 0; d < nd; ++d) nq_ *= nq1;
+  quadNodes_.resize(static_cast<std::size_t>(nq_) * nd);
+  quadWeights_.resize(static_cast<std::size_t>(nq_));
+  basisAt_.resize(static_cast<std::size_t>(nq_) * np_);
+  std::vector<int> id(static_cast<std::size_t>(nd), 0);
+  for (int q = 0; q < nq_; ++q) {
+    double w = 1.0;
+    for (int d = 0; d < nd; ++d) {
+      quadNodes_[static_cast<std::size_t>(q) * nd + d] =
+          rule.nodes[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+      w *= rule.weights[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+    }
+    quadWeights_[static_cast<std::size_t>(q)] = w;
+    phase_->evalAll(&quadNodes_[static_cast<std::size_t>(q) * nd],
+                    &basisAt_[static_cast<std::size_t>(q) * np_]);
+    for (int d = 0; d < nd; ++d) {
+      if (++id[static_cast<std::size_t>(d)] < nq1) break;
+      id[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+}
+
+void BgkUpdater::projectMaxwellian(const Field& f, Field& out) const {
+  const Grid confGrid = mom_->confGrid();
+  Field m0(confGrid, npc_), m1(confGrid, 3 * npc_), m2(confGrid, npc_);
+  mom_->compute(f, &m0, &m1, &m2);
+  const int nd = grid_.ndim;
+  int confHi[kMaxDim], velHi[kMaxDim];
+  for (int d = 0; d < cdim_; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
+  for (int j = 0; j < vdim_; ++j) velHi[j] = grid_.cells[static_cast<std::size_t>(cdim_ + j)];
+
+  MultiIndex cidx;
+  const auto forEachConf = [&](auto fn) {
+    MultiIndex idx;
+    while (true) {
+      fn(idx);
+      int d = 0;
+      while (d < cdim_) {
+        if (++idx[d] < confHi[d]) break;
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == cdim_) break;
+    }
+  };
+
+  forEachConf([&](const MultiIndex& ci) {
+    cidx = ci;
+    // The cell average of a DG expansion is coeff_0 * 2^{-d/2}; vacuum
+    // cells (nAvg <= 0) get a zero Maxwellian via norm = 0 below.
+    const double nAvg = m0.at(cidx)[0] * std::pow(2.0, -0.5 * cdim_);
+    double uAvg[3] = {0.0, 0.0, 0.0};
+    for (int j = 0; j < vdim_; ++j)
+      uAvg[j] = (nAvg > 0.0)
+                    ? m1.at(cidx)[j * npc_] * std::pow(2.0, -0.5 * cdim_) / nAvg
+                    : 0.0;
+    double m2Avg = m2.at(cidx)[0] * std::pow(2.0, -0.5 * cdim_);
+    double u2 = 0.0;
+    for (int j = 0; j < vdim_; ++j) u2 += uAvg[j] * uAvg[j];
+    double vt2 = (nAvg > 0.0) ? (m2Avg / nAvg - u2) / vdim_ : 1.0;
+    vt2 = std::max(vt2, 1e-14);
+
+    const double norm =
+        (nAvg > 0.0) ? nAvg / std::pow(2.0 * std::numbers::pi * vt2, 0.5 * vdim_) : 0.0;
+
+    // Project in every velocity cell of this configuration cell, then
+    // rescale so collisional density change is exactly zero.
+    MultiIndex idx = cidx;
+    std::vector<int> vi(static_cast<std::size_t>(vdim_), 0);
+    while (true) {
+      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[static_cast<std::size_t>(j)];
+      double* oc = out.at(idx);
+      for (int l = 0; l < np_; ++l) oc[l] = 0.0;
+      for (int q = 0; q < nq_; ++q) {
+        double arg = 0.0;
+        for (int j = 0; j < vdim_; ++j) {
+          const int d = cdim_ + j;
+          const double v = grid_.cellCenter(d, idx[d]) +
+                           0.5 * grid_.dx(d) * quadNodes_[static_cast<std::size_t>(q) * nd + d];
+          const double dv = v - uAvg[j];
+          arg += dv * dv;
+        }
+        const double val = norm * std::exp(-0.5 * arg / vt2);
+        const double wq = quadWeights_[static_cast<std::size_t>(q)];
+        const double* wl = &basisAt_[static_cast<std::size_t>(q) * np_];
+        for (int l = 0; l < np_; ++l) oc[l] += wq * val * wl[l];
+      }
+      int j = 0;
+      while (j < vdim_) {
+        if (++vi[static_cast<std::size_t>(j)] < velHi[j]) break;
+        vi[static_cast<std::size_t>(j)] = 0;
+        ++j;
+      }
+      if (j == vdim_) break;
+    }
+  });
+
+  // Density-conserving rescale: lambda(x) cell-wise so M0[f_M] == M0[f].
+  Field m0M(confGrid, npc_);
+  mom_->compute(out, &m0M, nullptr, nullptr);
+  forEachConf([&](const MultiIndex& ci) {
+    const double a = m0.at(ci)[0];
+    const double b = m0M.at(ci)[0];
+    if (std::abs(b) < 1e-300) return;
+    const double s = a / b;
+    MultiIndex idx = ci;
+    std::vector<int> vi(static_cast<std::size_t>(vdim_), 0);
+    while (true) {
+      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[static_cast<std::size_t>(j)];
+      double* oc = out.at(idx);
+      for (int l = 0; l < np_; ++l) oc[l] *= s;
+      int j = 0;
+      while (j < vdim_) {
+        if (++vi[static_cast<std::size_t>(j)] < velHi[j]) break;
+        vi[static_cast<std::size_t>(j)] = 0;
+        ++j;
+      }
+      if (j == vdim_) break;
+    }
+  });
+}
+
+double BgkUpdater::advance(const Field& f, Field& rhs) const {
+  Field fM(grid_, np_, f.nghost());
+  projectMaxwellian(f, fM);
+  const double nu = params_.collisionFreq;
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    const double* fc = f.at(idx);
+    const double* mc = fM.at(idx);
+    double* rc = rhs.at(idx);
+    for (int l = 0; l < np_; ++l) rc[l] += nu * (mc[l] - fc[l]);
+  });
+  return nu;
+}
+
+}  // namespace vdg

@@ -1,0 +1,14 @@
+#pragma once
+// Numerical flux choices (paper Eq. 5 and Section II): central fluxes
+// conserve energy exactly (the property the paper requires for the Maxwell
+// solve); penalty (local Lax-Friedrichs) fluxes upwind via a speed bound
+// and add stabilizing dissipation for the Vlasov advection.
+
+namespace vdg {
+
+enum class FluxType {
+  Central,  ///< Fhat = (F^- + F^+)/2
+  Penalty,  ///< Fhat = (F^- + F^+)/2 - (tau/2)(u^+ - u^-), tau = local speed bound
+};
+
+}  // namespace vdg

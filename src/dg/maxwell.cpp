@@ -1,0 +1,164 @@
+#include "dg/maxwell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vdg {
+
+namespace {
+
+// Component indices in the PHM state vector.
+enum : int { EX = 0, EY, EZ, BX, BY, BZ, PHI, PSI };
+
+int levi(int i, int j, int k) {
+  if (i == j || j == k || i == k) return 0;
+  return ((j - i + 3) % 3 == 1) ? 1 : -1;
+}
+
+}  // namespace
+
+MaxwellUpdater::MaxwellUpdater(const BasisSpec& confSpec, const Grid& confGrid,
+                               const MaxwellParams& params)
+    : basis_(&basisFor(confSpec)), grid_(confGrid), params_(params) {
+  if (confSpec.vdim != 0)
+    throw std::invalid_argument("MaxwellUpdater: spec must be configuration-space (vdim==0)");
+  if (confGrid.ndim != confSpec.cdim)
+    throw std::invalid_argument("MaxwellUpdater: grid/basis dimensionality mismatch");
+  for (int d = 0; d < grid_.ndim; ++d) {
+    grad_.push_back(buildGradTape(*basis_, d));
+    if (grid_.ndim == 1)
+      face_.push_back(buildPointFaceMap(*basis_));
+    else
+      face_.push_back(buildFaceMap(*basis_, basis_->faceBasis(d), d));
+  }
+}
+
+double MaxwellUpdater::advance(const Field& em, Field& rhs) const {
+  const int np = basis_->numModes();
+  assert(em.ncomp() == 8 * np && rhs.ncomp() == 8 * np);
+  const double c = params_.lightSpeed;
+  const double c2 = c * c;
+  const double chi = params_.chi, gam = params_.gamma;
+
+  rhs.setZero();
+
+  // Flux of component q in direction d, as a linear combination of state
+  // components: F_d(E_i) = -c^2 eps_{idk} B_k + chi c^2 phi delta_{id};
+  //             F_d(B_i) =      eps_{idk} E_k + gamma   psi delta_{id};
+  //             F_d(phi) = chi E_d;   F_d(psi) = gamma c^2 B_d.
+  // Precompute the (component, coefficient) pairs once.
+  struct LinTerm {
+    int src;
+    double c;
+  };
+  std::array<std::array<std::vector<LinTerm>, 8>, 3> flux{};
+  for (int d = 0; d < grid_.ndim; ++d) {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = 0; k < 3; ++k) {
+        const int s = levi(i, d, k);
+        if (s != 0) {
+          flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(EX + i)].push_back(
+              {BX + k, -c2 * s});
+          flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(BX + i)].push_back(
+              {EX + k, static_cast<double>(s)});
+        }
+      }
+      if (i == d) {
+        flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(EX + i)].push_back(
+            {PHI, chi * c2});
+        flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(BX + i)].push_back({PSI, gam});
+      }
+    }
+    flux[static_cast<std::size_t>(d)][PHI].push_back({EX + d, chi});
+    flux[static_cast<std::size_t>(d)][PSI].push_back({BX + d, gam * c2});
+  }
+
+  // ---------------------------------------------------------------- volume
+  std::vector<double> fcomp(static_cast<std::size_t>(np));
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    const double* u = em.at(idx);
+    double* r = rhs.at(idx);
+    for (int d = 0; d < grid_.ndim; ++d) {
+      const double rdx2 = 2.0 / grid_.dx(d);
+      for (int q = 0; q < 8; ++q) {
+        const auto& terms = flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(q)];
+        if (terms.empty()) continue;
+        std::fill(fcomp.begin(), fcomp.end(), 0.0);
+        for (const LinTerm& t : terms)
+          for (int n = 0; n < np; ++n)
+            fcomp[static_cast<std::size_t>(n)] += t.c * u[t.src * np + n];
+        grad_[static_cast<std::size_t>(d)].execute(
+            fcomp, {r + q * np, static_cast<std::size_t>(np)}, rdx2);
+      }
+    }
+  });
+
+  // --------------------------------------------------------------- surface
+  const bool penalty = params_.flux == FluxType::Penalty;
+  const double tau = penalty ? c * std::max({1.0, chi, gam}) : 0.0;
+  for (int d = 0; d < grid_.ndim; ++d) {
+    const FaceMap& fmap = face_[static_cast<std::size_t>(d)];
+    const int nf = fmap.numFaceModes;
+    const double rdx2 = 2.0 / grid_.dx(d);
+    std::vector<double> uL(static_cast<std::size_t>(8 * nf)), uR(static_cast<std::size_t>(8 * nf));
+    std::vector<double> fhat(static_cast<std::size_t>(8 * nf));
+
+    Grid faceGrid = grid_;
+    faceGrid.cells[static_cast<std::size_t>(d)] += 1;
+    forEachCell(faceGrid, [&](const MultiIndex& fidx) {
+      const int i = fidx[d];
+      const int nd = grid_.cells[static_cast<std::size_t>(d)];
+      MultiIndex lidx = fidx;
+      lidx[d] = i - 1;
+      const double* ul = em.at(lidx);
+      const double* ur = em.at(fidx);
+      for (int q = 0; q < 8; ++q) {
+        fmap.restrictTo({ul + q * np, static_cast<std::size_t>(np)},
+                        {uL.data() + q * nf, static_cast<std::size_t>(nf)}, +1);
+        fmap.restrictTo({ur + q * np, static_cast<std::size_t>(np)},
+                        {uR.data() + q * nf, static_cast<std::size_t>(nf)}, -1);
+      }
+      std::fill(fhat.begin(), fhat.end(), 0.0);
+      for (int q = 0; q < 8; ++q) {
+        const auto& terms = flux[static_cast<std::size_t>(d)][static_cast<std::size_t>(q)];
+        double* fq = fhat.data() + q * nf;
+        for (const LinTerm& t : terms)
+          for (int k = 0; k < nf; ++k)
+            fq[k] += 0.5 * t.c * (uL[static_cast<std::size_t>(t.src * nf + k)] +
+                                  uR[static_cast<std::size_t>(t.src * nf + k)]);
+        if (penalty)
+          for (int k = 0; k < nf; ++k)
+            fq[k] -= 0.5 * tau * (uR[static_cast<std::size_t>(q * nf + k)] -
+                                  uL[static_cast<std::size_t>(q * nf + k)]);
+      }
+      double* rl = (i > 0) ? rhs.at(lidx) : nullptr;
+      double* rr = (i < nd) ? rhs.at(fidx) : nullptr;
+      for (int q = 0; q < 8; ++q) {
+        const std::span<const double> fq(fhat.data() + q * nf, static_cast<std::size_t>(nf));
+        if (rl) fmap.lift(fq, {rl + q * np, static_cast<std::size_t>(np)}, +1, -rdx2);
+        if (rr) fmap.lift(fq, {rr + q * np, static_cast<std::size_t>(np)}, -1, +rdx2);
+      }
+    });
+  }
+
+  double freq = 0.0;
+  const double cmax = c * std::max({1.0, chi, gam});
+  for (int d = 0; d < grid_.ndim; ++d) freq += cmax / grid_.dx(d);
+  return freq;
+}
+
+void MaxwellUpdater::addCurrentSource(const Field& current, Field& rhs) const {
+  const int np = basis_->numModes();
+  assert(current.ncomp() == 3 * np && rhs.ncomp() == 8 * np);
+  const double s = -1.0 / params_.epsilon0;
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    const double* j = current.at(idx);
+    double* r = rhs.at(idx);
+    for (int c = 0; c < 3 * np; ++c) r[c] += s * j[c];
+  });
+}
+
+}  // namespace vdg

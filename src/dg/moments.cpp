@@ -1,0 +1,128 @@
+#include "dg/moments.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/legendre.hpp"
+
+namespace vdg {
+
+MomentUpdater::MomentUpdater(const BasisSpec& phaseSpec, const Grid& phaseGrid)
+    : phase_(&basisFor(phaseSpec)), conf_(&basisFor(phaseSpec.configSpec())), grid_(phaseGrid),
+      cdim_(phaseSpec.cdim), vdim_(phaseSpec.vdim), np_(phase_->numModes()),
+      npc_(conf_->numModes()) {
+  if (phaseGrid.ndim != phaseSpec.ndim())
+    throw std::invalid_argument("MomentUpdater: grid/basis dimensionality mismatch");
+  t0_ = buildTape(MultiIndex{});
+  for (int j = 0; j < vdim_; ++j) {
+    MultiIndex m1;
+    m1[j] = 1;
+    t1_.push_back(buildTape(m1));
+    MultiIndex m2;
+    m2[j] = 2;
+    t2_.push_back(buildTape(m2));
+  }
+}
+
+Grid MomentUpdater::confGrid() const {
+  Grid g;
+  g.ndim = cdim_;
+  for (int d = 0; d < cdim_; ++d) {
+    g.cells[static_cast<std::size_t>(d)] = grid_.cells[static_cast<std::size_t>(d)];
+    g.lower[static_cast<std::size_t>(d)] = grid_.lower[static_cast<std::size_t>(d)];
+    g.upper[static_cast<std::size_t>(d)] = grid_.upper[static_cast<std::size_t>(d)];
+  }
+  return g;
+}
+
+MomentUpdater::MomTape MomentUpdater::buildTape(const MultiIndex& velMonomial) const {
+  const auto& tab = LegendreTables::instance();
+  MomTape tape;
+  for (int l = 0; l < np_; ++l) {
+    const MultiIndex& a = phase_->mode(l);
+    // Configuration part of the phase mode.
+    MultiIndex ac;
+    for (int d = 0; d < cdim_; ++d) ac[d] = a[d];
+    const int k = conf_->indexOf(ac);
+    if (k < 0) continue;  // cannot happen for the supported families
+    double w = 1.0;
+    for (int j = 0; j < vdim_; ++j) w *= tab.xmom(a[cdim_ + j], velMonomial[j]);
+    if (std::abs(w) > 1e-14) tape.terms.push_back({k, l, w});
+  }
+  return tape;
+}
+
+void MomentUpdater::compute(const Field& f, Field* m0, Field* m1, Field* m2) const {
+  assert(f.ncomp() == np_);
+  assert(!m0 || m0->ncomp() == npc_);
+  assert(!m1 || m1->ncomp() == 3 * npc_);
+  assert(!m2 || m2->ncomp() == npc_);
+  if (m0) m0->setZero();
+  if (m1) m1->setZero();
+  if (m2) m2->setZero();
+
+  // Velocity-cell Jacobian prod_j dv_j/2.
+  double jacV = 1.0;
+  for (int j = 0; j < vdim_; ++j) jacV *= 0.5 * grid_.dx(cdim_ + j);
+
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    MultiIndex cidx;
+    for (int d = 0; d < cdim_; ++d) cidx[d] = idx[d];
+    const double* fc = f.at(idx);
+
+    double wc[kMaxDim], hdv[kMaxDim];
+    for (int j = 0; j < vdim_; ++j) {
+      wc[j] = grid_.cellCenter(cdim_ + j, idx[cdim_ + j]);
+      hdv[j] = 0.5 * grid_.dx(cdim_ + j);
+    }
+
+    if (m0) {
+      double* out = m0->at(cidx);
+      for (const auto& t : t0_.terms) out[t.k] += jacV * t.c * fc[t.l];
+    }
+    if (m1) {
+      double* out = m1->at(cidx);
+      for (int j = 0; j < vdim_; ++j) {
+        double* oj = out + j * npc_;
+        for (const auto& t : t0_.terms) oj[t.k] += jacV * wc[j] * t.c * fc[t.l];
+        for (const auto& t : t1_[static_cast<std::size_t>(j)].terms)
+          oj[t.k] += jacV * hdv[j] * t.c * fc[t.l];
+      }
+    }
+    if (m2) {
+      double* out = m2->at(cidx);
+      for (int j = 0; j < vdim_; ++j) {
+        const double w2 = wc[j] * wc[j];
+        for (const auto& t : t0_.terms) out[t.k] += jacV * w2 * t.c * fc[t.l];
+        for (const auto& t : t1_[static_cast<std::size_t>(j)].terms)
+          out[t.k] += jacV * 2.0 * wc[j] * hdv[j] * t.c * fc[t.l];
+        for (const auto& t : t2_[static_cast<std::size_t>(j)].terms)
+          out[t.k] += jacV * hdv[j] * hdv[j] * t.c * fc[t.l];
+      }
+    }
+  });
+}
+
+void MomentUpdater::accumulateCurrent(const Field& f, double charge, Field& current) const {
+  assert(f.ncomp() == np_ && current.ncomp() == 3 * npc_);
+  double jacV = 1.0;
+  for (int j = 0; j < vdim_; ++j) jacV *= 0.5 * grid_.dx(cdim_ + j);
+
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    MultiIndex cidx;
+    for (int d = 0; d < cdim_; ++d) cidx[d] = idx[d];
+    const double* fc = f.at(idx);
+    double* out = current.at(cidx);
+    for (int j = 0; j < vdim_; ++j) {
+      const double wc = grid_.cellCenter(cdim_ + j, idx[cdim_ + j]);
+      const double hdv = 0.5 * grid_.dx(cdim_ + j);
+      double* oj = out + j * npc_;
+      for (const auto& t : t0_.terms) oj[t.k] += charge * jacV * wc * t.c * fc[t.l];
+      for (const auto& t : t1_[static_cast<std::size_t>(j)].terms)
+        oj[t.k] += charge * jacV * hdv * t.c * fc[t.l];
+    }
+  });
+}
+
+}  // namespace vdg

@@ -1,0 +1,55 @@
+#pragma once
+// Velocity moments of the distribution function: the coupling from the
+// kinetic phase-space grid back to the configuration-space grid (density,
+// momentum/current, energy). The velocity integrals reduce, like every
+// other integral in the scheme, to exact 1-D tables: a phase mode (a_c, a_v)
+// contributes to configuration mode a_c with weight prod_j xmom(a_{v_j}, m_j)
+// for the velocity monomial v^m, assembled with the cell's center/width.
+
+#include "basis/basis.hpp"
+#include "grid/grid.hpp"
+#include "math/multi_index.hpp"
+
+#include <vector>
+
+namespace vdg {
+
+/// Computes M0 = int f dv, M1_i = int v_i f dv (3 components; components
+/// beyond vdim are zero), and M2 = int |v|^2 f dv.
+class MomentUpdater {
+ public:
+  MomentUpdater(const BasisSpec& phaseSpec, const Grid& phaseGrid);
+
+  [[nodiscard]] int numConfModes() const { return npc_; }
+  [[nodiscard]] Grid confGrid() const;
+
+  /// m0: ncomp = numConfModes; m1: 3*numConfModes; m2: numConfModes.
+  /// Pass nullptr to skip a moment.
+  void compute(const Field& f, Field* m0, Field* m1, Field* m2) const;
+
+  /// current += charge * M1(f): the species' contribution to the plasma
+  /// current in Ampere's law (3*numConfModes components).
+  void accumulateCurrent(const Field& f, double charge, Field& current) const;
+
+ private:
+  /// Sparse map: conf mode k <- phase mode l with constant weight, for a
+  /// velocity monomial prod_j eta_j^{m_j} over the reference cell.
+  struct MomTape {
+    struct Term {
+      int k, l;
+      double c;
+    };
+    std::vector<Term> terms;
+  };
+  [[nodiscard]] MomTape buildTape(const MultiIndex& velMonomial) const;
+
+  const Basis* phase_;
+  const Basis* conf_;
+  Grid grid_;
+  int cdim_, vdim_, np_, npc_;
+  MomTape t0_;                     // weight 1
+  std::vector<MomTape> t1_;        // weight eta_j, per velocity dim
+  std::vector<MomTape> t2_;        // weight eta_j^2, per velocity dim
+};
+
+}  // namespace vdg

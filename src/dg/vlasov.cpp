@@ -1,0 +1,247 @@
+#include "dg/vlasov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vdg {
+
+namespace {
+
+/// Odometer iteration over the box [0, hi[d]) for d < nd.
+template <typename Fn>
+void forEachIdx(int nd, const int* hi, Fn fn) {
+  MultiIndex idx;
+  while (true) {
+    fn(idx);
+    int d = 0;
+    while (d < nd) {
+      if (++idx[d] < hi[d]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == nd) break;
+  }
+}
+
+}  // namespace
+
+VlasovUpdater::VlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid,
+                             const VlasovParams& params)
+    : ks_(&vlasovKernels(spec)), grid_(phaseGrid), params_(params),
+      qbym_(params.charge / params.mass) {
+  if (phaseGrid.ndim != spec.ndim())
+    throw std::invalid_argument("VlasovUpdater: grid/basis dimensionality mismatch");
+  for (int d = 0; d < grid_.ndim; ++d) dxv_[static_cast<std::size_t>(d)] = grid_.dx(d);
+  // Generated surface kernels bake in the penalty flux, so the compiled
+  // path is only valid for FluxType::Penalty.
+  if (params.flux == FluxType::Penalty) {
+    const VlasovCompiledKernels* ck = findCompiledKernels(spec.name());
+    if (ck && ck->numPhaseModes == ks_->numPhaseModes && ck->complete(ks_->cdim, ks_->vdim))
+      compiled_ = ck;
+  }
+}
+
+double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const {
+  const VlasovKernelSet& ks = *ks_;
+  const int np = ks.numPhaseModes;
+  const int cdim = ks.cdim, vdim = ks.vdim, ndim = ks.ndim;
+  assert(f.ncomp() == np && rhs.ncomp() == np);
+  assert(!em || em->ncomp() == kEmComps * ks.numConfModes);
+
+  rhs.setZero();
+  double maxFreq = 0.0;
+
+  // Acceleration expansion per cell (no ghosts needed: velocity faces never
+  // straddle configuration cells, config faces carry only streaming flux).
+  Field alphaField;
+  if (em) alphaField = Field(grid_, vdim * np, 0);
+
+  AccelWorkspace ws;
+
+  int confHi[kMaxDim], velHi[kMaxDim];
+  for (int d = 0; d < cdim; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
+  for (int j = 0; j < vdim; ++j) velHi[j] = grid_.cells[static_cast<std::size_t>(cdim + j)];
+
+  // ---------------------------------------------------------------- volume
+  forEachIdx(cdim, confHi, [&](const MultiIndex& cidx) {
+    // Per-configuration-cell preparation shared by all velocity cells.
+    if (em) prepareAccel(ks, em->at(cidx), ws);
+
+    std::vector<double> alpha(static_cast<std::size_t>(vdim) * np);
+    std::array<double, kMaxDim> wArr{};
+    forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
+      MultiIndex idx = cidx;
+      for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
+      const std::span<const double> fc = f.cell(idx);
+      const std::span<double> rc = rhs.cell(idx);
+
+      double freq = 0.0;
+      // Streaming volume terms.
+      if (compiled_) {
+        for (int d = 0; d < ndim; ++d) wArr[static_cast<std::size_t>(d)] = grid_.cellCenter(d, idx[d]);
+        compiled_->streamVol(wArr.data(), dxv_.data(), fc.data(), rc.data());
+        for (int d = 0; d < cdim; ++d) {
+          const int vd = cdim + d;
+          freq += (std::abs(wArr[static_cast<std::size_t>(vd)]) + 0.5 * grid_.dx(vd)) /
+                  grid_.dx(d);
+        }
+      } else {
+        for (int d = 0; d < cdim; ++d) {
+          const int vd = cdim + d;
+          const double wc = grid_.cellCenter(vd, idx[vd]);
+          const double hdv = 0.5 * grid_.dx(vd);
+          const double rdx2 = 2.0 / grid_.dx(d);
+          ks.streamVol0[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * wc);
+          ks.streamVol1[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * hdv);
+          freq += (std::abs(wc) + hdv) / grid_.dx(d);
+        }
+      }
+      // Acceleration volume terms.
+      if (em) {
+        buildAccel(ks, grid_, qbym_, idx, ws, alpha);
+        std::copy(alpha.begin(), alpha.end(), alphaField.at(idx));
+        if (compiled_) compiled_->accelVol(dxv_.data(), alpha.data(), fc.data(), rc.data());
+        for (int j = 0; j < vdim; ++j) {
+          const int d = cdim + j;
+          const std::span<const double> aj(alpha.data() + static_cast<std::size_t>(j) * np,
+                                           static_cast<std::size_t>(np));
+          if (!compiled_)
+            ks.volume[static_cast<std::size_t>(d)].execute(aj, fc, rc, 2.0 / grid_.dx(d));
+          // Speed bound for the CFL frequency: |alpha| <= sum |a_l| sup|w_l|.
+          double amax = 0.0;
+          for (int l = 0; l < np; ++l)
+            amax += std::abs(aj[static_cast<std::size_t>(l)]) *
+                    ks.phaseSup[static_cast<std::size_t>(l)];
+          freq += amax / grid_.dx(d);
+        }
+      }
+      maxFreq = std::max(maxFreq, freq);
+    });
+  });
+
+  // --------------------------------------------------------------- surface
+  const bool penalty = params_.flux == FluxType::Penalty;
+  for (int d = 0; d < ndim; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const FaceMap& fm = ks.faceMap[ds];
+    const int nf = fm.numFaceModes;
+    const double rdx2 = 2.0 / grid_.dx(d);
+    const bool isConfDir = d < cdim;
+
+    std::vector<double> fL(static_cast<std::size_t>(nf)), fR(static_cast<std::size_t>(nf));
+    std::vector<double> favg(static_cast<std::size_t>(nf)), fhat(static_cast<std::size_t>(nf));
+    std::vector<double> aL(static_cast<std::size_t>(nf)), aR(static_cast<std::size_t>(nf));
+    std::vector<double> scratch(static_cast<std::size_t>(np));  // discarded ghost-side output
+    std::array<double, kMaxDim> wArr{};
+
+    // Iterate faces: cells with idx[d] in [0, N_d] (the idx[d] face is the
+    // lower face of cell idx). Velocity-space domain boundaries use the
+    // zero-flux closure (skip).
+    int hi[kMaxDim];
+    for (int i = 0; i < ndim; ++i) hi[i] = grid_.cells[static_cast<std::size_t>(i)];
+    hi[d] += 1;
+    forEachIdx(ndim, hi, [&](const MultiIndex& fidx) {
+      const int i = fidx[d];
+      const int nd = grid_.cells[ds];
+      if (!isConfDir && (i == 0 || i == nd)) return;  // zero-flux in v
+      if (!em && !isConfDir) return;                  // no acceleration flux
+      MultiIndex lidx = fidx, ridx = fidx;
+      lidx[d] = i - 1;
+      const bool lInterior = i > 0;
+      const bool rInterior = i < nd;
+
+      if (compiled_) {
+        double* outl = lInterior ? rhs.at(lidx) : scratch.data();
+        double* outr = rInterior ? rhs.at(ridx) : scratch.data();
+        if (isConfDir) {
+          const int vd = cdim + d;
+          wArr[static_cast<std::size_t>(vd)] = grid_.cellCenter(vd, fidx[vd]);
+          compiled_->streamSurf[d](wArr.data(), dxv_.data(), f.at(lidx), f.at(ridx), outl, outr);
+        } else {
+          const int j = d - cdim;
+          const int off = j * np;
+          compiled_->accelSurf[j](dxv_.data(), alphaField.at(lidx) + off,
+                                  alphaField.at(ridx) + off, f.at(lidx), f.at(ridx), outl, outr);
+        }
+        return;
+      }
+
+      fm.restrictTo(f.cell(lidx), fL, +1);
+      fm.restrictTo(f.cell(ridx), fR, -1);
+
+      double tau = 0.0;
+      for (int k = 0; k < nf; ++k)
+        fhat[static_cast<std::size_t>(k)] = 0.0;
+
+      if (isConfDir) {
+        // Streaming flux v_d: single-valued on the face.
+        const int vd = cdim + d;
+        const double wc = grid_.cellCenter(vd, fidx[vd]);
+        const double hdv = 0.5 * grid_.dx(vd);
+        for (int k = 0; k < nf; ++k)
+          favg[static_cast<std::size_t>(k)] =
+              0.5 * (fL[static_cast<std::size_t>(k)] + fR[static_cast<std::size_t>(k)]);
+        ks.streamFace0[ds].execute(favg, fhat, wc);
+        ks.streamFace1[ds].execute(favg, fhat, hdv);
+        if (penalty) tau = std::max(std::abs(wc - hdv), std::abs(wc + hdv));
+      } else {
+        // Acceleration flux: expansion may differ between the two cells
+        // (basis projection is per cell), use the paper's Eq. 5 form.
+        const int j = d - cdim;
+        const int off = j * np;
+        fm.restrictTo({alphaField.at(lidx) + off, static_cast<std::size_t>(np)}, aL, +1);
+        fm.restrictTo({alphaField.at(ridx) + off, static_cast<std::size_t>(np)}, aR, -1);
+        ks.faceProduct[ds].execute(aL, fL, fhat, 0.5);
+        ks.faceProduct[ds].execute(aR, fR, fhat, 0.5);
+        if (penalty) {
+          const std::vector<double>& sup = ks.faceSup[ds];
+          double bL = 0.0, bR = 0.0;
+          for (int k = 0; k < nf; ++k) {
+            bL += std::abs(aL[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+            bR += std::abs(aR[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+          }
+          tau = std::max(bL, bR);
+        }
+      }
+      if (penalty && tau > 0.0)
+        for (int k = 0; k < nf; ++k)
+          fhat[static_cast<std::size_t>(k)] -=
+              0.5 * tau *
+              (fR[static_cast<std::size_t>(k)] - fL[static_cast<std::size_t>(k)]);
+
+      if (lInterior) fm.lift(fhat, rhs.cell(lidx), +1, -rdx2);
+      if (rInterior) fm.lift(fhat, rhs.cell(ridx), -1, +rdx2);
+    });
+  }
+
+  return maxFreq;
+}
+
+void VlasovUpdater::volumeTerm(std::span<const double> f, std::span<const double> alpha,
+                               const MultiIndex& cellIdx, std::span<double> out) const {
+  const VlasovKernelSet& ks = *ks_;
+  const int np = ks.numPhaseModes;
+  const int cdim = ks.cdim, vdim = ks.vdim;
+  for (double& v : out) v = 0.0;
+  for (int d = 0; d < cdim; ++d) {
+    const int vd = cdim + d;
+    const double wc = grid_.cellCenter(vd, cellIdx[vd]);
+    const double hdv = 0.5 * grid_.dx(vd);
+    const double rdx2 = 2.0 / grid_.dx(d);
+    ks.streamVol0[static_cast<std::size_t>(d)].execute(f, out, rdx2 * wc);
+    ks.streamVol1[static_cast<std::size_t>(d)].execute(f, out, rdx2 * hdv);
+  }
+  if (!alpha.empty()) {
+    for (int j = 0; j < vdim; ++j) {
+      const int d = cdim + j;
+      const std::span<const double> aj(alpha.data() + static_cast<std::size_t>(j) * np,
+                                       static_cast<std::size_t>(np));
+      ks.volume[static_cast<std::size_t>(d)].execute(aj, f, out, 2.0 / grid_.dx(d));
+    }
+  }
+}
+
+}  // namespace vdg

@@ -1,0 +1,76 @@
+#pragma once
+// Matrix-free, quadrature-free, alias-free DG updater for the Vlasov
+// equation
+//   df/dt + div_x (v f) + div_v ( (q/m)(E + v x B) f ) = 0
+// on a phase-space grid (cdim configuration + vdim velocity dimensions).
+//
+// The updater executes the pre-generated sparse tapes of
+// tensors/vlasov_tensors.hpp cell by cell: the discrete weak form (paper
+// Eq. 2/12) becomes
+//   df_l/dt = sum_d (2/dxv_d) [ C^d_lmn alpha^d_m f_n  -  surface lifts ],
+// with the acceleration expansion rebuilt per configuration cell from the
+// EM field coefficients. There is no quadrature loop and no matrix anywhere
+// in this path.
+
+#include <span>
+
+#include "dg/flux.hpp"
+#include "grid/grid.hpp"
+#include "kernels/registry.hpp"
+#include "tensors/vlasov_tensors.hpp"
+
+namespace vdg {
+
+struct VlasovParams {
+  double charge = -1.0;
+  double mass = 1.0;
+  FluxType flux = FluxType::Penalty;
+};
+
+/// Layout of the EM field used across the library: 8 configuration-space
+/// DG expansions per cell (Ex,Ey,Ez,Bx,By,Bz,phi,psi), matching the
+/// perfectly-hyperbolic Maxwell system of dg/maxwell.hpp.
+inline constexpr int kEmComps = 8;
+
+class VlasovUpdater {
+ public:
+  /// `phaseGrid` must have spec.ndim() dimensions (config dims first).
+  VlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid, const VlasovParams& params);
+
+  /// Compute rhs = L(f). `em` is the configuration-space EM field
+  /// (kEmComps * numConfModes components per cell) or nullptr for
+  /// free streaming. Ghost layers of `f` must be up to date in the
+  /// configuration dimensions (periodic/BC sync is the caller's job);
+  /// velocity-space boundaries use zero-flux closure and need no ghosts.
+  ///
+  /// Returns the maximum CFL frequency max_cell sum_d lambda_d/dx_d
+  /// (multiply by (2p+1) and invert for a stable explicit dt).
+  double advance(const Field& f, const Field* em, Field& rhs) const;
+
+  [[nodiscard]] const VlasovKernelSet& kernels() const { return *ks_; }
+  [[nodiscard]] const Grid& phaseGrid() const { return grid_; }
+
+  /// True when this updater dispatches to pre-generated compiled kernels
+  /// (available for registered specs with the penalty flux, which the
+  /// generated surface kernels bake in) instead of interpreting the tapes.
+  [[nodiscard]] bool usesCompiledKernels() const { return compiled_ != nullptr; }
+
+  /// Force tape interpretation even when compiled kernels are registered
+  /// (used by tests and the codegen ablation benchmark).
+  void disableCompiledKernels() { compiled_ = nullptr; }
+
+  /// Volume-term-only update (streaming + acceleration), used by the
+  /// kernel-cost benchmarks (Fig. 2) and tests.
+  void volumeTerm(std::span<const double> f, std::span<const double> alpha,
+                  const MultiIndex& cellIdx, std::span<double> out) const;
+
+ private:
+  const VlasovKernelSet* ks_;
+  const VlasovCompiledKernels* compiled_ = nullptr;
+  Grid grid_;
+  VlasovParams params_;
+  double qbym_;
+  std::array<double, kMaxDim> dxv_{};  ///< per-dimension cell sizes
+};
+
+}  // namespace vdg

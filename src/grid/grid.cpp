@@ -1,0 +1,148 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdg {
+
+Grid Grid::phase(const Grid& conf, const Grid& vel) {
+  if (conf.ndim + vel.ndim > kMaxDim)
+    throw std::invalid_argument("Grid::phase: combined dimensionality exceeds 6");
+  Grid g;
+  g.ndim = conf.ndim + vel.ndim;
+  for (int d = 0; d < conf.ndim; ++d) {
+    g.cells[static_cast<std::size_t>(d)] = conf.cells[static_cast<std::size_t>(d)];
+    g.lower[static_cast<std::size_t>(d)] = conf.lower[static_cast<std::size_t>(d)];
+    g.upper[static_cast<std::size_t>(d)] = conf.upper[static_cast<std::size_t>(d)];
+  }
+  for (int d = 0; d < vel.ndim; ++d) {
+    g.cells[static_cast<std::size_t>(conf.ndim + d)] = vel.cells[static_cast<std::size_t>(d)];
+    g.lower[static_cast<std::size_t>(conf.ndim + d)] = vel.lower[static_cast<std::size_t>(d)];
+    g.upper[static_cast<std::size_t>(conf.ndim + d)] = vel.upper[static_cast<std::size_t>(d)];
+  }
+  return g;
+}
+
+Grid Grid::make(std::initializer_list<int> cells, std::initializer_list<double> lower,
+                std::initializer_list<double> upper) {
+  if (cells.size() != lower.size() || cells.size() != upper.size() ||
+      cells.size() > static_cast<std::size_t>(kMaxDim) || cells.size() == 0)
+    throw std::invalid_argument("Grid::make: inconsistent dimension lists");
+  Grid g;
+  g.ndim = static_cast<int>(cells.size());
+  std::copy(cells.begin(), cells.end(), g.cells.begin());
+  std::copy(lower.begin(), lower.end(), g.lower.begin());
+  std::copy(upper.begin(), upper.end(), g.upper.begin());
+  for (int d = 0; d < g.ndim; ++d) {
+    if (g.cells[static_cast<std::size_t>(d)] < 1 || g.dx(d) <= 0.0)
+      throw std::invalid_argument("Grid::make: cells must be >= 1 and upper > lower");
+  }
+  return g;
+}
+
+void forEachCell(const Grid& grid, const std::function<void(const MultiIndex&)>& fn) {
+  MultiIndex idx;
+  while (true) {
+    fn(idx);
+    int d = 0;
+    while (d < grid.ndim) {
+      if (++idx[d] < grid.cells[static_cast<std::size_t>(d)]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == grid.ndim) break;
+  }
+}
+
+Field::Field(const Grid& grid, int ncomp, int nghost)
+    : grid_(grid), ncomp_(ncomp), nghost_(nghost) {
+  std::size_t total = 1;
+  for (int d = 0; d < grid_.ndim; ++d) {
+    ext_[static_cast<std::size_t>(d)] = grid_.cells[static_cast<std::size_t>(d)] + 2 * nghost_;
+    stride_[static_cast<std::size_t>(d)] = total;
+    total *= static_cast<std::size_t>(ext_[static_cast<std::size_t>(d)]);
+  }
+  data_.assign(total * static_cast<std::size_t>(ncomp_), 0.0);
+}
+
+void Field::setZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Field::scale(double a) {
+  for (double& v : data_) v *= a;
+}
+
+void Field::axpy(double a, const Field& other) {
+  assert(data_.size() == other.data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * other.data_[i];
+}
+
+void Field::combine(double a, const Field& x, double b, const Field& y) {
+  assert(data_.size() == x.data_.size() && data_.size() == y.data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = a * x.data_[i] + b * y.data_[i];
+}
+
+void Field::copyFrom(const Field& other) {
+  assert(data_.size() == other.data_.size());
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+void Field::forEachGhost(
+    int d, const std::function<void(const MultiIndex&, const MultiIndex&)>& fn) const {
+  // Iterate the full extended index space of all other dimensions and the
+  // ghost slabs of dimension d.
+  const int nd = grid_.ndim;
+  const int nc = grid_.cells[static_cast<std::size_t>(d)];
+  MultiIndex idx;
+  for (int i = 0; i < nd; ++i) idx[i] = -nghost_;
+  while (true) {
+    for (int g = 1; g <= nghost_; ++g) {
+      MultiIndex lo = idx, hi = idx;
+      lo[d] = -g;
+      hi[d] = nc - 1 + g;
+      MultiIndex loImg = lo, hiImg = hi;
+      loImg[d] = nc - g;
+      hiImg[d] = g - 1;
+      fn(lo, loImg);
+      fn(hi, hiImg);
+    }
+    int k = 0;
+    while (k < nd) {
+      if (k == d) {
+        ++k;
+        continue;
+      }
+      if (++idx[k] < grid_.cells[static_cast<std::size_t>(k)] + nghost_) break;
+      idx[k] = -nghost_;
+      ++k;
+    }
+    if (k == nd) break;
+  }
+}
+
+void Field::syncPeriodic(int d) {
+  forEachGhost(d, [this](const MultiIndex& ghost, const MultiIndex& image) {
+    const double* src = at(image);
+    double* dst = at(ghost);
+    std::copy(src, src + ncomp_, dst);
+  });
+}
+
+void Field::zeroGhost(int d) {
+  forEachGhost(d, [this](const MultiIndex& ghost, const MultiIndex&) {
+    double* dst = at(ghost);
+    std::fill(dst, dst + ncomp_, 0.0);
+  });
+}
+
+void Field::copyGhost(int d) {
+  const int nc = grid_.cells[static_cast<std::size_t>(d)];
+  forEachGhost(d, [this, d, nc](const MultiIndex& ghost, const MultiIndex&) {
+    MultiIndex interior = ghost;
+    interior[d] = ghost[d] < 0 ? 0 : nc - 1;
+    const double* src = at(interior);
+    double* dst = at(ghost);
+    std::copy(src, src + ncomp_, dst);
+  });
+}
+
+}  // namespace vdg

@@ -1,0 +1,123 @@
+#pragma once
+// Structured Cartesian grids in up to 6-D phase space, and DG coefficient
+// fields over them (cell-major storage with a one-cell ghost layer, which is
+// all a DG scheme needs for its surface terms).
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "math/multi_index.hpp"
+
+namespace vdg {
+
+/// A uniform Cartesian grid. For phase-space grids the first cdim
+/// dimensions are configuration space and the rest velocity space.
+struct Grid {
+  int ndim = 0;
+  std::array<int, kMaxDim> cells{};
+  std::array<double, kMaxDim> lower{};
+  std::array<double, kMaxDim> upper{};
+
+  [[nodiscard]] double dx(int d) const {
+    return (upper[static_cast<std::size_t>(d)] - lower[static_cast<std::size_t>(d)]) /
+           cells[static_cast<std::size_t>(d)];
+  }
+
+  /// Center coordinate of cell i (0-based) along dimension d.
+  [[nodiscard]] double cellCenter(int d, int i) const {
+    return lower[static_cast<std::size_t>(d)] + (i + 0.5) * dx(d);
+  }
+
+  [[nodiscard]] std::size_t numCells() const {
+    std::size_t n = 1;
+    for (int d = 0; d < ndim; ++d) n *= static_cast<std::size_t>(cells[static_cast<std::size_t>(d)]);
+    return n;
+  }
+
+  /// Phase-space grid as the tensor product of a configuration grid and a
+  /// velocity grid.
+  [[nodiscard]] static Grid phase(const Grid& conf, const Grid& vel);
+
+  /// Convenience constructor.
+  [[nodiscard]] static Grid make(std::initializer_list<int> cells,
+                                 std::initializer_list<double> lower,
+                                 std::initializer_list<double> upper);
+};
+
+/// Invoke fn(idx) for every interior cell of the grid (odometer order:
+/// dimension 0 fastest).
+void forEachCell(const Grid& grid, const std::function<void(const MultiIndex&)>& fn);
+
+/// A DG coefficient field: ncomp doubles per cell, stored cell-major over
+/// the grid extended by `nghost` ghost cells per side in every dimension.
+class Field {
+ public:
+  Field() = default;
+  Field(const Grid& grid, int ncomp, int nghost = 1);
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] int ncomp() const { return ncomp_; }
+  [[nodiscard]] int nghost() const { return nghost_; }
+
+  /// Pointer to the coefficients of cell idx; ghost cells are addressed
+  /// with indices in [-nghost, cells+nghost).
+  [[nodiscard]] double* at(const MultiIndex& idx) { return data_.data() + offset(idx); }
+  [[nodiscard]] const double* at(const MultiIndex& idx) const {
+    return data_.data() + offset(idx);
+  }
+  [[nodiscard]] std::span<double> cell(const MultiIndex& idx) {
+    return {at(idx), static_cast<std::size_t>(ncomp_)};
+  }
+  [[nodiscard]] std::span<const double> cell(const MultiIndex& idx) const {
+    return {at(idx), static_cast<std::size_t>(ncomp_)};
+  }
+
+  [[nodiscard]] std::span<double> raw() { return data_; }
+  [[nodiscard]] std::span<const double> raw() const { return data_; }
+
+  void setZero();
+
+  /// out = a*this (interior and ghosts).
+  void scale(double a);
+  /// this += a * other (element-wise over the whole extended array).
+  void axpy(double a, const Field& other);
+  /// this = a*x + b*y (shapes must match).
+  void combine(double a, const Field& x, double b, const Field& y);
+  void copyFrom(const Field& other);
+
+  /// Fill ghost layers of dimension d by periodic wrap of interior data.
+  void syncPeriodic(int d);
+  /// Fill ghost layers of dimension d with zeros (zero-flux helper).
+  void zeroGhost(int d);
+  /// Fill ghost layers of dimension d by copying the adjacent interior cell.
+  void copyGhost(int d);
+
+ private:
+  [[nodiscard]] std::size_t offset(const MultiIndex& idx) const {
+    std::size_t o = 0;
+    for (int d = 0; d < grid_.ndim; ++d) {
+      const int i = idx[d] + nghost_;
+      assert(i >= 0 && i < ext_[static_cast<std::size_t>(d)]);
+      o += static_cast<std::size_t>(i) * stride_[static_cast<std::size_t>(d)];
+    }
+    return o * static_cast<std::size_t>(ncomp_);
+  }
+
+  /// Iterate all ghost cells of dim d, giving the ghost index and its
+  /// periodic image.
+  void forEachGhost(int d, const std::function<void(const MultiIndex& ghost,
+                                                    const MultiIndex& image)>& fn) const;
+
+  Grid grid_;
+  int ncomp_ = 0;
+  int nghost_ = 0;
+  std::array<int, kMaxDim> ext_{};
+  std::array<std::size_t, kMaxDim> stride_{};
+  std::vector<double> data_;
+};
+
+}  // namespace vdg

@@ -1,0 +1,79 @@
+#include "io/field_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace vdg {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x56444731'46494C44ull;  // "VDG1FILD"
+}
+
+void writeField(const std::string& path, const Field& field, double time) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("writeField: cannot open " + path);
+  const Grid& g = field.grid();
+  const std::int64_t nd = g.ndim, nc = field.ncomp();
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
+  os.write(reinterpret_cast<const char*>(&nc), sizeof(nc));
+  os.write(reinterpret_cast<const char*>(&time), sizeof(time));
+  for (int d = 0; d < g.ndim; ++d) {
+    const std::int64_t cells = g.cells[static_cast<std::size_t>(d)];
+    os.write(reinterpret_cast<const char*>(&cells), sizeof(cells));
+    os.write(reinterpret_cast<const char*>(&g.lower[static_cast<std::size_t>(d)]), sizeof(double));
+    os.write(reinterpret_cast<const char*>(&g.upper[static_cast<std::size_t>(d)]), sizeof(double));
+  }
+  forEachCell(g, [&](const MultiIndex& idx) {
+    os.write(reinterpret_cast<const char*>(field.at(idx)),
+             static_cast<std::streamsize>(sizeof(double)) * field.ncomp());
+  });
+  if (!os) throw std::runtime_error("writeField: write failed for " + path);
+}
+
+LoadedField readField(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("readField: cannot open " + path);
+  std::uint64_t magic = 0;
+  std::int64_t nd = 0, nc = 0;
+  double time = 0.0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) throw std::runtime_error("readField: bad magic in " + path);
+  is.read(reinterpret_cast<char*>(&nd), sizeof(nd));
+  is.read(reinterpret_cast<char*>(&nc), sizeof(nc));
+  is.read(reinterpret_cast<char*>(&time), sizeof(time));
+  Grid g;
+  g.ndim = static_cast<int>(nd);
+  for (int d = 0; d < g.ndim; ++d) {
+    std::int64_t cells = 0;
+    is.read(reinterpret_cast<char*>(&cells), sizeof(cells));
+    g.cells[static_cast<std::size_t>(d)] = static_cast<int>(cells);
+    is.read(reinterpret_cast<char*>(&g.lower[static_cast<std::size_t>(d)]), sizeof(double));
+    is.read(reinterpret_cast<char*>(&g.upper[static_cast<std::size_t>(d)]), sizeof(double));
+  }
+  LoadedField out{Field(g, static_cast<int>(nc)), time};
+  forEachCell(g, [&](const MultiIndex& idx) {
+    is.read(reinterpret_cast<char*>(out.field.at(idx)),
+            static_cast<std::streamsize>(sizeof(double)) * out.field.ncomp());
+  });
+  if (!is) throw std::runtime_error("readField: truncated file " + path);
+  return out;
+}
+
+CsvWriter::CsvWriter(std::string path, std::string header) : path_(std::move(path)) {
+  // Start a fresh table: each run of a diagnostic owns its file.
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  os << header << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::ofstream os(path_, std::ios::app);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os << (i ? "," : "") << values[i];
+  os << "\n";
+}
+
+}  // namespace vdg

@@ -1,0 +1,38 @@
+#pragma once
+// Lightweight binary field I/O and checkpoint/restart — the role ADIOS
+// plays in Gkeyll. The format is a small self-describing header (magic,
+// grid, ncomp) followed by the raw interior coefficient data, so dumps can
+// be post-processed or used to restart a simulation exactly.
+
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace vdg {
+
+/// Write the interior cells of a field (header + doubles). Throws
+/// std::runtime_error on I/O failure.
+void writeField(const std::string& path, const Field& field, double time);
+
+/// Read a field written by writeField; returns the stored time. The field
+/// is reconstructed with a fresh ghost layer (unsynced).
+struct LoadedField {
+  Field field;
+  double time = 0.0;
+};
+[[nodiscard]] LoadedField readField(const std::string& path);
+
+/// Simple CSV table writer: truncates the file and writes `header` on
+/// construction, then appends one row per call.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path, std::string header);
+  void row(const std::vector<double>& values);
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace vdg

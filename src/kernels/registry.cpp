@@ -1,0 +1,46 @@
+#include "kernels/registry.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace vdg {
+
+namespace detail {
+// Defined by the generated manifest (src/kernels/gen/manifest.cpp).
+void registerGeneratedKernels();
+}  // namespace detail
+
+namespace {
+std::map<std::string, VlasovCompiledKernels>& table() {
+  static std::map<std::string, VlasovCompiledKernels> t;
+  return t;
+}
+std::mutex& tableMutex() {
+  static std::mutex m;
+  return m;
+}
+void ensureGeneratedRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] { detail::registerGeneratedKernels(); });
+}
+}  // namespace
+
+const VlasovCompiledKernels* findCompiledKernels(const std::string& specName) {
+  ensureGeneratedRegistered();
+  std::scoped_lock lock(tableMutex());
+  const auto it = table().find(specName);
+  return it == table().end() ? nullptr : &it->second;
+}
+
+void registerCompiledKernels(const std::string& specName, const VlasovCompiledKernels& k) {
+  std::scoped_lock lock(tableMutex());
+  table()[specName] = k;
+}
+
+int numCompiledKernelSets() {
+  ensureGeneratedRegistered();
+  std::scoped_lock lock(tableMutex());
+  return static_cast<int>(table().size());
+}
+
+}  // namespace vdg

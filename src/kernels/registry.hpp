@@ -1,0 +1,53 @@
+#pragma once
+// Registry of pre-generated (CAS-emitted, compiled) Vlasov kernels.
+//
+// Generated translation units in kernels/gen/ register themselves here at
+// static-initialization time; VlasovUpdater queries the registry by basis
+// spec name and uses the compiled kernels as a fast path (falling back to
+// sparse-tape execution for specs without generated code, and always for
+// central fluxes — the generated surface kernels bake in the penalty flux).
+
+#include <string>
+
+namespace vdg {
+
+struct VlasovCompiledKernels {
+  int numPhaseModes = 0;
+
+  /// Volume streaming: out += sum_d (2/dxv_d) C^d(v f).
+  void (*streamVol)(const double* w, const double* dxv, const double* f, double* out) = nullptr;
+
+  /// Volume acceleration: out += sum_j (2/dxv_j) C^j(alpha_j f).
+  void (*accelVol)(const double* dxv, const double* alpha, const double* f,
+                   double* out) = nullptr;
+
+  using StreamSurfFn = void (*)(const double* w, const double* dxv, const double* fl,
+                                const double* fr, double* outl, double* outr);
+  using AccelSurfFn = void (*)(const double* dxv, const double* al, const double* ar,
+                               const double* fl, const double* fr, double* outl, double* outr);
+
+  StreamSurfFn streamSurf[3] = {nullptr, nullptr, nullptr};  ///< per config dir
+  AccelSurfFn accelSurf[3] = {nullptr, nullptr, nullptr};    ///< per velocity dir
+
+  /// True when every kernel the updater needs is present.
+  [[nodiscard]] bool complete(int cdim, int vdim) const {
+    if (!streamVol || !accelVol) return false;
+    for (int d = 0; d < cdim; ++d)
+      if (!streamSurf[d]) return false;
+    for (int j = 0; j < vdim; ++j)
+      if (!accelSurf[j]) return false;
+    return true;
+  }
+};
+
+/// Look up compiled kernels for a spec name (BasisSpec::name()); nullptr if
+/// no generated translation unit registered them.
+const VlasovCompiledKernels* findCompiledKernels(const std::string& specName);
+
+/// Called by generated code; last registration wins.
+void registerCompiledKernels(const std::string& specName, const VlasovCompiledKernels& k);
+
+/// Number of registered kernel sets (for tests / diagnostics).
+int numCompiledKernelSets();
+
+}  // namespace vdg

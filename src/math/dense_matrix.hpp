@@ -1,0 +1,61 @@
+#pragma once
+// Minimal row-major dense matrix used by the quadrature-based baseline
+// (the "nodal + linear-algebra-library" comparator of the paper). The modal
+// solver never touches this type — it is matrix-free by construction.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  [[nodiscard]] double operator()(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  [[nodiscard]] double& operator()(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// y = A x  (y must not alias x).
+  void matvec(std::span<const double> x, std::span<double> y) const {
+    assert(static_cast<int>(x.size()) == cols_ && static_cast<int>(y.size()) == rows_);
+    const double* row = a_.data();
+    for (int r = 0; r < rows_; ++r, row += cols_) {
+      double s = 0.0;
+      for (int c = 0; c < cols_; ++c) s += row[c] * x[static_cast<std::size_t>(c)];
+      y[static_cast<std::size_t>(r)] = s;
+    }
+  }
+
+  /// y += A x.
+  void matvecAdd(std::span<const double> x, std::span<double> y) const {
+    assert(static_cast<int>(x.size()) == cols_ && static_cast<int>(y.size()) == rows_);
+    const double* row = a_.data();
+    for (int r = 0; r < rows_; ++r, row += cols_) {
+      double s = 0.0;
+      for (int c = 0; c < cols_; ++c) s += row[c] * x[static_cast<std::size_t>(c)];
+      y[static_cast<std::size_t>(r)] += s;
+    }
+  }
+
+  /// Number of stored entries (for op-count accounting in benchmarks).
+  [[nodiscard]] std::size_t entryCount() const { return a_.size(); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> a_;
+};
+
+}  // namespace vdg

@@ -1,0 +1,44 @@
+#include "math/gauss_legendre.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace vdg {
+
+QuadRule gauss_legendre(int n) {
+  assert(n >= 1);
+  QuadRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n));
+  rule.weights.resize(static_cast<std::size_t>(n));
+
+  // Roots are symmetric about 0; solve for the upper half.
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    // Chebyshev-like initial guess for the i-th root of P_n.
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = pk;
+      }
+      dp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-16) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    rule.nodes[static_cast<std::size_t>(i)] = -x;
+    rule.weights[static_cast<std::size_t>(i)] = w;
+    rule.nodes[static_cast<std::size_t>(n - 1 - i)] = x;
+    rule.weights[static_cast<std::size_t>(n - 1 - i)] = w;
+  }
+  if (n % 2 == 1) rule.nodes[static_cast<std::size_t>(n / 2)] = 0.0;
+  return rule;
+}
+
+}  // namespace vdg

@@ -1,0 +1,28 @@
+#pragma once
+// Gauss-Legendre quadrature rules on [-1,1].
+//
+// These rules are used only at *setup* time: to evaluate (exactly, since the
+// integrands are polynomials of known degree) the 1-D building-block
+// integrals from which every DG tensor is assembled, and to project initial
+// conditions. The runtime update path of the modal solver performs no
+// quadrature whatsoever (see tensors/).
+
+#include <cstddef>
+#include <vector>
+
+namespace vdg {
+
+/// A 1-D quadrature rule: sum_i weight[i] * g(node[i]) integrates g over
+/// [-1,1] exactly when g is a polynomial of degree <= 2*n-1.
+struct QuadRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+};
+
+/// Compute the n-point Gauss-Legendre rule by Newton iteration on the roots
+/// of P_n. Accurate to ~1e-15 for n up to several hundred.
+[[nodiscard]] QuadRule gauss_legendre(int n);
+
+}  // namespace vdg

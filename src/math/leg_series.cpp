@@ -1,0 +1,137 @@
+#include "math/leg_series.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "math/legendre.hpp"
+
+namespace vdg {
+
+LegSeries LegSeries::constant(int ndim, double c) {
+  LegSeries s(ndim);
+  // 1 = prod_i sqrt(2) psi_0(eta_i)  =>  coefficient 2^{ndim/2} on mode 0.
+  s.addTerm(MultiIndex{}, c * std::pow(2.0, 0.5 * ndim));
+  return s;
+}
+
+LegSeries LegSeries::coordinate(int ndim, int d) {
+  assert(d >= 0 && d < ndim);
+  LegSeries s(ndim);
+  // eta_d = sqrt(2/3) psi_1(eta_d) * prod_{i != d} sqrt(2) psi_0(eta_i).
+  MultiIndex a;
+  a[d] = 1;
+  s.addTerm(a, std::sqrt(2.0 / 3.0) * std::pow(2.0, 0.5 * (ndim - 1)));
+  return s;
+}
+
+double LegSeries::coeff(const MultiIndex& a) const {
+  const auto it = c_.find(a);
+  return it == c_.end() ? 0.0 : it->second;
+}
+
+void LegSeries::addTerm(const MultiIndex& a, double c) {
+  if (c == 0.0) return;
+  c_[a] += c;
+}
+
+LegSeries& LegSeries::operator+=(const LegSeries& o) {
+  assert(ndim_ == o.ndim_);
+  for (const auto& [a, c] : o.c_) c_[a] += c;
+  return *this;
+}
+
+LegSeries& LegSeries::operator*=(double s) {
+  for (auto& [a, c] : c_) c *= s;
+  return *this;
+}
+
+LegSeries LegSeries::operator+(const LegSeries& o) const {
+  LegSeries r = *this;
+  r += o;
+  return r;
+}
+
+LegSeries LegSeries::operator*(double s) const {
+  LegSeries r = *this;
+  r *= s;
+  return r;
+}
+
+LegSeries LegSeries::multiply(const LegSeries& o) const {
+  assert(ndim_ == o.ndim_);
+  const auto& tab = LegendreTables::instance();
+  LegSeries out(ndim_);
+  for (const auto& [a, ca] : c_) {
+    for (const auto& [b, cb] : o.c_) {
+      // Expand the product one dimension at a time:
+      //   psi_{a_d} psi_{b_d} = sum_{c_d} T3(a_d, b_d, c_d) psi_{c_d}.
+      std::vector<std::pair<MultiIndex, double>> partial{{MultiIndex{}, ca * cb}};
+      for (int d = 0; d < ndim_; ++d) {
+        std::vector<std::pair<MultiIndex, double>> next;
+        next.reserve(partial.size() * 4);
+        const int ad = a[d], bd = b[d];
+        for (int cd = std::abs(ad - bd); cd <= ad + bd; ++cd) {
+          if (cd > kMaxLegendreDegree) break;
+          const double t = tab.trip(ad, bd, cd);
+          if (std::abs(t) < 1e-15) continue;
+          for (const auto& [m, w] : partial) {
+            MultiIndex m2 = m;
+            m2[d] = cd;
+            next.emplace_back(m2, w * t);
+          }
+        }
+        partial = std::move(next);
+      }
+      for (const auto& [m, w] : partial) out.c_[m] += w;
+    }
+  }
+  out.prune();
+  return out;
+}
+
+LegSeries LegSeries::derivative(int d) const {
+  assert(d >= 0 && d < ndim_);
+  const auto& tab = LegendreTables::instance();
+  LegSeries out(ndim_);
+  for (const auto& [a, ca] : c_) {
+    const int ad = a[d];
+    // psi_ad' = sum_{b < ad} <psi_b, psi_ad'> psi_b = sum_b dpair(ad, b) psi_b.
+    for (int b = 0; b < ad; ++b) {
+      const double w = tab.dpair(ad, b);
+      if (std::abs(w) < 1e-15) continue;
+      MultiIndex m = a;
+      m[d] = b;
+      out.c_[m] += ca * w;
+    }
+  }
+  out.prune();
+  return out;
+}
+
+double LegSeries::eval(const double* eta) const {
+  double s = 0.0;
+  for (const auto& [a, ca] : c_) {
+    double term = ca;
+    for (int d = 0; d < ndim_; ++d) term *= legendrePsi(a[d], eta[d]);
+    s += term;
+  }
+  return s;
+}
+
+double LegSeries::integral() const {
+  // Only the all-zero mode survives: int psi_0 = sqrt(2) per dimension.
+  return coeff(MultiIndex{}) * std::pow(2.0, 0.5 * ndim_);
+}
+
+void LegSeries::prune(double tol) {
+  for (auto it = c_.begin(); it != c_.end();) {
+    if (std::abs(it->second) < tol)
+      it = c_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace vdg

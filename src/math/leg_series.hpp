@@ -1,0 +1,60 @@
+#pragma once
+// Sparse multivariate series in products of orthonormal Legendre
+// polynomials: g(eta) = sum_a coeff[a] * prod_i psi_{a_i}(eta_i).
+//
+// This is the setup-time "computer algebra" layer: addition, scaling and
+// *exact* multiplication (via the 1-D linearization psi_a psi_b =
+// sum_c T3(a,b,c) psi_c) let us build the polynomial phase-space fluxes and
+// verify tensors symbolically. Nothing in this file runs in the per-cell
+// update path.
+
+#include <unordered_map>
+
+#include "math/multi_index.hpp"
+
+namespace vdg {
+
+class LegSeries {
+ public:
+  using Map = std::unordered_map<MultiIndex, double, MultiIndexHash>;
+
+  explicit LegSeries(int ndim) : ndim_(ndim) {}
+
+  /// The constant function c (note psi_0 = 1/sqrt(2) per dimension).
+  static LegSeries constant(int ndim, double c);
+
+  /// The coordinate function eta_d on the reference cell.
+  static LegSeries coordinate(int ndim, int d);
+
+  [[nodiscard]] int ndim() const { return ndim_; }
+  [[nodiscard]] const Map& coeffs() const { return c_; }
+  [[nodiscard]] double coeff(const MultiIndex& a) const;
+
+  void addTerm(const MultiIndex& a, double c);
+
+  LegSeries& operator+=(const LegSeries& o);
+  LegSeries& operator*=(double s);
+  [[nodiscard]] LegSeries operator+(const LegSeries& o) const;
+  [[nodiscard]] LegSeries operator*(double s) const;
+
+  /// Exact product (degrees add; uses 1-D triple-product linearization).
+  [[nodiscard]] LegSeries multiply(const LegSeries& o) const;
+
+  /// Partial derivative with respect to eta_d (exact).
+  [[nodiscard]] LegSeries derivative(int d) const;
+
+  /// Evaluate at a point eta (each component in [-1,1]).
+  [[nodiscard]] double eval(const double* eta) const;
+
+  /// Integral over the reference cell [-1,1]^ndim.
+  [[nodiscard]] double integral() const;
+
+  /// Drop terms with |coeff| below tol (numerical zeros from table algebra).
+  void prune(double tol = 1e-13);
+
+ private:
+  int ndim_;
+  Map c_;
+};
+
+}  // namespace vdg

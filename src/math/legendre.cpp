@@ -1,0 +1,129 @@
+#include "math/legendre.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "math/gauss_legendre.hpp"
+
+namespace vdg {
+
+double legendreP(int k, double x) {
+  assert(k >= 0);
+  if (k == 0) return 1.0;
+  if (k == 1) return x;
+  double p0 = 1.0, p1 = x;
+  for (int j = 2; j <= k; ++j) {
+    const double pj = ((2.0 * j - 1.0) * x * p1 - (j - 1.0) * p0) / j;
+    p0 = p1;
+    p1 = pj;
+  }
+  return p1;
+}
+
+double legendrePDeriv(int k, double x) {
+  if (k == 0) return 0.0;
+  // (1-x^2) P_k' = k (P_{k-1} - x P_k); at |x|=1 use the closed form.
+  if (std::abs(1.0 - x * x) < 1e-14) {
+    const double sign = (x > 0.0) ? 1.0 : ((k % 2 == 0) ? -1.0 : 1.0);
+    return sign * 0.5 * k * (k + 1.0);
+  }
+  return k * (legendreP(k - 1, x) - x * legendreP(k, x)) / (1.0 - x * x);
+}
+
+double legendrePsi(int k, double x) {
+  return std::sqrt((2.0 * k + 1.0) / 2.0) * legendreP(k, x);
+}
+
+double legendrePsiDeriv(int k, double x) {
+  return std::sqrt((2.0 * k + 1.0) / 2.0) * legendrePDeriv(k, x);
+}
+
+const LegendreTables& LegendreTables::instance() {
+  static const LegendreTables tables;
+  return tables;
+}
+
+LegendreTables::LegendreTables() {
+  // 24-point Gauss-Legendre integrates polynomials up to degree 47 exactly;
+  // the largest integrand degree here is 3*kMaxLegendreDegree = 36.
+  const QuadRule q = gauss_legendre(24);
+  const auto nq = q.size();
+
+  // Pre-evaluate psi and psi' at all nodes.
+  std::vector<double> psi(kN * nq), dpsi(kN * nq);
+  for (int a = 0; a < kN; ++a) {
+    for (std::size_t i = 0; i < nq; ++i) {
+      psi[static_cast<std::size_t>(a) * nq + i] = legendrePsi(a, q.nodes[i]);
+      dpsi[static_cast<std::size_t>(a) * nq + i] =
+          legendrePsiDeriv(a, q.nodes[i]);
+    }
+  }
+  const auto at = [&](const std::vector<double>& v, int a, std::size_t i) {
+    return v[static_cast<std::size_t>(a) * nq + i];
+  };
+
+  trip_.assign(static_cast<std::size_t>(kN) * kN * kN, 0.0);
+  dtrip_.assign(static_cast<std::size_t>(kN) * kN * kN, 0.0);
+  dpair_.assign(static_cast<std::size_t>(kN) * kN, 0.0);
+  xmom_.assign(static_cast<std::size_t>(kN) * kMom, 0.0);
+  end_.assign(static_cast<std::size_t>(kN) * 2, 0.0);
+
+  for (int a = 0; a < kN; ++a) {
+    for (int b = 0; b < kN; ++b) {
+      double sp = 0.0;
+      for (std::size_t i = 0; i < nq; ++i)
+        sp += q.weights[i] * at(dpsi, a, i) * at(psi, b, i);
+      dpair_[static_cast<std::size_t>(a) * kN + b] = sp;
+      for (int c = 0; c < kN; ++c) {
+        double st = 0.0, sd = 0.0;
+        for (std::size_t i = 0; i < nq; ++i) {
+          const double bc = at(psi, b, i) * at(psi, c, i);
+          st += q.weights[i] * at(psi, a, i) * bc;
+          sd += q.weights[i] * at(dpsi, a, i) * bc;
+        }
+        const std::size_t idx =
+            (static_cast<std::size_t>(a) * kN + b) * kN + c;
+        trip_[idx] = st;
+        dtrip_[idx] = sd;
+      }
+    }
+    for (int m = 0; m < kMom; ++m) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < nq; ++i) {
+        double xm = 1.0;
+        for (int j = 0; j < m; ++j) xm *= q.nodes[i];
+        s += q.weights[i] * xm * at(psi, a, i);
+      }
+      xmom_[static_cast<std::size_t>(a) * kMom + m] = s;
+    }
+    end_[static_cast<std::size_t>(a) * 2 + 0] = legendrePsi(a, -1.0);
+    end_[static_cast<std::size_t>(a) * 2 + 1] = legendrePsi(a, +1.0);
+  }
+}
+
+double LegendreTables::trip(int a, int b, int c) const {
+  assert(a >= 0 && a < kN && b >= 0 && b < kN && c >= 0 && c < kN);
+  return trip_[(static_cast<std::size_t>(a) * kN + b) * kN + c];
+}
+
+double LegendreTables::dtrip(int a, int b, int c) const {
+  assert(a >= 0 && a < kN && b >= 0 && b < kN && c >= 0 && c < kN);
+  return dtrip_[(static_cast<std::size_t>(a) * kN + b) * kN + c];
+}
+
+double LegendreTables::dpair(int a, int b) const {
+  assert(a >= 0 && a < kN && b >= 0 && b < kN);
+  return dpair_[static_cast<std::size_t>(a) * kN + b];
+}
+
+double LegendreTables::xmom(int a, int m) const {
+  assert(a >= 0 && a < kN && m >= 0 && m < kMom);
+  return xmom_[static_cast<std::size_t>(a) * kMom + m];
+}
+
+double LegendreTables::psiEnd(int a, int s) const {
+  assert(a >= 0 && a < kN && (s == -1 || s == 1));
+  return end_[static_cast<std::size_t>(a) * 2 + (s == 1 ? 1 : 0)];
+}
+
+}  // namespace vdg

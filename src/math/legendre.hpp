@@ -1,0 +1,67 @@
+#pragma once
+// Normalized Legendre polynomials and the exact 1-D integral tables from
+// which all multi-dimensional DG tensors factorize.
+//
+// The orthonormal basis on [-1,1] is psi_k(x) = sqrt((2k+1)/2) P_k(x), so
+// that  \int psi_a psi_b dx = delta_ab.  Every modal basis function used by
+// the solver is a product of psi's (see basis/), hence every volume/surface
+// integral of products of basis functions factorizes into the 1-D integrals
+// tabulated here. They are computed once, exactly (Gauss-Legendre of
+// sufficient order applied to polynomials), which is what makes the scheme
+// alias-free.
+
+#include <vector>
+
+namespace vdg {
+
+/// Highest per-direction polynomial degree supported by the tables.
+/// p<=3 bases with quadratic flux nonlinearities need at most ~3*max_p, and
+/// 12 leaves generous headroom for moments of |v|^2 and emitted kernels.
+inline constexpr int kMaxLegendreDegree = 12;
+
+/// P_k(x), unnormalized Legendre polynomial (three-term recurrence).
+[[nodiscard]] double legendreP(int k, double x);
+
+/// d/dx P_k(x).
+[[nodiscard]] double legendrePDeriv(int k, double x);
+
+/// psi_k(x) = sqrt((2k+1)/2) P_k(x), the L2-orthonormal Legendre polynomial.
+[[nodiscard]] double legendrePsi(int k, double x);
+
+/// d/dx psi_k(x).
+[[nodiscard]] double legendrePsiDeriv(int k, double x);
+
+/// Exact 1-D integral tables over [-1,1] for the orthonormal psi family.
+/// Singleton; thread-safe after first use.
+class LegendreTables {
+ public:
+  static const LegendreTables& instance();
+
+  /// T3(a,b,c) = \int psi_a psi_b psi_c dx  ("1-D Gaunt coefficient").
+  [[nodiscard]] double trip(int a, int b, int c) const;
+
+  /// D3(a,b,c) = \int psi_a' psi_b psi_c dx.
+  [[nodiscard]] double dtrip(int a, int b, int c) const;
+
+  /// D2(a,b) = \int psi_a' psi_b dx.
+  [[nodiscard]] double dpair(int a, int b) const;
+
+  /// M(a,m) = \int x^m psi_a dx  (for velocity moments, m <= 4).
+  [[nodiscard]] double xmom(int a, int m) const;
+
+  /// psi_a evaluated at +-1: psiEnd(a, s) with s in {-1, +1}.
+  [[nodiscard]] double psiEnd(int a, int s) const;
+
+ private:
+  LegendreTables();
+
+  static constexpr int kN = kMaxLegendreDegree + 1;
+  static constexpr int kMom = 5;
+  std::vector<double> trip_;   // kN^3
+  std::vector<double> dtrip_;  // kN^3
+  std::vector<double> dpair_;  // kN^2
+  std::vector<double> xmom_;   // kN * kMom
+  std::vector<double> end_;    // kN * 2
+};
+
+}  // namespace vdg

@@ -1,0 +1,82 @@
+#pragma once
+// Small fixed-capacity multi-index used for basis-function degrees and for
+// grid cell coordinates in up to 6-D phase space.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+
+namespace vdg {
+
+/// Maximum phase-space dimensionality (3 configuration + 3 velocity).
+inline constexpr int kMaxDim = 6;
+
+/// A multi-index of per-dimension integer entries (degrees or cell indices).
+/// Only the first `ndim` entries are meaningful; the rest are zero.
+struct MultiIndex {
+  std::array<int, kMaxDim> v{};
+
+  constexpr int operator[](int d) const { return v[static_cast<std::size_t>(d)]; }
+  constexpr int& operator[](int d) { return v[static_cast<std::size_t>(d)]; }
+
+  friend constexpr bool operator==(const MultiIndex&, const MultiIndex&) = default;
+
+  /// Total degree |a| = sum_i a_i over the first ndim entries.
+  [[nodiscard]] int totalDegree(int ndim) const {
+    int s = 0;
+    for (int d = 0; d < ndim; ++d) s += v[static_cast<std::size_t>(d)];
+    return s;
+  }
+
+  /// Max per-direction degree over the first ndim entries.
+  [[nodiscard]] int maxDegree(int ndim) const {
+    int m = 0;
+    for (int d = 0; d < ndim; ++d) m = v[static_cast<std::size_t>(d)] > m ? v[static_cast<std::size_t>(d)] : m;
+    return m;
+  }
+
+  /// Superlinear degree (Arnold-Awanou): sum of entries that are >= 2.
+  /// This is the selection rule of the Serendipity family.
+  [[nodiscard]] int superlinearDegree(int ndim) const {
+    int s = 0;
+    for (int d = 0; d < ndim; ++d) {
+      const int a = v[static_cast<std::size_t>(d)];
+      if (a >= 2) s += a;
+    }
+    return s;
+  }
+
+  /// Copy with dimension d removed (for face bases / restrictions).
+  [[nodiscard]] MultiIndex dropDim(int d, int ndim) const {
+    assert(d >= 0 && d < ndim);
+    MultiIndex out;
+    int j = 0;
+    for (int i = 0; i < ndim; ++i)
+      if (i != d) out[j++] = v[static_cast<std::size_t>(i)];
+    return out;
+  }
+
+  /// Copy with value `val` inserted at dimension d (inverse of dropDim).
+  [[nodiscard]] MultiIndex insertDim(int d, int val, int ndimAfter) const {
+    assert(d >= 0 && d < ndimAfter);
+    MultiIndex out;
+    int j = 0;
+    for (int i = 0; i < ndimAfter; ++i)
+      out[i] = (i == d) ? val : v[static_cast<std::size_t>(j++)];
+    return out;
+  }
+};
+
+struct MultiIndexHash {
+  std::size_t operator()(const MultiIndex& m) const {
+    std::size_t h = 1469598103934665603ull;
+    for (int x : m.v) {
+      h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace vdg

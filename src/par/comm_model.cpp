@@ -1,0 +1,78 @@
+#include "par/comm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+namespace {
+
+ScalingPoint evaluate(const MachineModel& m, std::array<int, 3> conf, int velCells, int nodes) {
+  const std::array<int, 3> blocks = factor3(nodes);
+  // Local config block (ceil division keeps the model defined off-lattice).
+  double local[3], halo = 0.0;
+  for (int d = 0; d < 3; ++d)
+    local[d] = std::max(1.0, static_cast<double>(conf[static_cast<std::size_t>(d)]) /
+                                 blocks[static_cast<std::size_t>(d)]);
+  const double cellsPerNode = local[0] * local[1] * local[2] * velCells;
+
+  // Halo: one layer of config ghost cells per face; each config ghost cell
+  // carries the whole local velocity grid.
+  int messages = 0;
+  for (int d = 0; d < 3; ++d) {
+    if (blocks[static_cast<std::size_t>(d)] > 1) {
+      const double faceCells = cellsPerNode / local[d];
+      halo += 2.0 * faceCells;
+      messages += 2;
+    }
+  }
+
+  // On-node efficiency: full when the node has plenty of work, degrading
+  // as ranks starve (ILP/occupancy loss; paper Section IV strong scaling).
+  const double eff = cellsPerNode / (cellsPerNode + m.starveCells);
+
+  ScalingPoint p;
+  p.nodes = nodes;
+  const double tComp = cellsPerNode * m.perCellSeconds / std::max(eff, 1e-6);
+  const double tComm = messages * m.latency + halo * m.bytesPerCell / m.bandwidth;
+  p.timePerStep = tComp + tComm;
+  p.commFraction = tComm / p.timePerStep;
+  return p;
+}
+
+void normalize(std::vector<ScalingPoint>& pts) {
+  if (pts.empty()) return;
+  const double t0 = pts.front().timePerStep;
+  for (ScalingPoint& p : pts) p.relSpeedup = t0 / p.timePerStep;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> weakScaling(const MachineModel& m, std::array<int, 3> baseConf,
+                                      int velCells, const std::vector<int>& nodeCounts) {
+  std::vector<ScalingPoint> pts;
+  for (int nodes : nodeCounts) {
+    // Paper setup: 8x nodes <-> 2x config resolution per direction, so the
+    // per-node work stays constant.
+    const double scale = std::cbrt(static_cast<double>(nodes));
+    std::array<int, 3> conf{};
+    for (int d = 0; d < 3; ++d)
+      conf[static_cast<std::size_t>(d)] = std::max(
+          1, static_cast<int>(std::lround(baseConf[static_cast<std::size_t>(d)] * scale)));
+    pts.push_back(evaluate(m, conf, velCells, nodes));
+  }
+  normalize(pts);
+  return pts;
+}
+
+std::vector<ScalingPoint> strongScaling(const MachineModel& m, std::array<int, 3> conf,
+                                        int velCells, const std::vector<int>& nodeCounts) {
+  std::vector<ScalingPoint> pts;
+  for (int nodes : nodeCounts) pts.push_back(evaluate(m, conf, velCells, nodes));
+  normalize(pts);
+  return pts;
+}
+
+}  // namespace vdg

@@ -1,0 +1,55 @@
+#pragma once
+// Analytic performance model for the weak/strong scaling study (paper
+// Fig. 3). The container this reproduction runs in has one core and no
+// interconnect, so the large-machine curves are *projected* from a model
+// with exactly the structure of the paper's runs:
+//
+//   - configuration space (Nx, Ny, Nz) block-decomposed over nodes
+//     (velocity space node-local, as in the paper's two-level scheme);
+//   - per step, each node computes its local phase-space cells at a
+//     measured per-cell kernel cost, with an on-node efficiency factor
+//     that degrades when a node is starved of work (the paper's
+//     instruction-level-parallelism argument for the strong-scaling
+//     rollover);
+//   - each step exchanges one layer of configuration ghost cells, each
+//     carrying the full local velocity grid (the paper's point that even
+//     one ghost layer is 5-D data), at latency + size/bandwidth cost.
+//
+// The per-cell compute cost is calibrated from the measured modal (or
+// nodal-baseline) kernel timings; machine parameters default to KNL-class
+// numbers. Outputs are normalized time-per-step curves and communication
+// fractions, the quantities Fig. 3 and Section IV report.
+
+#include <array>
+#include <vector>
+
+namespace vdg {
+
+struct MachineModel {
+  double perCellSeconds = 1e-6;   ///< measured forward-Euler cost per phase cell
+  double bytesPerCell = 512;      ///< ghost payload per phase cell (8 * Np)
+  double latency = 2e-6;          ///< per-message latency [s]
+  double bandwidth = 8e9;         ///< interconnect bandwidth [B/s]
+  double starveCells = 2048;      ///< cells/node below which on-node efficiency drops
+};
+
+struct ScalingPoint {
+  int nodes = 1;
+  double timePerStep = 0.0;   ///< seconds
+  double commFraction = 0.0;  ///< halo time / total time
+  double relSpeedup = 1.0;    ///< vs the first point, normalized
+};
+
+/// Weak scaling: base config grid (cx,cy,cz) with vCellsPerNode velocity
+/// cells per config cell on 1 node; config resolution doubles in each
+/// direction as nodes grow 8x (paper setup). `nodeCounts` e.g. {1,8,64,...}.
+[[nodiscard]] std::vector<ScalingPoint> weakScaling(const MachineModel& m,
+                                                    std::array<int, 3> baseConf, int velCells,
+                                                    const std::vector<int>& nodeCounts);
+
+/// Strong scaling: fixed global problem spread over increasing node counts.
+[[nodiscard]] std::vector<ScalingPoint> strongScaling(const MachineModel& m,
+                                                      std::array<int, 3> conf, int velCells,
+                                                      const std::vector<int>& nodeCounts);
+
+}  // namespace vdg

@@ -1,0 +1,58 @@
+#include "par/decomp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdg {
+
+SlabDecomp SlabDecomp::make(int totalCells, int numRanks, int dim) {
+  if (numRanks < 1 || totalCells < numRanks)
+    throw std::invalid_argument("SlabDecomp: need at least one cell per rank");
+  SlabDecomp d;
+  d.dim = dim;
+  d.numRanks = numRanks;
+  const int base = totalCells / numRanks;
+  const int rem = totalCells % numRanks;
+  int pos = 0;
+  for (int r = 0; r < numRanks; ++r) {
+    const int n = base + (r < rem ? 1 : 0);
+    d.start.push_back(pos);
+    d.count.push_back(n);
+    pos += n;
+  }
+  return d;
+}
+
+Grid SlabDecomp::localGrid(const Grid& global, int rank) const {
+  Grid g = global;
+  const auto dimIdx = static_cast<std::size_t>(dim);
+  const double dx = global.dx(dim);
+  g.cells[dimIdx] = count[static_cast<std::size_t>(rank)];
+  g.lower[dimIdx] = global.lower[dimIdx] + start[static_cast<std::size_t>(rank)] * dx;
+  g.upper[dimIdx] = g.lower[dimIdx] + count[static_cast<std::size_t>(rank)] * dx;
+  return g;
+}
+
+std::array<int, 3> factor3(int nodes) {
+  std::array<int, 3> best{nodes, 1, 1};
+  double bestScore = 1e300;
+  for (int a = 1; a <= nodes; ++a) {
+    if (nodes % a) continue;
+    const int bc = nodes / a;
+    for (int b = 1; b <= bc; ++b) {
+      if (bc % b) continue;
+      const int c = bc / b;
+      // Prefer near-cubic blocks: for a cube of N^3 cells split a x b x c,
+      // the halo surface is proportional to (a + b + c) / (a b c), and
+      // a b c = nodes is fixed, so minimize a + b + c.
+      const double s = a + b + c;
+      if (s < bestScore) {
+        bestScore = s;
+        best = {a, b, c};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace vdg

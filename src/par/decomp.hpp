@@ -1,0 +1,33 @@
+#pragma once
+// Configuration-space domain decomposition (the paper's first level of
+// parallelism, Section IV). Only configuration dimensions are decomposed
+// across ranks; velocity space stays node-local (the paper's second,
+// shared-memory level), so the only inter-rank traffic is the single layer
+// of configuration-space ghost cells the DG surface terms need.
+
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace vdg {
+
+/// Slab decomposition of configuration dimension `dim` into `numRanks`
+/// contiguous, near-equal extents.
+struct SlabDecomp {
+  int dim = 0;
+  int numRanks = 1;
+  std::vector<int> start;  ///< per rank, first owned cell index
+  std::vector<int> count;  ///< per rank, number of owned cells
+
+  static SlabDecomp make(int totalCells, int numRanks, int dim = 0);
+
+  /// Local phase grid of a rank: the global grid with dimension `dim`
+  /// restricted to the rank's slab.
+  [[nodiscard]] Grid localGrid(const Grid& global, int rank) const;
+};
+
+/// Near-cubic factorization of `nodes` into 3 factors (for the analytic
+/// 3-D block-decomposition scaling model).
+[[nodiscard]] std::array<int, 3> factor3(int nodes);
+
+}  // namespace vdg

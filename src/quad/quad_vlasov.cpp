@@ -1,0 +1,318 @@
+#include "quad/quad_vlasov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/gauss_legendre.hpp"
+
+namespace vdg {
+
+namespace {
+
+template <typename Fn>
+void forEachIdx(int nd, const int* hi, Fn fn) {
+  MultiIndex idx;
+  while (true) {
+    fn(idx);
+    int d = 0;
+    while (d < nd) {
+      if (++idx[d] < hi[d]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == nd) break;
+  }
+}
+
+}  // namespace
+
+QuadVlasovUpdater::QuadVlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid,
+                                     const VlasovParams& params)
+    : ks_(&vlasovKernels(spec)), grid_(phaseGrid), params_(params) {
+  if (phaseGrid.ndim != spec.ndim())
+    throw std::invalid_argument("QuadVlasovUpdater: grid/basis dimensionality mismatch");
+  const Basis& basis = *ks_->phase;
+  np_ = basis.numModes();
+  ndim_ = spec.ndim();
+  cdim_ = spec.cdim;
+  vdim_ = spec.vdim;
+  // Just enough points to integrate the quadratic nonlinearity exactly:
+  // degree(dw_l) + degree(alpha) + degree(f) <= 3p + 1 per direction.
+  nq1_ = (3 * spec.polyOrder + 2 + 1) / 2;
+  const QuadRule rule = gauss_legendre(nq1_);
+
+  // ------------------------------------------------------ volume matrices
+  nq_ = 1;
+  for (int d = 0; d < ndim_; ++d) nq_ *= nq1_;
+  interp_ = DenseMatrix(nq_, np_);
+  gradProj_.assign(static_cast<std::size_t>(ndim_), DenseMatrix(np_, nq_));
+  volNodes_.assign(static_cast<std::size_t>(nq_), std::vector<double>(static_cast<std::size_t>(ndim_)));
+  {
+    std::vector<int> id(static_cast<std::size_t>(ndim_), 0);
+    for (int q = 0; q < nq_; ++q) {
+      double wq = 1.0;
+      for (int d = 0; d < ndim_; ++d) {
+        volNodes_[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)] =
+            rule.nodes[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+        wq *= rule.weights[static_cast<std::size_t>(id[static_cast<std::size_t>(d)])];
+      }
+      const double* eta = volNodes_[static_cast<std::size_t>(q)].data();
+      for (int l = 0; l < np_; ++l) {
+        interp_(q, l) = basis.evalMode(l, eta);
+        for (int d = 0; d < ndim_; ++d)
+          gradProj_[static_cast<std::size_t>(d)](l, q) = wq * basis.evalModeDeriv(l, d, eta);
+      }
+      for (int d = 0; d < ndim_; ++d) {
+        if (++id[static_cast<std::size_t>(d)] < nq1_) break;
+        id[static_cast<std::size_t>(d)] = 0;
+      }
+    }
+  }
+
+  // ------------------------------------------------------- face matrices
+  nqf_ = 1;
+  for (int d = 0; d < ndim_ - 1; ++d) nqf_ *= nq1_;
+  faceInterpL_.assign(static_cast<std::size_t>(ndim_), DenseMatrix(nqf_, np_));
+  faceInterpR_.assign(static_cast<std::size_t>(ndim_), DenseMatrix(nqf_, np_));
+  faceLiftL_.assign(static_cast<std::size_t>(ndim_), DenseMatrix(np_, nqf_));
+  faceLiftR_.assign(static_cast<std::size_t>(ndim_), DenseMatrix(np_, nqf_));
+  faceNodes_.assign(static_cast<std::size_t>(ndim_), {});
+  for (int d = 0; d < ndim_; ++d) {
+    auto& nodes = faceNodes_[static_cast<std::size_t>(d)];
+    nodes.assign(static_cast<std::size_t>(nqf_) * (ndim_ - 1), 0.0);
+    std::vector<int> id(static_cast<std::size_t>(ndim_ - 1), 0);
+    std::vector<double> eta(static_cast<std::size_t>(ndim_));
+    for (int q = 0; q < nqf_; ++q) {
+      double wq = 1.0;
+      for (int i = 0; i < ndim_ - 1; ++i) {
+        nodes[static_cast<std::size_t>(q) * (ndim_ - 1) + i] =
+            rule.nodes[static_cast<std::size_t>(id[static_cast<std::size_t>(i)])];
+        wq *= rule.weights[static_cast<std::size_t>(id[static_cast<std::size_t>(i)])];
+      }
+      // Insert the face coordinate at dimension d.
+      for (int side = 0; side < 2; ++side) {
+        int j = 0;
+        for (int i = 0; i < ndim_; ++i)
+          eta[static_cast<std::size_t>(i)] =
+              (i == d) ? (side ? +1.0 : -1.0)
+                       : nodes[static_cast<std::size_t>(q) * (ndim_ - 1) + j++];
+        for (int l = 0; l < np_; ++l) {
+          const double v = basis.evalMode(l, eta.data());
+          if (side) {  // eta_d = +1: trace of the left cell
+            faceInterpL_[static_cast<std::size_t>(d)](q, l) = v;
+            faceLiftL_[static_cast<std::size_t>(d)](l, q) = wq * v;
+          } else {  // eta_d = -1: trace of the right cell
+            faceInterpR_[static_cast<std::size_t>(d)](q, l) = v;
+            faceLiftR_[static_cast<std::size_t>(d)](l, q) = wq * v;
+          }
+        }
+      }
+      for (int i = 0; i < ndim_ - 1; ++i) {
+        if (++id[static_cast<std::size_t>(i)] < nq1_) break;
+        id[static_cast<std::size_t>(i)] = 0;
+      }
+    }
+  }
+}
+
+std::size_t QuadVlasovUpdater::updateMultiplyCount() const {
+  // Dense mat-vec entries touched per cell per forward-Euler update.
+  std::size_t n = interp_.entryCount();  // f -> quadrature points
+  for (int d = 0; d < ndim_; ++d) {
+    n += gradProj_[static_cast<std::size_t>(d)].entryCount();
+    n += static_cast<std::size_t>(nq_);  // pointwise alpha*f
+    if (d >= cdim_) n += interp_.entryCount();  // alpha -> points
+    // Faces: one product per face, shared between two cells; two trace
+    // interpolations + two lifts + pointwise work.
+    n += faceInterpL_[static_cast<std::size_t>(d)].entryCount() +
+         faceInterpR_[static_cast<std::size_t>(d)].entryCount();
+    n += faceLiftL_[static_cast<std::size_t>(d)].entryCount() +
+         faceLiftR_[static_cast<std::size_t>(d)].entryCount();
+    if (d >= cdim_)
+      n += faceInterpL_[static_cast<std::size_t>(d)].entryCount() +
+           faceInterpR_[static_cast<std::size_t>(d)].entryCount();
+    n += static_cast<std::size_t>(3 * nqf_);
+  }
+  return n;
+}
+
+double QuadVlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const {
+  const VlasovKernelSet& ks = *ks_;
+  const int np = np_;
+  assert(f.ncomp() == np && rhs.ncomp() == np);
+  rhs.setZero();
+  double maxFreq = 0.0;
+  const double qbym = params_.charge / params_.mass;
+
+  Field alphaField;
+  if (em) alphaField = Field(grid_, vdim_ * np, 0);
+  AccelWorkspace ws;
+
+  int confHi[kMaxDim], velHi[kMaxDim];
+  for (int d = 0; d < cdim_; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
+  for (int j = 0; j < vdim_; ++j) velHi[j] = grid_.cells[static_cast<std::size_t>(cdim_ + j)];
+
+  std::vector<double> fq(static_cast<std::size_t>(nq_)), gq(static_cast<std::size_t>(nq_));
+  std::vector<double> aq(static_cast<std::size_t>(nq_));
+  std::vector<double> alpha(static_cast<std::size_t>(vdim_) * np);
+
+  // ---------------------------------------------------------------- volume
+  forEachIdx(cdim_, confHi, [&](const MultiIndex& cidx) {
+    if (em) prepareAccel(ks, em->at(cidx), ws);
+    forEachIdx(vdim_, velHi, [&](const MultiIndex& vidx) {
+      MultiIndex idx = cidx;
+      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vidx[j];
+      const std::span<const double> fc = f.cell(idx);
+      const std::span<double> rc = rhs.cell(idx);
+
+      interp_.matvec(fc, fq);
+      double freq = 0.0;
+
+      // Streaming: alpha at a quadrature point is the v_d coordinate value.
+      for (int d = 0; d < cdim_; ++d) {
+        const int vd = cdim_ + d;
+        const double wc = grid_.cellCenter(vd, idx[vd]);
+        const double hdv = 0.5 * grid_.dx(vd);
+        for (int q = 0; q < nq_; ++q)
+          gq[static_cast<std::size_t>(q)] =
+              (wc + hdv * volNodes_[static_cast<std::size_t>(q)][static_cast<std::size_t>(vd)]) *
+              fq[static_cast<std::size_t>(q)];
+        const double rdx2 = 2.0 / grid_.dx(d);
+        // rhs_l += rdx2 * sum_q w_q dw_l(q) g(q)
+        const DenseMatrix& gm = gradProj_[static_cast<std::size_t>(d)];
+        for (int l = 0; l < np; ++l) {
+          double s = 0.0;
+          for (int q = 0; q < nq_; ++q) s += gm(l, q) * gq[static_cast<std::size_t>(q)];
+          rc[static_cast<std::size_t>(l)] += rdx2 * s;
+        }
+        freq += (std::abs(wc) + hdv) / grid_.dx(d);
+      }
+
+      // Acceleration: interpolate the projected flux expansion to points.
+      if (em) {
+        buildAccel(ks, grid_, qbym, idx, ws, alpha);
+        std::copy(alpha.begin(), alpha.end(), alphaField.at(idx));
+        for (int j = 0; j < vdim_; ++j) {
+          const int d = cdim_ + j;
+          const std::span<const double> aj(alpha.data() + static_cast<std::size_t>(j) * np,
+                                           static_cast<std::size_t>(np));
+          interp_.matvec(aj, aq);
+          for (int q = 0; q < nq_; ++q)
+            gq[static_cast<std::size_t>(q)] =
+                aq[static_cast<std::size_t>(q)] * fq[static_cast<std::size_t>(q)];
+          const double rdx2 = 2.0 / grid_.dx(d);
+          const DenseMatrix& gm = gradProj_[static_cast<std::size_t>(d)];
+          for (int l = 0; l < np; ++l) {
+            double s = 0.0;
+            for (int q = 0; q < nq_; ++q) s += gm(l, q) * gq[static_cast<std::size_t>(q)];
+            rc[static_cast<std::size_t>(l)] += rdx2 * s;
+          }
+          double amax = 0.0;
+          for (int l = 0; l < np; ++l)
+            amax += std::abs(aj[static_cast<std::size_t>(l)]) *
+                    ks.phaseSup[static_cast<std::size_t>(l)];
+          freq += amax / grid_.dx(d);
+        }
+      }
+      maxFreq = std::max(maxFreq, freq);
+    });
+  });
+
+  // --------------------------------------------------------------- surface
+  const bool penalty = params_.flux == FluxType::Penalty;
+  std::vector<double> fLq(static_cast<std::size_t>(nqf_)), fRq(static_cast<std::size_t>(nqf_));
+  std::vector<double> aLq(static_cast<std::size_t>(nqf_)), aRq(static_cast<std::size_t>(nqf_));
+  std::vector<double> fhq(static_cast<std::size_t>(nqf_));
+
+  for (int d = 0; d < ndim_; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const bool isConfDir = d < cdim_;
+    if (!em && !isConfDir) continue;
+    const double rdx2 = 2.0 / grid_.dx(d);
+    const FaceMap& fm = ks.faceMap[ds];  // for the penalty bound only
+    std::vector<double> supBuf(static_cast<std::size_t>(fm.numFaceModes));
+
+    int hi[kMaxDim];
+    for (int i = 0; i < ndim_; ++i) hi[i] = grid_.cells[static_cast<std::size_t>(i)];
+    hi[d] += 1;
+    forEachIdx(ndim_, hi, [&](const MultiIndex& fidx) {
+      const int i = fidx[d];
+      const int nd = grid_.cells[ds];
+      if (!isConfDir && (i == 0 || i == nd)) return;
+      MultiIndex lidx = fidx;
+      lidx[d] = i - 1;
+      const bool lInterior = i > 0;
+      const bool rInterior = i < nd;
+
+      faceInterpL_[ds].matvec(f.cell(lidx), fLq);
+      faceInterpR_[ds].matvec(f.cell(fidx), fRq);
+
+      double tau = 0.0;
+      if (isConfDir) {
+        const int vd = cdim_ + d;
+        const double wc = grid_.cellCenter(vd, fidx[vd]);
+        const double hdv = 0.5 * grid_.dx(vd);
+        const int fvd = vd - 1;  // index of vd among face coordinates (d < vd)
+        for (int q = 0; q < nqf_; ++q) {
+          const double v =
+              wc + hdv * faceNodes_[ds][static_cast<std::size_t>(q) * (ndim_ - 1) + fvd];
+          fhq[static_cast<std::size_t>(q)] =
+              0.5 * v * (fLq[static_cast<std::size_t>(q)] + fRq[static_cast<std::size_t>(q)]);
+        }
+        if (penalty) tau = std::max(std::abs(wc - hdv), std::abs(wc + hdv));
+      } else {
+        const int j = d - cdim_;
+        const int off = j * np;
+        const std::span<const double> aL(alphaField.at(lidx) + off, static_cast<std::size_t>(np));
+        const std::span<const double> aR(alphaField.at(fidx) + off, static_cast<std::size_t>(np));
+        faceInterpL_[ds].matvec(aL, aLq);
+        faceInterpR_[ds].matvec(aR, aRq);
+        for (int q = 0; q < nqf_; ++q)
+          fhq[static_cast<std::size_t>(q)] =
+              0.5 * (aLq[static_cast<std::size_t>(q)] * fLq[static_cast<std::size_t>(q)] +
+                     aRq[static_cast<std::size_t>(q)] * fRq[static_cast<std::size_t>(q)]);
+        if (penalty) {
+          // Identical bound to the modal path (coefficient-sum sup bound).
+          const std::vector<double>& sup = ks.faceSup[ds];
+          double bL = 0.0, bR = 0.0;
+          fm.restrictTo(aL, supBuf, +1);
+          for (int k = 0; k < fm.numFaceModes; ++k)
+            bL += std::abs(supBuf[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+          fm.restrictTo(aR, supBuf, -1);
+          for (int k = 0; k < fm.numFaceModes; ++k)
+            bR += std::abs(supBuf[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+          tau = std::max(bL, bR);
+        }
+      }
+      if (penalty && tau > 0.0)
+        for (int q = 0; q < nqf_; ++q)
+          fhq[static_cast<std::size_t>(q)] -=
+              0.5 * tau * (fRq[static_cast<std::size_t>(q)] - fLq[static_cast<std::size_t>(q)]);
+
+      if (lInterior) {
+        const std::span<double> rl = rhs.cell(lidx);
+        const DenseMatrix& lm = faceLiftL_[ds];
+        for (int l = 0; l < np; ++l) {
+          double s = 0.0;
+          for (int q = 0; q < nqf_; ++q) s += lm(l, q) * fhq[static_cast<std::size_t>(q)];
+          rl[static_cast<std::size_t>(l)] -= rdx2 * s;
+        }
+      }
+      if (rInterior) {
+        const std::span<double> rr = rhs.cell(fidx);
+        const DenseMatrix& lm = faceLiftR_[ds];
+        for (int l = 0; l < np; ++l) {
+          double s = 0.0;
+          for (int q = 0; q < nqf_; ++q) s += lm(l, q) * fhq[static_cast<std::size_t>(q)];
+          rr[static_cast<std::size_t>(l)] += rdx2 * s;
+        }
+      }
+    });
+  }
+
+  return maxFreq;
+}
+
+}  // namespace vdg

@@ -1,0 +1,190 @@
+#include "tensors/dg_tensors.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "math/legendre.hpp"
+
+namespace vdg {
+
+namespace {
+
+constexpr double kZeroTol = 1e-14;
+
+/// Enumerate, for a fixed pair of modes (a, b), all member modes c of the
+/// basis for which the per-dimension factor product is nonzero, calling
+/// emit(nIndex, product). `factor(i, ci)` supplies the 1-D factor for
+/// dimension i and candidate degree ci in [0, maxDeg].
+template <typename FactorFn, typename EmitFn>
+void forEachNonzeroTriple(const Basis& basis, int maxDeg, FactorFn factor, EmitFn emit) {
+  const int nd = basis.ndim();
+  // Collect admissible (ci, factor) lists per dimension.
+  std::array<std::vector<std::pair<int, double>>, kMaxDim> cand;
+  for (int i = 0; i < nd; ++i) {
+    for (int ci = 0; ci <= maxDeg; ++ci) {
+      const double f = factor(i, ci);
+      if (std::abs(f) > kZeroTol) cand[static_cast<std::size_t>(i)].emplace_back(ci, f);
+    }
+    if (cand[static_cast<std::size_t>(i)].empty()) return;
+  }
+  // Odometer over the cartesian product.
+  std::array<std::size_t, kMaxDim> pos{};
+  while (true) {
+    MultiIndex c;
+    double prod = 1.0;
+    for (int i = 0; i < nd; ++i) {
+      const auto& [ci, f] = cand[static_cast<std::size_t>(i)][pos[static_cast<std::size_t>(i)]];
+      c[i] = ci;
+      prod *= f;
+    }
+    const int n = basis.indexOf(c);
+    if (n >= 0 && std::abs(prod) > kZeroTol) emit(n, prod);
+    int k = 0;
+    while (k < nd) {
+      auto& p = pos[static_cast<std::size_t>(k)];
+      if (++p < cand[static_cast<std::size_t>(k)].size()) break;
+      p = 0;
+      ++k;
+    }
+    if (k == nd) break;
+  }
+}
+
+}  // namespace
+
+Tape3 buildVolumeTape(const Basis& basis, int d) {
+  const auto& tab = LegendreTables::instance();
+  const int p = basis.spec().polyOrder;
+  Tape3 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    if (a[d] == 0) continue;  // dw_l/deta_d = 0
+    for (int m = 0; m < basis.numModes(); ++m) {
+      const MultiIndex& b = basis.mode(m);
+      forEachNonzeroTriple(
+          basis, p,
+          [&](int i, int ci) {
+            return i == d ? tab.dtrip(a[i], b[i], ci) : tab.trip(a[i], b[i], ci);
+          },
+          [&](int n, double c) { tape.terms.push_back({l, m, n, c}); });
+    }
+  }
+  return tape;
+}
+
+Tape3 buildProductTape(const Basis& basis) {
+  const auto& tab = LegendreTables::instance();
+  const int p = basis.spec().polyOrder;
+  Tape3 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    for (int m = 0; m < basis.numModes(); ++m) {
+      const MultiIndex& b = basis.mode(m);
+      forEachNonzeroTriple(
+          basis, p, [&](int i, int ci) { return tab.trip(a[i], b[i], ci); },
+          [&](int n, double c) { tape.terms.push_back({l, m, n, c}); });
+    }
+  }
+  return tape;
+}
+
+FaceMap buildPointFaceMap(const Basis& basis) {
+  assert(basis.ndim() == 1);
+  const auto& tab = LegendreTables::instance();
+  FaceMap map;
+  map.numFaceModes = 1;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const int a = basis.mode(l)[0];
+    map.entries.push_back({l, 0, tab.psiEnd(a, -1), tab.psiEnd(a, +1)});
+  }
+  return map;
+}
+
+FaceMap buildFaceMap(const Basis& basis, const Basis& face, int d) {
+  const auto& tab = LegendreTables::instance();
+  FaceMap map;
+  map.numFaceModes = face.numModes();
+  map.entries.reserve(static_cast<std::size_t>(basis.numModes()));
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    const int k = face.indexOf(a.dropDim(d, basis.ndim()));
+    assert(k >= 0 && "face basis must contain every volume-mode restriction");
+    map.entries.push_back({l, k, tab.psiEnd(a[d], -1), tab.psiEnd(a[d], +1)});
+  }
+  return map;
+}
+
+Tape2 buildGradTape(const Basis& basis, int d) {
+  const auto& tab = LegendreTables::instance();
+  Tape2 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    if (a[d] == 0) continue;
+    for (int n = 0; n < basis.numModes(); ++n) {
+      const MultiIndex& c = basis.mode(n);
+      bool diag = true;
+      for (int i = 0; i < basis.ndim(); ++i)
+        if (i != d && a[i] != c[i]) {
+          diag = false;
+          break;
+        }
+      if (!diag) continue;
+      const double w = tab.dpair(a[d], c[d]);
+      if (std::abs(w) > kZeroTol) tape.terms.push_back({l, n, w});
+    }
+  }
+  return tape;
+}
+
+Tape2 buildEtaMulTape(const Basis& basis, int d) {
+  const auto& tab = LegendreTables::instance();
+  // eta = sqrt(2/3) psi_1, so <w_l, eta w_n> = sqrt(2/3) trip(a_d, 1, c_d)
+  // when all other degrees match.
+  const double s = std::sqrt(2.0 / 3.0);
+  Tape2 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    for (int n = 0; n < basis.numModes(); ++n) {
+      const MultiIndex& c = basis.mode(n);
+      bool diag = true;
+      for (int i = 0; i < basis.ndim(); ++i)
+        if (i != d && a[i] != c[i]) {
+          diag = false;
+          break;
+        }
+      if (!diag) continue;
+      const double w = s * tab.trip(a[d], 1, c[d]);
+      if (std::abs(w) > kZeroTol) tape.terms.push_back({l, n, w});
+    }
+  }
+  return tape;
+}
+
+std::vector<std::pair<int, double>> projectUnit(const Basis& basis) {
+  // 1 = 2^{ndim/2} w_0 in the orthonormal Legendre-product basis.
+  const int l0 = basis.indexOf(MultiIndex{});
+  assert(l0 >= 0);
+  return {{l0, std::pow(2.0, 0.5 * basis.ndim())}};
+}
+
+std::vector<std::pair<int, double>> projectEta(const Basis& basis, int d) {
+  MultiIndex a;
+  a[d] = 1;
+  const int l = basis.indexOf(a);
+  assert(l >= 0 && "basis must contain all linear modes (p >= 1)");
+  return {{l, std::sqrt(2.0 / 3.0) * std::pow(2.0, 0.5 * (basis.ndim() - 1))}};
+}
+
+std::vector<double> basisSupBounds(const Basis& basis) {
+  std::vector<double> sup(static_cast<std::size_t>(basis.numModes()));
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    double s = 1.0;
+    for (int i = 0; i < basis.ndim(); ++i) s *= std::sqrt((2.0 * a[i] + 1.0) / 2.0);
+    sup[static_cast<std::size_t>(l)] = s;
+  }
+  return sup;
+}
+
+}  // namespace vdg

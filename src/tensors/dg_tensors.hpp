@@ -1,0 +1,79 @@
+#pragma once
+// Exact construction of the sparse DG tensors (volume, surface, products,
+// embeddings) for any modal orthonormal basis. This is the reproduction of
+// the paper's Maxima-generated kernels: every entry below is an analytically
+// exact integral — it factorizes into the 1-D tables of math/legendre.hpp —
+// so the resulting scheme is alias-free; the sparse-tape representation
+// makes it matrix-free and quadrature-free at runtime.
+
+#include <utility>
+#include <vector>
+
+#include "basis/basis.hpp"
+#include "tensors/tape.hpp"
+
+namespace vdg {
+
+/// Diagonal trace/lift map between a volume basis and the face basis of
+/// direction d: w_l restricted to the face eta_d = s equals
+/// psi_{a_d}(s) * phi_{k(l)} for exactly one face mode k(l).
+struct FaceMap {
+  struct Entry {
+    int vol;         ///< volume mode index l
+    int face;        ///< face mode index k(l)
+    double atMinus;  ///< psi_{a_d}(-1)
+    double atPlus;   ///< psi_{a_d}(+1)
+  };
+  std::vector<Entry> entries;  // one per volume mode
+  int numFaceModes = 0;
+
+  /// Face expansion of the trace of `vol` at side s (+1: upper face of the
+  /// cell, -1: lower face). `face` must be zero-initialized or overwritten.
+  void restrictTo(std::span<const double> vol, std::span<double> face, int s) const {
+    for (double& v : face) v = 0.0;
+    for (const Entry& e : entries)
+      face[static_cast<std::size_t>(e.face)] +=
+          (s > 0 ? e.atPlus : e.atMinus) * vol[static_cast<std::size_t>(e.vol)];
+  }
+
+  /// out_l += scale * psi_{a_d}(s) * face_{k(l)} — the (diagonal) surface
+  /// lift: \oint w_l Fhat over the reference face.
+  void lift(std::span<const double> face, std::span<double> out, int s, double scale) const {
+    for (const Entry& e : entries)
+      out[static_cast<std::size_t>(e.vol)] +=
+          scale * (s > 0 ? e.atPlus : e.atMinus) * face[static_cast<std::size_t>(e.face)];
+  }
+};
+
+/// C^d_lmn = \int dw_l/deta_d * w_m * w_n deta over [-1,1]^ndim (Eq. 10).
+[[nodiscard]] Tape3 buildVolumeTape(const Basis& basis, int d);
+
+/// Face Gaunt tensor G_kmn = \int phi_k phi_m phi_n over the reference face:
+/// exact projection of a product of two face expansions onto the face basis.
+[[nodiscard]] Tape3 buildProductTape(const Basis& basis);
+
+/// Trace/lift map for direction d (see FaceMap).
+[[nodiscard]] FaceMap buildFaceMap(const Basis& basis, const Basis& face, int d);
+
+/// Trace/lift map for a 1-D basis, whose faces are points: the "face
+/// expansion" is the single trace value (face basis = the constant 1).
+[[nodiscard]] FaceMap buildPointFaceMap(const Basis& basis);
+
+/// D^d_ln = \int dw_l/deta_d * w_n deta (volume tape of a linear flux, used
+/// by the Maxwell solver).
+[[nodiscard]] Tape2 buildGradTape(const Basis& basis, int d);
+
+/// Projection of eta_d * g onto the basis: out_l = \int w_l eta_d g deta.
+[[nodiscard]] Tape2 buildEtaMulTape(const Basis& basis, int d);
+
+/// Projection of the constant 1 onto the basis: list of (mode, coeff).
+[[nodiscard]] std::vector<std::pair<int, double>> projectUnit(const Basis& basis);
+
+/// Projection of the coordinate eta_d onto the basis.
+[[nodiscard]] std::vector<std::pair<int, double>> projectEta(const Basis& basis, int d);
+
+/// sup_{eta in face} |phi_k(eta)| for each face mode (used for the local
+/// Lax-Friedrichs penalty bound): prod_i sqrt((2 a_i + 1)/2).
+[[nodiscard]] std::vector<double> basisSupBounds(const Basis& basis);
+
+}  // namespace vdg

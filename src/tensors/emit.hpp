@@ -1,0 +1,63 @@
+#pragma once
+// C++ kernel source emission — the paper's central software methodology
+// (Fig. 1, Section IV): Gkeyll pre-generates its per-cell update kernels
+// with the Maxima CAS; less than 8% of the code is hand-written. Here the
+// symbolic tensor layer plays the CAS role and this module renders the
+// sparse tapes as standalone, fully unrolled C++ functions with all
+// constants folded to double precision:
+//
+//   - volume streaming kernel   (Fig. 1: inputs w, dxv, f -> out)
+//   - volume acceleration kernel (inputs dxv, alpha, f -> out)
+//   - surface streaming kernel, one per configuration direction
+//     (inputs w, dxv, f_left, f_right -> increments to both cells)
+//   - surface acceleration kernel, one per velocity direction
+//     (inputs dxv, alpha_left/right, f_left/right -> both cells)
+//
+// tools/gen_kernels renders whole kernel sets into src/kernels/gen/, which
+// are compiled into the library and dispatched through kernels/registry.hpp
+// (the solver falls back to tape execution for specs without generated
+// kernels). Tests assert generated == tape to machine precision.
+
+#include <cstddef>
+#include <string>
+
+#include "basis/basis.hpp"
+
+namespace vdg {
+
+struct EmittedKernel {
+  std::string source;  ///< compilable C++ function definition
+  std::string functionName;
+  std::size_t multiplies = 0;  ///< multiplications in the emitted body
+  std::size_t adds = 0;
+};
+
+/// Volume streaming kernel: the exact DG volume integral of div_x (v f)
+/// over all configuration directions (the paper's Fig. 1 kernel shape).
+///   void f(const double* w, const double* dxv, const double* f, double* out)
+[[nodiscard]] EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec);
+
+/// Volume acceleration kernel: div_v (alpha f) over all velocity
+/// directions; `alpha` is the per-cell flux expansion (vdim * Np).
+///   void f(const double* dxv, const double* alpha, const double* f, double* out)
+[[nodiscard]] EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec);
+
+/// Surface streaming kernel for configuration direction `dir`: evaluates
+/// the penalty (local Lax-Friedrichs) numerical flux on the shared face of
+/// a left/right cell pair and lifts it into both cells.
+///   void f(const double* w, const double* dxv,
+///          const double* fl, const double* fr, double* outl, double* outr)
+[[nodiscard]] EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir);
+
+/// Surface acceleration kernel for velocity direction `j` (phase dir
+/// cdim + j), with per-side flux expansions as in paper Eq. 5.
+///   void f(const double* dxv, const double* al, const double* ar,
+///          const double* fl, const double* fr, double* outl, double* outr)
+[[nodiscard]] EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j);
+
+/// Render the complete translation unit (all kernels above + registry
+/// registration) for one spec. This is what tools/gen_kernels writes into
+/// src/kernels/gen/.
+[[nodiscard]] std::string emitKernelTranslationUnit(const BasisSpec& spec);
+
+}  // namespace vdg

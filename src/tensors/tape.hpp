@@ -1,0 +1,60 @@
+#pragma once
+// Sparse "tapes": the runtime representation of the exactly-integrated DG
+// tensors. A tape is the flat list of nonzero entries of a tensor such as
+// C^d_lmn = \int dw_l/deta_d w_m w_n deta, produced once at setup by the
+// symbolic layer (math/ + tensors/) and then executed per cell with plain
+// fused multiply-adds: no matrices, no quadrature, no aliasing error.
+//
+// The multiplication count of a tape execution is its term count times the
+// operands per term, which is what the paper's Fig. 1 / Section III op-count
+// discussion is about; see tensors/emit.hpp for the generated-source view.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdg {
+
+/// Bilinear tape: out[l] += scale * sum c * a[m] * f[n].
+struct Tape3 {
+  struct Term {
+    int l, m, n;
+    double c;
+  };
+  std::vector<Term> terms;
+
+  void execute(std::span<const double> a, std::span<const double> f,
+               std::span<double> out, double scale) const {
+    for (const Term& t : terms)
+      out[static_cast<std::size_t>(t.l)] +=
+          scale * t.c * a[static_cast<std::size_t>(t.m)] * f[static_cast<std::size_t>(t.n)];
+  }
+
+  /// Multiplications per execution (3 per term: c*a, *f, *scale folded in 2
+  /// if scale premultiplied; we report 2 per term as the paper counts the
+  /// inner products with constants folded).
+  [[nodiscard]] std::size_t multiplyCount() const { return terms.size() * 2; }
+};
+
+/// Linear tape: out[l] += scale * sum c * in[n].
+struct Tape2 {
+  struct Term {
+    int l, n;
+    double c;
+  };
+  std::vector<Term> terms;
+
+  void execute(std::span<const double> in, std::span<double> out, double scale) const {
+    for (const Term& t : terms)
+      out[static_cast<std::size_t>(t.l)] += scale * t.c * in[static_cast<std::size_t>(t.n)];
+  }
+
+  void executeSet(std::span<const double> in, std::span<double> out, double scale) const {
+    for (double& v : out) v = 0.0;
+    execute(in, out, scale);
+  }
+
+  [[nodiscard]] std::size_t multiplyCount() const { return terms.size(); }
+};
+
+}  // namespace vdg

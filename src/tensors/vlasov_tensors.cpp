@@ -1,0 +1,173 @@
+#include "tensors/vlasov_tensors.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace vdg {
+
+namespace {
+
+VlasovKernelSet build(const BasisSpec& spec) {
+  if (spec.vdim < 1) throw std::invalid_argument("vlasovKernels: vdim must be >= 1");
+  if (spec.polyOrder < 1) throw std::invalid_argument("vlasovKernels: polyOrder must be >= 1");
+
+  VlasovKernelSet ks;
+  ks.spec = spec;
+  ks.phase = &basisFor(spec);
+  ks.conf = &basisFor(spec.configSpec());
+  ks.cdim = spec.cdim;
+  ks.vdim = spec.vdim;
+  ks.ndim = spec.ndim();
+  ks.numPhaseModes = ks.phase->numModes();
+  ks.numConfModes = ks.conf->numModes();
+
+  const Basis& phase = *ks.phase;
+  for (int d = 0; d < ks.ndim; ++d) {
+    ks.volume.push_back(buildVolumeTape(phase, d));
+    ks.faceBasis.push_back(phase.faceBasis(d));
+    const Basis& face = ks.faceBasis.back();
+    ks.faceMap.push_back(buildFaceMap(phase, face, d));
+    ks.faceProduct.push_back(buildProductTape(face));
+    ks.faceSup.push_back(basisSupBounds(face));
+    ks.etaProj.push_back(projectEta(phase, d));
+  }
+  ks.unitProj = projectUnit(phase);
+  ks.phaseSup = basisSupBounds(phase);
+
+  // Config -> phase embedding: conf mode with multi-index a maps to the
+  // phase mode (a, 0) scaled by 2^{vdim/2} (the velocity-direction
+  // normalization of the constant).
+  ks.embedFac = std::pow(2.0, 0.5 * ks.vdim);
+  ks.embedIdx.resize(static_cast<std::size_t>(ks.numConfModes));
+  for (int k = 0; k < ks.numConfModes; ++k) {
+    MultiIndex a;  // zero-padded into phase dims
+    const MultiIndex& ac = ks.conf->mode(k);
+    for (int i = 0; i < ks.cdim; ++i) a[i] = ac[i];
+    const int l = phase.indexOf(a);
+    if (l < 0)
+      throw std::logic_error("vlasovKernels: config mode missing from phase basis");
+    ks.embedIdx[static_cast<std::size_t>(k)] = l;
+  }
+
+  for (int j = 0; j < ks.vdim; ++j)
+    ks.etaMul.push_back(buildEtaMulTape(phase, ks.cdim + j));
+
+  // Fold the 2-component streaming flux into the volume/surface tensors.
+  // Config direction d advects with velocity coordinate vd = cdim + d.
+  if (spec.vdim < spec.cdim)
+    throw std::invalid_argument("vlasovKernels: vdim must be >= cdim");
+  const auto contract = [](const Tape3& t, const std::vector<std::pair<int, double>>& proj) {
+    Tape2 out;
+    for (const Tape3::Term& term : t.terms)
+      for (const auto& [m, c] : proj)
+        if (term.m == m) out.terms.push_back({term.l, term.n, term.c * c});
+    return out;
+  };
+  for (int d = 0; d < ks.cdim; ++d) {
+    const int vd = ks.cdim + d;
+    ks.streamVol0.push_back(contract(ks.volume[static_cast<std::size_t>(d)], ks.unitProj));
+    ks.streamVol1.push_back(
+        contract(ks.volume[static_cast<std::size_t>(d)], ks.etaProj[static_cast<std::size_t>(vd)]));
+    const Basis& face = ks.faceBasis[static_cast<std::size_t>(d)];
+    // Dropping config dim d (d < vd) shifts the velocity coordinate's index
+    // down by one on the face.
+    ks.streamFace0.push_back(
+        contract(ks.faceProduct[static_cast<std::size_t>(d)], projectUnit(face)));
+    ks.streamFace1.push_back(
+        contract(ks.faceProduct[static_cast<std::size_t>(d)], projectEta(face, vd - 1)));
+  }
+
+  return ks;
+}
+
+}  // namespace
+
+std::size_t VlasovKernelSet::updateMultiplyCount() const {
+  // Per-cell multiplications of one forward-Euler update: folded streaming
+  // tapes in configuration directions, full bilinear tapes in acceleration
+  // directions; per direction one face-product execution (each face is
+  // shared between two cells) plus two trace restrictions and two lifts.
+  std::size_t n = 0;
+  for (int d = 0; d < ndim; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    if (d < cdim) {
+      n += streamVol0[ds].multiplyCount() + streamVol1[ds].multiplyCount();
+      n += streamFace0[ds].multiplyCount() + streamFace1[ds].multiplyCount();
+    } else {
+      n += volume[ds].multiplyCount();
+      n += faceProduct[ds].multiplyCount();
+    }
+    n += 4 * faceMap[ds].entries.size();
+  }
+  return n;
+}
+
+namespace {
+int levi3(int i, int j, int k) {
+  if (i == j || j == k || i == k) return 0;
+  return ((j - i + 3) % 3 == 1) ? 1 : -1;
+}
+}  // namespace
+
+void prepareAccel(const VlasovKernelSet& ks, const double* emCell, AccelWorkspace& ws) {
+  const int np = ks.numPhaseModes;
+  const int npc = ks.numConfModes;
+  ws.embE.assign(static_cast<std::size_t>(3 * np), 0.0);
+  ws.embB.assign(static_cast<std::size_t>(3 * np), 0.0);
+  ws.mulB.assign(static_cast<std::size_t>(ks.vdim) * 3 * np, 0.0);
+  for (int c = 0; c < 3; ++c) {
+    for (int k = 0; k < npc; ++k) {
+      const int l = ks.embedIdx[static_cast<std::size_t>(k)];
+      ws.embE[static_cast<std::size_t>(c) * np + l] = ks.embedFac * emCell[c * npc + k];
+      ws.embB[static_cast<std::size_t>(c) * np + l] = ks.embedFac * emCell[(3 + c) * npc + k];
+    }
+  }
+  for (int j = 0; j < ks.vdim; ++j)
+    for (int b = 0; b < 3; ++b)
+      ks.etaMul[static_cast<std::size_t>(j)].executeSet(
+          {ws.embB.data() + static_cast<std::size_t>(b) * np, static_cast<std::size_t>(np)},
+          {ws.mulB.data() + (static_cast<std::size_t>(j) * 3 + static_cast<std::size_t>(b)) * np,
+           static_cast<std::size_t>(np)},
+          1.0);
+}
+
+void buildAccel(const VlasovKernelSet& ks, const Grid& grid, double qbym, const MultiIndex& idx,
+                const AccelWorkspace& ws, std::span<double> alpha) {
+  const int np = ks.numPhaseModes;
+  const int cdim = ks.cdim, vdim = ks.vdim;
+  for (int j = 0; j < vdim; ++j) {
+    double* aj = alpha.data() + static_cast<std::size_t>(j) * np;
+    const double* ej = ws.embE.data() + static_cast<std::size_t>(j) * np;
+    for (int l = 0; l < np; ++l) aj[l] = ej[l];
+    for (int k = 0; k < vdim; ++k) {
+      const int vk = cdim + k;
+      const double wc = grid.cellCenter(vk, idx[vk]);
+      const double hdv = 0.5 * grid.dx(vk);
+      for (int b = 0; b < 3; ++b) {
+        const int s = levi3(j, k, b);
+        if (s == 0) continue;
+        const double* bb = ws.embB.data() + static_cast<std::size_t>(b) * np;
+        const double* mb = ws.mulB.data() +
+                           (static_cast<std::size_t>(k) * 3 + static_cast<std::size_t>(b)) * np;
+        for (int l = 0; l < np; ++l) aj[l] += s * (wc * bb[l] + hdv * mb[l]);
+      }
+    }
+    for (int l = 0; l < np; ++l) aj[l] *= qbym;
+  }
+}
+
+const VlasovKernelSet& vlasovKernels(const BasisSpec& spec) {
+  using Key = std::tuple<int, int, int, int>;
+  static std::mutex mtx;
+  static std::map<Key, VlasovKernelSet> cache;
+  const Key key{spec.cdim, spec.vdim, spec.polyOrder, static_cast<int>(spec.family)};
+  std::scoped_lock lock(mtx);
+  auto it = cache.find(key);
+  if (it == cache.end()) it = cache.emplace(key, build(spec)).first;
+  return it->second;
+}
+
+}  // namespace vdg

@@ -1,0 +1,96 @@
+#pragma once
+// The complete pre-generated kernel set for the Vlasov (collisionless
+// Boltzmann) equation in a given phase-space basis: volume tensors per
+// direction, face trace/lift maps, face product (Gaunt) tensors and the
+// sparse machinery for assembling the phase-space flux expansion
+//   alpha_h = ( v,  (q/m) (E_h + v x B_h) )
+// from the cell geometry and the configuration-space EM coefficients.
+//
+// This structure is the runtime analogue of the paper's Maxima-generated
+// C++ kernels: it is computed once per (dimensionality, order, family)
+// combination and then drives a matrix-free, quadrature-free per-cell
+// update.
+
+#include <span>
+#include <vector>
+
+#include "basis/basis.hpp"
+#include "grid/grid.hpp"
+#include "tensors/dg_tensors.hpp"
+
+namespace vdg {
+
+struct VlasovKernelSet {
+  BasisSpec spec;
+  const Basis* phase = nullptr;  ///< phase-space basis (cdim + vdim dims)
+  const Basis* conf = nullptr;   ///< configuration-space basis (cdim dims)
+
+  int cdim = 0, vdim = 0, ndim = 0;
+  int numPhaseModes = 0, numConfModes = 0;
+
+  /// Volume tensors C^d_lmn, one per phase-space direction d (Eq. 10).
+  std::vector<Tape3> volume;
+
+  /// Per-direction face bases, trace/lift maps and face Gaunt tensors.
+  std::vector<Basis> faceBasis;
+  std::vector<FaceMap> faceMap;
+  std::vector<Tape3> faceProduct;
+
+  /// sup |phi_k| per face mode (penalty-flux speed bound), per direction.
+  std::vector<std::vector<double>> faceSup;
+
+  /// sup |w_l| per phase mode (CFL speed bound).
+  std::vector<double> phaseSup;
+
+  /// Projection of 1 and of eta_d onto the phase basis (streaming flux
+  /// v_d = wc + (dxv/2) eta_d has exactly these two components).
+  std::vector<std::pair<int, double>> unitProj;
+  std::vector<std::vector<std::pair<int, double>>> etaProj;  // per phase dim
+
+  /// Embedding of a configuration-space expansion into the phase basis:
+  /// conf mode k maps to phase mode embedIdx[k] with factor embedFac.
+  std::vector<int> embedIdx;
+  double embedFac = 1.0;
+
+  /// Projection of eta_{v_j} * g onto the phase basis, per velocity dim j
+  /// (used to build the v x B part of the acceleration exactly, then
+  /// projected onto the basis as in the paper's Eq. 4/10).
+  std::vector<Tape2> etaMul;
+
+  /// Streaming kernels for configuration direction d < cdim: the flux
+  /// v_d = wc + (dxv/2) eta has exactly two modal components, so the
+  /// Tape3 contraction folds at setup into two linear tapes executed with
+  /// runtime weights wc and dxv/2 (this is the shape of the paper's Fig. 1
+  /// kernel, where the cell center and spacing multiply fixed constants).
+  std::vector<Tape2> streamVol0, streamVol1;    // per config dir
+  std::vector<Tape2> streamFace0, streamFace1;  // per config dir, face basis
+
+  /// Total multiplications of one full volume+surface update (op-count
+  /// accounting for the Fig. 1 / Section III comparison).
+  [[nodiscard]] std::size_t updateMultiplyCount() const;
+};
+
+/// Cached, thread-safe access to the kernel set for a spec (built on first
+/// use; bases must have vdim >= 1 and polyOrder >= 1).
+const VlasovKernelSet& vlasovKernels(const BasisSpec& spec);
+
+/// Scratch for assembling the acceleration expansion; reusable across cells.
+struct AccelWorkspace {
+  std::vector<double> embE;  ///< 3 * numPhaseModes
+  std::vector<double> embB;  ///< 3 * numPhaseModes
+  std::vector<double> mulB;  ///< vdim * 3 * numPhaseModes: etaMul_j(embB_b)
+};
+
+/// Per-configuration-cell preparation shared by all velocity cells: embed
+/// the E and B configuration expansions into the phase basis and pre-apply
+/// the eta-multiplication tapes. `emCell` points at the kEmComps (=8)
+/// configuration expansions of the cell.
+void prepareAccel(const VlasovKernelSet& ks, const double* emCell, AccelWorkspace& ws);
+
+/// Assemble alpha_j = (q/m)(E + v x B)_j, j < vdim, projected onto the
+/// phase basis (paper Eq. 4/10), for the phase cell `idx` of `grid`.
+/// `alpha` has vdim * numPhaseModes entries.
+void buildAccel(const VlasovKernelSet& ks, const Grid& grid, double qbym,
+                const MultiIndex& idx, const AccelWorkspace& ws, std::span<double> alpha);
+
+}  // namespace vdg

@@ -1,0 +1,182 @@
+// Integration tests of the full Vlasov-Maxwell App: the conservation
+// properties the paper's Section II is about (mass always; total
+// particle+field energy with central fluxes), and the classic kinetic
+// benchmarks (Landau damping, two-stream instability) that validate the
+// delicate J.E field-particle coupling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "app/vlasov_maxwell_app.hpp"
+
+namespace vdg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+SpeciesParams electronMaxwellian(double vmax, int nv, double n0, double u0, double vt,
+                                 double pertAmp, double k) {
+  SpeciesParams elc;
+  elc.name = "elc";
+  elc.charge = -1.0;
+  elc.mass = 1.0;
+  elc.velGrid = Grid::make({nv}, {-vmax}, {vmax});
+  elc.init = [=](const double* z) {
+    const double x = z[0], v = z[1];
+    const double dv = v - u0;
+    return n0 * (1.0 + pertAmp * std::cos(k * x)) / std::sqrt(2.0 * kPi * vt * vt) *
+           std::exp(-0.5 * dv * dv / (vt * vt));
+  };
+  return elc;
+}
+
+TEST(App, MassConservedThroughFullVMStep) {
+  VlasovMaxwellParams params;
+  const double k = 0.5;
+  params.confGrid = Grid::make({8}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.initField = [k](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -0.02 * std::sin(k * x[0]) / k;  // Ex from Poisson for the perturbation
+  };
+  VlasovMaxwellApp app(params, {electronMaxwellian(6.0, 16, 1.0, 0.0, 1.0, 0.02, k)});
+  const double mass0 = app.energetics().mass[0];
+  for (int i = 0; i < 10; ++i) app.step();
+  const double mass1 = app.energetics().mass[0];
+  EXPECT_NEAR(mass1, mass0, 1e-12 * std::abs(mass0));
+}
+
+TEST(App, EnergyConservedWithCentralFluxes) {
+  // Central fluxes for both Vlasov and Maxwell: total energy is conserved
+  // by the spatial scheme; the only drift is the O(dt^3) RK3 error.
+  VlasovMaxwellParams params;
+  const double k = 0.5;
+  params.confGrid = Grid::make({8}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.field.flux = FluxType::Central;
+  params.cflFrac = 0.4;
+  params.initField = [k](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -0.05 * std::sin(k * x[0]) / k;
+  };
+  SpeciesParams elc = electronMaxwellian(6.0, 16, 1.0, 0.0, 1.0, 0.05, k);
+  elc.flux = FluxType::Central;
+  VlasovMaxwellApp app(params, {elc});
+
+  const double e0 = app.energetics().totalEnergy();
+  for (int i = 0; i < 40; ++i) app.step();
+  const double e1 = app.energetics().totalEnergy();
+  EXPECT_NEAR(e1, e0, 2e-6 * std::abs(e0));
+}
+
+TEST(App, EnergyNearlyConservedWithPenaltyFluxes) {
+  // Penalty fluxes add controlled dissipation: energy decays slightly but
+  // must not grow (an aliasing instability would grow it).
+  VlasovMaxwellParams params;
+  const double k = 0.5;
+  params.confGrid = Grid::make({8}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.initField = [k](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -0.05 * std::sin(k * x[0]) / k;
+  };
+  VlasovMaxwellApp app(params, {electronMaxwellian(6.0, 16, 1.0, 0.0, 1.0, 0.05, k)});
+  const double e0 = app.energetics().totalEnergy();
+  for (int i = 0; i < 40; ++i) app.step();
+  const double e1 = app.energetics().totalEnergy();
+  EXPECT_LE(e1, e0 * (1.0 + 1e-10));
+  EXPECT_GT(e1, 0.98 * e0);
+}
+
+TEST(App, LandauDampingRateMatchesTheory) {
+  // Standard benchmark: k vt/wp = 0.5 Langmuir oscillations damp at
+  // gamma ~= -0.1533 (field energy at 2*gamma). This is the paper's class
+  // of delicate field-particle physics that aliasing would destroy.
+  VlasovMaxwellParams params;
+  const double k = 0.5;
+  params.confGrid = Grid::make({16}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.cflFrac = 0.8;
+  const double amp = 1e-3;
+  params.initField = [k, amp](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -amp * std::sin(k * x[0]) / k;
+  };
+  VlasovMaxwellApp app(params, {electronMaxwellian(6.0, 24, 1.0, 0.0, 1.0, amp, k)});
+
+  // Record field-energy peaks over several plasma periods.
+  std::vector<double> times, peaks;
+  double prev2 = 0.0, prev1 = 0.0, tPrev1 = 0.0;
+  const double tEnd = 20.0;
+  while (app.time() < tEnd) {
+    app.step();
+    const double fe = app.energetics().electricEnergy;
+    if (prev1 > prev2 && prev1 > fe && prev1 > 1e-12) {
+      times.push_back(tPrev1);
+      peaks.push_back(prev1);
+    }
+    prev2 = prev1;
+    prev1 = fe;
+    tPrev1 = app.time();
+  }
+  ASSERT_GE(times.size(), 4u);
+  // Least-squares slope of log(peak) vs time = 2*gamma.
+  double st = 0, sy = 0, stt = 0, sty = 0;
+  const auto n = static_cast<double>(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    st += times[i];
+    sy += std::log(peaks[i]);
+    stt += times[i] * times[i];
+    sty += times[i] * std::log(peaks[i]);
+  }
+  const double slope = (n * sty - st * sy) / (n * stt - st * st);
+  const double gamma = 0.5 * slope;
+  EXPECT_NEAR(gamma, -0.1533, 0.02);
+}
+
+TEST(App, TwoStreamInstabilityGrows) {
+  // Counter-streaming beams drive the two-stream instability: electric
+  // field energy must grow by orders of magnitude from a seed perturbation.
+  VlasovMaxwellParams params;
+  const double k = 0.4;
+  params.confGrid = Grid::make({16}, {0.0}, {2.0 * kPi / k});
+  params.polyOrder = 2;
+  params.family = BasisFamily::Serendipity;
+  params.cflFrac = 0.8;
+  // Cold symmetric beams are unstable for k u0 < omega_p; maximum growth
+  // (gamma ~ omega_p/2) sits near k u0 = sqrt(3)/2. Pick k u0 = 0.8.
+  const double amp = 1e-4, u0 = 2.0, vt = 0.3;
+  params.initField = [k, amp](const double* x, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[0] = -amp * std::sin(k * x[0]) / k;
+  };
+  SpeciesParams elc;
+  elc.charge = -1.0;
+  elc.mass = 1.0;
+  elc.velGrid = Grid::make({24}, {-6.0}, {6.0});
+  elc.init = [=](const double* z) {
+    const double x = z[0], v = z[1];
+    const double a = std::exp(-0.5 * (v - u0) * (v - u0) / (vt * vt));
+    const double b = std::exp(-0.5 * (v + u0) * (v + u0) / (vt * vt));
+    return (1.0 + amp * std::cos(k * x)) * 0.5 * (a + b) / std::sqrt(2.0 * kPi * vt * vt);
+  };
+  VlasovMaxwellApp app(params, {elc});
+  const double fe0 = app.energetics().electricEnergy;
+  const double etot0 = app.energetics().totalEnergy();
+  while (app.time() < 25.0) app.step();
+  const double fe1 = app.energetics().electricEnergy;
+  EXPECT_GT(fe1, 100.0 * fe0);
+  // ... while total energy stays bounded (an aliasing instability grows it).
+  EXPECT_TRUE(std::isfinite(fe1));
+  EXPECT_LT(app.energetics().totalEnergy(), 1.001 * etot0);
+}
+
+}  // namespace
+}  // namespace vdg

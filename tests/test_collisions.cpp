@@ -1,0 +1,117 @@
+// BGK collision operator tests: density conservation by construction,
+// relaxation of a non-equilibrium distribution toward a Maxwellian, and a
+// Maxwellian being a fixed point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "app/projection.hpp"
+#include "collisions/bgk.hpp"
+
+namespace vdg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Bgk, MaxwellianIsNearFixedPoint) {
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid pg = Grid::phase(Grid::make({4}, {0.0}, {1.0}), Grid::make({32}, {-8.0}, {8.0}));
+  const Basis& b = basisFor(spec);
+  Field f(pg, b.numModes());
+  projectOnBasis(
+      b, pg,
+      [](const double* z) {
+        return std::exp(-0.5 * z[1] * z[1]) / std::sqrt(2.0 * kPi);
+      },
+      f, 5);
+  const BgkUpdater bgk(spec, pg, BgkParams{1.0, 2.0});
+  Field rhs(pg, b.numModes());
+  rhs.setZero();
+  bgk.advance(f, rhs);
+  // rhs = nu (f_M - f) must be small relative to f itself.
+  double fMag = 0.0, rMag = 0.0;
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    for (int l = 0; l < b.numModes(); ++l) {
+      fMag = std::max(fMag, std::abs(f.at(idx)[l]));
+      rMag = std::max(rMag, std::abs(rhs.at(idx)[l]));
+    }
+  });
+  EXPECT_LT(rMag, 2e-3 * fMag);
+}
+
+TEST(Bgk, ConservesDensityExactly) {
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid pg = Grid::phase(Grid::make({4}, {0.0}, {1.0}), Grid::make({24}, {-8.0}, {8.0}));
+  const Basis& b = basisFor(spec);
+  // Strongly non-Maxwellian: two cold beams.
+  Field f(pg, b.numModes());
+  projectOnBasis(
+      b, pg,
+      [](const double* z) {
+        const double v = z[1];
+        const double a = std::exp(-0.5 * (v - 2.0) * (v - 2.0) / 0.25);
+        const double c = std::exp(-0.5 * (v + 2.0) * (v + 2.0) / 0.25);
+        return (a + c) / (2.0 * std::sqrt(2.0 * kPi * 0.25));
+      },
+      f, 5);
+  const BgkUpdater bgk(spec, pg, BgkParams{1.0, 3.0});
+  Field rhs(pg, b.numModes());
+  rhs.setZero();
+  bgk.advance(f, rhs);
+  // The collisional density change integrates to ~0 in every config cell.
+  const MomentUpdater mom(spec, pg);
+  Field dm0(mom.confGrid(), mom.numConfModes());
+  mom.compute(rhs, &dm0, nullptr, nullptr);
+  forEachCell(mom.confGrid(), [&](const MultiIndex& idx) {
+    EXPECT_NEAR(dm0.at(idx)[0], 0.0, 1e-10);
+  });
+}
+
+TEST(Bgk, RelaxesBeamsTowardMaxwellian) {
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid pg = Grid::phase(Grid::make({2}, {0.0}, {1.0}), Grid::make({32}, {-8.0}, {8.0}));
+  const Basis& b = basisFor(spec);
+  Field f(pg, b.numModes());
+  projectOnBasis(
+      b, pg,
+      [](const double* z) {
+        const double v = z[1];
+        const double a = std::exp(-0.5 * (v - 1.5) * (v - 1.5) / 0.36);
+        const double c = std::exp(-0.5 * (v + 1.5) * (v + 1.5) / 0.36);
+        return (a + c) / (2.0 * std::sqrt(2.0 * kPi * 0.36));
+      },
+      f, 5);
+  const double nu = 4.0;
+  const BgkUpdater bgk(spec, pg, BgkParams{1.0, nu});
+
+  Field fM(pg, b.numModes());
+  bgk.projectMaxwellian(f, fM);
+  const auto l2diff = [&](const Field& a, const Field& c) {
+    double s = 0.0;
+    forEachCell(pg, [&](const MultiIndex& idx) {
+      for (int l = 0; l < b.numModes(); ++l) {
+        const double d = a.at(idx)[l] - c.at(idx)[l];
+        s += d * d;
+      }
+    });
+    return std::sqrt(s);
+  };
+  const double d0 = l2diff(f, fM);
+
+  // Forward Euler relax to t = 1 (4 collision times).
+  Field rhs(pg, b.numModes());
+  const double dt = 0.02;
+  for (int s = 0; s < 50; ++s) {
+    rhs.setZero();
+    bgk.advance(f, rhs);
+    f.axpy(dt, rhs);
+  }
+  bgk.projectMaxwellian(f, fM);
+  const double d1 = l2diff(f, fM);
+  EXPECT_LT(d1, 0.1 * d0);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,70 @@
+// I/O tests: binary field dump/restore roundtrip (the checkpoint/restart
+// path) and CSV table output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/field_io.hpp"
+
+namespace vdg {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FieldIo, RoundTripPreservesEverything) {
+  const Grid g = Grid::make({4, 3}, {0.0, -1.0}, {2.0, 1.0});
+  Field f(g, 5);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int k = 0; k < 5; ++k) f.at(idx)[k] = 100.0 * idx[0] + 10.0 * idx[1] + k + 0.125;
+  });
+  const std::string path = tmpPath("vdg_roundtrip.bin");
+  writeField(path, f, 3.75);
+  const LoadedField back = readField(path);
+  EXPECT_DOUBLE_EQ(back.time, 3.75);
+  EXPECT_EQ(back.field.grid().ndim, 2);
+  EXPECT_EQ(back.field.grid().cells[0], 4);
+  EXPECT_DOUBLE_EQ(back.field.grid().upper[1], 1.0);
+  EXPECT_EQ(back.field.ncomp(), 5);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(back.field.at(idx)[k], f.at(idx)[k]);
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(FieldIo, ReadRejectsGarbage) {
+  const std::string path = tmpPath("vdg_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a field file";
+  }
+  EXPECT_THROW(readField(path), std::runtime_error);
+  EXPECT_THROW(readField(tmpPath("vdg_does_not_exist.bin")), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, CreatesHeaderAndAppendsRows) {
+  const std::string path = tmpPath("vdg_table.csv");
+  std::filesystem::remove(path);
+  {
+    CsvWriter w(path, "t,energy");
+    w.row({0.0, 1.5});
+    w.row({0.1, 1.25});
+  }
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "t,energy");
+  std::getline(is, line);
+  EXPECT_EQ(line, "0,1.5");
+  std::getline(is, line);
+  EXPECT_EQ(line, "0.1,1.25");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vdg

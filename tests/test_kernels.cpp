@@ -1,0 +1,141 @@
+// Tests of the pre-generated (CAS-emitted, compiled) kernels: they must
+// reproduce the sparse-tape interpreter to machine precision — both paths
+// evaluate the same exactly-integrated tensors, one as unrolled compiled
+// source (the paper's deployed form), one as data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dg/vlasov.hpp"
+#include "kernels/registry.hpp"
+
+namespace vdg {
+namespace {
+
+Grid phaseGridFor(const BasisSpec& spec, int nx, int nv) {
+  Grid g;
+  g.ndim = spec.ndim();
+  for (int d = 0; d < spec.cdim; ++d) {
+    g.cells[static_cast<std::size_t>(d)] = nx;
+    g.lower[static_cast<std::size_t>(d)] = 0.0;
+    g.upper[static_cast<std::size_t>(d)] = 2.0 * std::numbers::pi;
+  }
+  for (int d = spec.cdim; d < spec.ndim(); ++d) {
+    g.cells[static_cast<std::size_t>(d)] = nv;
+    g.lower[static_cast<std::size_t>(d)] = -4.0;
+    g.upper[static_cast<std::size_t>(d)] = 4.0;
+  }
+  return g;
+}
+
+Field randomField(const Grid& g, int ncomp, unsigned seed) {
+  Field f(g, ncomp);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    double* c = f.at(idx);
+    for (int k = 0; k < ncomp; ++k) c[k] = u(rng);
+  });
+  return f;
+}
+
+TEST(CompiledKernels, RegistryIsPopulated) {
+  EXPECT_GE(numCompiledKernelSets(), 11);
+  EXPECT_NE(findCompiledKernels("1x1v_p1_ten"), nullptr);
+  EXPECT_NE(findCompiledKernels("2x3v_p2_ser"), nullptr);
+  EXPECT_EQ(findCompiledKernels("9x9v_p9_xyz"), nullptr);
+}
+
+class CompiledBySpec : public ::testing::TestWithParam<BasisSpec> {};
+
+TEST_P(CompiledBySpec, MatchesTapeInterpreter) {
+  const BasisSpec spec = GetParam();
+  const Grid pg = phaseGridFor(spec, 4, 4);
+  Grid cg;
+  cg.ndim = spec.cdim;
+  for (int d = 0; d < spec.cdim; ++d) {
+    cg.cells[static_cast<std::size_t>(d)] = pg.cells[static_cast<std::size_t>(d)];
+    cg.lower[static_cast<std::size_t>(d)] = pg.lower[static_cast<std::size_t>(d)];
+    cg.upper[static_cast<std::size_t>(d)] = pg.upper[static_cast<std::size_t>(d)];
+  }
+  const int np = basisFor(spec).numModes();
+  const int npc = basisFor(spec.configSpec()).numModes();
+
+  VlasovParams params;
+  params.flux = FluxType::Penalty;  // the flux the generated kernels bake in
+  VlasovUpdater fast(spec, pg, params);
+  ASSERT_TRUE(fast.usesCompiledKernels()) << spec.name();
+  VlasovUpdater slow(spec, pg, params);
+  slow.disableCompiledKernels();
+
+  Field f = randomField(pg, np, 3);
+  Field em = randomField(cg, kEmComps * npc, 5);
+  for (int d = 0; d < spec.cdim; ++d) {
+    f.syncPeriodic(d);
+    em.syncPeriodic(d);
+  }
+  Field rhsFast(pg, np), rhsSlow(pg, np);
+  const double freqFast = fast.advance(f, &em, rhsFast);
+  const double freqSlow = slow.advance(f, &em, rhsSlow);
+  EXPECT_NEAR(freqFast, freqSlow, 1e-12 * freqSlow);
+
+  double maxAbs = 0.0, maxDiff = 0.0;
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    for (int l = 0; l < np; ++l) {
+      maxAbs = std::max(maxAbs, std::abs(rhsSlow.at(idx)[l]));
+      maxDiff = std::max(maxDiff, std::abs(rhsFast.at(idx)[l] - rhsSlow.at(idx)[l]));
+    }
+  });
+  EXPECT_GT(maxAbs, 0.0);
+  EXPECT_LT(maxDiff, 1e-11 * maxAbs);
+}
+
+TEST_P(CompiledBySpec, MatchesTapeForFreeStreaming) {
+  const BasisSpec spec = GetParam();
+  const Grid pg = phaseGridFor(spec, 3, 3);
+  const int np = basisFor(spec).numModes();
+  VlasovParams params;
+  VlasovUpdater fast(spec, pg, params);
+  VlasovUpdater slow(spec, pg, params);
+  slow.disableCompiledKernels();
+  Field f = randomField(pg, np, 17);
+  for (int d = 0; d < spec.cdim; ++d) f.syncPeriodic(d);
+  Field rhsFast(pg, np), rhsSlow(pg, np);
+  fast.advance(f, nullptr, rhsFast);
+  slow.advance(f, nullptr, rhsSlow);
+  double maxAbs = 0.0, maxDiff = 0.0;
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    for (int l = 0; l < np; ++l) {
+      maxAbs = std::max(maxAbs, std::abs(rhsSlow.at(idx)[l]));
+      maxDiff = std::max(maxDiff, std::abs(rhsFast.at(idx)[l] - rhsSlow.at(idx)[l]));
+    }
+  });
+  EXPECT_LT(maxDiff, 1e-11 * std::max(maxAbs, 1e-30));
+}
+
+TEST(CompiledKernels, CentralFluxFallsBackToTapes) {
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid pg = phaseGridFor(spec, 4, 4);
+  VlasovParams params;
+  params.flux = FluxType::Central;
+  const VlasovUpdater up(spec, pg, params);
+  EXPECT_FALSE(up.usesCompiledKernels());
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, CompiledBySpec,
+                         ::testing::Values(BasisSpec{1, 1, 1, BasisFamily::Tensor},
+                                           BasisSpec{1, 1, 2, BasisFamily::Serendipity},
+                                           BasisSpec{1, 2, 1, BasisFamily::Tensor},
+                                           BasisSpec{1, 2, 2, BasisFamily::Serendipity},
+                                           BasisSpec{1, 3, 1, BasisFamily::Serendipity},
+                                           BasisSpec{2, 2, 1, BasisFamily::Serendipity},
+                                           BasisSpec{2, 2, 2, BasisFamily::Serendipity},
+                                           BasisSpec{2, 3, 1, BasisFamily::Serendipity},
+                                           BasisSpec{2, 3, 2, BasisFamily::Serendipity}),
+                         [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,165 @@
+// Unit tests for the exact 1-D integral layer (the "CAS substrate"):
+// Gauss-Legendre rules, normalized Legendre polynomials, triple-product
+// tables and the multivariate Legendre series algebra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "math/gauss_legendre.hpp"
+#include "math/leg_series.hpp"
+#include "math/legendre.hpp"
+
+namespace vdg {
+namespace {
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  // n-point rule is exact through degree 2n-1.
+  for (int n = 1; n <= 12; ++n) {
+    const QuadRule q = gauss_legendre(n);
+    for (int deg = 0; deg <= 2 * n - 1; ++deg) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < q.size(); ++i)
+        sum += q.weights[i] * std::pow(q.nodes[i], deg);
+      const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+      EXPECT_NEAR(sum, exact, 1e-13) << "n=" << n << " deg=" << deg;
+    }
+  }
+}
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (int n : {1, 2, 5, 16, 24, 48}) {
+    const QuadRule q = gauss_legendre(n);
+    double s = 0.0;
+    for (double w : q.weights) s += w;
+    EXPECT_NEAR(s, 2.0, 1e-12);
+  }
+}
+
+TEST(Legendre, RecurrenceMatchesClosedForms) {
+  for (double x : {-0.9, -0.3, 0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(legendreP(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(legendreP(1, x), x);
+    EXPECT_NEAR(legendreP(2, x), 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(legendreP(3, x), 0.5 * (5 * x * x * x - 3 * x), 1e-14);
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int k = 1; k <= 8; ++k) {
+    for (double x : {-0.7, -0.2, 0.3, 0.8}) {
+      const double fd = (legendreP(k, x + h) - legendreP(k, x - h)) / (2 * h);
+      EXPECT_NEAR(legendrePDeriv(k, x), fd, 1e-6) << "k=" << k << " x=" << x;
+    }
+  }
+}
+
+TEST(Legendre, DerivativeAtEndpoints) {
+  // P_k'(1) = k(k+1)/2, P_k'(-1) = (-1)^{k+1} k(k+1)/2.
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(legendrePDeriv(k, 1.0), 0.5 * k * (k + 1), 1e-11);
+    const double sgn = (k % 2 == 0) ? -1.0 : 1.0;
+    EXPECT_NEAR(legendrePDeriv(k, -1.0), sgn * 0.5 * k * (k + 1), 1e-11);
+  }
+}
+
+TEST(LegendreTables, PsiOrthonormal) {
+  const auto& tab = LegendreTables::instance();
+  // trip(a, b, 0) = delta_ab / sqrt(2) since psi_0 = 1/sqrt(2).
+  for (int a = 0; a <= kMaxLegendreDegree; ++a)
+    for (int b = 0; b <= kMaxLegendreDegree; ++b)
+      EXPECT_NEAR(tab.trip(a, b, 0), (a == b) ? 1.0 / std::sqrt(2.0) : 0.0, 1e-13);
+}
+
+TEST(LegendreTables, TripIsSymmetric) {
+  const auto& tab = LegendreTables::instance();
+  for (int a = 0; a <= 6; ++a)
+    for (int b = 0; b <= 6; ++b)
+      for (int c = 0; c <= 6; ++c) {
+        // Symmetric up to quadrature roundoff.
+        EXPECT_NEAR(tab.trip(a, b, c), tab.trip(b, a, c), 1e-13);
+        EXPECT_NEAR(tab.trip(a, b, c), tab.trip(a, c, b), 1e-13);
+      }
+}
+
+TEST(LegendreTables, TripParityAndTriangle) {
+  // \int psi_a psi_b psi_c vanishes unless a+b+c is even and the degrees
+  // satisfy the triangle inequality.
+  const auto& tab = LegendreTables::instance();
+  for (int a = 0; a <= 8; ++a)
+    for (int b = 0; b <= 8; ++b)
+      for (int c = 0; c <= 8; ++c) {
+        const bool allowed =
+            ((a + b + c) % 2 == 0) && (c >= std::abs(a - b)) && (c <= a + b);
+        if (!allowed) {
+          EXPECT_NEAR(tab.trip(a, b, c), 0.0, 1e-13);
+        }
+      }
+}
+
+TEST(LegendreTables, DpairMatchesIntegrationByParts) {
+  // \int psi_a' psi_b + \int psi_a psi_b' = psi_a psi_b |_{-1}^{1}.
+  const auto& tab = LegendreTables::instance();
+  for (int a = 0; a <= 8; ++a)
+    for (int b = 0; b <= 8; ++b) {
+      const double boundary =
+          tab.psiEnd(a, 1) * tab.psiEnd(b, 1) - tab.psiEnd(a, -1) * tab.psiEnd(b, -1);
+      EXPECT_NEAR(tab.dpair(a, b) + tab.dpair(b, a), boundary, 1e-12);
+    }
+}
+
+TEST(LegendreTables, MomentsOfPsi) {
+  const auto& tab = LegendreTables::instance();
+  // \int psi_0 = sqrt(2), \int x psi_1 = sqrt(3/2)*2/3, \int x^2 psi_0 = sqrt(2)/3.
+  EXPECT_NEAR(tab.xmom(0, 0), std::sqrt(2.0), 1e-13);
+  EXPECT_NEAR(tab.xmom(1, 1), std::sqrt(1.5) * 2.0 / 3.0, 1e-13);
+  EXPECT_NEAR(tab.xmom(0, 2), std::sqrt(2.0) / 3.0, 1e-13);
+  EXPECT_NEAR(tab.xmom(2, 2), std::sqrt(2.5) * 4.0 / 15.0, 1e-13);
+  // Odd moments of even psi vanish.
+  EXPECT_NEAR(tab.xmom(0, 1), 0.0, 1e-14);
+  EXPECT_NEAR(tab.xmom(2, 1), 0.0, 1e-14);
+}
+
+TEST(LegSeries, ConstantAndCoordinateEvaluate) {
+  const LegSeries one = LegSeries::constant(3, 2.5);
+  const LegSeries x1 = LegSeries::coordinate(3, 1);
+  const double eta[3] = {0.3, -0.7, 0.9};
+  EXPECT_NEAR(one.eval(eta), 2.5, 1e-13);
+  EXPECT_NEAR(x1.eval(eta), -0.7, 1e-13);
+}
+
+TEST(LegSeries, ProductIsExact) {
+  // (x0 + 2)(x1 - x0) evaluated symbolically vs pointwise.
+  const int nd = 2;
+  LegSeries a = LegSeries::coordinate(nd, 0) + LegSeries::constant(nd, 2.0);
+  LegSeries b = LegSeries::coordinate(nd, 1) + LegSeries::coordinate(nd, 0) * (-1.0);
+  const LegSeries p = a.multiply(b);
+  for (double x : {-0.8, 0.1, 0.6})
+    for (double y : {-0.5, 0.0, 0.9}) {
+      const double eta[2] = {x, y};
+      EXPECT_NEAR(p.eval(eta), (x + 2) * (y - x), 1e-12);
+    }
+}
+
+TEST(LegSeries, DerivativeOfSquare) {
+  // d/dx (x^2) = 2x.
+  const int nd = 1;
+  const LegSeries x = LegSeries::coordinate(nd, 0);
+  const LegSeries d = x.multiply(x).derivative(0);
+  for (double t : {-0.9, -0.2, 0.4, 0.8}) {
+    EXPECT_NEAR(d.eval(&t), 2 * t, 1e-12);
+  }
+}
+
+TEST(LegSeries, IntegralOverReferenceCell) {
+  // \int (x^2 + 3) over [-1,1]^2 = 2/3*2 + 3*4 = 13.333...
+  const int nd = 2;
+  const LegSeries x = LegSeries::coordinate(nd, 0);
+  const LegSeries s = x.multiply(x) + LegSeries::constant(nd, 3.0);
+  EXPECT_NEAR(s.integral(), 2.0 / 3.0 * 2.0 + 12.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vdg

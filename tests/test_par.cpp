@@ -1,0 +1,133 @@
+// Parallel substrate tests: the thread-backed rank runtime must reproduce
+// the serial solver bit-for-bit (same kernels, same per-cell operation
+// order, halo exchange replacing the shared array), and the decomposition
+// and scaling-model helpers must be self-consistent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "app/projection.hpp"
+#include "par/comm_model.hpp"
+#include "par/decomp.hpp"
+#include "par/thread_exec.hpp"
+
+namespace vdg {
+namespace {
+
+TEST(SlabDecomp, PartitionsExactly) {
+  const SlabDecomp d = SlabDecomp::make(17, 4);
+  ASSERT_EQ(d.count.size(), 4u);
+  int total = 0, pos = 0;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.start[static_cast<std::size_t>(r)], pos);
+    pos += d.count[static_cast<std::size_t>(r)];
+    total += d.count[static_cast<std::size_t>(r)];
+    EXPECT_GE(d.count[static_cast<std::size_t>(r)], 4);
+  }
+  EXPECT_EQ(total, 17);
+  EXPECT_THROW(SlabDecomp::make(2, 4), std::invalid_argument);
+}
+
+TEST(SlabDecomp, LocalGridsTileTheDomain) {
+  const Grid g = Grid::make({12, 8}, {0.0, -1.0}, {3.0, 1.0});
+  const SlabDecomp d = SlabDecomp::make(12, 3);
+  double lo = g.lower[0];
+  for (int r = 0; r < 3; ++r) {
+    const Grid lg = d.localGrid(g, r);
+    EXPECT_NEAR(lg.lower[0], lo, 1e-14);
+    EXPECT_NEAR(lg.dx(0), g.dx(0), 1e-14);
+    EXPECT_EQ(lg.cells[1], 8);
+    lo = lg.upper[0];
+  }
+  EXPECT_NEAR(lo, g.upper[0], 1e-14);
+}
+
+TEST(Factor3, NearCubicFactorizations) {
+  EXPECT_EQ(factor3(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(factor3(64), (std::array<int, 3>{4, 4, 4}));
+  const auto f512 = factor3(512);
+  EXPECT_EQ(f512[0] * f512[1] * f512[2], 512);
+  EXPECT_EQ(f512, (std::array<int, 3>{8, 8, 8}));
+  const auto f12 = factor3(12);
+  EXPECT_EQ(f12[0] * f12[1] * f12[2], 12);
+}
+
+TEST(DistributedVlasov, MatchesSerialBitForBit) {
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid conf = Grid::make({12}, {0.0}, {2.0 * std::numbers::pi});
+  const Grid vel = Grid::make({8}, {-4.0}, {4.0});
+  const Grid pg = Grid::phase(conf, vel);
+  const Basis& b = basisFor(spec);
+
+  Field f0(pg, b.numModes());
+  projectOnBasis(
+      b, pg,
+      [](const double* z) {
+        return (1.0 + 0.3 * std::sin(z[0])) * std::exp(-0.5 * z[1] * z[1]);
+      },
+      f0);
+
+  // Serial forward-Euler reference.
+  VlasovParams params;
+  const VlasovUpdater serial(spec, pg, params);
+  Field fs(pg, b.numModes()), rhs(pg, b.numModes());
+  fs.copyFrom(f0);
+  const double dt = 1e-3;
+  const int steps = 5;
+  for (int s = 0; s < steps; ++s) {
+    fs.syncPeriodic(0);
+    serial.advance(fs, nullptr, rhs);
+    fs.axpy(dt, rhs);
+  }
+
+  for (int nranks : {2, 3, 4}) {
+    DistributedVlasov dist(spec, pg, nranks, params);
+    dist.scatter(f0);
+    dist.run(steps, dt);
+    Field fg(pg, b.numModes());
+    dist.gather(fg);
+    double maxDiff = 0.0, maxAbs = 0.0;
+    forEachCell(pg, [&](const MultiIndex& idx) {
+      for (int l = 0; l < b.numModes(); ++l) {
+        maxDiff = std::max(maxDiff, std::abs(fg.at(idx)[l] - fs.at(idx)[l]));
+        maxAbs = std::max(maxAbs, std::abs(fs.at(idx)[l]));
+      }
+    });
+    // Identical kernels and operation order; the only difference is the
+    // local grid's cell-center arithmetic (lower + i*dx vs global), which
+    // perturbs the streaming coefficients at the last ulp.
+    EXPECT_LT(maxDiff, 1e-13 * maxAbs) << "nranks=" << nranks;
+  }
+}
+
+TEST(CommModel, WeakScalingStaysNearFlat) {
+  MachineModel m;
+  m.perCellSeconds = 2e-6;
+  m.bytesPerCell = 64 * 8;
+  const auto pts = weakScaling(m, {8, 8, 8}, 16 * 16 * 16, {1, 8, 64, 512, 4096});
+  ASSERT_EQ(pts.size(), 5u);
+  // Paper: at worst ~25% of per-step cost in halo exchange at 4096 nodes.
+  for (const auto& p : pts) EXPECT_LT(p.commFraction, 0.5);
+  // Time per step grows by less than 2x from 1 to 4096 nodes.
+  EXPECT_LT(pts.back().timePerStep, 2.0 * pts.front().timePerStep);
+}
+
+TEST(CommModel, StrongScalingSaturates) {
+  MachineModel m;
+  m.perCellSeconds = 2e-6;
+  m.bytesPerCell = 64 * 8;
+  m.bandwidth = 1e9;
+  m.starveCells = 16384;
+  const auto pts = strongScaling(m, {32, 32, 32}, 8 * 8 * 8, {8, 64, 512, 4096});
+  ASSERT_EQ(pts.size(), 4u);
+  // Speedup grows but distinctly sublinearly (paper: ~60x instead of 512x).
+  EXPECT_GT(pts.back().relSpeedup, 4.0);
+  EXPECT_LT(pts.back().relSpeedup, 150.0);
+  // Comm fraction rises monotonically as ranks starve.
+  EXPECT_GT(pts.back().commFraction, pts.front().commFraction);
+}
+
+}  // namespace
+}  // namespace vdg

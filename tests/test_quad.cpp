@@ -1,0 +1,82 @@
+// Tests specific to the quadrature/dense-matrix baseline (beyond the
+// modal==quad equivalence covered in test_vlasov): quadrature-point
+// counts, op-count ordering vs the modal tapes, and the DenseMatrix
+// primitive it is built on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "math/dense_matrix.hpp"
+#include "quad/quad_vlasov.hpp"
+
+namespace vdg {
+namespace {
+
+TEST(DenseMatrix, MatvecAndAccumulate) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = -1.0;
+  a(1, 2) = 4.0;
+  const double x[3] = {1.0, 0.5, 2.0};
+  double y[2] = {0.0, 0.0};
+  a.matvec({x, 3}, {y, 2});
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  a.matvecAdd({x, 3}, {y, 2});
+  EXPECT_DOUBLE_EQ(y[0], 16.0);
+  EXPECT_EQ(a.entryCount(), 6u);
+}
+
+TEST(QuadBaseline, QuadPointsIntegrateTheNonlinearity) {
+  // nq = ceil((3p+2)/2) per direction: the minimum that integrates
+  // degree 3p+1 exactly (2*nq - 1 >= 3p + 1).
+  for (int p = 1; p <= 3; ++p) {
+    const BasisSpec spec{1, 1, p, BasisFamily::Tensor};
+    Grid g;
+    g.ndim = 2;
+    g.cells = {4, 4};
+    g.lower = {0.0, -2.0};
+    g.upper = {1.0, 2.0};
+    const QuadVlasovUpdater quad(spec, g, VlasovParams{});
+    EXPECT_GE(2 * quad.numQuadPerDim() - 1, 3 * p + 1) << "p=" << p;
+    EXPECT_LE(2 * (quad.numQuadPerDim() - 1) - 1, 3 * p + 1) << "p=" << p;  // minimal
+  }
+}
+
+TEST(QuadBaseline, OpCountExceedsModalAndGrowsFaster) {
+  // The paper's Section III: quadrature evaluation is O(Nq*Np) with a
+  // dimensionality factor, modal tapes are much sparser, and the gap
+  // widens with Np.
+  double prevRatio = 0.0;
+  for (const BasisSpec spec : {BasisSpec{1, 1, 1, BasisFamily::Tensor},
+                               BasisSpec{1, 2, 1, BasisFamily::Tensor},
+                               BasisSpec{2, 3, 2, BasisFamily::Serendipity}}) {
+    Grid g;
+    g.ndim = spec.ndim();
+    for (int d = 0; d < g.ndim; ++d) {
+      g.cells[static_cast<std::size_t>(d)] = 2;
+      g.lower[static_cast<std::size_t>(d)] = 0.0;
+      g.upper[static_cast<std::size_t>(d)] = 1.0;
+    }
+    const QuadVlasovUpdater quad(spec, g, VlasovParams{});
+    const VlasovKernelSet& ks = vlasovKernels(spec);
+    const double ratio = static_cast<double>(quad.updateMultiplyCount()) /
+                         static_cast<double>(ks.updateMultiplyCount());
+    EXPECT_GT(ratio, 2.0) << spec.name();
+    EXPECT_GT(ratio, prevRatio * 0.9) << spec.name();  // non-decreasing trend
+    prevRatio = ratio;
+  }
+}
+
+TEST(QuadBaseline, RejectsMismatchedGrid) {
+  Grid g = Grid::make({4}, {0.0}, {1.0});
+  EXPECT_THROW(QuadVlasovUpdater(BasisSpec{1, 1, 1, BasisFamily::Tensor}, g, VlasovParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -63,6 +63,10 @@ int main() {
     VlasovUpdater fast(spec, g, params);
     VlasovUpdater slow(spec, g, params);
     slow.disableCompiledKernels();
+    // Single-core ablation: pin both variants serial so the pool cannot
+    // mask the codegen speedup being measured.
+    fast.setExecutor(nullptr);
+    slow.setExecutor(nullptr);
     if (!fast.usesCompiledKernels()) {
       std::printf("%-14s %6d %14s %14s %9s\n", spec.name().c_str(), np, "-", "-",
                   "(no gen)");

@@ -28,8 +28,12 @@ int main() {
   const int npc = basisFor(spec.configSpec()).numModes();
 
   VlasovParams params;
-  const VlasovUpdater up(spec, pg, params);
-  const BgkUpdater bgk(spec, pg, BgkParams{1.0, 1.0});
+  VlasovUpdater up(spec, pg, params);
+  BgkUpdater bgk(spec, pg, BgkParams{1.0, 1.0});
+  // Eop is a *per-core* figure: pin both updaters to serial execution so
+  // the default ThreadExec pool cannot inflate it on multi-core hosts.
+  up.setExecutor(nullptr);
+  bgk.setExecutor(nullptr);
 
   Field f(pg, np), rhs(pg, np);
   std::mt19937 rng(3);

@@ -96,7 +96,9 @@ int main() {
         // Interpret tapes for every point so the scaling fit compares like
         // with like (compiled kernels exist only for registered specs; the
         // codegen speedup is measured separately in bench_ablation_codegen).
+        // Serial execution: the fit models single-core cost per cell.
         up.disableCompiledKernels();
+        up.setExecutor(nullptr);
         Field f = randomField(g, np, 1);
         for (int d = 0; d < spec.cdim; ++d) f.syncPeriodic(d);
         Grid cg;

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <random>
+#include <type_traits>
 
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
@@ -46,8 +47,15 @@ StepTimes timeStep(const BasisSpec& spec, const Grid& pg, const Grid& cg, int nS
   elcP.mass = 1.0;
   ionP.charge = 1.0;
   ionP.mass = 1836.0;
-  const Solver elc(spec, pg, elcP);
-  const Solver ion(spec, pg, ionP);
+  Solver elc(spec, pg, elcP);
+  Solver ion(spec, pg, ionP);
+  // Modal-vs-nodal is a single-core cost comparison (Table I): keep the
+  // modal updater serial so the default ThreadExec pool cannot bias it
+  // against the (serial) quadrature updater.
+  if constexpr (std::is_same_v<Solver, VlasovUpdater>) {
+    elc.setExecutor(nullptr);
+    ion.setExecutor(nullptr);
+  }
   const MaxwellUpdater mx(spec.configSpec(), cg, MaxwellParams{});
   const MomentUpdater mom(spec, pg);
 

@@ -6,6 +6,11 @@
 //
 // Writes landau_field_energy.csv (t, electric field energy, J.E transfer)
 // and prints the measured damping rate.
+//
+// This example deliberately drives the VlasovMaxwellApp compatibility
+// façade (the parameter-struct API) rather than Simulation::builder(); the
+// two paths are verified bit-for-bit identical on this very setup in
+// tests/test_simulation.cpp.
 
 #include <cmath>
 #include <cstdio>

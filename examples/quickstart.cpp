@@ -1,53 +1,50 @@
 // Quickstart: free-streaming of a drifting Maxwellian in 1X1V phase space
 // with the modal, alias-free DG solver, checking mass conservation and
-// printing density profiles. Mirrors the minimal Gkeyll workflow:
-// grid -> basis -> species -> app -> step -> moments.
+// printing density profiles. Mirrors the minimal Gkeyll workflow through
+// the composable builder API:
+// grid -> basis -> species -> Simulation::builder() -> step -> moments.
 
 #include <cmath>
 #include <cstdio>
 #include <numbers>
 
-#include "app/vlasov_maxwell_app.hpp"
+#include "app/simulation.hpp"
 
 int main() {
   using namespace vdg;
 
-  // Configuration space x in [0, 2pi), velocity v in [-6, 6).
-  VlasovMaxwellParams params;
-  params.confGrid = Grid::make({16}, {0.0}, {2.0 * std::numbers::pi});
-  params.polyOrder = 2;
-  params.family = BasisFamily::Serendipity;
-  params.evolveField = false;  // free streaming: no fields
+  // Configuration space x in [0, 2pi), velocity v in [-6, 6). No field
+  // solve (evolveField(false)): pure free streaming.
+  Simulation sim =
+      Simulation::builder()
+          .confGrid(Grid::make({16}, {0.0}, {2.0 * std::numbers::pi}))
+          .basis(2, BasisFamily::Serendipity)
+          .species("elc", -1.0, 1.0, Grid::make({24}, {-6.0}, {6.0}),
+                   [](const double* z) {
+                     const double x = z[0], v = z[1];
+                     const double n = 1.0 + 0.2 * std::cos(x);
+                     return n / std::sqrt(2.0 * std::numbers::pi) * std::exp(-0.5 * v * v);
+                   })
+          .evolveField(false)
+          .stepper(Stepper::SspRk3)
+          .build();
 
-  SpeciesParams elc;
-  elc.name = "elc";
-  elc.charge = -1.0;
-  elc.mass = 1.0;
-  elc.velGrid = Grid::make({24}, {-6.0}, {6.0});
-  elc.init = [](const double* z) {
-    const double x = z[0], v = z[1];
-    const double n = 1.0 + 0.2 * std::cos(x);
-    return n / std::sqrt(2.0 * std::numbers::pi) * std::exp(-0.5 * v * v);
-  };
-
-  VlasovMaxwellApp app(params, {elc});
-
-  const auto e0 = app.energetics();
-  std::printf("t=%.3f  mass=%.12f  kinetic energy=%.12f\n", app.time(), e0.mass[0],
+  const auto e0 = sim.energetics();
+  std::printf("t=%.3f  mass=%.12f  kinetic energy=%.12f\n", sim.time(), e0.mass[0],
               e0.particleEnergy[0]);
 
-  const int steps = app.advanceTo(1.0);
-  const auto e1 = app.energetics();
-  std::printf("t=%.3f  mass=%.12f  kinetic energy=%.12f  (%d steps)\n", app.time(), e1.mass[0],
+  const int steps = sim.advanceTo(1.0);
+  const auto e1 = sim.energetics();
+  std::printf("t=%.3f  mass=%.12f  kinetic energy=%.12f  (%d steps)\n", sim.time(), e1.mass[0],
               e1.particleEnergy[0], steps);
   std::printf("relative mass error: %.3e\n", std::abs(e1.mass[0] - e0.mass[0]) / e0.mass[0]);
 
   // Density profile: the perturbation phase-mixes away under streaming.
-  Field m0(app.confGrid(), app.confBasis().numModes());
-  app.moments(0).compute(app.distf(0), &m0, nullptr, nullptr);
+  Field m0(sim.confGrid(), sim.confBasis().numModes());
+  sim.moments(0).compute(sim.distf(0), &m0, nullptr, nullptr);
   std::printf("\ncell-averaged density:\n");
-  forEachCell(app.confGrid(), [&](const MultiIndex& idx) {
-    std::printf("  x=%.3f  n=%.6f\n", app.confGrid().cellCenter(0, idx[0]),
+  forEachCell(sim.confGrid(), [&](const MultiIndex& idx) {
+    std::printf("  x=%.3f  n=%.6f\n", sim.confGrid().cellCenter(0, idx[0]),
                 m0.at(idx)[0] / std::sqrt(2.0));
   });
   return 0;

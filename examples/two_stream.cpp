@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <numbers>
 
-#include "app/vlasov_maxwell_app.hpp"
+#include "app/simulation.hpp"
 #include "io/field_io.hpp"
 
 int main() {
@@ -18,39 +18,36 @@ int main() {
   constexpr double kPi = std::numbers::pi;
   const double k = 0.4, u0 = 2.0, vt = 0.3, amp = 1e-4;
 
-  VlasovMaxwellParams params;
-  params.confGrid = Grid::make({32}, {0.0}, {2.0 * kPi / k});
-  params.polyOrder = 2;
-  params.family = BasisFamily::Serendipity;
-  params.cflFrac = 0.8;
-  params.initField = [=](const double* x, double* em) {
-    for (int c = 0; c < 8; ++c) em[c] = 0.0;
-    em[0] = -amp * std::sin(k * x[0]) / k;
-  };
+  Simulation sim =
+      Simulation::builder()
+          .confGrid(Grid::make({32}, {0.0}, {2.0 * kPi / k}))
+          .basis(2, BasisFamily::Serendipity)
+          .species("elc", -1.0, 1.0, Grid::make({48}, {-6.0}, {6.0}),
+                   [=](const double* z) {
+                     const double x = z[0], v = z[1];
+                     const double a = std::exp(-0.5 * (v - u0) * (v - u0) / (vt * vt));
+                     const double b = std::exp(-0.5 * (v + u0) * (v + u0) / (vt * vt));
+                     return (1.0 + amp * std::cos(k * x)) * 0.5 * (a + b) /
+                            std::sqrt(2.0 * kPi * vt * vt);
+                   })
+          .field(MaxwellParams{})
+          .initField([=](const double* x, double* em) {
+            for (int c = 0; c < 8; ++c) em[c] = 0.0;
+            em[0] = -amp * std::sin(k * x[0]) / k;
+          })
+          .cflFrac(0.8)
+          .build();
 
-  SpeciesParams elc;
-  elc.name = "elc";
-  elc.charge = -1.0;
-  elc.mass = 1.0;
-  elc.velGrid = Grid::make({48}, {-6.0}, {6.0});
-  elc.init = [=](const double* z) {
-    const double x = z[0], v = z[1];
-    const double a = std::exp(-0.5 * (v - u0) * (v - u0) / (vt * vt));
-    const double b = std::exp(-0.5 * (v + u0) * (v + u0) / (vt * vt));
-    return (1.0 + amp * std::cos(k * x)) * 0.5 * (a + b) / std::sqrt(2.0 * kPi * vt * vt);
-  };
-
-  VlasovMaxwellApp app(params, {elc});
   CsvWriter csv("two_stream_energy.csv", "t,electricEnergy,kineticEnergy,totalEnergy");
-  writeField("two_stream_f_t0.bin", app.distf(0), 0.0);
+  writeField("two_stream_f_t0.bin", sim.distf(0), 0.0);
 
-  const auto e0 = app.energetics();
+  const auto e0 = sim.energetics();
   double lastLog = -1.0;
   double growthStart = 0.0, growthStartE = 0.0;
   bool sawGrowth = false;
-  while (app.time() < 40.0) {
-    app.step();
-    const auto e = app.energetics();
+  while (sim.time() < 40.0) {
+    sim.step();
+    const auto e = sim.energetics();
     csv.row({e.time, e.electricEnergy, e.particleEnergy[0], e.totalEnergy()});
     if (!sawGrowth && e.electricEnergy > 50.0 * e0.electricEnergy) {
       growthStart = e.time;
@@ -64,9 +61,9 @@ int main() {
       lastLog = e.time;
     }
   }
-  writeField("two_stream_f_final.bin", app.distf(0), app.time());
+  writeField("two_stream_f_final.bin", sim.distf(0), sim.time());
 
-  const auto e1 = app.energetics();
+  const auto e1 = sim.energetics();
   std::printf("\nfield energy growth: %.3e -> %.3e (x%.1e)\n", e0.electricEnergy,
               e1.electricEnergy, e1.electricEnergy / e0.electricEnergy);
   if (sawGrowth)

@@ -10,7 +10,7 @@
 #include <cstdlib>
 #include <numbers>
 
-#include "app/vlasov_maxwell_app.hpp"
+#include "app/simulation.hpp"
 #include "io/field_io.hpp"
 
 int main(int argc, char** argv) {
@@ -19,40 +19,37 @@ int main(int argc, char** argv) {
   const double tEnd = argc > 1 ? std::atof(argv[1]) : 30.0;
   const double u0 = 0.4, vt = 0.1, amp = 1e-3;
 
-  VlasovMaxwellParams params;
-  params.confGrid = Grid::make({6, 6}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
-  params.polyOrder = 1;
-  params.family = BasisFamily::Serendipity;
-  params.cflFrac = 0.8;
-  params.backgroundCharge = 1.0;  // static neutralizing protons
-  params.initField = [&](const double* x, double* em) {
-    for (int c = 0; c < 8; ++c) em[c] = 0.0;
-    em[5] = amp * (std::cos(x[0]) + std::sin(x[1]));  // Bz seed
-  };
+  Simulation sim =
+      Simulation::builder()
+          .confGrid(Grid::make({6, 6}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi}))
+          .basis(1, BasisFamily::Serendipity)
+          .species("elc", -1.0, 1.0, Grid::make({14, 14}, {-1.0, -1.0}, {1.0, 1.0}),
+                   [=](const double* z) {
+                     const double x = z[0], y = z[1], vx = z[2], vy = z[3];
+                     const double pert = 1.0 + amp * (std::cos(x) + std::cos(y));
+                     const double beams = std::exp(-0.5 * (vx - u0) * (vx - u0) / (vt * vt)) +
+                                          std::exp(-0.5 * (vx + u0) * (vx + u0) / (vt * vt));
+                     return pert * 0.5 * beams * std::exp(-0.5 * vy * vy / (vt * vt)) /
+                            (2.0 * kPi * vt * vt);
+                   })
+          .field(MaxwellParams{})
+          .initField([=](const double* x, double* em) {
+            for (int c = 0; c < 8; ++c) em[c] = 0.0;
+            em[5] = amp * (std::cos(x[0]) + std::sin(x[1]));  // Bz seed
+          })
+          .backgroundCharge(1.0)  // static neutralizing protons
+          .cflFrac(0.8)
+          .build();
 
-  SpeciesParams elc;
-  elc.name = "elc";
-  elc.charge = -1.0;
-  elc.mass = 1.0;
-  elc.velGrid = Grid::make({14, 14}, {-1.0, -1.0}, {1.0, 1.0});
-  elc.init = [&](const double* z) {
-    const double x = z[0], y = z[1], vx = z[2], vy = z[3];
-    const double pert = 1.0 + amp * (std::cos(x) + std::cos(y));
-    const double beams = std::exp(-0.5 * (vx - u0) * (vx - u0) / (vt * vt)) +
-                         std::exp(-0.5 * (vx + u0) * (vx + u0) / (vt * vt));
-    return pert * 0.5 * beams * std::exp(-0.5 * vy * vy / (vt * vt)) / (2.0 * kPi * vt * vt);
-  };
-
-  VlasovMaxwellApp app(params, {elc});
   CsvWriter csv("weibel_energy.csv", "t,electric,magnetic,kinetic,total");
-  writeField("weibel_f_t0.bin", app.distf(0), 0.0);
+  writeField("weibel_f_t0.bin", sim.distf(0), 0.0);
 
-  const auto e0 = app.energetics();
+  const auto e0 = sim.energetics();
   std::printf("counter-streaming beams: u0=%.2f, vt=%.2f, tEnd=%.1f\n\n", u0, vt, tEnd);
   double lastLog = -1e9;
-  while (app.time() < tEnd) {
-    app.step();
-    const auto e = app.energetics();
+  while (sim.time() < tEnd) {
+    sim.step();
+    const auto e = sim.energetics();
     csv.row({e.time, e.electricEnergy, e.magneticEnergy, e.particleEnergy[0], e.totalEnergy()});
     if (e.time - lastLog > 5.0) {
       std::printf("t=%6.2f  E=%.3e  B=%.3e  kinetic=%.5f\n", e.time, e.electricEnergy,
@@ -60,9 +57,9 @@ int main(int argc, char** argv) {
       lastLog = e.time;
     }
   }
-  writeField("weibel_f_final.bin", app.distf(0), app.time());
+  writeField("weibel_f_final.bin", sim.distf(0), sim.time());
 
-  const auto e1 = app.energetics();
+  const auto e1 = sim.energetics();
   std::printf("\nmagnetic energy: %.3e -> %.3e (x%.1e)\n", e0.magneticEnergy, e1.magneticEnergy,
               e1.magneticEnergy / e0.magneticEnergy);
   std::printf("total energy drift: %.2e\n",

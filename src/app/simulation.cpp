@@ -1,0 +1,316 @@
+#include "app/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "app/updaters.hpp"
+#include "par/thread_exec.hpp"
+
+namespace vdg {
+
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+// ---------------------------------------------------------------- Builder
+
+Simulation::Builder Simulation::builder() { return Builder{}; }
+
+Simulation::Builder& Simulation::Builder::confGrid(const Grid& g) {
+  confGrid_ = g;
+  haveConfGrid_ = true;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::basis(int polyOrder, BasisFamily family) {
+  polyOrder_ = polyOrder;
+  family_ = family;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::species(SpeciesConfig cfg) {
+  if (cfg.name.empty() || cfg.name == StateVector::kEmSlot)
+    throw std::invalid_argument("Simulation::Builder: invalid species name '" + cfg.name + "'");
+  for (const SpeciesConfig& sp : species_)
+    if (sp.name == cfg.name)
+      throw std::invalid_argument("Simulation::Builder: duplicate species '" + cfg.name + "'");
+  species_.push_back(std::move(cfg));
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::species(std::string name, double charge, double mass,
+                                                  const Grid& velGrid, ScalarFn init,
+                                                  FluxType flux) {
+  SpeciesConfig cfg;
+  cfg.name = std::move(name);
+  cfg.charge = charge;
+  cfg.mass = mass;
+  cfg.velGrid = velGrid;
+  cfg.init = std::move(init);
+  cfg.flux = flux;
+  return species(std::move(cfg));
+}
+
+Simulation::Builder& Simulation::Builder::collisions(const BgkParams& p) {
+  if (species_.empty())
+    throw std::logic_error("Simulation::Builder::collisions: declare a species first");
+  species_.back().collisions = p;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::field(const MaxwellParams& p) {
+  fieldParams_ = p;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::evolveField(bool on) {
+  evolveField_ = on;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::initField(VectorFn fn) {
+  initField_ = std::move(fn);
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::backgroundCharge(double rho) {
+  backgroundCharge_ = rho;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::stepper(Stepper s) {
+  stepper_ = s;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::cflFrac(double frac) {
+  cflFrac_ = frac;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::threads(int n) {
+  if (n < 0) throw std::invalid_argument("Simulation::Builder::threads: count must be >= 0");
+  threads_ = n;
+  return *this;
+}
+
+Simulation Simulation::Builder::build() {
+  if (!haveConfGrid_)
+    throw std::logic_error("Simulation::Builder: confGrid(...) is required");
+  if (species_.empty())
+    throw std::logic_error("Simulation::Builder: at least one species is required");
+
+  Simulation sim;
+  sim.confGrid_ = confGrid_;
+  sim.polyOrder_ = polyOrder_;
+  sim.cflFrac_ = cflFrac_;
+  sim.stepper_ = stepper_;
+  sim.fieldParams_ = fieldParams_;
+  sim.species_ = species_;  // copy: the builder stays reusable for variants
+
+  ThreadExec* exec = &ThreadExec::global();
+  if (threads_ > 0) {
+    sim.ownedExec_ = std::make_unique<ThreadExec>(threads_);
+    exec = sim.ownedExec_.get();
+  }
+
+  const int cdim = confGrid_.ndim;
+  const BasisSpec confSpec{cdim, 0, polyOrder_, family_};
+  sim.maxwell_ = std::make_unique<MaxwellUpdater>(confSpec, confGrid_, fieldParams_);
+  const int npc = sim.maxwell_->numModes();
+
+  // --- state slots: one per species (in declaration order), then "em".
+  for (const SpeciesConfig& sp : sim.species_) {
+    if (!sp.init)
+      throw std::invalid_argument("SpeciesConfig '" + sp.name + "': init function is required");
+    const BasisSpec spec{cdim, sp.velGrid.ndim, polyOrder_, family_};
+    const Grid pg = Grid::phase(confGrid_, sp.velGrid);
+    sim.phaseGrids_.push_back(pg);
+
+    VlasovParams vp;
+    vp.charge = sp.charge;
+    vp.mass = sp.mass;
+    vp.flux = sp.flux;
+    auto vlasov = std::make_unique<VlasovUpdater>(spec, pg, vp);
+    vlasov->setExecutor(exec);
+    sim.vlasov_.push_back(std::move(vlasov));
+    sim.mom_.push_back(std::make_unique<MomentUpdater>(spec, pg));
+    if (sp.collisions) {
+      // The operator's mass is the species mass by definition; override
+      // whatever the caller put in BgkParams::mass so the two can't drift.
+      BgkParams bp = *sp.collisions;
+      bp.mass = sp.mass;
+      auto bgk = std::make_unique<BgkUpdater>(spec, pg, bp);
+      bgk->setExecutor(exec);
+      sim.bgk_.push_back(std::move(bgk));
+    } else {
+      sim.bgk_.push_back(nullptr);
+    }
+
+    const int np = basisFor(spec).numModes();
+    Field f(pg, np);
+    projectOnBasis(basisFor(spec), pg, sp.init, f);
+    sim.state_.addSlot(sp.name, std::move(f));
+  }
+  sim.emSlot_ = sim.state_.addSlot(StateVector::kEmSlot, Field(confGrid_, kEmComps * npc));
+  if (initField_) {
+    projectVectorOnBasis(sim.maxwell_->basis(), confGrid_, *initField_, kEmComps,
+                         sim.state_.slot(sim.emSlot_));
+  }
+  sim.k_ = sim.state_.zerosLike();
+  sim.stage_[0] = sim.state_.zerosLike();
+  // Stage 1 is only touched by the 3-stage stepper; don't carry a dead
+  // full-phase-space vector for RK2 runs.
+  if (stepper_ == Stepper::SspRk3) sim.stage_[1] = sim.state_.zerosLike();
+
+  // --- pipeline, in the canonical order of the coupled RHS.
+  const bool useEm = evolveField_ || initField_.has_value();
+  sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim));
+  for (int s = 0; s < sim.numSpecies(); ++s) {
+    sim.pipeline_.push_back(std::make_unique<VlasovRhsUpdater>(
+        sim.vlasov_[static_cast<std::size_t>(s)].get(),
+        sim.species_[static_cast<std::size_t>(s)].name, s, sim.emSlot_, useEm));
+  }
+  if (evolveField_) {
+    sim.pipeline_.push_back(std::make_unique<MaxwellRhsUpdater>(sim.maxwell_.get(), sim.emSlot_));
+    std::vector<CurrentCouplingUpdater::SpeciesTap> taps;
+    for (int s = 0; s < sim.numSpecies(); ++s)
+      taps.push_back({sim.mom_[static_cast<std::size_t>(s)].get(),
+                      sim.species_[static_cast<std::size_t>(s)].charge, s});
+    sim.pipeline_.push_back(std::make_unique<CurrentCouplingUpdater>(
+        confGrid_, sim.maxwell_.get(), std::move(taps), sim.emSlot_, backgroundCharge_));
+  } else {
+    sim.pipeline_.push_back(std::make_unique<FixedEmUpdater>(sim.emSlot_));
+  }
+  for (int s = 0; s < sim.numSpecies(); ++s) {
+    if (sim.bgk_[static_cast<std::size_t>(s)]) {
+      sim.pipeline_.push_back(std::make_unique<BgkCollisionUpdater>(
+          sim.bgk_[static_cast<std::size_t>(s)].get(),
+          sim.species_[static_cast<std::size_t>(s)].name, s));
+    }
+  }
+  return sim;
+}
+
+// ------------------------------------------------------------- Simulation
+
+int Simulation::speciesIndex(const std::string& name) const {
+  for (int s = 0; s < numSpecies(); ++s)
+    if (species_[static_cast<std::size_t>(s)].name == name) return s;
+  return -1;
+}
+
+double Simulation::rhs(double t, StateVector& u, StateVector& k) {
+  StateView in = u.view();
+  StateView out = k.view();
+  double freq = 0.0;
+  for (const std::unique_ptr<Updater>& upd : pipeline_)
+    freq = std::max(freq, upd->apply(t, in, out));
+  return freq;
+}
+
+double Simulation::step(double dtFixed) {
+  // Stage 1: k = L(u^n); pick dt.
+  const double freq = rhs(time_, state_, k_);
+  double dt = dtFixed;
+  if (dt <= 0.0) {
+    if (freq <= 0.0) throw std::runtime_error("Simulation::step: zero CFL frequency");
+    dt = cflFrac_ / ((2.0 * polyOrder_ + 1.0) * freq);
+  }
+
+  switch (stepper_) {
+    case Stepper::SspRk2: {
+      // u1 = u + dt k;  u^{n+1} = 1/2 u + 1/2 u1 + 1/2 dt L(u1).
+      stage_[0].combine(1.0, state_, dt, k_);
+      rhs(time_ + dt, stage_[0], k_);
+      state_.combine(0.5, state_, 0.5, stage_[0]);
+      state_.axpy(0.5 * dt, k_);
+      break;
+    }
+    case Stepper::SspRk3: {
+      // Shu-Osher SSP-RK3, arithmetic order identical to the seed app.
+      stage_[0].combine(1.0, state_, dt, k_);
+      rhs(time_ + dt, stage_[0], k_);
+      stage_[1].combine(0.75, state_, 0.25, stage_[0]);
+      stage_[1].axpy(0.25 * dt, k_);
+      rhs(time_ + 0.5 * dt, stage_[1], k_);
+      state_.combine(1.0 / 3.0, state_, 2.0 / 3.0, stage_[1]);
+      state_.axpy(2.0 / 3.0 * dt, k_);
+      break;
+    }
+  }
+  time_ += dt;
+  return dt;
+}
+
+int Simulation::advanceTo(double tEnd) {
+  int steps = 0;
+  while (time_ < tEnd - 1e-12) {
+    step(0.0);
+    ++steps;
+  }
+  return steps;
+}
+
+Simulation::Energetics Simulation::energetics() const {
+  Energetics e;
+  e.time = time_;
+  const int npc = maxwell_->numModes();
+  for (int s = 0; s < numSpecies(); ++s) {
+    Field m0(confGrid_, npc), m2(confGrid_, npc);
+    mom_[static_cast<std::size_t>(s)]->compute(distf(s), &m0, nullptr, &m2);
+    const double m = species_[static_cast<std::size_t>(s)].mass;
+    e.mass.push_back(m * integrateDomain(maxwell_->basis(), confGrid_, m0));
+    e.particleEnergy.push_back(0.5 * m * integrateDomain(maxwell_->basis(), confGrid_, m2));
+  }
+  // Field energy via the L2 norm (orthonormal basis: sum of squared coeffs).
+  double jac = 1.0;
+  for (int d = 0; d < confGrid_.ndim; ++d) jac *= 0.5 * confGrid_.dx(d);
+  const double c2 = fieldParams_.lightSpeed * fieldParams_.lightSpeed;
+  double eE = 0.0, eB = 0.0;
+  const Field& em = emField();
+  forEachCell(confGrid_, [&](const MultiIndex& idx) {
+    const double* u = em.at(idx);
+    for (int l = 0; l < 3 * npc; ++l) eE += u[l] * u[l];
+    for (int l = 3 * npc; l < 6 * npc; ++l) eB += u[l] * u[l];
+  });
+  e.electricEnergy = 0.5 * fieldParams_.epsilon0 * jac * eE;
+  e.magneticEnergy = 0.5 * fieldParams_.epsilon0 * c2 * jac * eB;
+  e.fieldEnergy = e.electricEnergy + e.magneticEnergy;
+  return e;
+}
+
+double Simulation::energyTransfer(int s) const {
+  const int npc = maxwell_->numModes();
+  Field m1(confGrid_, 3 * npc);
+  mom_[static_cast<std::size_t>(s)]->compute(distf(s), nullptr, &m1, nullptr);
+  const double q = species_[static_cast<std::size_t>(s)].charge;
+  double jac = 1.0;
+  for (int d = 0; d < confGrid_.ndim; ++d) jac *= 0.5 * confGrid_.dx(d);
+  double dot = 0.0;
+  const Field& em = emField();
+  forEachCell(confGrid_, [&](const MultiIndex& idx) {
+    const double* j = m1.at(idx);
+    const double* e = em.at(idx);
+    for (int c = 0; c < 3; ++c)
+      for (int l = 0; l < npc; ++l) dot += j[c * npc + l] * e[c * npc + l];
+  });
+  return q * jac * dot;
+}
+
+double Simulation::distfL2(int s) const {
+  const Grid& pg = phaseGrids_[static_cast<std::size_t>(s)];
+  double jac = 1.0;
+  for (int d = 0; d < pg.ndim; ++d) jac *= 0.5 * pg.dx(d);
+  double l2 = 0.0;
+  const Field& f = distf(s);
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    const double* fc = f.at(idx);
+    for (int l = 0; l < f.ncomp(); ++l) l2 += fc[l] * fc[l];
+  });
+  return jac * l2;
+}
+
+}  // namespace vdg

@@ -1,0 +1,41 @@
+#pragma once
+// The composition seam of the App layer: every term of the coupled kinetic
+// system — Vlasov streaming/acceleration, the Maxwell solve, moment-based
+// current coupling, collision operators, boundary application — is an
+// Updater, and a Simulation is an ordered pipeline of them (the role of
+// Gkeyll's declarative App composition). New physics plugs in by
+// implementing this interface and registering with Simulation::Builder;
+// the steppers never see anything but the pipeline.
+
+#include <string>
+
+#include "app/state.hpp"
+
+namespace vdg {
+
+/// One term of the semi-discrete system du/dt = L(u) (or a state fixup
+/// such as a ghost-layer sync applied to `in` before the RHS terms run).
+class Updater {
+ public:
+  virtual ~Updater() = default;
+
+  /// Short diagnostic name ("vlasov:elc", "bgk:ion", "maxwell", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Evaluate this term at time t and state `in`, accumulating into `out`
+  /// (both share the owning Simulation's slot layout). Returns the term's
+  /// CFL frequency contribution: max over cells of sum_d lambda_d / dx_d
+  /// (0 for terms with no stability limit of their own). A stable explicit
+  /// step is dt <= cflFrac / ((2p+1) * maxFreq).
+  ///
+  /// Contract notes:
+  ///  - `in` is non-const so state-fixup updaters (boundary sync) can
+  ///    repair ghost layers in place; RHS terms must not modify interior
+  ///    data of `in`.
+  ///  - Each slot of `out` is zeroed by the first RHS updater that owns it
+  ///    (Vlasov for a species slot, Maxwell for "em"); later updaters for
+  ///    the slot (collisions, current sources) accumulate.
+  virtual double apply(double t, const StateView& in, StateView& out) = 0;
+};
+
+}  // namespace vdg

@@ -1,0 +1,73 @@
+#include "app/updaters.hpp"
+
+#include <cmath>
+
+namespace vdg {
+
+double BoundarySyncUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
+  for (int i = 0; i < in.numSlots(); ++i)
+    for (int d = 0; d < cdim_; ++d) in.slot(i).syncPeriodic(d);
+  return 0.0;
+}
+
+double VlasovRhsUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
+  const Field* em = useEm_ ? &in.slot(emSlot_) : nullptr;
+  return vlasov_->advance(in.slot(slot_), em, out.slot(slot_));
+}
+
+double MaxwellRhsUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
+  return maxwell_->advance(in.slot(emSlot_), out.slot(emSlot_));
+}
+
+double FixedEmUpdater::apply(double /*t*/, const StateView& /*in*/, StateView& out) {
+  out.slot(emSlot_).setZero();
+  return 0.0;
+}
+
+CurrentCouplingUpdater::CurrentCouplingUpdater(const Grid& confGrid,
+                                               const MaxwellUpdater* maxwell,
+                                               std::vector<SpeciesTap> taps, int emSlot,
+                                               double backgroundCharge)
+    : confGrid_(confGrid), maxwell_(maxwell), taps_(std::move(taps)), emSlot_(emSlot),
+      backgroundCharge_(backgroundCharge) {
+  const int npc = maxwell_->numModes();
+  current_ = Field(confGrid_, 3 * npc);
+  chargeDens_ = Field(confGrid_, npc);
+  m0scratch_ = Field(confGrid_, npc);
+}
+
+double CurrentCouplingUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
+  current_.setZero();
+  chargeDens_.setZero();
+  for (const SpeciesTap& tap : taps_) {
+    const Field& f = in.slot(tap.slot);
+    tap.moments->accumulateCurrent(f, tap.charge, current_);
+    tap.moments->compute(f, &m0scratch_, nullptr, nullptr);
+    const double q = tap.charge;
+    forEachCell(confGrid_, [&](const MultiIndex& idx) {
+      const double* src = m0scratch_.at(idx);
+      double* dst = chargeDens_.at(idx);
+      for (int c = 0; c < m0scratch_.ncomp(); ++c) dst[c] += q * src[c];
+    });
+  }
+  Field& emRhs = out.slot(emSlot_);
+  maxwell_->addCurrentSource(current_, emRhs);
+  // Divergence-cleaning source: d(phi)/dt += chi * rho / eps0, including
+  // any uniform immobile background charge.
+  const int npc = maxwell_->numModes();
+  const double s = maxwell_->params().chi / maxwell_->params().epsilon0;
+  const double bg = backgroundCharge_ * std::pow(2.0, 0.5 * confGrid_.ndim);
+  forEachCell(confGrid_, [&](const MultiIndex& idx) {
+    const double* rho = chargeDens_.at(idx);
+    double* r = emRhs.at(idx);
+    r[6 * npc] += s * bg;
+    for (int l = 0; l < npc; ++l) r[6 * npc + l] += s * rho[l];
+  });
+  return 0.0;
+}
+
+double BgkCollisionUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
+  return bgk_->advance(in.slot(slot_), out.slot(slot_));
+}
+
+}  // namespace vdg

@@ -1,0 +1,115 @@
+#pragma once
+// Concrete Updaters wrapping the DG engines (dg/, collisions/) into the
+// pipeline contract of app/updater.hpp. These are thin: the engines own
+// the numerics; the wrappers own slot routing and the scratch fields of
+// the coupling terms. Simulation::Builder assembles them in the canonical
+// order (boundary sync, per-species Vlasov, Maxwell, current coupling,
+// collisions) — see docs/ARCHITECTURE.md for the layout.
+
+#include <vector>
+
+#include "app/updater.hpp"
+#include "collisions/bgk.hpp"
+#include "dg/maxwell.hpp"
+#include "dg/moments.hpp"
+#include "dg/vlasov.hpp"
+
+namespace vdg {
+
+/// Repairs ghost layers of every slot of `in` by periodic wrap in the
+/// configuration dimensions (phase-space slots never need velocity ghosts:
+/// the velocity boundary uses the zero-flux closure). Must run first.
+class BoundarySyncUpdater final : public Updater {
+ public:
+  explicit BoundarySyncUpdater(int cdim) : cdim_(cdim) {}
+  [[nodiscard]] std::string name() const override { return "boundary:periodic"; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  int cdim_;
+};
+
+/// Streaming + acceleration RHS of one species: out[slot] = L_vlasov(f).
+/// Zeroes its slot (VlasovUpdater::advance starts from zero).
+class VlasovRhsUpdater final : public Updater {
+ public:
+  VlasovRhsUpdater(const VlasovUpdater* vlasov, std::string species, int slot, int emSlot,
+                   bool useEm)
+      : vlasov_(vlasov), species_(std::move(species)), slot_(slot), emSlot_(emSlot),
+        useEm_(useEm) {}
+  [[nodiscard]] std::string name() const override { return "vlasov:" + species_; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  const VlasovUpdater* vlasov_;
+  std::string species_;
+  int slot_, emSlot_;
+  bool useEm_;
+};
+
+/// Homogeneous perfectly-hyperbolic Maxwell RHS: out[em] = L_maxwell(em).
+/// Zeroes the em slot; sources are accumulated by CurrentCouplingUpdater.
+class MaxwellRhsUpdater final : public Updater {
+ public:
+  MaxwellRhsUpdater(const MaxwellUpdater* maxwell, int emSlot)
+      : maxwell_(maxwell), emSlot_(emSlot) {}
+  [[nodiscard]] std::string name() const override { return "maxwell"; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  const MaxwellUpdater* maxwell_;
+  int emSlot_;
+};
+
+/// Fixed-field stand-in when the field is not evolved: d(em)/dt = 0.
+class FixedEmUpdater final : public Updater {
+ public:
+  explicit FixedEmUpdater(int emSlot) : emSlot_(emSlot) {}
+  [[nodiscard]] std::string name() const override { return "fixed-field"; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  int emSlot_;
+};
+
+/// The delicate field-particle coupling (paper Section II): accumulates the
+/// plasma current into Ampere's law (out[em].E -= J/eps0) and the charge
+/// density (plus any immobile background) into the divergence-cleaning
+/// potential source d(phi)/dt += chi rho / eps0.
+class CurrentCouplingUpdater final : public Updater {
+ public:
+  struct SpeciesTap {
+    const MomentUpdater* moments;
+    double charge;
+    int slot;
+  };
+
+  CurrentCouplingUpdater(const Grid& confGrid, const MaxwellUpdater* maxwell,
+                         std::vector<SpeciesTap> taps, int emSlot, double backgroundCharge);
+  [[nodiscard]] std::string name() const override { return "current-coupling"; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  Grid confGrid_;
+  const MaxwellUpdater* maxwell_;
+  std::vector<SpeciesTap> taps_;
+  int emSlot_;
+  double backgroundCharge_;
+  Field current_, chargeDens_, m0scratch_;
+};
+
+/// BGK collisional relaxation of one species: out[slot] += nu (f_M - f).
+class BgkCollisionUpdater final : public Updater {
+ public:
+  BgkCollisionUpdater(const BgkUpdater* bgk, std::string species, int slot)
+      : bgk_(bgk), species_(std::move(species)), slot_(slot) {}
+  [[nodiscard]] std::string name() const override { return "bgk:" + species_; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  const BgkUpdater* bgk_;
+  std::string species_;
+  int slot_;
+};
+
+}  // namespace vdg

@@ -1,209 +1,29 @@
 #include "app/vlasov_maxwell_app.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
+#include <utility>
 
 namespace vdg {
 
+namespace {
+
+Simulation buildFromParams(VlasovMaxwellParams params, std::vector<SpeciesParams> species) {
+  Simulation::Builder b = Simulation::builder();
+  b.confGrid(params.confGrid)
+      .basis(params.polyOrder, params.family)
+      .field(params.field)
+      .evolveField(params.evolveField)
+      .backgroundCharge(params.backgroundCharge)
+      .cflFrac(params.cflFrac)
+      .stepper(Stepper::SspRk3);
+  if (params.initField) b.initField(std::move(*params.initField));
+  for (SpeciesParams& sp : species)
+    b.species(std::move(sp.name), sp.charge, sp.mass, sp.velGrid, std::move(sp.init), sp.flux);
+  return b.build();
+}
+
+}  // namespace
+
 VlasovMaxwellApp::VlasovMaxwellApp(VlasovMaxwellParams params, std::vector<SpeciesParams> species)
-    : params_(std::move(params)), species_(std::move(species)) {
-  const int cdim = params_.confGrid.ndim;
-  const BasisSpec confSpec{cdim, 0, params_.polyOrder, params_.family};
-  maxwell_ = std::make_unique<MaxwellUpdater>(confSpec, params_.confGrid, params_.field);
-  const int npc = maxwell_->numModes();
-
-  em_ = Field(params_.confGrid, kEmComps * npc);
-  current_ = Field(params_.confGrid, 3 * npc);
-  chargeDens_ = Field(params_.confGrid, npc);
-  m0scratch_ = Field(params_.confGrid, npc);
-  k_.em = Field(params_.confGrid, kEmComps * npc);
-  emStage_[0] = Field(params_.confGrid, kEmComps * npc);
-  emStage_[1] = Field(params_.confGrid, kEmComps * npc);
-
-  if (params_.initField) {
-    projectVectorOnBasis(maxwell_->basis(), params_.confGrid, *params_.initField, kEmComps, em_);
-  }
-
-  for (const SpeciesParams& sp : species_) {
-    const BasisSpec spec{cdim, sp.velGrid.ndim, params_.polyOrder, params_.family};
-    const Grid pg = Grid::phase(params_.confGrid, sp.velGrid);
-    phaseGrids_.push_back(pg);
-    VlasovParams vp;
-    vp.charge = sp.charge;
-    vp.mass = sp.mass;
-    vp.flux = sp.flux;
-    vlasov_.push_back(std::make_unique<VlasovUpdater>(spec, pg, vp));
-    mom_.push_back(std::make_unique<MomentUpdater>(spec, pg));
-
-    const int np = basisFor(spec).numModes();
-    Field f(pg, np);
-    if (!sp.init) throw std::invalid_argument("SpeciesParams: init function is required");
-    projectOnBasis(basisFor(spec), pg, sp.init, f);
-    f_.push_back(std::move(f));
-    k_.f.emplace_back(pg, np);
-    fStage_[0].emplace_back(pg, np);
-    fStage_[1].emplace_back(pg, np);
-  }
-}
-
-void VlasovMaxwellApp::applyBoundary(std::vector<Field>& f, Field& em) const {
-  const int cdim = params_.confGrid.ndim;
-  for (Field& ff : f)
-    for (int d = 0; d < cdim; ++d) ff.syncPeriodic(d);
-  for (int d = 0; d < cdim; ++d) em.syncPeriodic(d);
-}
-
-double VlasovMaxwellApp::rates(std::vector<Field>& f, Field& em, Rates& out) {
-  applyBoundary(f, em);
-  double freq = 0.0;
-  for (int s = 0; s < numSpecies(); ++s) {
-    const Field* emPtr = params_.evolveField || params_.initField ? &em : nullptr;
-    freq = std::max(freq, vlasov_[static_cast<std::size_t>(s)]->advance(
-                              f[static_cast<std::size_t>(s)], emPtr,
-                              out.f[static_cast<std::size_t>(s)]));
-  }
-  if (params_.evolveField) {
-    freq = std::max(freq, maxwell_->advance(em, out.em));
-    current_.setZero();
-    chargeDens_.setZero();
-    for (int s = 0; s < numSpecies(); ++s) {
-      mom_[static_cast<std::size_t>(s)]->accumulateCurrent(
-          f[static_cast<std::size_t>(s)], species_[static_cast<std::size_t>(s)].charge, current_);
-      mom_[static_cast<std::size_t>(s)]->compute(f[static_cast<std::size_t>(s)], &m0scratch_,
-                                                 nullptr, nullptr);
-      const double q = species_[static_cast<std::size_t>(s)].charge;
-      forEachCell(params_.confGrid, [&](const MultiIndex& idx) {
-        const double* src = m0scratch_.at(idx);
-        double* dst = chargeDens_.at(idx);
-        for (int c = 0; c < m0scratch_.ncomp(); ++c) dst[c] += q * src[c];
-      });
-    }
-    maxwell_->addCurrentSource(current_, out.em);
-    // Divergence-cleaning source: d(phi)/dt += chi * rho / eps0, including
-    // any uniform immobile background charge.
-    const int npc = maxwell_->numModes();
-    const double s = maxwell_->params().chi / maxwell_->params().epsilon0;
-    const double bg = params_.backgroundCharge * std::pow(2.0, 0.5 * params_.confGrid.ndim);
-    forEachCell(params_.confGrid, [&](const MultiIndex& idx) {
-      const double* rho = chargeDens_.at(idx);
-      double* r = out.em.at(idx);
-      r[6 * npc] += s * bg;
-      for (int l = 0; l < npc; ++l) r[6 * npc + l] += s * rho[l];
-    });
-  } else {
-    out.em.setZero();
-  }
-  return freq;
-}
-
-double VlasovMaxwellApp::step(double dtFixed) {
-  const int ns = numSpecies();
-  const int p = params_.polyOrder;
-
-  // Stage 1: k = L(u^n), pick dt, u1 = u + dt k.
-  const double freq = rates(f_, em_, k_);
-  double dt = dtFixed;
-  if (dt <= 0.0) {
-    if (freq <= 0.0) throw std::runtime_error("VlasovMaxwellApp::step: zero CFL frequency");
-    dt = params_.cflFrac / ((2.0 * p + 1.0) * freq);
-  }
-  for (int s = 0; s < ns; ++s)
-    fStage_[0][static_cast<std::size_t>(s)].combine(1.0, f_[static_cast<std::size_t>(s)], dt,
-                                                    k_.f[static_cast<std::size_t>(s)]);
-  emStage_[0].combine(1.0, em_, dt, k_.em);
-
-  // Stage 2: u2 = 3/4 u + 1/4 u1 + 1/4 dt L(u1).
-  rates(fStage_[0], emStage_[0], k_);
-  for (int s = 0; s < ns; ++s) {
-    Field& u2 = fStage_[1][static_cast<std::size_t>(s)];
-    u2.combine(0.75, f_[static_cast<std::size_t>(s)], 0.25,
-               fStage_[0][static_cast<std::size_t>(s)]);
-    u2.axpy(0.25 * dt, k_.f[static_cast<std::size_t>(s)]);
-  }
-  emStage_[1].combine(0.75, em_, 0.25, emStage_[0]);
-  emStage_[1].axpy(0.25 * dt, k_.em);
-
-  // Stage 3: u^{n+1} = 1/3 u + 2/3 u2 + 2/3 dt L(u2).
-  rates(fStage_[1], emStage_[1], k_);
-  for (int s = 0; s < ns; ++s) {
-    Field& u = f_[static_cast<std::size_t>(s)];
-    u.combine(1.0 / 3.0, u, 2.0 / 3.0, fStage_[1][static_cast<std::size_t>(s)]);
-    u.axpy(2.0 / 3.0 * dt, k_.f[static_cast<std::size_t>(s)]);
-  }
-  em_.combine(1.0 / 3.0, em_, 2.0 / 3.0, emStage_[1]);
-  em_.axpy(2.0 / 3.0 * dt, k_.em);
-
-  time_ += dt;
-  return dt;
-}
-
-int VlasovMaxwellApp::advanceTo(double tEnd) {
-  int steps = 0;
-  while (time_ < tEnd - 1e-12) {
-    step(0.0);
-    ++steps;
-  }
-  return steps;
-}
-
-VlasovMaxwellApp::Energetics VlasovMaxwellApp::energetics() const {
-  Energetics e;
-  e.time = time_;
-  const int npc = maxwell_->numModes();
-  for (int s = 0; s < numSpecies(); ++s) {
-    Field m0(params_.confGrid, npc), m2(params_.confGrid, npc);
-    mom_[static_cast<std::size_t>(s)]->compute(f_[static_cast<std::size_t>(s)], &m0, nullptr, &m2);
-    const double m = species_[static_cast<std::size_t>(s)].mass;
-    e.mass.push_back(m * integrateDomain(maxwell_->basis(), params_.confGrid, m0));
-    e.particleEnergy.push_back(0.5 * m *
-                               integrateDomain(maxwell_->basis(), params_.confGrid, m2));
-  }
-  // Field energy via the L2 norm (orthonormal basis: sum of squared coeffs).
-  double jac = 1.0;
-  for (int d = 0; d < params_.confGrid.ndim; ++d) jac *= 0.5 * params_.confGrid.dx(d);
-  const double c2 = params_.field.lightSpeed * params_.field.lightSpeed;
-  double eE = 0.0, eB = 0.0;
-  forEachCell(params_.confGrid, [&](const MultiIndex& idx) {
-    const double* u = em_.at(idx);
-    for (int l = 0; l < 3 * npc; ++l) eE += u[l] * u[l];
-    for (int l = 3 * npc; l < 6 * npc; ++l) eB += u[l] * u[l];
-  });
-  e.electricEnergy = 0.5 * params_.field.epsilon0 * jac * eE;
-  e.magneticEnergy = 0.5 * params_.field.epsilon0 * c2 * jac * eB;
-  e.fieldEnergy = e.electricEnergy + e.magneticEnergy;
-  return e;
-}
-
-double VlasovMaxwellApp::energyTransfer(int s) const {
-  const int npc = maxwell_->numModes();
-  Field m1(params_.confGrid, 3 * npc);
-  mom_[static_cast<std::size_t>(s)]->compute(f_[static_cast<std::size_t>(s)], nullptr, &m1,
-                                             nullptr);
-  const double q = species_[static_cast<std::size_t>(s)].charge;
-  double jac = 1.0;
-  for (int d = 0; d < params_.confGrid.ndim; ++d) jac *= 0.5 * params_.confGrid.dx(d);
-  double dot = 0.0;
-  forEachCell(params_.confGrid, [&](const MultiIndex& idx) {
-    const double* j = m1.at(idx);
-    const double* e = em_.at(idx);
-    for (int c = 0; c < 3; ++c)
-      for (int l = 0; l < npc; ++l) dot += j[c * npc + l] * e[c * npc + l];
-  });
-  return q * jac * dot;
-}
-
-double VlasovMaxwellApp::distfL2(int s) const {
-  const Grid& pg = phaseGrids_[static_cast<std::size_t>(s)];
-  double jac = 1.0;
-  for (int d = 0; d < pg.ndim; ++d) jac *= 0.5 * pg.dx(d);
-  double l2 = 0.0;
-  const Field& f = f_[static_cast<std::size_t>(s)];
-  forEachCell(pg, [&](const MultiIndex& idx) {
-    const double* fc = f.at(idx);
-    for (int l = 0; l < f.ncomp(); ++l) l2 += fc[l] * fc[l];
-  });
-  return jac * l2;
-}
+    : sim_(buildFromParams(std::move(params), std::move(species))) {}
 
 }  // namespace vdg

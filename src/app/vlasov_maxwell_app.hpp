@@ -1,15 +1,21 @@
 #pragma once
-// The high-level "App" layer (the role of Gkeyll's LuaJIT App system):
-// composes species kinetic solvers, the Maxwell field solver, the
-// moment-based current coupling and an SSP-RK3 stepper into a complete
-// Vlasov-Maxwell simulation with conservation diagnostics.
+// Compatibility façade over the composable Simulation core (app/simulation.hpp).
+//
+// Historically this class *was* the App layer, hard-coding one serial
+// Vlasov + Maxwell + SSP-RK3 pipeline. The composition now lives in
+// Simulation — an ordered Updater pipeline over a named StateVector with
+// selectable steppers, pluggable collisions, and threaded RHS evaluation —
+// and VlasovMaxwellApp survives as a thin parameter-struct adapter so
+// existing drivers keep compiling. It produces bit-for-bit the same
+// trajectories as the original implementation. New scenarios should use
+// Simulation::builder() directly; see docs/ARCHITECTURE.md.
 
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "app/projection.hpp"
+#include "app/simulation.hpp"
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
 #include "dg/vlasov.hpp"
@@ -18,6 +24,9 @@
 namespace vdg {
 
 struct SpeciesParams {
+  /// Species label, used as the StateVector slot name: must be non-empty,
+  /// unique across species, and not the reserved slot name "em" (the
+  /// constructor throws otherwise; the name was display-only historically).
   std::string name = "elc";
   double charge = -1.0;
   double mass = 1.0;
@@ -45,78 +54,43 @@ class VlasovMaxwellApp {
 
   /// Take one SSP-RK3 step with dt from the CFL condition (or the given dt
   /// if positive). Returns the dt taken.
-  double step(double dtFixed = 0.0);
+  double step(double dtFixed = 0.0) { return sim_.step(dtFixed); }
 
   /// Step until tEnd; returns the number of steps taken.
-  int advanceTo(double tEnd);
+  int advanceTo(double tEnd) { return sim_.advanceTo(tEnd); }
 
-  [[nodiscard]] double time() const { return time_; }
-  [[nodiscard]] int numSpecies() const { return static_cast<int>(species_.size()); }
-  [[nodiscard]] const Field& distf(int s) const { return f_[static_cast<std::size_t>(s)]; }
-  [[nodiscard]] Field& distf(int s) { return f_[static_cast<std::size_t>(s)]; }
-  [[nodiscard]] const Field& emField() const { return em_; }
-  [[nodiscard]] Field& emField() { return em_; }
-  [[nodiscard]] const Grid& phaseGrid(int s) const {
-    return phaseGrids_[static_cast<std::size_t>(s)];
-  }
-  [[nodiscard]] const Grid& confGrid() const { return params_.confGrid; }
-  [[nodiscard]] const Basis& phaseBasis(int s) const {
-    return vlasov_[static_cast<std::size_t>(s)]->kernels().phase[0];
-  }
-  [[nodiscard]] const Basis& confBasis() const { return maxwell_->basis(); }
-  [[nodiscard]] const MomentUpdater& moments(int s) const {
-    return *mom_[static_cast<std::size_t>(s)];
-  }
+  [[nodiscard]] double time() const { return sim_.time(); }
+  [[nodiscard]] int numSpecies() const { return sim_.numSpecies(); }
+  [[nodiscard]] const Field& distf(int s) const { return sim_.distf(s); }
+  [[nodiscard]] Field& distf(int s) { return sim_.distf(s); }
+  [[nodiscard]] const Field& emField() const { return sim_.emField(); }
+  [[nodiscard]] Field& emField() { return sim_.emField(); }
+  [[nodiscard]] const Grid& phaseGrid(int s) const { return sim_.phaseGrid(s); }
+  [[nodiscard]] const Grid& confGrid() const { return sim_.confGrid(); }
+  [[nodiscard]] const Basis& phaseBasis(int s) const { return sim_.phaseBasis(s); }
+  [[nodiscard]] const Basis& confBasis() const { return sim_.confBasis(); }
+  [[nodiscard]] const MomentUpdater& moments(int s) const { return sim_.moments(s); }
 
   /// Conservation diagnostics (paper Section II: the delicate J.E exchange).
-  struct Energetics {
-    double time = 0.0;
-    std::vector<double> mass;            ///< per species: int m f dx dv
-    std::vector<double> particleEnergy;  ///< per species: int (m/2)|v|^2 f
-    double fieldEnergy = 0.0;            ///< (eps0/2) int |E|^2 + c^2|B|^2
-    double electricEnergy = 0.0;
-    double magneticEnergy = 0.0;
-    [[nodiscard]] double totalEnergy() const {
-      double e = fieldEnergy;
-      for (double p : particleEnergy) e += p;
-      return e;
-    }
-  };
-  [[nodiscard]] Energetics energetics() const;
+  using Energetics = Simulation::Energetics;
+  [[nodiscard]] Energetics energetics() const { return sim_.energetics(); }
 
   /// L2 norm^2 of a species distribution function (decays monotonically
   /// with penalty fluxes, conserved with central fluxes).
-  [[nodiscard]] double distfL2(int s) const;
+  [[nodiscard]] double distfL2(int s) const { return sim_.distfL2(s); }
 
   /// Discrete field-particle energy exchange of the paper's Eq. 9:
   /// int J_h . E_h dx for one species (positive: field energy flows to the
   /// particles). Computed exactly from the moment tapes and the L2 inner
   /// product of the configuration expansions.
-  [[nodiscard]] double energyTransfer(int s) const;
+  [[nodiscard]] double energyTransfer(int s) const { return sim_.energyTransfer(s); }
+
+  /// The wrapped Simulation (e.g. to inspect the assembled pipeline).
+  [[nodiscard]] Simulation& simulation() { return sim_; }
+  [[nodiscard]] const Simulation& simulation() const { return sim_; }
 
  private:
-  struct Rates {
-    std::vector<Field> f;
-    Field em;
-  };
-  /// rhs of the full coupled system at the given state; returns max CFL freq.
-  double rates(std::vector<Field>& f, Field& em, Rates& out);
-  void applyBoundary(std::vector<Field>& f, Field& em) const;
-
-  VlasovMaxwellParams params_;
-  std::vector<SpeciesParams> species_;
-  std::vector<Grid> phaseGrids_;
-  std::vector<std::unique_ptr<VlasovUpdater>> vlasov_;
-  std::vector<std::unique_ptr<MomentUpdater>> mom_;
-  std::unique_ptr<MaxwellUpdater> maxwell_;
-
-  std::vector<Field> f_;
-  Field em_;
-  Field current_, chargeDens_, m0scratch_;
-  Rates k_;
-  std::vector<Field> fStage_[2];
-  Field emStage_[2];
-  double time_ = 0.0;
+  Simulation sim_;
 };
 
 }  // namespace vdg

@@ -6,12 +6,13 @@
 #include <stdexcept>
 
 #include "math/gauss_legendre.hpp"
+#include "par/thread_exec.hpp"
 
 namespace vdg {
 
 BgkUpdater::BgkUpdater(const BasisSpec& spec, const Grid& phaseGrid, const BgkParams& params)
-    : phase_(&basisFor(spec)), grid_(phaseGrid), params_(params), cdim_(spec.cdim),
-      vdim_(spec.vdim), np_(phase_->numModes()),
+    : phase_(&basisFor(spec)), exec_(&ThreadExec::global()), grid_(phaseGrid), params_(params),
+      cdim_(spec.cdim), vdim_(spec.vdim), np_(phase_->numModes()),
       npc_(basisFor(spec.configSpec()).numModes()),
       mom_(std::make_unique<MomentUpdater>(spec, phaseGrid)) {
   if (phaseGrid.ndim != spec.ndim())
@@ -50,24 +51,27 @@ void BgkUpdater::projectMaxwellian(const Field& f, Field& out) const {
   int confHi[kMaxDim], velHi[kMaxDim];
   for (int d = 0; d < cdim_; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
   for (int j = 0; j < vdim_; ++j) velHi[j] = grid_.cells[static_cast<std::size_t>(cdim_ + j)];
-
-  MultiIndex cidx;
-  const auto forEachConf = [&](auto fn) {
-    MultiIndex idx;
-    while (true) {
+  const std::size_t nvel = boxSize(vdim_, velHi);
+  // All velocity cells of one configuration cell, in odometer order.
+  // Generic callables throughout so the per-cell bodies stay inlinable.
+  const auto forEachVelCell = [&](const MultiIndex& cidx, const auto& fn) {
+    forEachIndexInRange(vdim_, velHi, 0, nvel, [&](const MultiIndex& vi) {
+      MultiIndex idx = cidx;
+      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[j];
       fn(idx);
-      int d = 0;
-      while (d < cdim_) {
-        if (++idx[d] < confHi[d]) break;
-        idx[d] = 0;
-        ++d;
-      }
-      if (d == cdim_) break;
-    }
+    });
+  };
+
+  // Parallel over configuration cells: each one owns all its velocity
+  // cells, so the chunked loops below write disjoint slabs of `out`.
+  const auto forEachConf = [&](const auto& fn) {
+    chunkedFor(exec_, boxSize(cdim_, confHi), [&](std::size_t begin, std::size_t end) {
+      forEachIndexInRange(cdim_, confHi, begin, end, fn);
+    });
   };
 
   forEachConf([&](const MultiIndex& ci) {
-    cidx = ci;
+    const MultiIndex cidx = ci;
     // The cell average of a DG expansion is coeff_0 * 2^{-d/2}; vacuum
     // cells (nAvg <= 0) get a zero Maxwellian via norm = 0 below.
     const double nAvg = m0.at(cidx)[0] * std::pow(2.0, -0.5 * cdim_);
@@ -87,10 +91,7 @@ void BgkUpdater::projectMaxwellian(const Field& f, Field& out) const {
 
     // Project in every velocity cell of this configuration cell, then
     // rescale so collisional density change is exactly zero.
-    MultiIndex idx = cidx;
-    std::vector<int> vi(static_cast<std::size_t>(vdim_), 0);
-    while (true) {
-      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[static_cast<std::size_t>(j)];
+    forEachVelCell(cidx, [&](const MultiIndex& idx) {
       double* oc = out.at(idx);
       for (int l = 0; l < np_; ++l) oc[l] = 0.0;
       for (int q = 0; q < nq_; ++q) {
@@ -107,14 +108,7 @@ void BgkUpdater::projectMaxwellian(const Field& f, Field& out) const {
         const double* wl = &basisAt_[static_cast<std::size_t>(q) * np_];
         for (int l = 0; l < np_; ++l) oc[l] += wq * val * wl[l];
       }
-      int j = 0;
-      while (j < vdim_) {
-        if (++vi[static_cast<std::size_t>(j)] < velHi[j]) break;
-        vi[static_cast<std::size_t>(j)] = 0;
-        ++j;
-      }
-      if (j == vdim_) break;
-    }
+    });
   });
 
   // Density-conserving rescale: lambda(x) cell-wise so M0[f_M] == M0[f].
@@ -125,20 +119,10 @@ void BgkUpdater::projectMaxwellian(const Field& f, Field& out) const {
     const double b = m0M.at(ci)[0];
     if (std::abs(b) < 1e-300) return;
     const double s = a / b;
-    MultiIndex idx = ci;
-    std::vector<int> vi(static_cast<std::size_t>(vdim_), 0);
-    while (true) {
-      for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[static_cast<std::size_t>(j)];
+    forEachVelCell(ci, [&](const MultiIndex& idx) {
       double* oc = out.at(idx);
       for (int l = 0; l < np_; ++l) oc[l] *= s;
-      int j = 0;
-      while (j < vdim_) {
-        if (++vi[static_cast<std::size_t>(j)] < velHi[j]) break;
-        vi[static_cast<std::size_t>(j)] = 0;
-        ++j;
-      }
-      if (j == vdim_) break;
-    }
+    });
   });
 }
 
@@ -146,7 +130,7 @@ double BgkUpdater::advance(const Field& f, Field& rhs) const {
   Field fM(grid_, np_, f.nghost());
   projectMaxwellian(f, fM);
   const double nu = params_.collisionFreq;
-  forEachCell(grid_, [&](const MultiIndex& idx) {
+  parallelForEachCell(exec_, grid_, [&](const MultiIndex& idx) {
     const double* fc = f.at(idx);
     const double* mc = fM.at(idx);
     double* rc = rhs.at(idx);

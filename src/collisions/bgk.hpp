@@ -17,7 +17,13 @@
 
 namespace vdg {
 
+class ThreadExec;
+
 struct BgkParams {
+  /// Species mass. Currently unused by the relaxation itself (the
+  /// Maxwellian is parameterized by moments of f directly); kept for
+  /// operators that need it. Simulation::Builder overwrites it with the
+  /// species mass, so callers of the builder need not set it.
   double mass = 1.0;
   double collisionFreq = 1.0;  ///< nu
 };
@@ -32,8 +38,14 @@ class BgkUpdater {
   /// Project the Maxwellian matching f's (cell-averaged) moments into out.
   void projectMaxwellian(const Field& f, Field& out) const;
 
+  /// Pool driving the per-cell quadrature/relaxation loops (defaults to
+  /// ThreadExec::global(); nullptr forces serial execution). Chunks write
+  /// disjoint cells, so threading is bit-for-bit serial-identical.
+  void setExecutor(ThreadExec* exec) { exec_ = exec; }
+
  private:
   const Basis* phase_;
+  ThreadExec* exec_ = nullptr;
   Grid grid_;
   BgkParams params_;
   int cdim_, vdim_, np_, npc_;

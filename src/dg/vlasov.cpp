@@ -3,34 +3,28 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "par/thread_exec.hpp"
 
 namespace vdg {
 
 namespace {
 
-/// Odometer iteration over the box [0, hi[d]) for d < nd.
+/// Odometer iteration over the full box [0, hi[d]) for d < nd (the
+/// range-restricted form is the shared math/multi_index.hpp helper).
 template <typename Fn>
 void forEachIdx(int nd, const int* hi, Fn fn) {
-  MultiIndex idx;
-  while (true) {
-    fn(idx);
-    int d = 0;
-    while (d < nd) {
-      if (++idx[d] < hi[d]) break;
-      idx[d] = 0;
-      ++d;
-    }
-    if (d == nd) break;
-  }
+  forEachIndexInRange(nd, hi, 0, boxSize(nd, hi), fn);
 }
 
 }  // namespace
 
 VlasovUpdater::VlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid,
                              const VlasovParams& params)
-    : ks_(&vlasovKernels(spec)), grid_(phaseGrid), params_(params),
+    : ks_(&vlasovKernels(spec)), exec_(&ThreadExec::global()), grid_(phaseGrid), params_(params),
       qbym_(params.charge / params.mass) {
   if (phaseGrid.ndim != spec.ndim())
     throw std::invalid_argument("VlasovUpdater: grid/basis dimensionality mismatch");
@@ -53,167 +47,196 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
 
   rhs.setZero();
   double maxFreq = 0.0;
+  std::mutex freqMutex;
 
   // Acceleration expansion per cell (no ghosts needed: velocity faces never
   // straddle configuration cells, config faces carry only streaming flux).
   Field alphaField;
   if (em) alphaField = Field(grid_, vdim * np, 0);
 
-  AccelWorkspace ws;
-
   int confHi[kMaxDim], velHi[kMaxDim];
   for (int d = 0; d < cdim; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
   for (int j = 0; j < vdim; ++j) velHi[j] = grid_.cells[static_cast<std::size_t>(cdim + j)];
 
-  // ---------------------------------------------------------------- volume
-  forEachIdx(cdim, confHi, [&](const MultiIndex& cidx) {
-    // Per-configuration-cell preparation shared by all velocity cells.
-    if (em) prepareAccel(ks, em->at(cidx), ws);
+  const auto runChunked = [this](std::size_t n, const auto& fn) { chunkedFor(exec_, n, fn); };
 
+  // ---------------------------------------------------------------- volume
+  // Parallel over configuration cells: every phase-space cell is written by
+  // exactly one chunk, so the decomposition is race-free and bitwise
+  // reproducible. Acceleration prep and scratch are per-chunk locals.
+  runChunked(boxSize(cdim, confHi), [&](std::size_t begin, std::size_t end) {
+    AccelWorkspace ws;
     std::vector<double> alpha(static_cast<std::size_t>(vdim) * np);
     std::array<double, kMaxDim> wArr{};
-    forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
-      MultiIndex idx = cidx;
-      for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
-      const std::span<const double> fc = f.cell(idx);
-      const std::span<double> rc = rhs.cell(idx);
+    double chunkFreq = 0.0;
+    forEachIndexInRange(cdim, confHi, begin, end, [&](const MultiIndex& cidx) {
+      // Per-configuration-cell preparation shared by all velocity cells.
+      if (em) prepareAccel(ks, em->at(cidx), ws);
 
-      double freq = 0.0;
-      // Streaming volume terms.
-      if (compiled_) {
-        for (int d = 0; d < ndim; ++d) wArr[static_cast<std::size_t>(d)] = grid_.cellCenter(d, idx[d]);
-        compiled_->streamVol(wArr.data(), dxv_.data(), fc.data(), rc.data());
-        for (int d = 0; d < cdim; ++d) {
-          const int vd = cdim + d;
-          freq += (std::abs(wArr[static_cast<std::size_t>(vd)]) + 0.5 * grid_.dx(vd)) /
-                  grid_.dx(d);
+      forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
+        MultiIndex idx = cidx;
+        for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
+        const std::span<const double> fc = f.cell(idx);
+        const std::span<double> rc = rhs.cell(idx);
+
+        double freq = 0.0;
+        // Streaming volume terms.
+        if (compiled_) {
+          for (int d = 0; d < ndim; ++d) wArr[static_cast<std::size_t>(d)] = grid_.cellCenter(d, idx[d]);
+          compiled_->streamVol(wArr.data(), dxv_.data(), fc.data(), rc.data());
+          for (int d = 0; d < cdim; ++d) {
+            const int vd = cdim + d;
+            freq += (std::abs(wArr[static_cast<std::size_t>(vd)]) + 0.5 * grid_.dx(vd)) /
+                    grid_.dx(d);
+          }
+        } else {
+          for (int d = 0; d < cdim; ++d) {
+            const int vd = cdim + d;
+            const double wc = grid_.cellCenter(vd, idx[vd]);
+            const double hdv = 0.5 * grid_.dx(vd);
+            const double rdx2 = 2.0 / grid_.dx(d);
+            ks.streamVol0[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * wc);
+            ks.streamVol1[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * hdv);
+            freq += (std::abs(wc) + hdv) / grid_.dx(d);
+          }
         }
-      } else {
-        for (int d = 0; d < cdim; ++d) {
-          const int vd = cdim + d;
-          const double wc = grid_.cellCenter(vd, idx[vd]);
-          const double hdv = 0.5 * grid_.dx(vd);
-          const double rdx2 = 2.0 / grid_.dx(d);
-          ks.streamVol0[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * wc);
-          ks.streamVol1[static_cast<std::size_t>(d)].execute(fc, rc, rdx2 * hdv);
-          freq += (std::abs(wc) + hdv) / grid_.dx(d);
+        // Acceleration volume terms.
+        if (em) {
+          buildAccel(ks, grid_, qbym_, idx, ws, alpha);
+          std::copy(alpha.begin(), alpha.end(), alphaField.at(idx));
+          if (compiled_) compiled_->accelVol(dxv_.data(), alpha.data(), fc.data(), rc.data());
+          for (int j = 0; j < vdim; ++j) {
+            const int d = cdim + j;
+            const std::span<const double> aj(alpha.data() + static_cast<std::size_t>(j) * np,
+                                             static_cast<std::size_t>(np));
+            if (!compiled_)
+              ks.volume[static_cast<std::size_t>(d)].execute(aj, fc, rc, 2.0 / grid_.dx(d));
+            // Speed bound for the CFL frequency: |alpha| <= sum |a_l| sup|w_l|.
+            double amax = 0.0;
+            for (int l = 0; l < np; ++l)
+              amax += std::abs(aj[static_cast<std::size_t>(l)]) *
+                      ks.phaseSup[static_cast<std::size_t>(l)];
+            freq += amax / grid_.dx(d);
+          }
         }
-      }
-      // Acceleration volume terms.
-      if (em) {
-        buildAccel(ks, grid_, qbym_, idx, ws, alpha);
-        std::copy(alpha.begin(), alpha.end(), alphaField.at(idx));
-        if (compiled_) compiled_->accelVol(dxv_.data(), alpha.data(), fc.data(), rc.data());
-        for (int j = 0; j < vdim; ++j) {
-          const int d = cdim + j;
-          const std::span<const double> aj(alpha.data() + static_cast<std::size_t>(j) * np,
-                                           static_cast<std::size_t>(np));
-          if (!compiled_)
-            ks.volume[static_cast<std::size_t>(d)].execute(aj, fc, rc, 2.0 / grid_.dx(d));
-          // Speed bound for the CFL frequency: |alpha| <= sum |a_l| sup|w_l|.
-          double amax = 0.0;
-          for (int l = 0; l < np; ++l)
-            amax += std::abs(aj[static_cast<std::size_t>(l)]) *
-                    ks.phaseSup[static_cast<std::size_t>(l)];
-          freq += amax / grid_.dx(d);
-        }
-      }
-      maxFreq = std::max(maxFreq, freq);
+        chunkFreq = std::max(chunkFreq, freq);
+      });
     });
+    std::scoped_lock lock(freqMutex);
+    maxFreq = std::max(maxFreq, chunkFreq);
   });
 
   // --------------------------------------------------------------- surface
+  // Parallel per direction over the transverse "lines" of faces: the faces
+  // of one line (all face-normal positions i at a fixed transverse index)
+  // touch only the cells of that line, so lines decompose race-free, and
+  // each cell still receives its lower-face then upper-face lift in the
+  // serial order — the threaded result stays bit-for-bit serial-identical.
   const bool penalty = params_.flux == FluxType::Penalty;
   for (int d = 0; d < ndim; ++d) {
     const auto ds = static_cast<std::size_t>(d);
-    const FaceMap& fm = ks.faceMap[ds];
-    const int nf = fm.numFaceModes;
-    const double rdx2 = 2.0 / grid_.dx(d);
     const bool isConfDir = d < cdim;
+    if (!em && !isConfDir) continue;  // no acceleration flux
 
-    std::vector<double> fL(static_cast<std::size_t>(nf)), fR(static_cast<std::size_t>(nf));
-    std::vector<double> favg(static_cast<std::size_t>(nf)), fhat(static_cast<std::size_t>(nf));
-    std::vector<double> aL(static_cast<std::size_t>(nf)), aR(static_cast<std::size_t>(nf));
-    std::vector<double> scratch(static_cast<std::size_t>(np));  // discarded ghost-side output
-    std::array<double, kMaxDim> wArr{};
+    // Transverse box: all dims except d (hi[d] collapsed to one slot).
+    int transHi[kMaxDim];
+    int nt = 0;
+    for (int i = 0; i < ndim; ++i)
+      if (i != d) transHi[nt++] = grid_.cells[static_cast<std::size_t>(i)];
 
-    // Iterate faces: cells with idx[d] in [0, N_d] (the idx[d] face is the
-    // lower face of cell idx). Velocity-space domain boundaries use the
-    // zero-flux closure (skip).
-    int hi[kMaxDim];
-    for (int i = 0; i < ndim; ++i) hi[i] = grid_.cells[static_cast<std::size_t>(i)];
-    hi[d] += 1;
-    forEachIdx(ndim, hi, [&](const MultiIndex& fidx) {
-      const int i = fidx[d];
-      const int nd = grid_.cells[ds];
-      if (!isConfDir && (i == 0 || i == nd)) return;  // zero-flux in v
-      if (!em && !isConfDir) return;                  // no acceleration flux
-      MultiIndex lidx = fidx, ridx = fidx;
-      lidx[d] = i - 1;
-      const bool lInterior = i > 0;
-      const bool rInterior = i < nd;
+    runChunked(boxSize(nt, transHi), [&, d, ds, isConfDir](std::size_t begin, std::size_t end) {
+      const FaceMap& fm = ks.faceMap[ds];
+      const int nf = fm.numFaceModes;
+      const double rdx2 = 2.0 / grid_.dx(d);
 
-      if (compiled_) {
-        double* outl = lInterior ? rhs.at(lidx) : scratch.data();
-        double* outr = rInterior ? rhs.at(ridx) : scratch.data();
-        if (isConfDir) {
-          const int vd = cdim + d;
-          wArr[static_cast<std::size_t>(vd)] = grid_.cellCenter(vd, fidx[vd]);
-          compiled_->streamSurf[d](wArr.data(), dxv_.data(), f.at(lidx), f.at(ridx), outl, outr);
-        } else {
-          const int j = d - cdim;
-          const int off = j * np;
-          compiled_->accelSurf[j](dxv_.data(), alphaField.at(lidx) + off,
-                                  alphaField.at(ridx) + off, f.at(lidx), f.at(ridx), outl, outr);
-        }
-        return;
-      }
+      std::vector<double> fL(static_cast<std::size_t>(nf)), fR(static_cast<std::size_t>(nf));
+      std::vector<double> favg(static_cast<std::size_t>(nf)), fhat(static_cast<std::size_t>(nf));
+      std::vector<double> aL(static_cast<std::size_t>(nf)), aR(static_cast<std::size_t>(nf));
+      std::vector<double> scratch(static_cast<std::size_t>(np));  // discarded ghost-side output
+      std::array<double, kMaxDim> wArr{};
 
-      fm.restrictTo(f.cell(lidx), fL, +1);
-      fm.restrictTo(f.cell(ridx), fR, -1);
+      forEachIndexInRange(nt, transHi, begin, end, [&](const MultiIndex& tidx) {
+        MultiIndex fidx;
+        int jt = 0;
+        for (int i = 0; i < ndim; ++i)
+          if (i != d) fidx[i] = tidx[jt++];
 
-      double tau = 0.0;
-      for (int k = 0; k < nf; ++k)
-        fhat[static_cast<std::size_t>(k)] = 0.0;
+        // Iterate the line's faces: positions i in [0, N_d] (the idx[d] face
+        // is the lower face of cell idx). Velocity-space domain boundaries
+        // use the zero-flux closure (skip).
+        const int nd = grid_.cells[ds];
+        for (int i = isConfDir ? 0 : 1, iEnd = isConfDir ? nd : nd - 1; i <= iEnd; ++i) {
+          fidx[d] = i;
+          MultiIndex lidx = fidx, ridx = fidx;
+          lidx[d] = i - 1;
+          const bool lInterior = i > 0;
+          const bool rInterior = i < nd;
 
-      if (isConfDir) {
-        // Streaming flux v_d: single-valued on the face.
-        const int vd = cdim + d;
-        const double wc = grid_.cellCenter(vd, fidx[vd]);
-        const double hdv = 0.5 * grid_.dx(vd);
-        for (int k = 0; k < nf; ++k)
-          favg[static_cast<std::size_t>(k)] =
-              0.5 * (fL[static_cast<std::size_t>(k)] + fR[static_cast<std::size_t>(k)]);
-        ks.streamFace0[ds].execute(favg, fhat, wc);
-        ks.streamFace1[ds].execute(favg, fhat, hdv);
-        if (penalty) tau = std::max(std::abs(wc - hdv), std::abs(wc + hdv));
-      } else {
-        // Acceleration flux: expansion may differ between the two cells
-        // (basis projection is per cell), use the paper's Eq. 5 form.
-        const int j = d - cdim;
-        const int off = j * np;
-        fm.restrictTo({alphaField.at(lidx) + off, static_cast<std::size_t>(np)}, aL, +1);
-        fm.restrictTo({alphaField.at(ridx) + off, static_cast<std::size_t>(np)}, aR, -1);
-        ks.faceProduct[ds].execute(aL, fL, fhat, 0.5);
-        ks.faceProduct[ds].execute(aR, fR, fhat, 0.5);
-        if (penalty) {
-          const std::vector<double>& sup = ks.faceSup[ds];
-          double bL = 0.0, bR = 0.0;
-          for (int k = 0; k < nf; ++k) {
-            bL += std::abs(aL[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
-            bR += std::abs(aR[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+          if (compiled_) {
+            double* outl = lInterior ? rhs.at(lidx) : scratch.data();
+            double* outr = rInterior ? rhs.at(ridx) : scratch.data();
+            if (isConfDir) {
+              const int vd = cdim + d;
+              wArr[static_cast<std::size_t>(vd)] = grid_.cellCenter(vd, fidx[vd]);
+              compiled_->streamSurf[d](wArr.data(), dxv_.data(), f.at(lidx), f.at(ridx), outl,
+                                       outr);
+            } else {
+              const int j = d - cdim;
+              const int off = j * np;
+              compiled_->accelSurf[j](dxv_.data(), alphaField.at(lidx) + off,
+                                      alphaField.at(ridx) + off, f.at(lidx), f.at(ridx), outl,
+                                      outr);
+            }
+            continue;
           }
-          tau = std::max(bL, bR);
-        }
-      }
-      if (penalty && tau > 0.0)
-        for (int k = 0; k < nf; ++k)
-          fhat[static_cast<std::size_t>(k)] -=
-              0.5 * tau *
-              (fR[static_cast<std::size_t>(k)] - fL[static_cast<std::size_t>(k)]);
 
-      if (lInterior) fm.lift(fhat, rhs.cell(lidx), +1, -rdx2);
-      if (rInterior) fm.lift(fhat, rhs.cell(ridx), -1, +rdx2);
+          fm.restrictTo(f.cell(lidx), fL, +1);
+          fm.restrictTo(f.cell(ridx), fR, -1);
+
+          double tau = 0.0;
+          for (int k = 0; k < nf; ++k)
+            fhat[static_cast<std::size_t>(k)] = 0.0;
+
+          if (isConfDir) {
+            // Streaming flux v_d: single-valued on the face.
+            const int vd = cdim + d;
+            const double wc = grid_.cellCenter(vd, fidx[vd]);
+            const double hdv = 0.5 * grid_.dx(vd);
+            for (int k = 0; k < nf; ++k)
+              favg[static_cast<std::size_t>(k)] =
+                  0.5 * (fL[static_cast<std::size_t>(k)] + fR[static_cast<std::size_t>(k)]);
+            ks.streamFace0[ds].execute(favg, fhat, wc);
+            ks.streamFace1[ds].execute(favg, fhat, hdv);
+            if (penalty) tau = std::max(std::abs(wc - hdv), std::abs(wc + hdv));
+          } else {
+            // Acceleration flux: expansion may differ between the two cells
+            // (basis projection is per cell), use the paper's Eq. 5 form.
+            const int j = d - cdim;
+            const int off = j * np;
+            fm.restrictTo({alphaField.at(lidx) + off, static_cast<std::size_t>(np)}, aL, +1);
+            fm.restrictTo({alphaField.at(ridx) + off, static_cast<std::size_t>(np)}, aR, -1);
+            ks.faceProduct[ds].execute(aL, fL, fhat, 0.5);
+            ks.faceProduct[ds].execute(aR, fR, fhat, 0.5);
+            if (penalty) {
+              const std::vector<double>& sup = ks.faceSup[ds];
+              double bL = 0.0, bR = 0.0;
+              for (int k = 0; k < nf; ++k) {
+                bL += std::abs(aL[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+                bR += std::abs(aR[static_cast<std::size_t>(k)]) * sup[static_cast<std::size_t>(k)];
+              }
+              tau = std::max(bL, bR);
+            }
+          }
+          if (penalty && tau > 0.0)
+            for (int k = 0; k < nf; ++k)
+              fhat[static_cast<std::size_t>(k)] -=
+                  0.5 * tau *
+                  (fR[static_cast<std::size_t>(k)] - fL[static_cast<std::size_t>(k)]);
+
+          if (lInterior) fm.lift(fhat, rhs.cell(lidx), +1, -rdx2);
+          if (rInterior) fm.lift(fhat, rhs.cell(ridx), -1, +rdx2);
+        }
+      });
     });
   }
 

@@ -21,6 +21,8 @@
 
 namespace vdg {
 
+class ThreadExec;
+
 struct VlasovParams {
   double charge = -1.0;
   double mass = 1.0;
@@ -64,9 +66,17 @@ class VlasovUpdater {
   void volumeTerm(std::span<const double> f, std::span<const double> alpha,
                   const MultiIndex& cellIdx, std::span<double> out) const;
 
+  /// Pool driving the per-cell loops of advance(). Defaults to
+  /// ThreadExec::global(); pass nullptr to force serial execution. The
+  /// chunked loops write disjoint cells, so the threaded result is
+  /// bit-for-bit identical to the serial one.
+  void setExecutor(ThreadExec* exec) { exec_ = exec; }
+  [[nodiscard]] ThreadExec* executor() const { return exec_; }
+
  private:
   const VlasovKernelSet* ks_;
   const VlasovCompiledKernels* compiled_ = nullptr;
+  ThreadExec* exec_ = nullptr;
   Grid grid_;
   VlasovParams params_;
   double qbym_;

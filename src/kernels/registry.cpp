@@ -1,5 +1,6 @@
 #include "kernels/registry.hpp"
 
+#include <iostream>
 #include <map>
 #include <mutex>
 
@@ -19,6 +20,10 @@ std::mutex& tableMutex() {
   static std::mutex m;
   return m;
 }
+int& duplicateCount() {
+  static int n = 0;
+  return n;
+}
 void ensureGeneratedRegistered() {
   static std::once_flag once;
   std::call_once(once, [] { detail::registerGeneratedKernels(); });
@@ -34,13 +39,34 @@ const VlasovCompiledKernels* findCompiledKernels(const std::string& specName) {
 
 void registerCompiledKernels(const std::string& specName, const VlasovCompiledKernels& k) {
   std::scoped_lock lock(tableMutex());
-  table()[specName] = k;
+  const auto [it, inserted] = table().insert_or_assign(specName, k);
+  (void)it;
+  if (!inserted) {
+    ++duplicateCount();
+    std::cerr << "vdg: warning: duplicate compiled-kernel registration for spec '" << specName
+              << "' (last registration wins)\n";
+  }
 }
 
 int numCompiledKernelSets() {
   ensureGeneratedRegistered();
   std::scoped_lock lock(tableMutex());
   return static_cast<int>(table().size());
+}
+
+std::vector<std::string> listCompiledKernelSpecs() {
+  ensureGeneratedRegistered();
+  std::scoped_lock lock(tableMutex());
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const auto& [name, k] : table()) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+int numDuplicateKernelRegistrations() {
+  ensureGeneratedRegistered();
+  std::scoped_lock lock(tableMutex());
+  return duplicateCount();
 }
 
 }  // namespace vdg

@@ -8,6 +8,7 @@
 // central fluxes — the generated surface kernels bake in the penalty flux).
 
 #include <string>
+#include <vector>
 
 namespace vdg {
 
@@ -44,10 +45,19 @@ struct VlasovCompiledKernels {
 /// no generated translation unit registered them.
 const VlasovCompiledKernels* findCompiledKernels(const std::string& specName);
 
-/// Called by generated code; last registration wins.
+/// Called by generated code. A repeated registration for the same spec
+/// replaces the previous one ("last registration wins") but is counted and
+/// logged to stderr, since it usually means two generated translation
+/// units were linked for one spec — see numDuplicateKernelRegistrations().
 void registerCompiledKernels(const std::string& specName, const VlasovCompiledKernels& k);
 
 /// Number of registered kernel sets (for tests / diagnostics).
 int numCompiledKernelSets();
+
+/// Names of every registered spec, sorted (for tests / diagnostics).
+std::vector<std::string> listCompiledKernelSpecs();
+
+/// How many registerCompiledKernels calls overwrote an existing entry.
+int numDuplicateKernelRegistrations();
 
 }  // namespace vdg

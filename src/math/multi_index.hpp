@@ -68,6 +68,33 @@ struct MultiIndex {
   }
 };
 
+/// Number of index tuples in the box [0, hi[d]) for d < nd.
+inline std::size_t boxSize(int nd, const int* hi) {
+  std::size_t n = 1;
+  for (int d = 0; d < nd; ++d) n *= static_cast<std::size_t>(hi[d]);
+  return n;
+}
+
+/// Invoke fn(idx) for each linear index in [begin, end) of the box
+/// [0, hi[d]) for d < nd, in odometer order (dimension 0 fastest) — the
+/// restriction of the full forEachCell/forEachIdx ordering to a contiguous
+/// chunk, which is what the ThreadExec-chunked per-cell loops partition.
+template <typename Fn>
+void forEachIndexInRange(int nd, const int* hi, std::size_t begin, std::size_t end, Fn fn) {
+  if (begin >= end) return;  // also guards hi[d]==0 boxes (no 0 % 0 below)
+  MultiIndex idx;
+  std::size_t rem = begin;
+  for (int d = 0; d < nd; ++d) {
+    idx[d] = static_cast<int>(rem % static_cast<std::size_t>(hi[d]));
+    rem /= static_cast<std::size_t>(hi[d]);
+  }
+  for (std::size_t r = begin; r < end; ++r) {
+    fn(idx);
+    int d = 0;
+    while (d < nd && ++idx[d] >= hi[d]) idx[d++] = 0;
+  }
+}
+
 struct MultiIndexHash {
   std::size_t operator()(const MultiIndex& m) const {
     std::size_t h = 1469598103934665603ull;

@@ -1,11 +1,132 @@
 #include "par/thread_exec.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 
 namespace vdg {
+
+// ------------------------------------------------------------- ThreadExec
+
+ThreadExec::ThreadExec(int numThreads) {
+  if (numThreads <= 0) {
+    if (const char* env = std::getenv("VDG_NUM_THREADS")) numThreads = std::atoi(env);
+  }
+  if (numThreads <= 0) numThreads = static_cast<int>(std::thread::hardware_concurrency());
+  nthreads_ = std::max(numThreads, 1);
+  // Workers are spawned lazily on the first parallelFor that can use them,
+  // so merely constructing updaters (which default to the global pool)
+  // costs nothing in serial tools and benches.
+}
+
+ThreadExec::~ThreadExec() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadExec::parallelFor(std::size_t n, const RangeFn& fn) {
+  if (n == 0) return;
+  bool expected = false;
+  if (nthreads_ == 1 || n == 1 ||
+      !busy_.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+    // Serial pool, trivial loop, or a parallelFor already in flight
+    // (nested or concurrent submission): run inline.
+    fn(0, n);
+    return;
+  }
+  if (workers_.size() + 1 < static_cast<std::size_t>(nthreads_)) {
+    // Lazy spawn on first parallel use; retried on later calls if a
+    // previous attempt failed partway (only the busy_ winner reaches
+    // here, so no race). Worker t serves chunk t, so ids stay stable
+    // across retries.
+    try {
+      workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+      for (int t = static_cast<int>(workers_.size()) + 1; t < nthreads_; ++t)
+        workers_.emplace_back([this, t] { workerLoop(t); });
+    } catch (...) {
+      // Thread creation failed (e.g. process thread limit): release the
+      // pool and run this loop inline; any workers that did spawn will
+      // serve the next parallelFor, and the spawn is retried then.
+      busy_.store(false, std::memory_order_release);
+      fn(0, n);
+      return;
+    }
+  }
+  // Chunk count uses the live worker count (normally nthreads_ - 1, but
+  // possibly fewer after a partial spawn failure). Only workers that own a
+  // chunk participate in completion accounting: surplus workers may wake,
+  // see no chunk, and go straight back to sleep without being waited on —
+  // small jobs on big pools don't pay a full-pool synchronization.
+  const std::size_t nchunks = std::min(n, workers_.size() + 1);
+  {
+    std::lock_guard lk(m_);
+    job_ = &fn;
+    jobN_ = n;
+    jobChunks_ = nchunks;
+    pending_ = static_cast<int>(nchunks) - 1;
+    jobError_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  std::exception_ptr err;
+  try {
+    fn(0, n / nchunks);  // chunk 0 on the calling thread
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // Always drain the workers before returning/rethrowing: they hold a
+  // reference to fn and to the caller's captured state.
+  std::unique_lock lk(m_);
+  doneCv_.wait(lk, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (!err) err = jobError_;
+  jobError_ = nullptr;
+  lk.unlock();
+  busy_.store(false, std::memory_order_release);
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadExec::workerLoop(int t) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const RangeFn* job = nullptr;
+    std::size_t n = 0, nchunks = 0;
+    {
+      std::unique_lock lk(m_);
+      cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = jobN_;
+      nchunks = jobChunks_;
+    }
+    const auto c = static_cast<std::size_t>(t);
+    if (!job || c >= nchunks) continue;  // surplus worker: not awaited
+    std::exception_ptr err;
+    try {
+      (*job)(c * n / nchunks, (c + 1) * n / nchunks);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lk(m_);
+      if (err && !jobError_) jobError_ = err;
+      if (--pending_ == 0) doneCv_.notify_one();
+    }
+  }
+}
+
+ThreadExec& ThreadExec::global() {
+  static ThreadExec exec(0);
+  return exec;
+}
 
 namespace {
 
@@ -43,6 +164,10 @@ DistributedVlasov::DistributedVlasov(const BasisSpec& spec, const Grid& globalPh
     local_.emplace_back(localGrid_.back(), np_);
     rhs_.emplace_back(localGrid_.back(), np_);
     updater_.emplace_back(spec, localGrid_.back(), params_);
+    // The rank threads are the parallelism here (the MPI stand-in): keep
+    // each rank's updater serial so the compute/comm timing split that
+    // calibrates the Fig. 3 model is not skewed by intra-rank threading.
+    updater_.back().setExecutor(nullptr);
   }
 }
 

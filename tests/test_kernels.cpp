@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "dg/vlasov.hpp"
 #include "kernels/registry.hpp"
@@ -47,6 +50,40 @@ TEST(CompiledKernels, RegistryIsPopulated) {
   EXPECT_NE(findCompiledKernels("1x1v_p1_ten"), nullptr);
   EXPECT_NE(findCompiledKernels("2x3v_p2_ser"), nullptr);
   EXPECT_EQ(findCompiledKernels("9x9v_p9_xyz"), nullptr);
+}
+
+TEST(CompiledKernels, ListSpecsIsSortedAndConsistent) {
+  const std::vector<std::string> names = listCompiledKernelSpecs();
+  EXPECT_EQ(static_cast<int>(names.size()), numCompiledKernelSets());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& n : names) EXPECT_NE(findCompiledKernels(n), nullptr);
+  EXPECT_NE(std::find(names.begin(), names.end(), "1x1v_p1_ten"), names.end());
+}
+
+TEST(CompiledKernels, DuplicateRegistrationIsCountedAndLastWins) {
+  // Assertions are delta-based against process-global state so the test
+  // stays valid under --gtest_repeat (re-registrations persist).
+  const int before = numDuplicateKernelRegistrations();
+
+  const VlasovCompiledKernels* orig = findCompiledKernels("1x1v_p1_ten");
+  ASSERT_NE(orig, nullptr);
+  const VlasovCompiledKernels saved = *orig;
+
+  VlasovCompiledKernels clone = saved;
+  registerCompiledKernels("1x1v_p1_ten", clone);
+  EXPECT_EQ(numDuplicateKernelRegistrations(), before + 1);
+  // Last registration wins but the entry set is unchanged.
+  EXPECT_EQ(static_cast<int>(listCompiledKernelSpecs().size()), numCompiledKernelSets());
+  const VlasovCompiledKernels* now = findCompiledKernels("1x1v_p1_ten");
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(now->streamVol, saved.streamVol);
+
+  // A registration for a fresh spec name is not a duplicate (on repeat
+  // runs the fake entry already exists, so it counts as one then).
+  const bool fakePresent = findCompiledKernels("0x0v_p0_test") != nullptr;
+  registerCompiledKernels("0x0v_p0_test", clone);
+  EXPECT_EQ(numDuplicateKernelRegistrations(), before + 1 + (fakePresent ? 1 : 0));
+  EXPECT_NE(findCompiledKernels("0x0v_p0_test"), nullptr);
 }
 
 class CompiledBySpec : public ::testing::TestWithParam<BasisSpec> {};

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "app/projection.hpp"
 #include "par/comm_model.hpp"
@@ -15,6 +17,56 @@
 
 namespace vdg {
 namespace {
+
+TEST(ThreadExec, ParallelForCoversRangeExactlyOnce) {
+  ThreadExec exec(4);
+  EXPECT_EQ(exec.numThreads(), 4);
+  const std::size_t n = 1037;
+  std::vector<std::atomic<int>> hits(n);
+  exec.parallelFor(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // Reusable: a second loop on the same pool.
+  std::atomic<std::size_t> total{0};
+  exec.parallelFor(10, [&](std::size_t b, std::size_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 10u);
+  // Degenerate sizes.
+  exec.parallelFor(0, [&](std::size_t, std::size_t) { FAIL(); });
+  std::atomic<int> ones{0};
+  exec.parallelFor(1, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    ++ones;
+  });
+  EXPECT_EQ(ones.load(), 1);
+}
+
+TEST(ThreadExec, NestedParallelForRunsInline) {
+  ThreadExec exec(4);
+  std::atomic<int> inner{0};
+  exec.parallelFor(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      // A nested submission must degrade to an inline loop, not deadlock.
+      exec.parallelFor(3, [&](std::size_t bb, std::size_t ee) {
+        inner.fetch_add(static_cast<int>(ee - bb));
+      });
+    }
+  });
+  EXPECT_EQ(inner.load(), 24);
+}
+
+TEST(ThreadExec, ParallelForEachCellMatchesSerialOrderPerChunk) {
+  ThreadExec exec(3);
+  const Grid g = Grid::make({5, 4, 3}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  Field visited(g, 1, 0);
+  visited.setZero();
+  parallelForEachCell(&exec, g, [&](const MultiIndex& idx) { visited.at(idx)[0] += 1.0; });
+  forEachCell(g, [&](const MultiIndex& idx) { EXPECT_EQ(visited.at(idx)[0], 1.0); });
+  // Nullable-executor fallback covers the same cells serially.
+  parallelForEachCell(nullptr, g, [&](const MultiIndex& idx) { visited.at(idx)[0] += 1.0; });
+  forEachCell(g, [&](const MultiIndex& idx) { EXPECT_EQ(visited.at(idx)[0], 2.0); });
+}
 
 TEST(SlabDecomp, PartitionsExactly) {
   const SlabDecomp d = SlabDecomp::make(17, 4);

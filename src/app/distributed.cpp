@@ -1,0 +1,157 @@
+#include "app/distributed.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace vdg {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+/// Visit every interior cell of a rank-local grid together with its index
+/// in the parent (global) grid — the one place the local->global index
+/// mapping of scatter/gather lives.
+template <typename Fn>
+void forEachWindowCell(const Grid& lg, const Fn& fn) {
+  forEachCell(lg, [&](const MultiIndex& idx) {
+    MultiIndex gidx = idx;
+    for (int d = 0; d < lg.ndim; ++d) gidx[d] += lg.offset[static_cast<std::size_t>(d)];
+    fn(idx, gidx);
+  });
+}
+
+}  // namespace
+
+// Known limitation (shared with MPI jobs): if one rank throws *between*
+// collectives while the others have already entered one (e.g. bad_alloc
+// packing a halo buffer), the survivors block in the barrier and join()
+// never returns. Symmetric errors — the common case, e.g. the zero-CFL
+// throw, which happens after the frequency allReduce on every rank — exit
+// all ranks together and are rethrown here.
+template <typename Fn>
+void DistributedSimulation::onRanks(const Fn& fn) {
+  const int nr = numRanks();
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nr));
+  threads.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder, int numRanks)
+    : decomp_(CartDecomp::make(builder.confGrid(), numRanks)),
+      comm_(std::make_unique<ThreadComm>(decomp_)),
+      wallSec_(static_cast<std::size_t>(numRanks), 0.0) {
+  const Grid global = builder.confGrid();
+  sims_.reserve(static_cast<std::size_t>(numRanks));
+  for (int r = 0; r < numRanks; ++r) {
+    // Per-rank variant of the user's builder: local subgrid, the rank's
+    // endpoint, serial RHS execution (the rank threads are the
+    // parallelism — intra-rank threading would also skew the compute/halo
+    // split that calibrates the Fig. 3 model).
+    Simulation::Builder b = builder;
+    b.confGrid(decomp_.localGrid(global, r));
+    b.communicator(&comm_->endpoint(r));
+    b.threads(1);
+    sims_.push_back(b.build());
+  }
+}
+
+double DistributedSimulation::step(double dtFixed) {
+  std::vector<double> dts(static_cast<std::size_t>(numRanks()), 0.0);
+  // Rank wall time is clocked *inside* the rank thread, so per-call
+  // thread spawn/join overhead never contaminates the compute-vs-halo
+  // split that calibrates the scaling model. Long runs should prefer
+  // advanceTo, which amortizes the spawn over the whole interval.
+  onRanks([&](int r) {
+    const auto t0 = Clock::now();
+    dts[static_cast<std::size_t>(r)] = sims_[static_cast<std::size_t>(r)].step(dtFixed);
+    wallSec_[static_cast<std::size_t>(r)] +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  });
+  for (double dt : dts)
+    if (dt != dts[0])
+      throw std::logic_error("DistributedSimulation::step: ranks disagreed on dt");
+  return dts[0];
+}
+
+int DistributedSimulation::advanceTo(double tEnd) {
+  // Every rank sees the same globally-reduced dt per step, so the loops
+  // stay in lockstep and terminate after the same number of steps.
+  std::vector<int> steps(static_cast<std::size_t>(numRanks()), 0);
+  onRanks([&](int r) {
+    const auto t0 = Clock::now();
+    steps[static_cast<std::size_t>(r)] = sims_[static_cast<std::size_t>(r)].advanceTo(tEnd);
+    wallSec_[static_cast<std::size_t>(r)] +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  });
+  return steps[0];
+}
+
+StateVector DistributedSimulation::globalStateLike() const {
+  StateVector global;
+  const StateVector& local = sims_[0].state();
+  for (int i = 0; i < local.numSlots(); ++i) {
+    const Field& lf = local.slot(i);
+    global.addSlot(local.slotName(i), Field(lf.grid().parent(), lf.ncomp(), lf.nghost()));
+  }
+  return global;
+}
+
+void DistributedSimulation::gather(StateVector& global) const {
+  for (int r = 0; r < numRanks(); ++r) {
+    const StateVector& local = sims_[static_cast<std::size_t>(r)].state();
+    for (int i = 0; i < local.numSlots(); ++i) {
+      const Field& lf = local.slot(i);
+      Field& gf = global.slot(i);
+      const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(lf.ncomp());
+      forEachWindowCell(lf.grid(), [&](const MultiIndex& idx, const MultiIndex& gidx) {
+        std::memcpy(gf.at(gidx), lf.at(idx), bytes);
+      });
+    }
+  }
+}
+
+StateVector DistributedSimulation::gather() const {
+  StateVector global = globalStateLike();
+  gather(global);
+  return global;
+}
+
+void DistributedSimulation::scatter(const StateVector& global) {
+  for (int r = 0; r < numRanks(); ++r) {
+    StateVector& local = sims_[static_cast<std::size_t>(r)].state();
+    for (int i = 0; i < local.numSlots(); ++i) {
+      Field& lf = local.slot(i);
+      const Field& gf = global.slot(i);
+      const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(lf.ncomp());
+      forEachWindowCell(lf.grid(), [&](const MultiIndex& idx, const MultiIndex& gidx) {
+        std::memcpy(lf.at(idx), gf.at(gidx), bytes);
+      });
+    }
+  }
+}
+
+double DistributedSimulation::haloSeconds() const { return comm_->meanHaloSeconds(); }
+
+double DistributedSimulation::computeSeconds() const {
+  double s = 0.0;
+  for (int r = 0; r < numRanks(); ++r)
+    s += wallSec_[static_cast<std::size_t>(r)] - comm_->endpoint(r).haloSeconds();
+  return s / static_cast<double>(numRanks());
+}
+
+}  // namespace vdg

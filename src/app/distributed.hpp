@@ -1,0 +1,85 @@
+#pragma once
+// Rank-parallel execution of a builder-assembled Simulation (the paper's
+// Section IV two-level scheme, first level): configuration space is
+// block-decomposed over ranks by a CartDecomp, each rank owns a full
+// Simulation on its subgrid — the *entire* Updater pipeline (Vlasov,
+// Maxwell, current coupling, optional BGK collisions), not a free-
+// streaming stand-in — and runs it on its own thread. The only inter-rank
+// traffic is the one-layer configuration ghost exchange and the scalar
+// CFL reduction, both through the rank's ThreadComm endpoint.
+//
+// Because rank-local grids do their coordinate arithmetic in global terms
+// (Grid::subgrid) and the ghost exchange is a pure copy of the same cells
+// a serial periodic sync would read, the distributed trajectory is
+// bit-for-bit identical to the serial Simulation's (tests/
+// test_distributed.cpp proves this for Landau damping and a 2x2v Weibel
+// run). The measured compute/halo split calibrates the Fig. 3 analytic
+// MachineModel from real full-pipeline traffic.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+class DistributedSimulation {
+ public:
+  /// Shard the configured builder over numRanks: the builder's confGrid is
+  /// block-decomposed, and one Simulation per rank is built on its local
+  /// subgrid with the rank's communication endpoint (and a serial RHS
+  /// executor — the rank threads are the parallelism). Initial conditions
+  /// are projected per rank, bit-identical to a global projection.
+  DistributedSimulation(const Simulation::Builder& builder, int numRanks);
+
+  [[nodiscard]] int numRanks() const { return static_cast<int>(sims_.size()); }
+  [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
+  [[nodiscard]] Simulation& rankSim(int r) { return sims_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] const Simulation& rankSim(int r) const {
+    return sims_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] double time() const { return sims_[0].time(); }
+
+  /// Advance all ranks one step in parallel (dt from the global CFL
+  /// reduction, or dtFixed if positive). Returns the dt taken — identical
+  /// on every rank by construction.
+  double step(double dtFixed = 0.0);
+
+  /// Step until tEnd on all ranks in parallel; returns steps taken.
+  int advanceTo(double tEnd);
+
+  /// A zeroed global-shape StateVector (the slot layout of the undecomposed
+  /// simulation, reconstructed from the rank-local subgrids).
+  [[nodiscard]] StateVector globalStateLike() const;
+  /// Gather every rank's interior cells into a global StateVector.
+  void gather(StateVector& global) const;
+  [[nodiscard]] StateVector gather() const;
+  /// Overwrite every rank's interior cells from a global StateVector.
+  void scatter(const StateVector& global);
+
+  // --- measured two-level timing split (calibrates the Fig. 3 model).
+  /// Mean over ranks of wall seconds inside step()/advanceTo() minus the
+  /// rank's halo seconds.
+  [[nodiscard]] double computeSeconds() const;
+  /// Mean over ranks of seconds spent in ghost exchange (incl. barriers).
+  [[nodiscard]] double haloSeconds() const;
+  /// Total bytes exchanged between distinct ranks.
+  [[nodiscard]] std::uint64_t haloBytes() const { return comm_->totalHaloBytes(); }
+  /// Total ghost cells received from distinct ranks.
+  [[nodiscard]] std::uint64_t haloCells() const { return comm_->totalHaloCells(); }
+
+ private:
+  /// Run fn(rank) on one thread per rank, join, rethrow the first error.
+  template <typename Fn>
+  void onRanks(const Fn& fn);
+
+  CartDecomp decomp_;
+  std::unique_ptr<ThreadComm> comm_;  ///< declared before sims_: outlives them
+  std::vector<Simulation> sims_;
+  std::vector<double> wallSec_;  ///< per rank, cumulative step/advance wall time
+};
+
+}  // namespace vdg

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "app/updaters.hpp"
+#include "par/communicator.hpp"
 #include "par/thread_exec.hpp"
 
 namespace vdg {
@@ -96,6 +97,17 @@ Simulation::Builder& Simulation::Builder::threads(int n) {
   return *this;
 }
 
+Simulation::Builder& Simulation::Builder::communicator(Communicator* comm) {
+  comm_ = comm;
+  return *this;
+}
+
+const Grid& Simulation::Builder::confGrid() const {
+  if (!haveConfGrid_)
+    throw std::logic_error("Simulation::Builder::confGrid: no grid configured yet");
+  return confGrid_;
+}
+
 Simulation Simulation::Builder::build() {
   if (!haveConfGrid_)
     throw std::logic_error("Simulation::Builder: confGrid(...) is required");
@@ -109,6 +121,7 @@ Simulation Simulation::Builder::build() {
   sim.stepper_ = stepper_;
   sim.fieldParams_ = fieldParams_;
   sim.species_ = species_;  // copy: the builder stays reusable for variants
+  sim.comm_ = comm_ ? comm_ : &SerialComm::instance();
 
   ThreadExec* exec = &ThreadExec::global();
   if (threads_ > 0) {
@@ -167,7 +180,7 @@ Simulation Simulation::Builder::build() {
 
   // --- pipeline, in the canonical order of the coupled RHS.
   const bool useEm = evolveField_ || initField_.has_value();
-  sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim));
+  sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_));
   for (int s = 0; s < sim.numSpecies(); ++s) {
     sim.pipeline_.push_back(std::make_unique<VlasovRhsUpdater>(
         sim.vlasov_[static_cast<std::size_t>(s)].get(),
@@ -212,8 +225,10 @@ double Simulation::rhs(double t, StateVector& u, StateVector& k) {
 }
 
 double Simulation::step(double dtFixed) {
-  // Stage 1: k = L(u^n); pick dt.
-  const double freq = rhs(time_, state_, k_);
+  // Stage 1: k = L(u^n); pick dt from the *global* CFL frequency (the
+  // reduction is an identity for SerialComm; across ranks it guarantees
+  // every rank steps with the same dt).
+  const double freq = comm_->allReduceMax(rhs(time_, state_, k_));
   double dt = dtFixed;
   if (dt <= 0.0) {
     if (freq <= 0.0) throw std::runtime_error("Simulation::step: zero CFL frequency");

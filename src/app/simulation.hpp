@@ -34,6 +34,7 @@
 
 namespace vdg {
 
+class Communicator;
 class ThreadExec;
 
 /// Strong-stability-preserving Runge-Kutta time steppers operating
@@ -109,6 +110,10 @@ class Simulation {
   }
   [[nodiscard]] Stepper stepper() const { return stepper_; }
 
+  /// The communication endpoint this simulation's boundary sync and CFL
+  /// reduction run through (SerialComm for a non-distributed run).
+  [[nodiscard]] Communicator& comm() const { return *comm_; }
+
   /// Conservation diagnostics (paper Section II: the delicate J.E exchange).
   struct Energetics {
     double time = 0.0;
@@ -152,6 +157,7 @@ class Simulation {
   std::unique_ptr<MaxwellUpdater> maxwell_;
   std::vector<std::unique_ptr<Updater>> pipeline_;
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
+  Communicator* comm_ = nullptr;           ///< non-owning; SerialComm by default
 
   int emSlot_ = -1;
   StateVector state_;
@@ -186,6 +192,15 @@ class Simulation::Builder {
   /// RHS thread count: 0 (default) shares the process-global pool; n >= 1
   /// gives this simulation a dedicated pool of n threads (1 = serial).
   Builder& threads(int n);
+  /// Communication endpoint for boundary sync and the CFL reduction
+  /// (non-owning; must outlive the simulation). Default: the shared
+  /// SerialComm — single rank, periodic wrap. DistributedSimulation
+  /// passes each rank's ThreadComm endpoint through here.
+  Builder& communicator(Communicator* comm);
+
+  /// The configured configuration grid (throws if confGrid(...) has not
+  /// been called) — DistributedSimulation reads this to decompose it.
+  [[nodiscard]] const Grid& confGrid() const;
 
   [[nodiscard]] Simulation build();
 
@@ -202,6 +217,7 @@ class Simulation::Builder {
   Stepper stepper_ = Stepper::SspRk3;
   double cflFrac_ = 0.9;
   int threads_ = 0;
+  Communicator* comm_ = nullptr;
 };
 
 }  // namespace vdg

@@ -2,11 +2,15 @@
 
 #include <cmath>
 
+#include "par/communicator.hpp"
+
 namespace vdg {
 
 double BoundarySyncUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
-  for (int i = 0; i < in.numSlots(); ++i)
-    for (int d = 0; d < cdim_; ++d) in.slot(i).syncPeriodic(d);
+  // A null comm (direct construction in tests) means single-rank: one
+  // ghost code path, no duplicated wrap logic.
+  Communicator* comm = comm_ ? comm_ : &SerialComm::instance();
+  for (int i = 0; i < in.numSlots(); ++i) comm->syncConfGhosts(in.slot(i), cdim_);
   return 0.0;
 }
 

@@ -16,17 +16,25 @@
 
 namespace vdg {
 
-/// Repairs ghost layers of every slot of `in` by periodic wrap in the
-/// configuration dimensions (phase-space slots never need velocity ghosts:
-/// the velocity boundary uses the zero-flux closure). Must run first.
+class Communicator;
+
+/// Repairs ghost layers of every slot of `in` in the configuration
+/// dimensions (phase-space slots never need velocity ghosts: the velocity
+/// boundary uses the zero-flux closure). Must run first. The repair is
+/// delegated to a Communicator endpoint: SerialComm wraps periodically
+/// (bitwise the pre-distributed behavior); a ThreadComm endpoint pulls the
+/// decomposed dimensions' ghosts from neighboring ranks. A null
+/// communicator resolves to the shared SerialComm.
 class BoundarySyncUpdater final : public Updater {
  public:
-  explicit BoundarySyncUpdater(int cdim) : cdim_(cdim) {}
+  explicit BoundarySyncUpdater(int cdim, Communicator* comm = nullptr)
+      : cdim_(cdim), comm_(comm) {}
   [[nodiscard]] std::string name() const override { return "boundary:periodic"; }
   double apply(double t, const StateView& in, StateView& out) override;
 
  private:
   int cdim_;
+  Communicator* comm_;
 };
 
 /// Streaming + acceleration RHS of one species: out[slot] = L_vlasov(f).

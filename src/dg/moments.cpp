@@ -29,9 +29,16 @@ Grid MomentUpdater::confGrid() const {
   Grid g;
   g.ndim = cdim_;
   for (int d = 0; d < cdim_; ++d) {
-    g.cells[static_cast<std::size_t>(d)] = grid_.cells[static_cast<std::size_t>(d)];
-    g.lower[static_cast<std::size_t>(d)] = grid_.lower[static_cast<std::size_t>(d)];
-    g.upper[static_cast<std::size_t>(d)] = grid_.upper[static_cast<std::size_t>(d)];
+    const auto s = static_cast<std::size_t>(d);
+    g.cells[s] = grid_.cells[s];
+    g.lower[s] = grid_.lower[s];
+    g.upper[s] = grid_.upper[s];
+    // Preserve subgrid windowing (rank-local grids) so conf-space
+    // coordinate arithmetic stays bit-identical to the global grid's.
+    g.parentCells[s] = grid_.parentCells[s];
+    g.offset[s] = grid_.offset[s];
+    g.parentLower[s] = grid_.parentLower[s];
+    g.parentUpper[s] = grid_.parentUpper[s];
   }
   return g;
 }

@@ -5,21 +5,59 @@
 
 namespace vdg {
 
+Grid Grid::subgrid(int d, int start, int count) const {
+  const auto s = static_cast<std::size_t>(d);
+  if (d < 0 || d >= ndim || start < 0 || count < 1 || start + count > cells[s])
+    throw std::invalid_argument("Grid::subgrid: window out of range");
+  Grid g = *this;
+  if (g.parentCells[s] == 0) {
+    g.parentCells[s] = cells[s];
+    g.parentLower[s] = lower[s];
+    g.parentUpper[s] = upper[s];
+  }
+  g.offset[s] += start;
+  g.cells[s] = count;
+  // Nominal local bounds (coordinate arithmetic uses the parent fields).
+  const double pdx = g.dx(d);
+  g.lower[s] = g.parentLower[s] + g.offset[s] * pdx;
+  g.upper[s] = g.parentLower[s] + (g.offset[s] + count) * pdx;
+  return g;
+}
+
+Grid Grid::parent() const {
+  Grid g = *this;
+  for (int d = 0; d < ndim; ++d) {
+    const auto s = static_cast<std::size_t>(d);
+    if (g.parentCells[s] == 0) continue;
+    g.cells[s] = g.parentCells[s];
+    g.lower[s] = g.parentLower[s];
+    g.upper[s] = g.parentUpper[s];
+    g.parentCells[s] = 0;
+    g.offset[s] = 0;
+    g.parentLower[s] = 0.0;
+    g.parentUpper[s] = 0.0;
+  }
+  return g;
+}
+
 Grid Grid::phase(const Grid& conf, const Grid& vel) {
   if (conf.ndim + vel.ndim > kMaxDim)
     throw std::invalid_argument("Grid::phase: combined dimensionality exceeds 6");
   Grid g;
   g.ndim = conf.ndim + vel.ndim;
-  for (int d = 0; d < conf.ndim; ++d) {
-    g.cells[static_cast<std::size_t>(d)] = conf.cells[static_cast<std::size_t>(d)];
-    g.lower[static_cast<std::size_t>(d)] = conf.lower[static_cast<std::size_t>(d)];
-    g.upper[static_cast<std::size_t>(d)] = conf.upper[static_cast<std::size_t>(d)];
-  }
-  for (int d = 0; d < vel.ndim; ++d) {
-    g.cells[static_cast<std::size_t>(conf.ndim + d)] = vel.cells[static_cast<std::size_t>(d)];
-    g.lower[static_cast<std::size_t>(conf.ndim + d)] = vel.lower[static_cast<std::size_t>(d)];
-    g.upper[static_cast<std::size_t>(conf.ndim + d)] = vel.upper[static_cast<std::size_t>(d)];
-  }
+  const auto copyDim = [&g](const Grid& src, int from, int to) {
+    const auto f = static_cast<std::size_t>(from);
+    const auto t = static_cast<std::size_t>(to);
+    g.cells[t] = src.cells[f];
+    g.lower[t] = src.lower[f];
+    g.upper[t] = src.upper[f];
+    g.parentCells[t] = src.parentCells[f];
+    g.offset[t] = src.offset[f];
+    g.parentLower[t] = src.parentLower[f];
+    g.parentUpper[t] = src.parentUpper[f];
+  };
+  for (int d = 0; d < conf.ndim; ++d) copyDim(conf, d, d);
+  for (int d = 0; d < vel.ndim; ++d) copyDim(vel, d, conf.ndim + d);
   return g;
 }
 
@@ -41,17 +79,10 @@ Grid Grid::make(std::initializer_list<int> cells, std::initializer_list<double> 
 }
 
 void forEachCell(const Grid& grid, const std::function<void(const MultiIndex&)>& fn) {
-  MultiIndex idx;
-  while (true) {
-    fn(idx);
-    int d = 0;
-    while (d < grid.ndim) {
-      if (++idx[d] < grid.cells[static_cast<std::size_t>(d)]) break;
-      idx[d] = 0;
-      ++d;
-    }
-    if (d == grid.ndim) break;
-  }
+  // Thin type-erased wrapper over the templated iterator (one indirect
+  // call per cell; hot loops use the template directly).
+  forEachIndexInRange(grid.ndim, grid.cells.data(), 0, grid.numCells(),
+                      [&fn](const MultiIndex& idx) { fn(idx); });
 }
 
 Field::Field(const Grid& grid, int ncomp, int nghost)
@@ -86,45 +117,48 @@ void Field::copyFrom(const Field& other) {
   std::copy(other.data_.begin(), other.data_.end(), data_.begin());
 }
 
-void Field::forEachGhost(
-    int d, const std::function<void(const MultiIndex&, const MultiIndex&)>& fn) const {
-  // Iterate the full extended index space of all other dimensions and the
-  // ghost slabs of dimension d.
-  const int nd = grid_.ndim;
-  const int nc = grid_.cells[static_cast<std::size_t>(d)];
-  MultiIndex idx;
-  for (int i = 0; i < nd; ++i) idx[i] = -nghost_;
-  while (true) {
-    for (int g = 1; g <= nghost_; ++g) {
-      MultiIndex lo = idx, hi = idx;
-      lo[d] = -g;
-      hi[d] = nc - 1 + g;
-      MultiIndex loImg = lo, hiImg = hi;
-      loImg[d] = nc - g;
-      hiImg[d] = g - 1;
-      fn(lo, loImg);
-      fn(hi, hiImg);
-    }
-    int k = 0;
-    while (k < nd) {
-      if (k == d) {
-        ++k;
-        continue;
-      }
-      if (++idx[k] < grid_.cells[static_cast<std::size_t>(k)] + nghost_) break;
-      idx[k] = -nghost_;
-      ++k;
-    }
-    if (k == nd) break;
+std::size_t Field::ghostSlabSize(int d) const {
+  std::size_t n = static_cast<std::size_t>(nghost_) * static_cast<std::size_t>(ncomp_);
+  for (int k = 0; k < grid_.ndim; ++k) {
+    if (k == d) continue;
+    n *= static_cast<std::size_t>(grid_.cells[static_cast<std::size_t>(k)] + 2 * nghost_);
   }
+  return n;
+}
+
+void Field::packGhost(int d, int side, std::span<double> buf) const {
+  assert(buf.size() >= ghostSlabSize(d));
+  forEachSlabCell(d, side, /*ghost=*/false, [&](const MultiIndex& idx, std::size_t off) {
+    const double* src = at(idx);
+    std::copy(src, src + ncomp_, buf.data() + off);
+  });
+}
+
+void Field::unpackGhost(int d, int side, std::span<const double> buf) {
+  assert(buf.size() >= ghostSlabSize(d));
+  forEachSlabCell(d, side, /*ghost=*/true, [&](const MultiIndex& idx, std::size_t off) {
+    const double* src = buf.data() + off;
+    std::copy(src, src + ncomp_, at(idx));
+  });
 }
 
 void Field::syncPeriodic(int d) {
-  forEachGhost(d, [this](const MultiIndex& ghost, const MultiIndex& image) {
-    const double* src = at(image);
-    double* dst = at(ghost);
-    std::copy(src, src + ncomp_, dst);
-  });
+  // Self halo exchange: the lower ghost layer receives the upper interior
+  // slab and vice versa — the same pack format and pairing the distributed
+  // Communicator uses between neighboring ranks, so the serial and
+  // rank-parallel ghost paths are one code path (and bitwise identical:
+  // both are pure copies of the same cells). Scratch is thread_local: this
+  // runs per slot per conf dim on every RHS evaluation, and capacity
+  // retention keeps the hot path allocation-free after warmup (per thread,
+  // since rank threads may sync concurrently).
+  static thread_local std::vector<double> lo, hi;
+  const std::size_t n = ghostSlabSize(d);
+  if (lo.size() < n) lo.resize(n);
+  if (hi.size() < n) hi.resize(n);
+  packGhost(d, -1, lo);
+  packGhost(d, +1, hi);
+  unpackGhost(d, -1, hi);
+  unpackGhost(d, +1, lo);
 }
 
 void Field::zeroGhost(int d) {

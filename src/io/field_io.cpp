@@ -8,23 +8,37 @@
 namespace vdg {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x56444731'46494C44ull;  // "VDG1FILD"
+constexpr std::uint64_t kMagic = 0x56444731'46494C44ull;     // "VDG1FILD": plain grid
+constexpr std::uint64_t kMagicSub = 0x56444732'46494C44ull;  // "VDG2FILD": + subgrid window
 }
 
 void writeField(const std::string& path, const Field& field, double time) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("writeField: cannot open " + path);
   const Grid& g = field.grid();
+  // Rank-local (subgrid) fields carry their parent window in an extended
+  // record, so a checkpointed shard round-trips with its bit-exact global
+  // coordinate arithmetic intact; plain grids keep the v1 format.
+  const bool sub = g.isSubgrid();
+  const std::uint64_t magic = sub ? kMagicSub : kMagic;
   const std::int64_t nd = g.ndim, nc = field.ncomp();
-  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   os.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
   os.write(reinterpret_cast<const char*>(&nc), sizeof(nc));
   os.write(reinterpret_cast<const char*>(&time), sizeof(time));
   for (int d = 0; d < g.ndim; ++d) {
-    const std::int64_t cells = g.cells[static_cast<std::size_t>(d)];
+    const auto s = static_cast<std::size_t>(d);
+    const std::int64_t cells = g.cells[s];
     os.write(reinterpret_cast<const char*>(&cells), sizeof(cells));
-    os.write(reinterpret_cast<const char*>(&g.lower[static_cast<std::size_t>(d)]), sizeof(double));
-    os.write(reinterpret_cast<const char*>(&g.upper[static_cast<std::size_t>(d)]), sizeof(double));
+    os.write(reinterpret_cast<const char*>(&g.lower[s]), sizeof(double));
+    os.write(reinterpret_cast<const char*>(&g.upper[s]), sizeof(double));
+    if (sub) {
+      const std::int64_t pc = g.parentCells[s], off = g.offset[s];
+      os.write(reinterpret_cast<const char*>(&pc), sizeof(pc));
+      os.write(reinterpret_cast<const char*>(&off), sizeof(off));
+      os.write(reinterpret_cast<const char*>(&g.parentLower[s]), sizeof(double));
+      os.write(reinterpret_cast<const char*>(&g.parentUpper[s]), sizeof(double));
+    }
   }
   forEachCell(g, [&](const MultiIndex& idx) {
     os.write(reinterpret_cast<const char*>(field.at(idx)),
@@ -40,18 +54,30 @@ LoadedField readField(const std::string& path) {
   std::int64_t nd = 0, nc = 0;
   double time = 0.0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kMagic) throw std::runtime_error("readField: bad magic in " + path);
+  if (magic != kMagic && magic != kMagicSub)
+    throw std::runtime_error("readField: bad magic in " + path);
+  const bool sub = magic == kMagicSub;
   is.read(reinterpret_cast<char*>(&nd), sizeof(nd));
   is.read(reinterpret_cast<char*>(&nc), sizeof(nc));
   is.read(reinterpret_cast<char*>(&time), sizeof(time));
   Grid g;
   g.ndim = static_cast<int>(nd);
   for (int d = 0; d < g.ndim; ++d) {
+    const auto s = static_cast<std::size_t>(d);
     std::int64_t cells = 0;
     is.read(reinterpret_cast<char*>(&cells), sizeof(cells));
-    g.cells[static_cast<std::size_t>(d)] = static_cast<int>(cells);
-    is.read(reinterpret_cast<char*>(&g.lower[static_cast<std::size_t>(d)]), sizeof(double));
-    is.read(reinterpret_cast<char*>(&g.upper[static_cast<std::size_t>(d)]), sizeof(double));
+    g.cells[s] = static_cast<int>(cells);
+    is.read(reinterpret_cast<char*>(&g.lower[s]), sizeof(double));
+    is.read(reinterpret_cast<char*>(&g.upper[s]), sizeof(double));
+    if (sub) {
+      std::int64_t pc = 0, off = 0;
+      is.read(reinterpret_cast<char*>(&pc), sizeof(pc));
+      is.read(reinterpret_cast<char*>(&off), sizeof(off));
+      g.parentCells[s] = static_cast<int>(pc);
+      g.offset[s] = static_cast<int>(off);
+      is.read(reinterpret_cast<char*>(&g.parentLower[s]), sizeof(double));
+      is.read(reinterpret_cast<char*>(&g.parentUpper[s]), sizeof(double));
+    }
   }
   LoadedField out{Field(g, static_cast<int>(nc)), time};
   forEachCell(g, [&](const MultiIndex& idx) {

@@ -1,0 +1,147 @@
+#include "par/communicator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace vdg {
+
+SerialComm& SerialComm::instance() {
+  static SerialComm comm;
+  return comm;
+}
+
+// -------------------------------------------------------------- ThreadComm
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+/// One rank's endpoint into the shared ThreadComm state. The mailbox
+/// protocol per dimension:
+///   pack my two boundary slabs into my send buffers
+///   barrier                      (everyone's slabs are published)
+///   unpack my ghosts from my lower/upper neighbors' buffers
+///   barrier                      (everyone is done reading; buffers may
+///                                 be reused for the next dimension)
+/// A dimension with one block has this rank as both neighbors: the
+/// exchange is a self pack/unpack, i.e. exactly the periodic wrap of
+/// Field::syncPeriodic — one code path for serial and distributed ghosts.
+class ThreadComm::Endpoint final : public Communicator {
+ public:
+  Endpoint(ThreadComm& owner, int rank) : owner_(&owner), rank_(rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int numRanks() const override { return owner_->numRanks(); }
+
+  void syncConfGhosts(Field& f, int cdim) override {
+    assert(cdim <= owner_->decomp_.cdim);
+    const auto r = static_cast<std::size_t>(rank_);
+    for (int d = 0; d < cdim; ++d) {
+      if (owner_->decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
+        // Non-decomposed dimension: every rank owns the full extent, so
+        // the exchange is a pure self-copy — do the periodic wrap locally
+        // (bitwise the same cells) and skip both barriers. blocks[] is
+        // shared state, so all ranks take this branch consistently and
+        // the collective call sequence stays in lockstep. Untimed: a
+        // serial run does this same wrap as part of compute, so booking
+        // it as halo would skew the measured compute/halo split.
+        f.syncPeriodic(d);
+        continue;
+      }
+      const auto t0 = Clock::now();
+      const std::size_t n = f.ghostSlabSize(d);
+      std::vector<double>& lo = owner_->sendLo_[r];
+      std::vector<double>& hi = owner_->sendHi_[r];
+      lo.resize(n);
+      hi.resize(n);
+      f.packGhost(d, -1, lo);
+      f.packGhost(d, +1, hi);
+      owner_->bar_.arrive_and_wait();
+      const auto ln = static_cast<std::size_t>(owner_->decomp_.neighbor(rank_, d, -1));
+      const auto un = static_cast<std::size_t>(owner_->decomp_.neighbor(rank_, d, +1));
+      // Neighbors along d share every transverse block extent, so their
+      // slab shapes match this rank's exactly.
+      assert(owner_->sendHi_[ln].size() == n && owner_->sendLo_[un].size() == n);
+      f.unpackGhost(d, -1, owner_->sendHi_[ln]);  // lower ghosts <- left's upper slab
+      f.unpackGhost(d, +1, owner_->sendLo_[un]);  // upper ghosts <- right's lower slab
+      owner_->bar_.arrive_and_wait();
+      const std::size_t slabCells = n / static_cast<std::size_t>(f.ncomp());
+      if (static_cast<int>(ln) != rank_) {
+        bytes_ += n * sizeof(double);
+        cells_ += slabCells;
+      }
+      if (static_cast<int>(un) != rank_) {
+        bytes_ += n * sizeof(double);
+        cells_ += slabCells;
+      }
+      sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+  }
+
+  [[nodiscard]] double allReduceMax(double v) override {
+    return reduce(v, [](double a, double b) { return std::max(a, b); });
+  }
+  [[nodiscard]] double allReduceSum(double v) override {
+    return reduce(v, [](double a, double b) { return a + b; });
+  }
+
+  void barrier() override { owner_->bar_.arrive_and_wait(); }
+
+  [[nodiscard]] std::uint64_t haloBytes() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t haloCells() const override { return cells_; }
+  [[nodiscard]] double haloSeconds() const override { return sec_; }
+
+ private:
+  template <typename Op>
+  double reduce(double v, Op op) {
+    owner_->reduceSlots_[static_cast<std::size_t>(rank_)] = v;
+    owner_->bar_.arrive_and_wait();
+    // Every rank folds the slots in the same (rank) order, so all see the
+    // same bits even for non-associative ops like +.
+    double acc = owner_->reduceSlots_[0];
+    for (int r = 1; r < numRanks(); ++r)
+      acc = op(acc, owner_->reduceSlots_[static_cast<std::size_t>(r)]);
+    owner_->bar_.arrive_and_wait();  // slots free for the next reduction
+    return acc;
+  }
+
+  ThreadComm* owner_;
+  int rank_;
+  std::uint64_t bytes_ = 0, cells_ = 0;
+  double sec_ = 0.0;
+};
+
+ThreadComm::~ThreadComm() = default;
+
+Communicator& ThreadComm::endpoint(int rank) const {
+  return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+ThreadComm::ThreadComm(const CartDecomp& decomp)
+    : decomp_(decomp), bar_(decomp.numRanks()), sendLo_(static_cast<std::size_t>(decomp.numRanks())),
+      sendHi_(static_cast<std::size_t>(decomp.numRanks())),
+      reduceSlots_(static_cast<std::size_t>(decomp.numRanks()), 0.0) {
+  for (int r = 0; r < decomp.numRanks(); ++r)
+    endpoints_.push_back(std::make_unique<Endpoint>(*this, r));
+}
+
+std::uint64_t ThreadComm::totalHaloBytes() const {
+  std::uint64_t b = 0;
+  for (const auto& e : endpoints_) b += e->haloBytes();
+  return b;
+}
+
+std::uint64_t ThreadComm::totalHaloCells() const {
+  std::uint64_t c = 0;
+  for (const auto& e : endpoints_) c += e->haloCells();
+  return c;
+}
+
+double ThreadComm::meanHaloSeconds() const {
+  double s = 0.0;
+  for (const auto& e : endpoints_) s += e->haloSeconds();
+  return endpoints_.empty() ? 0.0 : s / static_cast<double>(endpoints_.size());
+}
+
+}  // namespace vdg

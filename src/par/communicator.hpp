@@ -1,0 +1,112 @@
+#pragma once
+// The rank-communication seam of the distributed layer (paper Section IV):
+// a per-rank Communicator endpoint abstracts the only two collectives the
+// two-level parallel scheme needs — the one-layer configuration-space
+// ghost exchange feeding the DG surface terms, and scalar reductions for
+// the global CFL condition.
+//
+// Backends:
+//  - SerialComm: the single-rank endpoint. Ghost "exchange" degenerates to
+//    the periodic wrap of Field::syncPeriodic (which itself runs on the
+//    shared packGhost/unpackGhost slab path), bitwise identical to the
+//    pre-distributed serial code.
+//  - ThreadComm: an in-process multi-rank backend. Each rank runs on its
+//    own thread; halo exchange is mailbox-style (pack into the owner's
+//    send buffers, barrier, unpack from the neighbors' buffers, barrier),
+//    exactly the communication pattern of an MPI halo exchange. Neighbor
+//    lookup comes from a CartDecomp; a dimension with one block exchanges
+//    with itself, which *is* the periodic wrap — serial and distributed
+//    ghost repair are one code path.
+//
+// Contract: every collective (syncConfGhosts, allReduce*, barrier) must be
+// entered by all ranks of a ThreadComm in the same order, each from its
+// own thread (DistributedSimulation drives this in lockstep).
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+/// One rank's communication endpoint.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int numRanks() const = 0;
+
+  /// Repair the ghost layers of the configuration dimensions [0, cdim) of
+  /// a rank-local field: decomposed dimensions receive the neighboring
+  /// ranks' boundary slabs, non-decomposed ones wrap periodically.
+  /// Dimensions are synced in order with completion between them, so the
+  /// corner ghosts match the serial syncPeriodic(0..cdim-1) sequence.
+  virtual void syncConfGhosts(Field& f, int cdim) = 0;
+
+  /// Global reductions (the CFL frequency uses max). Every rank receives
+  /// the same value, computed in a deterministic rank order.
+  [[nodiscard]] virtual double allReduceMax(double v) = 0;
+  [[nodiscard]] virtual double allReduceSum(double v) = 0;
+
+  virtual void barrier() {}
+
+  // --- measured halo traffic (calibrates the Fig. 3 MachineModel).
+  /// Bytes this rank exchanged with *other* ranks (self-wrap is free).
+  [[nodiscard]] virtual std::uint64_t haloBytes() const { return 0; }
+  /// Ghost cells this rank received from other ranks.
+  [[nodiscard]] virtual std::uint64_t haloCells() const { return 0; }
+  /// Wall seconds this rank spent in syncConfGhosts (including barrier
+  /// waits — the quantity an MPI profile would report as halo time).
+  [[nodiscard]] virtual double haloSeconds() const { return 0.0; }
+};
+
+/// The single-rank backend: periodic wrap, no synchronization, no traffic.
+class SerialComm final : public Communicator {
+ public:
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int numRanks() const override { return 1; }
+  void syncConfGhosts(Field& f, int cdim) override {
+    for (int d = 0; d < cdim; ++d) f.syncPeriodic(d);
+  }
+  [[nodiscard]] double allReduceMax(double v) override { return v; }
+  [[nodiscard]] double allReduceSum(double v) override { return v; }
+
+  /// Shared stateless instance (safe for concurrent use: syncConfGhosts
+  /// only touches the field passed in).
+  [[nodiscard]] static SerialComm& instance();
+};
+
+/// In-process multi-rank backend: one endpoint per rank, each driven by
+/// its own thread, synchronized through a shared barrier and per-rank
+/// mailbox buffers.
+class ThreadComm {
+ public:
+  explicit ThreadComm(const CartDecomp& decomp);
+  ~ThreadComm();
+  ThreadComm(const ThreadComm&) = delete;
+  ThreadComm& operator=(const ThreadComm&) = delete;
+
+  [[nodiscard]] int numRanks() const { return static_cast<int>(endpoints_.size()); }
+  [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
+  [[nodiscard]] Communicator& endpoint(int rank) const;
+
+  // Aggregates over all endpoints.
+  [[nodiscard]] std::uint64_t totalHaloBytes() const;
+  [[nodiscard]] std::uint64_t totalHaloCells() const;
+  [[nodiscard]] double meanHaloSeconds() const;
+
+ private:
+  class Endpoint;
+
+  CartDecomp decomp_;
+  std::barrier<> bar_;
+  std::vector<std::vector<double>> sendLo_, sendHi_;  ///< per rank mailboxes
+  std::vector<double> reduceSlots_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace vdg

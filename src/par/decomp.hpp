@@ -5,6 +5,7 @@
 // shared-memory level), so the only inter-rank traffic is the single layer
 // of configuration-space ghost cells the DG surface terms need.
 
+#include <array>
 #include <vector>
 
 #include "grid/grid.hpp"
@@ -12,7 +13,8 @@
 namespace vdg {
 
 /// Slab decomposition of configuration dimension `dim` into `numRanks`
-/// contiguous, near-equal extents.
+/// contiguous, near-equal extents (the 1-D special case of CartDecomp,
+/// kept for the analytic model and simple call sites).
 struct SlabDecomp {
   int dim = 0;
   int numRanks = 1;
@@ -22,7 +24,41 @@ struct SlabDecomp {
   static SlabDecomp make(int totalCells, int numRanks, int dim = 0);
 
   /// Local phase grid of a rank: the global grid with dimension `dim`
-  /// restricted to the rank's slab.
+  /// restricted to the rank's slab (a bit-exact Grid::subgrid window).
+  [[nodiscard]] Grid localGrid(const Grid& global, int rank) const;
+};
+
+/// Multi-dimensional block decomposition of the first `cdim` (configuration)
+/// dimensions of a grid into numRanks = prod(blocks) near-equal blocks.
+/// Rank order is odometer over block coordinates, dimension 0 fastest;
+/// neighbor lookup wraps periodically (a dimension with one block is its
+/// own neighbor — periodic wrap and halo exchange become one code path).
+struct CartDecomp {
+  int cdim = 1;                       ///< number of decomposed (config) dims
+  std::array<int, kMaxDim> blocks{};  ///< blocks per dim; product == numRanks
+  std::array<std::vector<int>, kMaxDim> start;  ///< per dim, per block: first cell
+  std::array<std::vector<int>, kMaxDim> count;  ///< per dim, per block: cell count
+
+  /// Block-decompose `confGrid` over numRanks: every factorization of
+  /// numRanks into per-dim block counts (each <= that dimension's cells)
+  /// is considered; smallest maximum per-rank cell load wins, halo
+  /// surface breaking ties. Throws when no factorization fits (one cell
+  /// per block minimum).
+  static CartDecomp make(const Grid& confGrid, int numRanks);
+
+  [[nodiscard]] int numRanks() const;
+
+  /// Block coordinates of a rank (dimension 0 fastest).
+  [[nodiscard]] std::array<int, kMaxDim> coords(int rank) const;
+  /// Rank at block coordinates, wrapping periodically per dimension.
+  [[nodiscard]] int rankOf(std::array<int, kMaxDim> c) const;
+  /// Neighbor of `rank` one block over in `dim` (side == -1 lower, +1
+  /// upper), with periodic wrap; rank itself when blocks[dim] == 1.
+  [[nodiscard]] int neighbor(int rank, int dim, int side) const;
+
+  /// Rank-local grid: `global` (conf or phase grid whose first cdim dims
+  /// are configuration space) windowed to the rank's block via
+  /// Grid::subgrid — coordinate arithmetic stays bit-identical to global.
   [[nodiscard]] Grid localGrid(const Grid& global, int rank) const;
 };
 

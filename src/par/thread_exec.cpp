@@ -1,9 +1,7 @@
 #include "par/thread_exec.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 #include <thread>
 
@@ -126,122 +124,6 @@ void ThreadExec::workerLoop(int t) {
 ThreadExec& ThreadExec::global() {
   static ThreadExec exec(0);
   return exec;
-}
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-/// Iterate all index tuples of dims [1, ndim) of `grid` interior.
-template <typename Fn>
-void forEachTransverse(const Grid& grid, Fn fn) {
-  MultiIndex idx;
-  while (true) {
-    fn(idx);
-    int d = 1;
-    while (d < grid.ndim) {
-      if (++idx[d] < grid.cells[static_cast<std::size_t>(d)]) break;
-      idx[d] = 0;
-      ++d;
-    }
-    if (d == grid.ndim) break;
-  }
-}
-
-}  // namespace
-
-DistributedVlasov::DistributedVlasov(const BasisSpec& spec, const Grid& globalPhaseGrid,
-                                     int numRanks, const VlasovParams& params)
-    : spec_(spec), global_(globalPhaseGrid),
-      decomp_(SlabDecomp::make(globalPhaseGrid.cells[0], numRanks, 0)), params_(params),
-      np_(basisFor(spec).numModes()) {
-  for (int r = 0; r < numRanks; ++r) {
-    localGrid_.push_back(decomp_.localGrid(global_, r));
-    local_.emplace_back(localGrid_.back(), np_);
-    rhs_.emplace_back(localGrid_.back(), np_);
-    updater_.emplace_back(spec, localGrid_.back(), params_);
-    // The rank threads are the parallelism here (the MPI stand-in): keep
-    // each rank's updater serial so the compute/comm timing split that
-    // calibrates the Fig. 3 model is not skewed by intra-rank threading.
-    updater_.back().setExecutor(nullptr);
-  }
-}
-
-void DistributedVlasov::scatter(const Field& global) {
-  for (int r = 0; r < numRanks(); ++r) {
-    const int off = decomp_.start[static_cast<std::size_t>(r)];
-    Field& loc = local_[static_cast<std::size_t>(r)];
-    const Grid& lg = localGrid_[static_cast<std::size_t>(r)];
-    forEachCell(lg, [&](const MultiIndex& idx) {
-      MultiIndex gidx = idx;
-      gidx[0] += off;
-      std::memcpy(loc.at(idx), global.at(gidx), sizeof(double) * static_cast<std::size_t>(np_));
-    });
-  }
-}
-
-void DistributedVlasov::gather(Field& global) const {
-  for (int r = 0; r < numRanks(); ++r) {
-    const int off = decomp_.start[static_cast<std::size_t>(r)];
-    const Field& loc = local_[static_cast<std::size_t>(r)];
-    const Grid& lg = localGrid_[static_cast<std::size_t>(r)];
-    forEachCell(lg, [&](const MultiIndex& idx) {
-      MultiIndex gidx = idx;
-      gidx[0] += off;
-      std::memcpy(global.at(gidx), loc.at(idx), sizeof(double) * static_cast<std::size_t>(np_));
-    });
-  }
-}
-
-void DistributedVlasov::haloExchange() {
-  // Periodic ring exchange along decomposed dim 0: each rank's lower ghost
-  // slab is the left neighbour's last interior slab, and vice versa. The
-  // non-decomposed configuration dims (if any) are synced locally.
-  const int nr = numRanks();
-  for (int r = 0; r < nr; ++r) {
-    const int left = (r + nr - 1) % nr;
-    const int right = (r + 1) % nr;
-    Field& loc = local_[static_cast<std::size_t>(r)];
-    const Field& lf = local_[static_cast<std::size_t>(left)];
-    const Field& rf = local_[static_cast<std::size_t>(right)];
-    const int nLeft = decomp_.count[static_cast<std::size_t>(left)];
-    const int nLoc = decomp_.count[static_cast<std::size_t>(r)];
-    forEachTransverse(localGrid_[static_cast<std::size_t>(r)], [&](const MultiIndex& t) {
-      MultiIndex ghost = t, src = t;
-      ghost[0] = -1;
-      src[0] = nLeft - 1;
-      std::memcpy(loc.at(ghost), lf.at(src), sizeof(double) * static_cast<std::size_t>(np_));
-      ghost[0] = nLoc;
-      src[0] = 0;
-      std::memcpy(loc.at(ghost), rf.at(src), sizeof(double) * static_cast<std::size_t>(np_));
-    });
-    for (int d = 1; d < spec_.cdim; ++d) loc.syncPeriodic(d);
-  }
-}
-
-void DistributedVlasov::run(int numSteps, double dt) {
-  for (int s = 0; s < numSteps; ++s) {
-    const auto t0 = Clock::now();
-    haloExchange();
-    const auto t1 = Clock::now();
-    commSec_ += seconds(t0, t1);
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(numRanks()));
-    for (int r = 0; r < numRanks(); ++r) {
-      threads.emplace_back([this, r, dt] {
-        updater_[static_cast<std::size_t>(r)].advance(local_[static_cast<std::size_t>(r)], nullptr,
-                                                      rhs_[static_cast<std::size_t>(r)]);
-        local_[static_cast<std::size_t>(r)].axpy(dt, rhs_[static_cast<std::size_t>(r)]);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    compSec_ += seconds(t1, Clock::now());
-  }
 }
 
 }  // namespace vdg

@@ -1,21 +1,16 @@
 #pragma once
-// Thread-backed execution for the single-node hot path, in two layers:
+// ThreadExec: the intra-rank (second) level of the paper's two-level
+// parallel scheme — a persistent worker-thread pool with a blocking
+// parallelFor over an index range. The per-cell RHS loops of the DG
+// updaters (Vlasov volume/surface terms, BGK Maxwellian projection) route
+// through it so the update is parallel by default. Chunks are contiguous
+// and cells are written by exactly one chunk, so the threaded result is
+// bit-for-bit identical to serial execution.
 //
-//  1. ThreadExec — a persistent worker-thread pool with a blocking
-//     parallelFor over an index range. The per-cell RHS loops of the DG
-//     updaters (Vlasov volume/surface terms, BGK Maxwellian projection)
-//     route through it so the update is parallel by default. Chunks are
-//     contiguous and cells are written by exactly one chunk, so the
-//     threaded result is bit-for-bit identical to serial execution.
-//
-//  2. DistributedVlasov — the structural stand-in for the paper's MPI
-//     layer. Each "rank" is a thread owning a slab of configuration space
-//     with its own phase-space field (one ghost layer); a halo exchange
-//     copies boundary cells between neighbouring ranks under a barrier,
-//     exactly the communication pattern of the MPI code. The decomposed
-//     run is verified *bit-for-bit* against the serial solver (tests), and
-//     the timing split (compute vs. halo copy) calibrates the analytic
-//     scaling model in par/comm_model.hpp that projects Fig. 3.
+// The first (inter-rank) level — configuration-space domain decomposition
+// with packed ghost exchange — lives in par/communicator.hpp (Communicator
+// backends over a CartDecomp) and app/distributed.hpp
+// (DistributedSimulation, which runs the full Updater pipeline per rank).
 
 #include <atomic>
 #include <condition_variable>
@@ -26,8 +21,7 @@
 #include <thread>
 #include <vector>
 
-#include "dg/vlasov.hpp"
-#include "par/decomp.hpp"
+#include "grid/grid.hpp"
 
 namespace vdg {
 
@@ -37,8 +31,8 @@ namespace vdg {
 ///
 /// parallelFor is not reentrant: a call issued while another is in flight
 /// (from a worker, or from a concurrent caller such as the per-rank threads
-/// of DistributedVlasov) runs the loop inline on the calling thread. This
-/// makes nested use safe and keeps updaters oblivious to their context.
+/// of DistributedSimulation) runs the loop inline on the calling thread.
+/// This makes nested use safe and keeps updaters oblivious to their context.
 class ThreadExec {
  public:
   /// numThreads <= 0: use VDG_NUM_THREADS if set, else hardware_concurrency.
@@ -104,40 +98,5 @@ void parallelForEachCell(ThreadExec* exec, const Grid& grid, const Fn& fn) {
     forEachIndexInRange(grid.ndim, grid.cells.data(), begin, end, fn);
   });
 }
-
-/// A free-streaming Vlasov simulation decomposed over threads along
-/// configuration dimension 0 (periodic).
-class DistributedVlasov {
- public:
-  DistributedVlasov(const BasisSpec& spec, const Grid& globalPhaseGrid, int numRanks,
-                    const VlasovParams& params);
-
-  /// Scatter a global field into the per-rank local fields.
-  void scatter(const Field& global);
-  /// Gather local interiors into a global field.
-  void gather(Field& global) const;
-
-  /// Run `numSteps` forward-Euler steps of size dt on all ranks in
-  /// parallel (halo exchange + advance + update per step).
-  void run(int numSteps, double dt);
-
-  [[nodiscard]] int numRanks() const { return static_cast<int>(local_.size()); }
-  [[nodiscard]] double commSeconds() const { return commSec_; }
-  [[nodiscard]] double computeSeconds() const { return compSec_; }
-
- private:
-  void haloExchange();
-
-  BasisSpec spec_;
-  Grid global_;
-  SlabDecomp decomp_;
-  VlasovParams params_;
-  int np_ = 0;
-  std::vector<Grid> localGrid_;
-  std::vector<Field> local_;
-  std::vector<Field> rhs_;
-  std::vector<VlasovUpdater> updater_;
-  double commSec_ = 0.0, compSec_ = 0.0;
-};
 
 }  // namespace vdg

@@ -36,6 +36,31 @@ TEST(FieldIo, RoundTripPreservesEverything) {
   std::filesystem::remove(path);
 }
 
+TEST(FieldIo, SubgridRoundTripPreservesParentWindow) {
+  // A rank-local (subgrid) field must come back with its parent window —
+  // and therefore its bit-exact global coordinate arithmetic — intact.
+  const Grid parent = Grid::make({12, 3}, {0.25, -1.0}, {7.75, 1.0});
+  const Grid g = parent.subgrid(0, 5, 4);
+  Field f(g, 2);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int k = 0; k < 2; ++k) f.at(idx)[k] = 10.0 * idx[0] + idx[1] + 0.5 * k;
+  });
+  const std::string path = tmpPath("vdg_subgrid_roundtrip.bin");
+  writeField(path, f, 1.5);
+  const LoadedField back = readField(path);
+  const Grid& bg = back.field.grid();
+  EXPECT_TRUE(bg.isSubgrid());
+  EXPECT_EQ(bg.offset[0], 5);
+  EXPECT_EQ(bg.parentCells[0], 12);
+  EXPECT_EQ(bg.dx(0), g.dx(0));  // exact: parent-term arithmetic survives
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(bg.cellCenter(0, i), parent.cellCenter(0, 5 + i));
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int k = 0; k < 2; ++k) EXPECT_DOUBLE_EQ(back.field.at(idx)[k], f.at(idx)[k]);
+  });
+  std::filesystem::remove(path);
+}
+
 TEST(FieldIo, ReadRejectsGarbage) {
   const std::string path = tmpPath("vdg_garbage.bin");
   {

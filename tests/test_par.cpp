@@ -1,16 +1,17 @@
-// Parallel substrate tests: the thread-backed rank runtime must reproduce
-// the serial solver bit-for-bit (same kernels, same per-cell operation
-// order, halo exchange replacing the shared array), and the decomposition
-// and scaling-model helpers must be self-consistent.
+// Parallel substrate tests: the ThreadExec pool, the slab/Cartesian
+// decompositions (including the degenerate and uneven cases the
+// distributed layer must survive), the packed halo-slab format of Field,
+// and the analytic scaling-model helpers. The end-to-end rank-parallel
+// identity tests live in test_distributed.cpp.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numbers>
 #include <vector>
 
-#include "app/projection.hpp"
 #include "par/comm_model.hpp"
 #include "par/decomp.hpp"
 #include "par/thread_exec.hpp"
@@ -106,51 +107,165 @@ TEST(Factor3, NearCubicFactorizations) {
   EXPECT_EQ(f12[0] * f12[1] * f12[2], 12);
 }
 
-TEST(DistributedVlasov, MatchesSerialBitForBit) {
-  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
-  const Grid conf = Grid::make({12}, {0.0}, {2.0 * std::numbers::pi});
-  const Grid vel = Grid::make({8}, {-4.0}, {4.0});
-  const Grid pg = Grid::phase(conf, vel);
-  const Basis& b = basisFor(spec);
-
-  Field f0(pg, b.numModes());
-  projectOnBasis(
-      b, pg,
-      [](const double* z) {
-        return (1.0 + 0.3 * std::sin(z[0])) * std::exp(-0.5 * z[1] * z[1]);
-      },
-      f0);
-
-  // Serial forward-Euler reference.
-  VlasovParams params;
-  const VlasovUpdater serial(spec, pg, params);
-  Field fs(pg, b.numModes()), rhs(pg, b.numModes());
-  fs.copyFrom(f0);
-  const double dt = 1e-3;
-  const int steps = 5;
-  for (int s = 0; s < steps; ++s) {
-    fs.syncPeriodic(0);
-    serial.advance(fs, nullptr, rhs);
-    fs.axpy(dt, rhs);
+TEST(Factor3, PrimesDegradeToSlabs) {
+  for (int p : {2, 3, 7, 13, 97}) {
+    auto f = factor3(p);
+    EXPECT_EQ(f[0] * f[1] * f[2], p) << p;
+    // A prime has no non-trivial 3-way split: two factors must be 1.
+    std::sort(f.begin(), f.end());
+    EXPECT_EQ(f[0], 1) << p;
+    EXPECT_EQ(f[1], 1) << p;
+    EXPECT_EQ(f[2], p) << p;
   }
+}
 
-  for (int nranks : {2, 3, 4}) {
-    DistributedVlasov dist(spec, pg, nranks, params);
-    dist.scatter(f0);
-    dist.run(steps, dt);
-    Field fg(pg, b.numModes());
-    dist.gather(fg);
-    double maxDiff = 0.0, maxAbs = 0.0;
-    forEachCell(pg, [&](const MultiIndex& idx) {
-      for (int l = 0; l < b.numModes(); ++l) {
-        maxDiff = std::max(maxDiff, std::abs(fg.at(idx)[l] - fs.at(idx)[l]));
-        maxAbs = std::max(maxAbs, std::abs(fs.at(idx)[l]));
+TEST(CartDecomp, OneDimPartitionsEvenlyWithPeriodicNeighbors) {
+  const Grid conf = Grid::make({12}, {0.0}, {1.0});
+  const CartDecomp d = CartDecomp::make(conf, 4);
+  EXPECT_EQ(d.numRanks(), 4);
+  EXPECT_EQ(d.blocks[0], 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.count[0][static_cast<std::size_t>(r)], 3);
+    EXPECT_EQ(d.neighbor(r, 0, +1), (r + 1) % 4);
+    EXPECT_EQ(d.neighbor(r, 0, -1), (r + 3) % 4);
+  }
+}
+
+TEST(CartDecomp, MultiDimUnevenBlocksTileTheGrid) {
+  const Grid conf = Grid::make({8, 4}, {0.0, 0.0}, {1.0, 1.0});
+  const CartDecomp d = CartDecomp::make(conf, 6);
+  EXPECT_EQ(d.numRanks(), 6);
+  EXPECT_EQ(d.blocks[0] * d.blocks[1], 6);
+  // Every cell of the grid is owned by exactly one rank.
+  std::vector<int> owners(8 * 4, 0);
+  for (int r = 0; r < 6; ++r) {
+    const Grid lg = d.localGrid(conf, r);
+    forEachCell(lg, [&](const MultiIndex& idx) {
+      const int gx = idx[0] + lg.offset[0];
+      const int gy = idx[1] + lg.offset[1];
+      owners[static_cast<std::size_t>(gy * 8 + gx)] += 1;
+    });
+  }
+  for (int o : owners) EXPECT_EQ(o, 1);
+  // coords <-> rank round trip.
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(d.rankOf(d.coords(r)), r);
+}
+
+TEST(CartDecomp, LocalGridCoordinateArithmeticIsBitExact) {
+  const Grid conf = Grid::make({10}, {0.25}, {7.75});
+  const CartDecomp d = CartDecomp::make(conf, 4);  // uneven: 3,3,2,2
+  for (int r = 0; r < 4; ++r) {
+    const Grid lg = d.localGrid(conf, r);
+    EXPECT_EQ(lg.dx(0), conf.dx(0)) << r;  // exact, not NEAR
+    for (int i = 0; i < lg.cells[0]; ++i)
+      EXPECT_EQ(lg.cellCenter(0, i), conf.cellCenter(0, lg.offset[0] + i)) << r << "," << i;
+  }
+}
+
+TEST(CartDecomp, FindsExactTilingsGreedyPlacementWouldMiss) {
+  // 12 ranks on 4x3: the only valid factorization is 4x3 (a greedy
+  // largest-factor-first pass puts 3 on the 4-cell dim and strands a 2).
+  const CartDecomp d = CartDecomp::make(Grid::make({4, 3}, {0.0, 0.0}, {1.0, 1.0}), 12);
+  EXPECT_EQ(d.blocks[0], 4);
+  EXPECT_EQ(d.blocks[1], 3);
+  // Load balance beats minimal halo surface: 6 ranks on 8x4 as 3x2
+  // (max 3x2=6 cells/rank), not the slab 6x1 (max 2x4=8 cells/rank).
+  const CartDecomp e = CartDecomp::make(Grid::make({8, 4}, {0.0, 0.0}, {1.0, 1.0}), 6);
+  EXPECT_EQ(e.blocks[0], 3);
+  EXPECT_EQ(e.blocks[1], 2);
+}
+
+TEST(CartDecomp, ThrowsWhenRanksCannotBePlaced) {
+  // More ranks than cells.
+  EXPECT_THROW(CartDecomp::make(Grid::make({2}, {0.0}, {1.0}), 3), std::invalid_argument);
+  // Enough cells in total, but a prime factor exceeds every dimension.
+  EXPECT_THROW(CartDecomp::make(Grid::make({2, 2}, {0.0, 0.0}, {1.0, 1.0}), 5),
+               std::invalid_argument);
+  // A composite that cannot split: 4 = 2*2 over a 3-cell line.
+  EXPECT_THROW(CartDecomp::make(Grid::make({3}, {0.0}, {1.0}), 4), std::invalid_argument);
+  EXPECT_THROW(CartDecomp::make(Grid::make({3}, {0.0}, {1.0}), 0), std::invalid_argument);
+}
+
+TEST(Field, PackUnpackRoundTripsOn1x1vAnd2x2vGrids) {
+  // Property test of the halo slab format on a 1x1v (2-D) and a 2x2v
+  // (4-D) grid: a self pack/unpack exchange must place every periodic
+  // image exactly, and unpacking a slab must reproduce the packed bytes.
+  const std::vector<Grid> grids = {
+      Grid::make({5, 4}, {0.0, -1.0}, {1.0, 1.0}),
+      Grid::make({3, 4, 2, 5}, {0.0, 0.0, -1.0, -1.0}, {1.0, 1.0, 1.0, 1.0})};
+  for (const Grid& g : grids) {
+    Field f(g, 3);
+    // Unique value per (cell, component) over the whole extended array, so
+    // a misplaced slab cell cannot alias a correct one. Encode the index.
+    forEachCell(g, [&](const MultiIndex& idx) {
+      for (int c = 0; c < 3; ++c) {
+        double v = c + 1.0;
+        for (int d = 0; d < g.ndim; ++d) v = 31.0 * v + idx[d];
+        f.at(idx)[c] = v;
       }
     });
-    // Identical kernels and operation order; the only difference is the
-    // local grid's cell-center arithmetic (lower + i*dx vs global), which
-    // perturbs the streaming coefficients at the last ulp.
-    EXPECT_LT(maxDiff, 1e-13 * maxAbs) << "nranks=" << nranks;
+
+    for (int d = 0; d < g.ndim; ++d) {
+      const std::size_t n = f.ghostSlabSize(d);
+      std::vector<double> lo(n), hi(n);
+      f.packGhost(d, -1, lo);
+      f.packGhost(d, +1, hi);
+      f.unpackGhost(d, -1, hi);  // periodic self exchange
+      f.unpackGhost(d, +1, lo);
+
+      // Every ghost cell of dim d now holds its periodic image's value.
+      const int nc = g.cells[static_cast<std::size_t>(d)];
+      forEachCell(g, [&](const MultiIndex& idx) {
+        if (idx[d] != 0 && idx[d] != nc - 1) return;
+        MultiIndex ghost = idx;
+        ghost[d] = idx[d] == 0 ? nc : -1;
+        MultiIndex image = idx;
+        image[d] = idx[d] == 0 ? 0 : nc - 1;
+        for (int c = 0; c < 3; ++c) EXPECT_EQ(f.at(ghost)[c], f.at(image)[c]);
+      });
+
+      // Repacking the ghost slabs must reproduce the buffers bit for bit
+      // (the round-trip property a mailbox exchange relies on). A ghost
+      // repack is a pack of the ghost layer: compare via a fresh unpack
+      // into a second field instead.
+      Field f2(g, 3);
+      f2.unpackGhost(d, -1, hi);
+      MultiIndex probe;
+      probe[d] = -1;
+      EXPECT_EQ(f2.at(probe)[0], f.at(probe)[0]);
+    }
+  }
+}
+
+TEST(Field, SyncPeriodicMatchesSlabExchangeOracle) {
+  // syncPeriodic is now implemented on the packGhost/unpackGhost path;
+  // verify against a direct periodic-image oracle on a 2x2v grid,
+  // including the corner ghosts produced by sequential dimension syncs.
+  const Grid g = Grid::make({3, 2, 4, 3}, {0.0, 0.0, -1.0, -1.0}, {1.0, 1.0, 1.0, 1.0});
+  Field f(g, 2);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int c = 0; c < 2; ++c) {
+      double v = c + 1.0;
+      for (int d = 0; d < g.ndim; ++d) v = 31.0 * v + idx[d];
+      f.at(idx)[c] = v;
+    }
+  });
+  for (int d = 0; d < g.ndim; ++d) f.syncPeriodic(d);
+
+  // Oracle: every extended-index cell equals the interior cell at the
+  // per-dimension periodic wrap of its index.
+  MultiIndex ext;
+  for (int i = 0; i < g.ndim; ++i) ext[i] = -1;
+  while (true) {
+    MultiIndex image;
+    for (int i = 0; i < g.ndim; ++i) {
+      const int nc = g.cells[static_cast<std::size_t>(i)];
+      image[i] = ((ext[i] % nc) + nc) % nc;
+    }
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(f.at(ext)[c], f.at(image)[c]);
+    int k = 0;
+    while (k < g.ndim && ++ext[k] >= g.cells[static_cast<std::size_t>(k)] + 1) ext[k++] = -1;
+    if (k == g.ndim) break;
   }
 }
 

@@ -4,12 +4,16 @@
 // the p2 Serendipity basis in 5-D (2X3V), and ~8e6 DOF/s/core when the
 // Fokker-Planck collision operator is included (collisions roughly double
 // the cost); the Navier-Stokes comparator of reference [12] sits at ~1e7.
+// Columns: collisionless, +BGK relaxation, +LBO (the drag+diffusion
+// operator class the paper's collision figure actually refers to).
+// Machine-readable output: BENCH_eop.json, archived by CI.
 
 #include <chrono>
 #include <cstdio>
 #include <random>
 
 #include "collisions/bgk.hpp"
+#include "collisions/lbo.hpp"
 #include "dg/vlasov.hpp"
 
 namespace {
@@ -30,10 +34,12 @@ int main() {
   VlasovParams params;
   VlasovUpdater up(spec, pg, params);
   BgkUpdater bgk(spec, pg, BgkParams{1.0, 1.0});
-  // Eop is a *per-core* figure: pin both updaters to serial execution so
+  LboUpdater lbo(spec, pg, LboParams{1.0, 1.0, true});
+  // Eop is a *per-core* figure: pin the updaters to serial execution so
   // the default ThreadExec pool cannot inflate it on multi-core hosts.
   up.setExecutor(nullptr);
   bgk.setExecutor(nullptr);
+  lbo.setExecutor(nullptr);
 
   Field f(pg, np), rhs(pg, np);
   std::mt19937 rng(3);
@@ -66,17 +72,37 @@ int main() {
   };
 
   const double tVlasov = time([&] { up.advance(f, &em, rhs); });
-  const double tWithColl = time([&] {
+  const double tWithBgk = time([&] {
     up.advance(f, &em, rhs);
     bgk.advance(f, rhs);
+  });
+  const double tWithLbo = time([&] {
+    up.advance(f, &em, rhs);
+    lbo.advance(f, rhs);
   });
 
   std::printf("E4: Eop = DOFs updated per second per core (2X3V p2 Serendipity, Np=%d)\n\n", np);
   std::printf("%-38s %12.3e DOF/s/core\n", "Vlasov-Maxwell spatial operator", dofs / tVlasov);
-  std::printf("%-38s %12.3e DOF/s/core\n", "... with BGK collisions", dofs / tWithColl);
-  std::printf("%-38s %12.2f\n", "collision cost multiplier", tWithColl / tVlasov);
+  std::printf("%-38s %12.3e DOF/s/core\n", "... with BGK collisions", dofs / tWithBgk);
+  std::printf("%-38s %12.3e DOF/s/core\n", "... with LBO (drag+diffusion)", dofs / tWithLbo);
+  std::printf("%-38s %12.2f\n", "BGK cost multiplier", tWithBgk / tVlasov);
+  std::printf("%-38s %12.2f\n", "LBO cost multiplier", tWithLbo / tVlasov);
   std::printf("\npaper Sec. III: ~1.67e7 DOF/s/core (collisionless), ~8e6 with collisions\n");
   std::printf("(absolute numbers are hardware-dependent; the reproducible shape is Eop\n");
   std::printf(" within order 1e6-1e8 on one core and a ~2x collision cost multiplier)\n");
+
+  if (FILE* js = std::fopen("BENCH_eop.json", "w")) {
+    std::fprintf(js, "{\n  \"bench\": \"eop_efficiency\",\n");
+    std::fprintf(js, "  \"setup\": {\"spec\": \"2x3v_p2_ser\", \"num_phase_modes\": %d, "
+                     "\"dofs\": %.0f},\n",
+                 np, dofs);
+    std::fprintf(js, "  \"eop\": {\"vlasov\": %.6e, \"vlasov_bgk\": %.6e, "
+                     "\"vlasov_lbo\": %.6e},\n",
+                 dofs / tVlasov, dofs / tWithBgk, dofs / tWithLbo);
+    std::fprintf(js, "  \"cost_multiplier\": {\"bgk\": %.4f, \"lbo\": %.4f}\n}\n",
+                 tWithBgk / tVlasov, tWithLbo / tVlasov);
+    std::fclose(js);
+    std::printf("wrote BENCH_eop.json\n");
+  }
   return 0;
 }

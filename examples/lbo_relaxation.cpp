@@ -1,0 +1,109 @@
+// Two-beam relaxation under the conservative Lenard-Bernstein/Dougherty
+// operator, side by side with BGK: both drive the beams to the Maxwellian
+// carrying the shared initial (n, u, vth^2), but LBO does it through real
+// velocity-space drag + recovery-based diffusion — conserving density,
+// momentum AND energy to machine precision per step (BGK's Maxwellian
+// projection conserves density only) — and with the Fokker-Planck-like
+// local physics of the paper's reference [22]. Writes lbo_relaxation.csv
+// (t, LBO kinetic energy / momentum / temperature, BGK kinetic energy).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+
+#include "app/simulation.hpp"
+#include "collisions/lbo.hpp"
+#include "io/field_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdg;
+  constexpr double kPi = std::numbers::pi;
+  const double nu = argc > 1 ? std::atof(argv[1]) : 4.0;
+
+  // Two counter-streaming warm beams: strongly non-Maxwellian, zero net
+  // drift, kinetic energy split between beam motion and thermal spread.
+  const auto twoBeam = [](const double* z) {
+    const double v = z[1], vt2 = 0.36;
+    const double a = std::exp(-0.5 * (v - 1.5) * (v - 1.5) / vt2);
+    const double c = std::exp(-0.5 * (v + 1.5) * (v + 1.5) / vt2);
+    return (a + c) / (2.0 * std::sqrt(2.0 * kPi * vt2));
+  };
+
+  const auto makeSim = [&](bool lbo) {
+    auto b = Simulation::builder();
+    b.confGrid(Grid::make({4}, {0.0}, {1.0}))
+        .basis(2, BasisFamily::Serendipity)
+        .species("elc", -1.0, 1.0, Grid::make({48}, {-8.0}, {8.0}), twoBeam);
+    if (lbo)
+      b.collisions(LboParams{.mass = 1.0, .collisionFreq = nu});
+    else
+      b.collisions(BgkParams{.mass = 1.0, .collisionFreq = nu});
+    b.evolveField(false).stepper(Stepper::SspRk3).cflFrac(0.8);
+    return b.build();
+  };
+  Simulation lboSim = makeSim(true);
+  Simulation bgkSim = makeSim(false);
+
+  // A standalone updater mirrors the pipeline's operator for diagnostics
+  // (temperature via the species mass — LboParams::mass at work).
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const LboUpdater diag(spec, lboSim.phaseGrid(0), LboParams{.mass = 1.0, .collisionFreq = nu});
+  const Basis& cb = lboSim.confBasis();
+  const Grid cg = diag.confGrid();
+
+  const auto temperatureAvg = [&](const Field& f) {
+    Field T(cg, diag.numConfModes());
+    diag.temperature(f, T);
+    double sum = 0.0;
+    int cells = 0;
+    forEachCell(cg, [&](const MultiIndex& idx) {
+      sum += T.at(idx)[0] * std::pow(2.0, -0.5 * cg.ndim);
+      ++cells;
+    });
+    return sum / cells;
+  };
+  const auto momentum = [&](const Simulation& sim) {
+    Field m1(cg, 3 * diag.numConfModes());
+    sim.moments(0).compute(sim.distf(0), nullptr, &m1, nullptr);
+    return integrateDomain(cb, cg, m1, 0);
+  };
+
+  CsvWriter csv("lbo_relaxation.csv", "t,lboKinetic,lboMomentum,lboTemperature,bgkKinetic");
+
+  const auto e0 = lboSim.energetics();
+  std::printf("two-beam relaxation, nu=%.2f  (LBO pipeline:", nu);
+  for (const auto& u : lboSim.pipeline()) std::printf(" %s", u->name().c_str());
+  std::printf(")\n\n");
+  std::printf("%6s  %12s  %12s  %12s  %12s\n", "t", "LBO kinetic", "LBO momentum", "LBO T",
+              "BGK kinetic");
+
+  double lastLog = -1e9;
+  const double tEnd = 2.0;
+  while (lboSim.time() < tEnd) {
+    lboSim.step();
+    bgkSim.advanceTo(lboSim.time());
+    const auto e = lboSim.energetics();
+    const auto eb = bgkSim.energetics();
+    const double T = temperatureAvg(lboSim.distf(0));
+    csv.row({e.time, e.particleEnergy[0], momentum(lboSim), T, eb.particleEnergy[0]});
+    if (e.time - lastLog > 0.25) {
+      std::printf("%6.2f  %12.8f  %12.4e  %12.6f  %12.8f\n", e.time, e.particleEnergy[0],
+                  momentum(lboSim), T, eb.particleEnergy[0]);
+      lastLog = e.time;
+    }
+  }
+
+  const auto e1 = lboSim.energetics();
+  const auto eb1 = bgkSim.energetics();
+  std::printf("\nLBO relative mass error:    %.2e\n",
+              std::abs(e1.mass[0] - e0.mass[0]) / e0.mass[0]);
+  std::printf("LBO relative energy error:  %.2e (machine precision by construction)\n",
+              std::abs(e1.particleEnergy[0] - e0.particleEnergy[0]) / e0.particleEnergy[0]);
+  std::printf("BGK relative energy error:  %.2e (projection-limited)\n",
+              std::abs(eb1.particleEnergy[0] - e0.particleEnergy[0]) / e0.particleEnergy[0]);
+  std::printf("equilibrium temperature:    %.6f (expect u_beam^2 + vt^2 = 1.5^2 + 0.36 = 2.61)\n",
+              temperatureAvg(lboSim.distf(0)));
+  std::printf("time series written to lbo_relaxation.csv\n");
+  return 0;
+}

@@ -61,6 +61,13 @@ Simulation::Builder& Simulation::Builder::collisions(const BgkParams& p) {
   return *this;
 }
 
+Simulation::Builder& Simulation::Builder::collisions(const LboParams& p) {
+  if (species_.empty())
+    throw std::logic_error("Simulation::Builder::collisions: declare a species first");
+  species_.back().lboCollisions = p;
+  return *this;
+}
+
 Simulation::Builder& Simulation::Builder::field(const MaxwellParams& p) {
   fieldParams_ = p;
   return *this;
@@ -161,6 +168,17 @@ Simulation Simulation::Builder::build() {
     } else {
       sim.bgk_.push_back(nullptr);
     }
+    if (sp.lboCollisions) {
+      // Same mass rule as BGK: the species mass wins (LboUpdater uses it
+      // to convert vth^2 to the temperature T = m vth^2).
+      LboParams lp = *sp.lboCollisions;
+      lp.mass = sp.mass;
+      auto lbo = std::make_unique<LboUpdater>(spec, pg, lp);
+      lbo->setExecutor(exec);
+      sim.lbo_.push_back(std::move(lbo));
+    } else {
+      sim.lbo_.push_back(nullptr);
+    }
 
     const int np = basisFor(spec).numModes();
     Field f(pg, np);
@@ -201,6 +219,11 @@ Simulation Simulation::Builder::build() {
     if (sim.bgk_[static_cast<std::size_t>(s)]) {
       sim.pipeline_.push_back(std::make_unique<BgkCollisionUpdater>(
           sim.bgk_[static_cast<std::size_t>(s)].get(),
+          sim.species_[static_cast<std::size_t>(s)].name, s));
+    }
+    if (sim.lbo_[static_cast<std::size_t>(s)]) {
+      sim.pipeline_.push_back(std::make_unique<LboCollisionUpdater>(
+          sim.lbo_[static_cast<std::size_t>(s)].get(),
           sim.species_[static_cast<std::size_t>(s)].name, s));
     }
   }

@@ -27,6 +27,7 @@
 #include "app/state.hpp"
 #include "app/updater.hpp"
 #include "collisions/bgk.hpp"
+#include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
 #include "dg/vlasov.hpp"
@@ -53,6 +54,10 @@ struct SpeciesConfig {
   ScalarFn init;                        ///< f0(x..., v...) on the phase grid
   FluxType flux = FluxType::Penalty;
   std::optional<BgkParams> collisions;  ///< BGK operator, off by default
+  /// Conservative Lenard-Bernstein/Dougherty operator, off by default.
+  /// Independent of the BGK slot: a species may carry either (or, for
+  /// operator-comparison studies, both).
+  std::optional<LboParams> lboCollisions;
 };
 
 class Simulation {
@@ -154,6 +159,7 @@ class Simulation {
   std::vector<std::unique_ptr<VlasovUpdater>> vlasov_;
   std::vector<std::unique_ptr<MomentUpdater>> mom_;
   std::vector<std::unique_ptr<BgkUpdater>> bgk_;  ///< per species, may be null
+  std::vector<std::unique_ptr<LboUpdater>> lbo_;  ///< per species, may be null
   std::unique_ptr<MaxwellUpdater> maxwell_;
   std::vector<std::unique_ptr<Updater>> pipeline_;
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
@@ -178,6 +184,9 @@ class Simulation::Builder {
                    ScalarFn init, FluxType flux = FluxType::Penalty);
   /// Attach a BGK collision operator to the most recently added species.
   Builder& collisions(const BgkParams& p);
+  /// Attach the conservative Lenard-Bernstein/Dougherty operator to the
+  /// most recently added species (see collisions/lbo.hpp).
+  Builder& collisions(const LboParams& p);
   Builder& field(const MaxwellParams& p);
   /// false: the EM field is held fixed (or absent) — free streaming /
   /// external-field runs. Defaults to true.

@@ -74,4 +74,8 @@ double BgkCollisionUpdater::apply(double /*t*/, const StateView& in, StateView& 
   return bgk_->advance(in.slot(slot_), out.slot(slot_));
 }
 
+double LboCollisionUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
+  return lbo_->advance(in.slot(slot_), out.slot(slot_));
+}
+
 }  // namespace vdg

@@ -10,6 +10,7 @@
 
 #include "app/updater.hpp"
 #include "collisions/bgk.hpp"
+#include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
 #include "dg/vlasov.hpp"
@@ -116,6 +117,23 @@ class BgkCollisionUpdater final : public Updater {
 
  private:
   const BgkUpdater* bgk_;
+  std::string species_;
+  int slot_;
+};
+
+/// Conservative Lenard-Bernstein/Dougherty collisions of one species:
+/// out[slot] += nu d/dv.((v-u)f + vth^2 df/dv). Its returned stiffness
+/// (nu |v-u|/dv drag plus nu vth^2 (2p+1)/dv^2 diffusion) participates in
+/// the CFL reduction, so stiff collisions shrink dt automatically.
+class LboCollisionUpdater final : public Updater {
+ public:
+  LboCollisionUpdater(const LboUpdater* lbo, std::string species, int slot)
+      : lbo_(lbo), species_(std::move(species)), slot_(slot) {}
+  [[nodiscard]] std::string name() const override { return "lbo:" + species_; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+ private:
+  const LboUpdater* lbo_;
   std::string species_;
   int slot_;
 };

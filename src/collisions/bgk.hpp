@@ -20,10 +20,12 @@ namespace vdg {
 class ThreadExec;
 
 struct BgkParams {
-  /// Species mass. Currently unused by the relaxation itself (the
-  /// Maxwellian is parameterized by moments of f directly); kept for
-  /// operators that need it. Simulation::Builder overwrites it with the
-  /// species mass, so callers of the builder need not set it.
+  /// Species mass. The relaxation itself parameterizes the Maxwellian by
+  /// moments of f directly, so mass only enters the collision layer where
+  /// a temperature is needed — see LboParams::mass and
+  /// LboUpdater::temperature() (T = m vth^2) for the operator that uses
+  /// it. Simulation::Builder overwrites it with the species mass, so
+  /// callers of the builder need not set it.
   double mass = 1.0;
   double collisionFreq = 1.0;  ///< nu
 };

@@ -3,8 +3,12 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "math/dense_matrix.hpp"
 #include "math/legendre.hpp"
+#include "par/thread_exec.hpp"
+#include "tensors/dg_tensors.hpp"
 
 namespace vdg {
 
@@ -129,6 +133,86 @@ void MomentUpdater::accumulateCurrent(const Field& f, double charge, Field& curr
       for (const auto& t : t1_[static_cast<std::size_t>(j)].terms)
         oj[t.k] += charge * jacV * hdv * t.c * fc[t.l];
     }
+  });
+}
+
+// ------------------------------------------------------- PrimitiveMoments
+
+PrimitiveMoments::PrimitiveMoments(const BasisSpec& confSpec, int vdim)
+    : conf_(&basisFor(confSpec)), exec_(&ThreadExec::global()), vdim_(vdim),
+      npc_(conf_->numModes()), gaunt_(buildProductTape(*conf_)) {
+  if (confSpec.vdim != 0)
+    throw std::invalid_argument("PrimitiveMoments: confSpec must have vdim == 0");
+  if (vdim < 1 || vdim > 3)
+    throw std::invalid_argument("PrimitiveMoments: vdim must be in [1, 3]");
+}
+
+void PrimitiveMoments::compute(const Field& m0, const Field& m1, const Field& m2, Field& u,
+                               Field& vtSq) const {
+  assert(m0.ncomp() == npc_ && m1.ncomp() == 3 * npc_ && m2.ncomp() == npc_);
+  assert(u.ncomp() == vdim_ * npc_ && vtSq.ncomp() == npc_);
+  const int cdim = conf_->ndim();
+  const double avgFac = std::pow(2.0, -0.5 * cdim);
+  const auto np = static_cast<std::size_t>(npc_);
+  const Grid& grid = m0.grid();
+
+  // Parallel over configuration cells (disjoint writes, deterministic LU
+  // pivoting: bitwise serial-identical); scratch hoisted per chunk.
+  chunkedFor(exec_, grid.numCells(), [&](std::size_t begin, std::size_t end) {
+    DenseMatrix a(npc_, npc_);
+    LuSolver lu;
+    std::vector<double> rhs(np);
+    forEachIndexInRange(grid.ndim, grid.cells.data(), begin, end, [&](const MultiIndex& idx) {
+      const double* n = m0.at(idx);
+      const double* mom = m1.at(idx);
+      const double* en = m2.at(idx);
+      double* uc = u.at(idx);
+      double* vc = vtSq.at(idx);
+
+      const double nAvg = n[0] * avgFac;
+      const auto setVacuum = [&] {
+        for (int c = 0; c < vdim_ * npc_; ++c) uc[c] = 0.0;
+        for (int k = 0; k < npc_; ++k) vc[k] = 0.0;
+        vc[0] = 1.0 / avgFac;  // constant vth^2 = 1, the BGK vacuum convention
+      };
+      if (!(nAvg > kDensityFloor)) {
+        setVacuum();
+        return;
+      }
+
+      // Weak-division matrix A_kl = int w_k w_l M0 (Gaunt contraction of
+      // the density expansion), LU-factored once and reused for every
+      // division of this cell.
+      a.setZero();
+      for (const Tape3::Term& t : gaunt_.terms) a(t.l, t.n) += t.c * n[t.m];
+      lu.factorFrom(a);
+      if (lu.singular()) {
+        setVacuum();
+        return;
+      }
+
+      for (int j = 0; j < vdim_; ++j) {
+        for (int k = 0; k < npc_; ++k) rhs[static_cast<std::size_t>(k)] = mom[j * npc_ + k];
+        lu.solve(rhs);
+        for (int k = 0; k < npc_; ++k) uc[j * npc_ + k] = rhs[static_cast<std::size_t>(k)];
+      }
+
+      // b_k = int w_k (M2 - u . M1); the product is projected exactly
+      // through the Gaunt tensor, then vdim * vth^2 = b / M0 weakly.
+      for (int k = 0; k < npc_; ++k) rhs[static_cast<std::size_t>(k)] = en[k];
+      for (int j = 0; j < vdim_; ++j)
+        for (const Tape3::Term& t : gaunt_.terms)
+          rhs[static_cast<std::size_t>(t.l)] -= t.c * uc[j * npc_ + t.m] * mom[j * npc_ + t.n];
+      lu.solve(rhs);
+      const double vdimInv = 1.0 / vdim_;
+      for (int k = 0; k < npc_; ++k) vc[k] = rhs[static_cast<std::size_t>(k)] * vdimInv;
+
+      const double vtAvg = vc[0] * avgFac;
+      if (!(vtAvg >= kVtSqFloor)) {
+        for (int k = 1; k < npc_; ++k) vc[k] = 0.0;
+        vc[0] = kVtSqFloor / avgFac;
+      }
+    });
   });
 }
 

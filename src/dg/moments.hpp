@@ -9,10 +9,13 @@
 #include "basis/basis.hpp"
 #include "grid/grid.hpp"
 #include "math/multi_index.hpp"
+#include "tensors/tape.hpp"
 
 #include <vector>
 
 namespace vdg {
+
+class ThreadExec;
 
 /// Computes M0 = int f dv, M1_i = int v_i f dv (3 components; components
 /// beyond vdim are zero), and M2 = int |v|^2 f dv.
@@ -50,6 +53,47 @@ class MomentUpdater {
   MomTape t0_;                     // weight 1
   std::vector<MomTape> t1_;        // weight eta_j, per velocity dim
   std::vector<MomTape> t2_;        // weight eta_j^2, per velocity dim
+};
+
+/// Primitive (fluid) moments by weak division in the configuration basis:
+/// the drift u and thermal speed squared vth^2 that parameterize the
+/// Lenard-Bernstein/Dougherty collision operator. Per configuration cell,
+/// u solves the weak equation  int w_k (M0 u_j) = int w_k M1_j  (the Gaunt
+/// product matrix of M0, LU-factored once per cell), and vth^2 solves
+/// vdim * int w_k (M0 vth^2) = int w_k (M2 - u . M1)  with the u . M1
+/// product projected through the same Gaunt tensor. This is the standard
+/// weak-division route (Juno et al. 2017) that keeps the primitive moments
+/// consistent with the discrete moments of f.
+///
+/// Floors (pinned by tests/test_moments.cpp): a cell whose average density
+/// is <= kDensityFloor — or whose weak-division matrix is singular — gets
+/// u = 0, vth^2 = 1 (matching the BGK vacuum convention); a cell whose
+/// divided vth^2 averages below kVtSqFloor gets the constant expansion
+/// vth^2 = kVtSqFloor.
+class PrimitiveMoments {
+ public:
+  PrimitiveMoments(const BasisSpec& confSpec, int vdim);
+
+  static constexpr double kDensityFloor = 1e-12;
+  static constexpr double kVtSqFloor = 1e-14;
+
+  [[nodiscard]] int numConfModes() const { return npc_; }
+
+  /// m0: npc comps; m1: 3*npc (MomentUpdater layout, components >= vdim
+  /// ignored); m2: npc. Outputs: u has vdim*npc comps, vtSq has npc.
+  void compute(const Field& m0, const Field& m1, const Field& m2, Field& u, Field& vtSq) const;
+
+  /// Pool driving the per-cell weak divisions (defaults to
+  /// ThreadExec::global(); nullptr forces serial execution). Cells are
+  /// independent and the LU pivoting is deterministic, so threading is
+  /// bit-for-bit serial-identical.
+  void setExecutor(ThreadExec* exec) { exec_ = exec; }
+
+ private:
+  const Basis* conf_;
+  ThreadExec* exec_ = nullptr;
+  int vdim_, npc_;
+  Tape3 gaunt_;  ///< conf-basis Gaunt tensor int w_k w_m w_n
 };
 
 }  // namespace vdg

@@ -1,9 +1,14 @@
 #pragma once
 // Minimal row-major dense matrix used by the quadrature-based baseline
-// (the "nodal + linear-algebra-library" comparator of the paper). The modal
-// solver never touches this type — it is matrix-free by construction.
+// (the "nodal + linear-algebra-library" comparator of the paper), plus a
+// small pivoted-LU solver for the tiny per-cell systems of the weak
+// operations (weak division of moments, recovery coefficients, conservation
+// corrections). The modal update loop itself never touches these types — it
+// is matrix-free by construction; the solves here are O(basis-size) setup
+// or per-configuration-cell work.
 
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -52,10 +57,91 @@ class DenseMatrix {
   /// Number of stored entries (for op-count accounting in benchmarks).
   [[nodiscard]] std::size_t entryCount() const { return a_.size(); }
 
+  void setZero() {
+    for (double& v : a_) v = 0.0;
+  }
+
  private:
   int rows_ = 0;
   int cols_ = 0;
   std::vector<double> a_;
+};
+
+/// LU factorization with partial pivoting of a small square matrix.
+/// Deterministic (pivot choice depends only on the data), so per-cell
+/// solves are bitwise reproducible across threading/rank decompositions.
+/// Reusable: factorFrom() copy-assigns into existing storage, so a hoisted
+/// solver refactors per cell without heap traffic.
+class LuSolver {
+ public:
+  LuSolver() = default;
+  explicit LuSolver(DenseMatrix a) : a_(std::move(a)) { factorInPlace(); }
+
+  /// Re-factor from a (same-sized) matrix, reusing this solver's storage.
+  void factorFrom(const DenseMatrix& a) {
+    a_ = a;
+    factorInPlace();
+  }
+  [[nodiscard]] bool singular() const { return singular_; }
+
+  /// b := A^{-1} b (no-op when singular; check singular() first).
+  void solve(std::span<double> b) const {
+    assert(static_cast<int>(b.size()) == a_.rows());
+    if (singular_) return;
+    const int n = a_.rows();
+    // Apply the full row permutation first (the stored multipliers are in
+    // final row positions), then the triangular sweeps.
+    for (int k = 0; k < n; ++k) {
+      const int p = piv_[static_cast<std::size_t>(k)];
+      if (p != k) {
+        const double t = b[static_cast<std::size_t>(k)];
+        b[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(p)];
+        b[static_cast<std::size_t>(p)] = t;
+      }
+    }
+    for (int k = 0; k < n; ++k)
+      for (int r = k + 1; r < n; ++r)
+        b[static_cast<std::size_t>(r)] -= a_(r, k) * b[static_cast<std::size_t>(k)];
+    for (int k = n - 1; k >= 0; --k) {
+      double s = b[static_cast<std::size_t>(k)];
+      for (int c = k + 1; c < n; ++c) s -= a_(k, c) * b[static_cast<std::size_t>(c)];
+      b[static_cast<std::size_t>(k)] = s / a_(k, k);
+    }
+  }
+
+ private:
+  void factorInPlace() {
+    assert(a_.rows() == a_.cols());
+    const int n = a_.rows();
+    piv_.resize(static_cast<std::size_t>(n));
+    singular_ = false;
+    for (int k = 0; k < n; ++k) {
+      int p = k;
+      for (int r = k + 1; r < n; ++r)
+        if (std::abs(a_(r, k)) > std::abs(a_(p, k))) p = r;
+      piv_[static_cast<std::size_t>(k)] = p;
+      if (p != k)
+        for (int c = 0; c < n; ++c) {
+          const double t = a_(k, c);
+          a_(k, c) = a_(p, c);
+          a_(p, c) = t;
+        }
+      const double d = a_(k, k);
+      if (d == 0.0 || !std::isfinite(d)) {
+        singular_ = true;
+        return;
+      }
+      for (int r = k + 1; r < n; ++r) {
+        const double m = a_(r, k) / d;
+        a_(r, k) = m;
+        for (int c = k + 1; c < n; ++c) a_(r, c) -= m * a_(k, c);
+      }
+    }
+  }
+
+  DenseMatrix a_;
+  std::vector<int> piv_;
+  bool singular_ = false;
 };
 
 }  // namespace vdg

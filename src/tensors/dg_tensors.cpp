@@ -1,9 +1,11 @@
 #include "tensors/dg_tensors.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
 
+#include "math/gauss_legendre.hpp"
 #include "math/legendre.hpp"
 
 namespace vdg {
@@ -11,6 +13,25 @@ namespace vdg {
 namespace {
 
 constexpr double kZeroTol = 1e-14;
+
+/// \int psi_a'' psi_b psi_c dx, exactly (Gauss-Legendre on polynomials).
+/// psi_a'' at interior nodes via the Legendre ODE
+/// (1-x^2) P'' = 2x P' - a(a+1) P.
+double d2trip(int a, int b, int c) {
+  if (a < 2) return 0.0;
+  const int p = std::max(a, std::max(b, c));
+  const QuadRule rule = gauss_legendre(2 * p + 2);
+  const double norm = std::sqrt((2.0 * a + 1.0) / 2.0);
+  double s = 0.0;
+  for (std::size_t q = 0; q < rule.nodes.size(); ++q) {
+    const double x = rule.nodes[q];
+    const double d2 =
+        norm * (2.0 * x * legendrePDeriv(a, x) - a * (a + 1.0) * legendreP(a, x)) /
+        (1.0 - x * x);
+    s += rule.weights[q] * d2 * legendrePsi(b, x) * legendrePsi(c, x);
+  }
+  return s;
+}
 
 /// Enumerate, for a fixed pair of modes (a, b), all member modes c of the
 /// basis for which the per-dimension factor product is nonzero, calling
@@ -66,6 +87,26 @@ Tape3 buildVolumeTape(const Basis& basis, int d) {
           basis, p,
           [&](int i, int ci) {
             return i == d ? tab.dtrip(a[i], b[i], ci) : tab.trip(a[i], b[i], ci);
+          },
+          [&](int n, double c) { tape.terms.push_back({l, m, n, c}); });
+    }
+  }
+  return tape;
+}
+
+Tape3 buildVolumeTape2(const Basis& basis, int d) {
+  const auto& tab = LegendreTables::instance();
+  const int p = basis.spec().polyOrder;
+  Tape3 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    if (a[d] < 2) continue;  // d2 w_l / deta_d^2 = 0
+    for (int m = 0; m < basis.numModes(); ++m) {
+      const MultiIndex& b = basis.mode(m);
+      forEachNonzeroTriple(
+          basis, p,
+          [&](int i, int ci) {
+            return i == d ? d2trip(a[i], b[i], ci) : tab.trip(a[i], b[i], ci);
           },
           [&](int n, double c) { tape.terms.push_back({l, m, n, c}); });
     }
@@ -155,6 +196,31 @@ Tape2 buildEtaMulTape(const Basis& basis, int d) {
         }
       if (!diag) continue;
       const double w = s * tab.trip(a[d], 1, c[d]);
+      if (std::abs(w) > kZeroTol) tape.terms.push_back({l, n, w});
+    }
+  }
+  return tape;
+}
+
+Tape2 buildEta2MulTape(const Basis& basis, int d) {
+  const auto& tab = LegendreTables::instance();
+  // eta^2 = (sqrt(2)/3) psi_0 + (2/3) sqrt(2/5) psi_2, so
+  // <w_l, eta^2 w_n> combines trip(a_d, 0, c_d) and trip(a_d, 2, c_d).
+  const double s0 = std::sqrt(2.0) / 3.0;
+  const double s2 = (2.0 / 3.0) * std::sqrt(2.0 / 5.0);
+  Tape2 tape;
+  for (int l = 0; l < basis.numModes(); ++l) {
+    const MultiIndex& a = basis.mode(l);
+    for (int n = 0; n < basis.numModes(); ++n) {
+      const MultiIndex& c = basis.mode(n);
+      bool diag = true;
+      for (int i = 0; i < basis.ndim(); ++i)
+        if (i != d && a[i] != c[i]) {
+          diag = false;
+          break;
+        }
+      if (!diag) continue;
+      const double w = s0 * tab.trip(a[d], 0, c[d]) + s2 * tab.trip(a[d], 2, c[d]);
       if (std::abs(w) > kZeroTol) tape.terms.push_back({l, n, w});
     }
   }

@@ -48,6 +48,11 @@ struct FaceMap {
 /// C^d_lmn = \int dw_l/deta_d * w_m * w_n deta over [-1,1]^ndim (Eq. 10).
 [[nodiscard]] Tape3 buildVolumeTape(const Basis& basis, int d);
 
+/// Second-derivative volume tensor \int d2w_l/deta_d^2 * w_m * w_n deta —
+/// the volume term of the twice-integrated-by-parts (recovery) diffusion
+/// weak form, with the diffusion coefficient expansion in the m slot.
+[[nodiscard]] Tape3 buildVolumeTape2(const Basis& basis, int d);
+
 /// Face Gaunt tensor G_kmn = \int phi_k phi_m phi_n over the reference face:
 /// exact projection of a product of two face expansions onto the face basis.
 [[nodiscard]] Tape3 buildProductTape(const Basis& basis);
@@ -65,6 +70,11 @@ struct FaceMap {
 
 /// Projection of eta_d * g onto the basis: out_l = \int w_l eta_d g deta.
 [[nodiscard]] Tape2 buildEtaMulTape(const Basis& basis, int d);
+
+/// Projection of eta_d^2 * g onto the basis (exact, not etaMul applied
+/// twice — re-projecting between multiplications would alias). Used for
+/// the |v|^2-weighted fields of the collision conservation correction.
+[[nodiscard]] Tape2 buildEta2MulTape(const Basis& basis, int d);
 
 /// Projection of the constant 1 onto the basis: list of (mode, coeff).
 [[nodiscard]] std::vector<std::pair<int, double>> projectUnit(const Basis& basis);

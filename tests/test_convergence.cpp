@@ -9,6 +9,7 @@
 #include <numbers>
 
 #include "app/projection.hpp"
+#include "collisions/lbo.hpp"
 #include "dg/vlasov.hpp"
 
 namespace vdg {
@@ -95,6 +96,88 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ConvCase{1, BasisFamily::Tensor, 1.8},
                       ConvCase{2, BasisFamily::Serendipity, 2.8},
                       ConvCase{2, BasisFamily::Tensor, 2.8}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.polyOrder) + "_" + to_string(info.param.family);
+    });
+
+/// Solve the heat equation df/dt = D d2f/dv2 with the LBO recovery-based
+/// diffusion term on an nv-cell velocity grid (zero-flux boundaries, but
+/// the Gaussian stays 1e-10-small there) and manufactured exact solution:
+/// a spreading Gaussian of variance sigma^2 + 2 D t. dt ~ dv^2 keeps the
+/// RK3 time error far below the spatial one.
+double diffusionError(const BasisSpec& spec, int nv, double tEnd) {
+  const double vMax = 8.0, sigma2 = 1.0, D = 0.5;
+  const Grid pg = Grid::phase(Grid::make({2}, {0.0}, {1.0}), Grid::make({nv}, {-vMax}, {vMax}));
+  const Basis& b = basisFor(spec);
+
+  const auto gaussian = [&](double var) {
+    return [var](const double* z) {
+      return std::exp(-0.5 * z[1] * z[1] / var) / std::sqrt(kTwoPi * var);
+    };
+  };
+  Field f(pg, b.numModes());
+  projectOnBasis(b, pg, gaussian(sigma2), f, spec.polyOrder + 3);
+
+  const LboUpdater lbo(spec, pg, LboParams{1.0, 1.0, false});
+  Field vtSq(lbo.confGrid(), lbo.numConfModes());
+  vtSq.setZero();
+  forEachCell(vtSq.grid(), [&](const MultiIndex& idx) {
+    vtSq.at(idx)[0] = D * std::sqrt(2.0);  // constant expansion = D
+  });
+
+  Field k1(pg, b.numModes()), u1(pg, b.numModes()), u2(pg, b.numModes());
+  const double dv = 2.0 * vMax / nv;
+  // Well inside the RK3 stability bound of the recovery spectrum for both
+  // p1 and p2 (the operator's spectral radius grows ~(2p+1)^2 / dv^2).
+  const double dt = 0.02 * dv * dv / D;
+  const auto rhs = [&](const Field& in, Field& out) {
+    out.setZero();
+    lbo.diffusionTerm(in, vtSq, out);
+  };
+  double t = 0.0;
+  while (t < tEnd - 1e-12) {
+    const double h = std::min(dt, tEnd - t);
+    rhs(f, k1);
+    u1.combine(1.0, f, h, k1);
+    rhs(u1, k1);
+    u2.combine(0.75, f, 0.25, u1);
+    u2.axpy(0.25 * h, k1);
+    rhs(u2, k1);
+    f.combine(1.0 / 3.0, f, 2.0 / 3.0, u2);
+    f.axpy(2.0 / 3.0 * h, k1);
+    t += h;
+  }
+
+  Field fExact(pg, b.numModes());
+  projectOnBasis(b, pg, gaussian(sigma2 + 2.0 * D * tEnd), fExact, spec.polyOrder + 3);
+  double err = 0.0;
+  forEachCell(pg, [&](const MultiIndex& idx) {
+    for (int l = 0; l < b.numModes(); ++l) {
+      const double d = f.at(idx)[l] - fExact.at(idx)[l];
+      err += d * d;
+    }
+  });
+  double jac = 1.0;
+  for (int d = 0; d < pg.ndim; ++d) jac *= 0.5 * pg.dx(d);
+  return std::sqrt(jac * err);
+}
+
+class DiffusionConvergence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(DiffusionConvergence, RecoverySchemeIsAtLeastOrderPPlusOne) {
+  const auto [p, fam, minOrder] = GetParam();
+  const BasisSpec spec{1, 1, p, fam};
+  const double eCoarse = diffusionError(spec, 16, 0.5);
+  const double eFine = diffusionError(spec, 32, 0.5);
+  const double order = std::log2(eCoarse / eFine);
+  EXPECT_GE(order, minOrder) << "p=" << p << " coarse=" << eCoarse << " fine=" << eFine;
+  EXPECT_LT(eFine, eCoarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, DiffusionConvergence,
+    ::testing::Values(ConvCase{1, BasisFamily::Serendipity, 1.8},
+                      ConvCase{2, BasisFamily::Serendipity, 2.8}),
     [](const auto& info) {
       return "p" + std::to_string(info.param.polyOrder) + "_" + to_string(info.param.family);
     });

@@ -172,6 +172,39 @@ TEST(DistributedSimulation, CollisionalPipelineStaysBitExact) {
   EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
 }
 
+TEST(DistributedSimulation, LboCollisionalLandauStaysBitExact) {
+  // The conservative Lenard-Bernstein operator is entirely velocity-space
+  // local per configuration cell (moments, weak division, drag/diffusion
+  // surface terms and the conservation correction never cross a rank
+  // boundary), so a collisional Landau run must be bit-exact: threaded vs
+  // serial on one rank, and 2-rank distributed vs serial.
+  auto builder = landauBuilder(12);
+  builder.collisions(LboParams{1.0, 0.5, true});
+  Simulation serial = builder.build();
+  bool hasLbo = false;
+  for (const auto& upd : serial.pipeline())
+    if (upd->name() == "lbo:elc") hasLbo = true;
+  ASSERT_TRUE(hasLbo);
+  std::vector<double> serialDt;
+  const int steps = 3;
+  for (int i = 0; i < steps; ++i) serialDt.push_back(serial.step());
+
+  // Threaded RHS (4 workers) vs the serial trajectory.
+  Simulation::Builder threadedBuilder = landauBuilder(12);
+  threadedBuilder.collisions(LboParams{1.0, 0.5, true}).threads(4);
+  Simulation threaded = threadedBuilder.build();
+  for (int i = 0; i < steps; ++i)
+    EXPECT_EQ(threaded.step(), serialDt[static_cast<std::size_t>(i)]) << "step " << i;
+  EXPECT_EQ(countMismatches(threaded.state(), serial.state()), 0);
+
+  // 2-rank DistributedSimulation vs the serial trajectory.
+  DistributedSimulation dist(builder, 2);
+  for (int i = 0; i < steps; ++i)
+    EXPECT_EQ(dist.step(), serialDt[static_cast<std::size_t>(i)]) << "step " << i;
+  EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
+  EXPECT_GT(dist.haloBytes(), 0u);
+}
+
 TEST(ThreadComm, ReductionsAreDeterministicAndGlobal) {
   const Grid conf = Grid::make({8}, {0.0}, {1.0});
   const CartDecomp decomp = CartDecomp::make(conf, 4);

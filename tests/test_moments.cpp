@@ -94,6 +94,87 @@ TEST(Moments, CurrentAccumulatesOverSpecies) {
   EXPECT_NEAR(integrateDomain(cb, cg, cur, 1), 0.0, 1e-12);
 }
 
+TEST(PrimitiveMoments, WeakDivisionRecoversProjectedMaxwellian) {
+  // For a projected Maxwellian with x-uniform (n, u, vth^2) the discrete
+  // moments are exact constants (p2 contains |v|^2; the tail truncation at
+  // 8 sigma is ~e^-32), so weak division must return the drift and thermal
+  // speed to machine precision — including every non-constant mode, which
+  // must vanish identically.
+  const BasisSpec spec{1, 1, 2, BasisFamily::Serendipity};
+  const Grid pg = Grid::phase(Grid::make({4}, {0.0}, {1.0}), Grid::make({32}, {-9.0}, {11.0}));
+  const Basis& b = basisFor(spec);
+  const double n0 = 2.5, u0 = 1.0, vt2 = 1.44;
+  Field f(pg, b.numModes());
+  projectOnBasis(
+      b, pg,
+      [&](const double* z) {
+        const double dv = z[1] - u0;
+        return n0 / std::sqrt(2.0 * std::numbers::pi * vt2) * std::exp(-0.5 * dv * dv / vt2);
+      },
+      f, 6);
+
+  const MomentUpdater mom(spec, pg);
+  const Grid cg = mom.confGrid();
+  const int npc = mom.numConfModes();
+  Field m0(cg, npc), m1(cg, 3 * npc), m2(cg, npc);
+  mom.compute(f, &m0, &m1, &m2);
+
+  const PrimitiveMoments prim(spec.configSpec(), 1);
+  Field u(cg, npc), vtSq(cg, npc);
+  prim.compute(m0, m1, m2, u, vtSq);
+
+  const double c0 = std::sqrt(2.0);  // constant-expansion coefficient in 1x
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    EXPECT_NEAR(u.at(idx)[0], u0 * c0, 1e-12);
+    EXPECT_NEAR(vtSq.at(idx)[0], vt2 * c0, 1e-12);
+    for (int k = 1; k < npc; ++k) {
+      EXPECT_NEAR(u.at(idx)[k], 0.0, 1e-12);
+      EXPECT_NEAR(vtSq.at(idx)[k], 0.0, 1e-12);
+    }
+  });
+}
+
+TEST(PrimitiveMoments, FloorsPinnedOnNearVacuumAndColdCells) {
+  // Regression-pin the limiter behavior documented in dg/moments.hpp: a
+  // below-floor density gets the BGK vacuum convention (u = 0, vth^2 = 1);
+  // a healthy density whose divided vth^2 collapses gets the constant
+  // kVtSqFloor expansion.
+  const BasisSpec conf{1, 0, 2, BasisFamily::Serendipity};
+  const Grid cg = Grid::make({2}, {0.0}, {1.0});
+  const Basis& cb = basisFor(conf);
+  const int npc = cb.numModes();
+  const double c0 = std::sqrt(2.0);
+  const PrimitiveMoments prim(conf, 1);
+  Field m0(cg, npc), m1(cg, 3 * npc), m2(cg, npc), u(cg, npc), vtSq(cg, npc);
+
+  // Near-vacuum: nAvg = 1e-13 <= kDensityFloor.
+  m0.setZero();
+  m1.setZero();
+  m2.setZero();
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    m0.at(idx)[0] = 1e-13 * c0;
+    m1.at(idx)[0] = 5.0 * c0;  // junk momentum must not produce a drift
+  });
+  prim.compute(m0, m1, m2, u, vtSq);
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    for (int k = 0; k < npc; ++k) EXPECT_EQ(u.at(idx)[k], 0.0);
+    EXPECT_DOUBLE_EQ(vtSq.at(idx)[0], 1.0 * c0);
+    for (int k = 1; k < npc; ++k) EXPECT_EQ(vtSq.at(idx)[k], 0.0);
+  });
+
+  // Cold cell: n = 1, u = 0, M2 ~ 0 => divided vth^2 below the floor.
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    m0.at(idx)[0] = 1.0 * c0;
+    m1.at(idx)[0] = 0.0;
+    m2.at(idx)[0] = 1e-20 * c0;
+  });
+  prim.compute(m0, m1, m2, u, vtSq);
+  forEachCell(cg, [&](const MultiIndex& idx) {
+    EXPECT_DOUBLE_EQ(vtSq.at(idx)[0], PrimitiveMoments::kVtSqFloor * c0);
+    for (int k = 1; k < npc; ++k) EXPECT_EQ(vtSq.at(idx)[k], 0.0);
+  });
+}
+
 TEST(Moments, UniformDensityHasFlatModes) {
   // A spatially uniform distribution must produce a density with zero
   // non-constant configuration modes.

@@ -1,0 +1,60 @@
+// Cost profile of the electrostatic field path: the Poisson direct solve
+// is a one-time dense LU factorization of the (bordered, block-tridiagonal
+// periodic) global operator plus an O(n^2) back-substitution per RHS
+// stage. This bench pins both against the per-stage cost drivers of a
+// kinetic run so the "elliptic solve is the cheap part" claim stays
+// measured, not assumed. Emits BENCH_poisson.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "dg/poisson.hpp"
+
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  using namespace vdg;
+  std::FILE* json = std::fopen("BENCH_poisson.json", "w");
+  if (json) std::fprintf(json, "[\n");
+  std::printf("%6s %3s %8s %14s %14s\n", "cells", "p", "n", "setup [ms]", "solve [us]");
+  bool first = true;
+  for (int p : {1, 2}) {
+    for (int N : {32, 128, 512}) {
+      const BasisSpec spec{1, 0, p, BasisFamily::Serendipity};
+      const Grid g = Grid::make({N}, {0.0}, {12.566370614359172});
+
+      const auto t0 = Clock::now();
+      const PoissonSolver solver(spec, g, PoissonParams{});
+      const double setupMs =
+          1e3 * std::chrono::duration<double>(Clock::now() - t0).count();
+
+      std::vector<double> rho(solver.numUnknowns()), phi(solver.numUnknowns());
+      for (std::size_t i = 0; i < rho.size(); ++i)
+        rho[i] = std::sin(0.01 * static_cast<double>(i));
+      // Warm once, then time repeated back-substitutions.
+      solver.solve(rho, phi);
+      const int reps = 200;
+      const auto t1 = Clock::now();
+      for (int r = 0; r < reps; ++r) solver.solve(rho, phi);
+      const double solveUs =
+          1e6 * std::chrono::duration<double>(Clock::now() - t1).count() / reps;
+
+      std::printf("%6d %3d %8zu %14.2f %14.2f\n", N, p, solver.numUnknowns(), setupMs,
+                  solveUs);
+      if (json)
+        std::fprintf(json,
+                     "%s  {\"cells\": %d, \"polyOrder\": %d, \"unknowns\": %zu, "
+                     "\"setup_ms\": %.3f, \"solve_us\": %.3f}",
+                     first ? "" : ",\n", N, p, solver.numUnknowns(), setupMs, solveUs);
+      first = false;
+    }
+  }
+  if (json) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+    std::printf("written to BENCH_poisson.json\n");
+  }
+  return 0;
+}

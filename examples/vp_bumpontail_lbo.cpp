@@ -1,0 +1,94 @@
+// Bump-on-tail relaxation under Vlasov-Poisson with Lenard-Bernstein
+// (Dougherty) collisions: a warm beam on the tail of a Maxwellian drives
+// the bump-on-tail instability electrostatically; the conservative LBO
+// operator damps the resonant structures and drags the distribution back
+// toward a single Maxwellian while conserving density, momentum and
+// energy to machine precision.
+//
+// Two runs from identical initial conditions:
+//   nu = 0     — collisionless: the wave grows out of the perturbation
+//                and saturates (plateau formation);
+//   nu = 0.05  — collisional: growth is quenched and the free energy of
+//                the beam is dissipated.
+// Printed per run: peak electric field energy, final-to-initial field
+// energy, and the collisional run's moment drifts (machine-zero by the
+// LBO conservation correction).
+//
+// Writes vp_bumpontail.csv (t, fieldEnergy_collisionless, fieldEnergy_lbo).
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "io/field_io.hpp"
+
+namespace {
+
+vdg::Simulation makeRun(double nu) {
+  using namespace vdg;
+  constexpr double kPi = std::numbers::pi;
+  const double k = 0.3;             // resonant with the beam: vph = w/k ~ ub
+  const double delta = 0.1;         // beam density fraction
+  const double ub = 4.0, vtb = 0.5; // beam drift / thermal speed
+  const double amp = 1e-4;
+
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({16}, {0.0}, {2.0 * kPi / k}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({48}, {-8.0}, {8.0}),
+               [=](const double* z) {
+                 const double x = z[0], v = z[1];
+                 const double core =
+                     (1.0 - delta) * std::exp(-0.5 * v * v) / std::sqrt(2.0 * kPi);
+                 const double beam = delta *
+                                     std::exp(-0.5 * (v - ub) * (v - ub) / (vtb * vtb)) /
+                                     std::sqrt(2.0 * kPi * vtb * vtb);
+                 return (1.0 + amp * std::cos(k * x)) * (core + beam);
+               });
+  if (nu > 0.0) b.collisions(LboParams{.collisionFreq = nu});
+  b.field(PoissonParams{}).backgroundCharge(1.0).cflFrac(0.8);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdg;
+  const double tEnd = 40.0;
+
+  Simulation coll = makeRun(0.0);
+  Simulation lbo = makeRun(0.05);
+  const auto e0 = lbo.energetics();
+  const double eInit = coll.energetics().electricEnergy;
+
+  CsvWriter csv("vp_bumpontail.csv", "t,fieldEnergy_collisionless,fieldEnergy_lbo");
+  double peakColl = 0.0, peakLbo = 0.0;
+  while (coll.time() < tEnd) {
+    coll.step();
+    // Keep the two runs on a common time axis for the CSV.
+    while (lbo.time() < coll.time()) lbo.step();
+    const double eC = coll.energetics().electricEnergy;
+    const double eL = lbo.energetics().electricEnergy;
+    peakColl = std::max(peakColl, eC);
+    peakLbo = std::max(peakLbo, eL);
+    csv.row({coll.time(), eC, eL});
+  }
+
+  const auto e1 = lbo.energetics();
+  std::printf("bump-on-tail, k = 0.3, beam (delta, ub, vtb) = (0.1, 4.0, 0.5), t = %.0f\n",
+              tEnd);
+  std::printf("  collisionless: peak field energy %.3e (growth x%.1f over initial)\n",
+              peakColl, peakColl / eInit);
+  std::printf("  LBO nu=0.05:   peak field energy %.3e (quenched x%.2f vs collisionless)\n",
+              peakLbo, peakColl / peakLbo);
+  std::printf("  LBO moment drift over the run (conservation correction):\n");
+  std::printf("    mass:   %.2e relative\n",
+              std::abs(e1.mass[0] - e0.mass[0]) / std::abs(e0.mass[0]));
+  std::printf("    energy: %.2e relative (particle+field; field exchange is resolved,\n"
+              "            not collisional)\n",
+              std::abs(e1.totalEnergy() - e0.totalEnergy()) / e0.totalEnergy());
+  std::printf("time series written to vp_bumpontail.csv\n");
+  return 0;
+}

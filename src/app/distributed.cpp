@@ -57,6 +57,10 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
       wallSec_(static_cast<std::size_t>(numRanks), 0.0) {
   const Grid global = builder.confGrid();
   sims_.reserve(static_cast<std::size_t>(numRanks));
+  // Electrostatic runs: every rank solves the *same* global Poisson
+  // system, so the rank-0 build factors it once and the other ranks share
+  // the immutable instance instead of each paying the setup LU.
+  std::shared_ptr<const PoissonSolver> sharedPoisson;
   for (int r = 0; r < numRanks; ++r) {
     // Per-rank variant of the user's builder: local subgrid, the rank's
     // endpoint, serial RHS execution (the rank threads are the
@@ -66,8 +70,14 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
     b.confGrid(decomp_.localGrid(global, r));
     b.communicator(&comm_->endpoint(r));
     b.threads(1);
+    if (sharedPoisson) b.poissonSolver(sharedPoisson);
     sims_.push_back(b.build());
+    if (r == 0) sharedPoisson = sims_.front().sharedPoissonSolver();  // null for Maxwell
   }
+  // Derived-field refresh (the electrostatic E of a Poisson run) is a
+  // collective, so the sequential per-rank build() above skipped it; run
+  // it now with every rank entering in parallel. No-op for Maxwell runs.
+  onRanks([&](int r) { sims_[static_cast<std::size_t>(r)].refreshDerivedFields(); });
 }
 
 double DistributedSimulation::step(double dtFixed) {

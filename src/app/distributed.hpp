@@ -3,10 +3,12 @@
 // Section IV two-level scheme, first level): configuration space is
 // block-decomposed over ranks by a CartDecomp, each rank owns a full
 // Simulation on its subgrid — the *entire* Updater pipeline (Vlasov,
-// Maxwell, current coupling, optional BGK collisions), not a free-
-// streaming stand-in — and runs it on its own thread. The only inter-rank
-// traffic is the one-layer configuration ghost exchange and the scalar
-// CFL reduction, both through the rank's ThreadComm endpoint.
+// either field path: Maxwell + current coupling or the Poisson solve,
+// optional BGK/LBO collisions), not a free-streaming stand-in — and runs
+// it on its own thread. The only inter-rank traffic is the one-layer
+// configuration ghost exchange, the scalar CFL reduction, and (Poisson
+// runs) the charge-density vector all-reduce, all through the rank's
+// ThreadComm endpoint.
 //
 // Because rank-local grids do their coordinate arithmetic in global terms
 // (Grid::subgrid) and the ghost exchange is a pure copy of the same cells

@@ -70,6 +70,19 @@ Simulation::Builder& Simulation::Builder::collisions(const LboParams& p) {
 
 Simulation::Builder& Simulation::Builder::field(const MaxwellParams& p) {
   fieldParams_ = p;
+  poissonField_ = false;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::field(const PoissonParams& p) {
+  poissonParams_ = p;
+  poissonField_ = true;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::poissonSolver(
+    std::shared_ptr<const PoissonSolver> solver) {
+  providedPoisson_ = std::move(solver);
   return *this;
 }
 
@@ -127,6 +140,10 @@ Simulation Simulation::Builder::build() {
   sim.cflFrac_ = cflFrac_;
   sim.stepper_ = stepper_;
   sim.fieldParams_ = fieldParams_;
+  // The electrostatic path reuses the Maxwell parameter block for the
+  // energetics diagnostics; keep the one physical constant they share in
+  // sync so electricEnergy uses the Poisson eps0.
+  if (poissonField_) sim.fieldParams_.epsilon0 = poissonParams_.epsilon0;
   sim.species_ = species_;  // copy: the builder stays reusable for variants
   sim.comm_ = comm_ ? comm_ : &SerialComm::instance();
 
@@ -196,15 +213,52 @@ Simulation Simulation::Builder::build() {
   // full-phase-space vector for RK2 runs.
   if (stepper_ == Stepper::SspRk3) sim.stage_[1] = sim.state_.zerosLike();
 
-  // --- pipeline, in the canonical order of the coupled RHS.
-  const bool useEm = evolveField_ || initField_.has_value();
+  // --- pipeline, in the canonical order of the coupled RHS. The
+  // electrostatic path leads with the Poisson fixup (E is a functional of
+  // f, recomputed per stage and never stepped: the em slot's derivative is
+  // zeroed by the fixed-field stand-in, freezing B), and current coupling
+  // stays out of the loop — Gauss's law replaces Ampere's law.
+  if (poissonField_) {
+    if (providedPoisson_) {
+      // A shared, already-factored solver (DistributedSimulation builds
+      // one per *job*, not one per rank). Immutable, so reuse is safe;
+      // verify it actually matches this run's global grid and basis.
+      const Grid global = confGrid_.parent();
+      const Grid& sg = providedPoisson_->grid();
+      bool match = providedPoisson_->basis().spec() == confSpec && sg.ndim == global.ndim &&
+                   providedPoisson_->params().epsilon0 == poissonParams_.epsilon0;
+      for (int d = 0; match && d < global.ndim; ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        match = sg.cells[ds] == global.cells[ds] && sg.lower[ds] == global.lower[ds] &&
+                sg.upper[ds] == global.upper[ds];
+      }
+      if (!match)
+        throw std::invalid_argument(
+            "Simulation::Builder: provided PoissonSolver does not match the configured "
+            "global grid/basis/epsilon0");
+      sim.poisson_ = providedPoisson_;
+    } else {
+      sim.poisson_ =
+          std::make_shared<const PoissonSolver>(confSpec, confGrid_.parent(), poissonParams_);
+    }
+    std::vector<PoissonFieldUpdater::SpeciesTap> taps;
+    for (int s = 0; s < sim.numSpecies(); ++s)
+      taps.push_back({sim.mom_[static_cast<std::size_t>(s)].get(),
+                      sim.species_[static_cast<std::size_t>(s)].charge, s});
+    auto pu = std::make_unique<PoissonFieldUpdater>(confGrid_, sim.poisson_.get(),
+                                                    std::move(taps), sim.emSlot_,
+                                                    backgroundCharge_, sim.comm_, exec);
+    sim.poissonUpd_ = pu.get();
+    sim.pipeline_.push_back(std::move(pu));
+  }
+  const bool useEm = poissonField_ || evolveField_ || initField_.has_value();
   sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_));
   for (int s = 0; s < sim.numSpecies(); ++s) {
     sim.pipeline_.push_back(std::make_unique<VlasovRhsUpdater>(
         sim.vlasov_[static_cast<std::size_t>(s)].get(),
         sim.species_[static_cast<std::size_t>(s)].name, s, sim.emSlot_, useEm));
   }
-  if (evolveField_) {
+  if (evolveField_ && !poissonField_) {
     sim.pipeline_.push_back(std::make_unique<MaxwellRhsUpdater>(sim.maxwell_.get(), sim.emSlot_));
     std::vector<CurrentCouplingUpdater::SpeciesTap> taps;
     for (int s = 0; s < sim.numSpecies(); ++s)
@@ -227,6 +281,11 @@ Simulation Simulation::Builder::build() {
           sim.species_[static_cast<std::size_t>(s)].name, s));
     }
   }
+  // Make the t = 0 electrostatic field consistent with f before any step.
+  // Single-rank only: the refresh is collective, and a DistributedSimulation
+  // builds its ranks sequentially — it runs the refresh itself afterwards,
+  // with every rank entering in parallel.
+  if (sim.poissonUpd_ && sim.comm_->numRanks() == 1) sim.refreshDerivedFields();
   return sim;
 }
 
@@ -280,7 +339,22 @@ double Simulation::step(double dtFixed) {
     }
   }
   time_ += dt;
+  // The stage combines mixed the per-stage electrostatic fields; restore
+  // E = E[rho(f^{n+1})] so between-step diagnostics are consistent (no-op
+  // for the Maxwell path, where the field *is* stepped). The next step's
+  // stage-1 fixup recomputes the same solve; that redundancy is kept on
+  // purpose — the back-substitution is ~1% of a step (bench_poisson_solve)
+  // and the pipeline must stay correct for callers that mutate state()
+  // (scatter, tests) between steps.
+  refreshDerivedFields();
   return dt;
+}
+
+void Simulation::refreshDerivedFields() {
+  if (!poissonUpd_) return;
+  StateView in = state_.view();
+  StateView out = k_.view();  // scratch; the fixup never writes `out`
+  poissonUpd_->apply(time_, in, out);
 }
 
 int Simulation::advanceTo(double tEnd) {

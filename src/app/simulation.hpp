@@ -30,12 +30,14 @@
 #include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
+#include "dg/poisson.hpp"
 #include "dg/vlasov.hpp"
 #include "grid/grid.hpp"
 
 namespace vdg {
 
 class Communicator;
+class PoissonFieldUpdater;
 class ThreadExec;
 
 /// Strong-stability-preserving Runge-Kutta time steppers operating
@@ -82,6 +84,13 @@ class Simulation {
   /// layers are repaired in place). Returns the max CFL frequency.
   double rhs(double t, StateVector& u, StateVector& k);
 
+  /// Recompute the state-derived (non-stepped) fields — the electrostatic
+  /// E of a Poisson run — from the current distribution functions; no-op
+  /// on the Maxwell path. step() calls this after each accepted step so
+  /// diagnostics always see a field consistent with f; it is collective
+  /// (all ranks must enter together) when the simulation is distributed.
+  void refreshDerivedFields();
+
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int numSpecies() const { return static_cast<int>(species_.size()); }
   [[nodiscard]] int speciesIndex(const std::string& name) const;
@@ -107,6 +116,18 @@ class Simulation {
   [[nodiscard]] const SpeciesConfig& speciesConfig(int s) const {
     return species_[static_cast<std::size_t>(s)];
   }
+
+  /// The Poisson solver of an electrostatic (field:poisson) run, or null
+  /// for the Maxwell path.
+  [[nodiscard]] const PoissonSolver* poissonSolver() const { return poisson_.get(); }
+  /// Shared ownership of the solver (immutable after construction), so a
+  /// DistributedSimulation factors the global operator once and hands the
+  /// same instance to every rank (Builder::poissonSolver).
+  [[nodiscard]] std::shared_ptr<const PoissonSolver> sharedPoissonSolver() const {
+    return poisson_;
+  }
+  /// The Poisson field updater (lastRho()/lastPhi() diagnostics), or null.
+  [[nodiscard]] const PoissonFieldUpdater* poissonField() const { return poissonUpd_; }
 
   /// The assembled pipeline, in application order (for diagnostics and
   /// tests; names like "vlasov:elc", "bgk:ion", "current-coupling").
@@ -161,6 +182,9 @@ class Simulation {
   std::vector<std::unique_ptr<BgkUpdater>> bgk_;  ///< per species, may be null
   std::vector<std::unique_ptr<LboUpdater>> lbo_;  ///< per species, may be null
   std::unique_ptr<MaxwellUpdater> maxwell_;
+  /// Electrostatic runs only; shared so rank shards reuse one LU.
+  std::shared_ptr<const PoissonSolver> poisson_;
+  PoissonFieldUpdater* poissonUpd_ = nullptr;  ///< non-owning, in pipeline_
   std::vector<std::unique_ptr<Updater>> pipeline_;
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
   Communicator* comm_ = nullptr;           ///< non-owning; SerialComm by default
@@ -188,6 +212,23 @@ class Simulation::Builder {
   /// most recently added species (see collisions/lbo.hpp).
   Builder& collisions(const LboParams& p);
   Builder& field(const MaxwellParams& p);
+  /// Electrostatic field path (Vlasov-Poisson): instead of stepping the
+  /// hyperbolic Maxwell system, E is recomputed from the species charge
+  /// density at *every RK stage* by the DG Poisson solve
+  /// -lap(phi) = rho/eps0 (zero-mean gauge, periodic), and B — along with
+  /// any initField-set transverse E components — stays frozen at its
+  /// initial value (zero unless initField set it). No current
+  /// coupling runs — Gauss's law replaces Ampere's law — and evolveField()
+  /// is ignored. backgroundCharge() feeds the density (e.g. a neutralizing
+  /// ion background), though the gauge makes E independent of any uniform
+  /// charge. 1x configuration grids only for now (PoissonSolver).
+  Builder& field(const PoissonParams& p);
+  /// Reuse an already-factored global Poisson solver instead of building
+  /// one (it is immutable, so sharing is safe and bit-identical). Must
+  /// match the configured grid's parent and basis; only consulted when
+  /// field(PoissonParams) is selected. DistributedSimulation uses this to
+  /// factor the global operator once instead of once per rank.
+  Builder& poissonSolver(std::shared_ptr<const PoissonSolver> solver);
   /// false: the EM field is held fixed (or absent) — free streaming /
   /// external-field runs. Defaults to true.
   Builder& evolveField(bool on);
@@ -220,6 +261,9 @@ class Simulation::Builder {
   BasisFamily family_ = BasisFamily::Serendipity;
   std::vector<SpeciesConfig> species_;
   MaxwellParams fieldParams_;
+  PoissonParams poissonParams_;
+  std::shared_ptr<const PoissonSolver> providedPoisson_;  ///< optional reuse
+  bool poissonField_ = false;  ///< field slot driven by the Poisson solve
   bool evolveField_ = true;
   std::optional<VectorFn> initField_;
   double backgroundCharge_ = 0.0;

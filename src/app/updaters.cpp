@@ -1,8 +1,11 @@
 #include "app/updaters.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "par/communicator.hpp"
+#include "par/thread_exec.hpp"
 
 namespace vdg {
 
@@ -66,6 +69,75 @@ double CurrentCouplingUpdater::apply(double /*t*/, const StateView& in, StateVie
     double* r = emRhs.at(idx);
     r[6 * npc] += s * bg;
     for (int l = 0; l < npc; ++l) r[6 * npc + l] += s * rho[l];
+  });
+  return 0.0;
+}
+
+PoissonFieldUpdater::PoissonFieldUpdater(const Grid& confGrid, const PoissonSolver* solver,
+                                         std::vector<SpeciesTap> taps, int emSlot,
+                                         double backgroundCharge, Communicator* comm,
+                                         ThreadExec* exec)
+    : confGrid_(confGrid), solver_(solver), taps_(std::move(taps)), emSlot_(emSlot),
+      backgroundCharge_(backgroundCharge), comm_(comm), exec_(exec),
+      m0scratch_(confGrid, solver->numModes()), rho_(solver->numUnknowns(), 0.0),
+      phi_(solver->numUnknowns(), 0.0) {}
+
+double PoissonFieldUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
+  const int np = solver_->numModes();
+  const auto nps = static_cast<std::size_t>(np);
+
+  // Rank-local cell -> global flat index: the local window offset is baked
+  // into the grid (zero for a non-distributed run).
+  const auto globalFlat = [&](const MultiIndex& idx) {
+    MultiIndex gidx = idx;
+    for (int d = 0; d < confGrid_.ndim; ++d)
+      gidx[d] += confGrid_.offset[static_cast<std::size_t>(d)];
+    return solver_->flatIndex(gidx);
+  };
+
+  // --- charge density: this rank's window of the global vector, zeros
+  // elsewhere; the rank-ordered sum then concatenates the windows exactly
+  // (0 + x == x bitwise), so distributed assembly == serial assembly.
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+  for (const SpeciesTap& tap : taps_) {
+    tap.moments->compute(in.slot(tap.slot), &m0scratch_, nullptr, nullptr);
+    const double q = tap.charge;
+    parallelForEachCell(exec_, confGrid_, [&](const MultiIndex& idx) {
+      const double* src = m0scratch_.at(idx);
+      double* dst = rho_.data() + globalFlat(idx);
+      for (int l = 0; l < np; ++l) dst[l] += q * src[l];
+    });
+  }
+  Communicator* comm = comm_ ? comm_ : &SerialComm::instance();
+  comm->allReduceSum(rho_);
+  // Uniform immobile background (e.g. a static neutralizing ion charge),
+  // added post-reduction on every rank identically. The zero-mean gauge
+  // makes E independent of any constant charge; carrying it keeps the
+  // lastRho() diagnostic physically honest.
+  if (backgroundCharge_ != 0.0) {
+    const double bg = backgroundCharge_ * std::pow(2.0, 0.5 * confGrid_.ndim);
+    for (std::size_t c = 0; c < rho_.size(); c += nps) rho_[c] += bg;
+  }
+
+  solver_->solve(rho_, phi_);
+
+  // --- writeback: E_d = -d(phi)/dx_d into the local window's E slots for
+  // the configuration directions, potential into the phi diagnostic slot.
+  // Transverse E components, B and psi stay untouched — frozen at their
+  // initial values (zero unless initField set them), the same external-
+  // field semantics as the fixed-field path.
+  Field& em = in.slot(emSlot_);
+  assert(em.ncomp() == kEmComps * np);
+  const int cdim = confGrid_.ndim;
+  parallelForEachCell(exec_, confGrid_, [&](const MultiIndex& idx) {
+    MultiIndex gidx = idx;
+    for (int d = 0; d < cdim; ++d) gidx[d] += confGrid_.offset[static_cast<std::size_t>(d)];
+    double* u = em.at(idx);
+    for (int d = 0; d < cdim; ++d)
+      solver_->cellElectricField(phi_, gidx, d,
+                                 {u + static_cast<std::size_t>(d) * nps, nps});
+    const double* pc = phi_.data() + solver_->flatIndex(gidx);
+    for (int l = 0; l < np; ++l) u[6 * np + l] = pc[l];
   });
   return 0.0;
 }

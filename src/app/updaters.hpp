@@ -6,6 +6,7 @@
 // order (boundary sync, per-species Vlasov, Maxwell, current coupling,
 // collisions) — see docs/ARCHITECTURE.md for the layout.
 
+#include <span>
 #include <vector>
 
 #include "app/updater.hpp"
@@ -13,11 +14,13 @@
 #include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
 #include "dg/moments.hpp"
+#include "dg/poisson.hpp"
 #include "dg/vlasov.hpp"
 
 namespace vdg {
 
 class Communicator;
+class ThreadExec;
 
 /// Repairs ghost layers of every slot of `in` in the configuration
 /// dimensions (phase-space slots never need velocity ghosts: the velocity
@@ -105,6 +108,53 @@ class CurrentCouplingUpdater final : public Updater {
   int emSlot_;
   double backgroundCharge_;
   Field current_, chargeDens_, m0scratch_;
+};
+
+/// Electrostatic field fixup (the Vlasov-Poisson path): assembles the
+/// charge density rho = sum_s q_s M0[f_s] (+ uniform background) from the
+/// per-species moments, all-reduces it to the *global* grid through the
+/// Communicator, solves -lap(phi) = rho/eps0 with the zero-mean gauge, and
+/// overwrites the configuration-direction E components (and the phi
+/// diagnostic slot) of `in`'s EM field with E = -grad(phi). Runs FIRST in
+/// the pipeline — like the boundary sync it is a state fixup of `in`, not
+/// an RHS term: E is an instantaneous functional of f, recomputed at
+/// every stage rather than stepped (the em slot's time derivative is
+/// zeroed by FixedEmUpdater, so B, psi and any external transverse E set
+/// by initField stay frozen). rho assembly and E writeback are chunked over
+/// local configuration cells through ThreadExec (disjoint writes — bitwise
+/// serial-identical); the tiny global back-substitution stays serial.
+class PoissonFieldUpdater final : public Updater {
+ public:
+  struct SpeciesTap {
+    const MomentUpdater* moments;
+    double charge;
+    int slot;
+  };
+
+  /// `confGrid` is the rank-local (possibly subgrid) configuration grid;
+  /// `solver` was built on its parent. A null communicator resolves to the
+  /// shared SerialComm, a null executor to serial loops.
+  PoissonFieldUpdater(const Grid& confGrid, const PoissonSolver* solver,
+                      std::vector<SpeciesTap> taps, int emSlot, double backgroundCharge,
+                      Communicator* comm, ThreadExec* exec);
+  [[nodiscard]] std::string name() const override { return "field:poisson"; }
+  double apply(double t, const StateView& in, StateView& out) override;
+
+  /// The last assembled global charge density / solved potential (flat
+  /// PoissonSolver layout) — diagnostics and the rho-assembly tests.
+  [[nodiscard]] std::span<const double> lastRho() const { return rho_; }
+  [[nodiscard]] std::span<const double> lastPhi() const { return phi_; }
+
+ private:
+  Grid confGrid_;
+  const PoissonSolver* solver_;
+  std::vector<SpeciesTap> taps_;
+  int emSlot_;
+  double backgroundCharge_;
+  Communicator* comm_;
+  ThreadExec* exec_;
+  Field m0scratch_;
+  std::vector<double> rho_, phi_;  ///< global flat coefficient vectors
 };
 
 /// BGK collisional relaxation of one species: out[slot] += nu (f_M - f).

@@ -58,49 +58,9 @@ LboUpdater::LboUpdater(const BasisSpec& spec, const Grid& phaseGrid, const LboPa
     sliceMode_.push_back(std::move(slice));
   }
 
-  // --- recovery functionals: the unique degree-(2p+1) polynomial r(zeta)
-  // on the two-cell patch (zeta in [-1,1], interface at 0) reproducing the
-  // p+1 Legendre moments of each neighbor. Its interface value r(0) and
-  // slope r'(0) are linear in the slice coefficients; the weights are the
-  // first two rows of the inverse of the moment-condition matrix.
-  {
-    const int n = p + 1;
-    const int N = 2 * n;
-    const QuadRule rule = gauss_legendre(2 * p + 4);
-    DenseMatrix M(N, N);
-    for (int m = 0; m < n; ++m) {
-      for (int q = 0; q < N; ++q) {
-        double sL = 0.0, sR = 0.0;
-        for (std::size_t iq = 0; iq < rule.nodes.size(); ++iq) {
-          const double x = rule.nodes[iq];
-          const double w = rule.weights[iq] * legendrePsi(m, x);
-          sL += w * std::pow(0.5 * (x - 1.0), q);
-          sR += w * std::pow(0.5 * (x + 1.0), q);
-        }
-        M(m, q) = sL;
-        M(n + m, q) = sR;
-      }
-    }
-    const LuSolver lu(std::move(M));
-    assert(!lu.singular());
-    recValL_.resize(static_cast<std::size_t>(n));
-    recValR_.resize(static_cast<std::size_t>(n));
-    recDerivL_.resize(static_cast<std::size_t>(n));
-    recDerivR_.resize(static_cast<std::size_t>(n));
-    std::vector<double> e(static_cast<std::size_t>(N));
-    for (int col = 0; col < N; ++col) {
-      std::fill(e.begin(), e.end(), 0.0);
-      e[static_cast<std::size_t>(col)] = 1.0;
-      lu.solve(e);
-      if (col < n) {
-        recValL_[static_cast<std::size_t>(col)] = e[0];
-        recDerivL_[static_cast<std::size_t>(col)] = e[1];
-      } else {
-        recValR_[static_cast<std::size_t>(col - n)] = e[0];
-        recDerivR_[static_cast<std::size_t>(col - n)] = e[1];
-      }
-    }
-  }
+  // --- recovery functionals of the two-cell patch (shared with the Poisson
+  // solver's interface traces; see tensors/dg_tensors.hpp).
+  rec_ = buildRecoveryWeights(p);
 
   // --- scalar (conf-mode-0) moment tapes for the conservation correction.
   sm1_.resize(static_cast<std::size_t>(vdim_));
@@ -374,10 +334,10 @@ double LboUpdater::apply(const Field& f, const Field& u, const Field& vtSq, Fiel
                 for (int m = 0; m < p1; ++m) {
                   const int lL = sl[m];
                   if (lL >= 0) {
-                    v += recValL_[static_cast<std::size_t>(m)] * fLc[lL];
-                    dv += recDerivL_[static_cast<std::size_t>(m)] * fLc[lL];
-                    v += recValR_[static_cast<std::size_t>(m)] * fRc[lL];
-                    dv += recDerivR_[static_cast<std::size_t>(m)] * fRc[lL];
+                    v += rec_.valL[static_cast<std::size_t>(m)] * fLc[lL];
+                    dv += rec_.derivL[static_cast<std::size_t>(m)] * fLc[lL];
+                    v += rec_.valR[static_cast<std::size_t>(m)] * fRc[lL];
+                    dv += rec_.derivR[static_cast<std::size_t>(m)] * fRc[lL];
                   }
                 }
                 rv[static_cast<std::size_t>(k)] = v;

@@ -118,8 +118,9 @@ class LboUpdater {
 
   /// Recovery functionals: interface value r(0) and derivative r'(0) (in
   /// the two-cell coordinate) as linear maps of the left/right 1-D slice
-  /// coefficients g_m, m = 0..p.
-  std::vector<double> recValL_, recValR_, recDerivL_, recDerivR_;
+  /// coefficients g_m, m = 0..p (tensors/dg_tensors.hpp, shared with the
+  /// Poisson solver).
+  RecoveryWeights rec_;
 
   /// Scalar (conf-mode-0) moment tape weights over one velocity cell, for
   /// the conservation correction: weight 1, eta_j, eta_j^2.

@@ -1,0 +1,177 @@
+#include "dg/poisson.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/legendre.hpp"
+
+namespace vdg {
+
+PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
+                             const PoissonParams& params)
+    : basis_(&basisFor(confSpec)), grid_(confGrid.parent()), params_(params),
+      np_(basis_->numModes()) {
+  if (confSpec.vdim != 0)
+    throw std::invalid_argument("PoissonSolver: spec must be configuration-space (vdim==0)");
+  if (grid_.ndim != confSpec.cdim)
+    throw std::invalid_argument("PoissonSolver: grid/basis dimensionality mismatch");
+  if (confSpec.cdim != 1)
+    throw std::invalid_argument(
+        "PoissonSolver: only 1x configuration grids are implemented (the flat-vector "
+        "interface and per-direction electricField are cdim-general; a 2x backend can "
+        "slot in behind the same API)");
+  if (params_.epsilon0 <= 0.0)
+    throw std::invalid_argument("PoissonSolver: epsilon0 must be positive");
+
+  n_ = grid_.numCells() * static_cast<std::size_t>(np_);
+  stride_[0] = 1;
+  for (int d = 1; d < grid_.ndim; ++d)
+    stride_[static_cast<std::size_t>(d)] =
+        stride_[static_cast<std::size_t>(d - 1)] *
+        static_cast<std::size_t>(grid_.cells[static_cast<std::size_t>(d - 1)]);
+
+  // Volume term int w_l'' w_n deta: the coefficient slot of the generic
+  // second-derivative tape contracted with the unit projection (D = 1).
+  vol2_ = DenseMatrix(np_, np_);
+  const Tape3 t2 = buildVolumeTape2(*basis_, 0);
+  for (const auto& [l0, cu] : projectUnit(*basis_))
+    for (const Tape3::Term& t : t2.terms)
+      if (t.m == l0) vol2_(t.l, t.n) += cu * t.c;
+  grad_ = buildGradTape(*basis_, 0);
+  rec_ = buildRecoveryWeights(confSpec.polyOrder);
+
+  endMinus_.resize(static_cast<std::size_t>(np_));
+  endPlus_.resize(static_cast<std::size_t>(np_));
+  dEndMinus_.resize(static_cast<std::size_t>(np_));
+  dEndPlus_.resize(static_cast<std::size_t>(np_));
+  for (int l = 0; l < np_; ++l) {
+    const int a = basis_->mode(l)[0];
+    endMinus_[static_cast<std::size_t>(l)] = legendrePsi(a, -1.0);
+    endPlus_[static_cast<std::size_t>(l)] = legendrePsi(a, +1.0);
+    dEndMinus_[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, -1.0);
+    dEndPlus_[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, +1.0);
+  }
+
+  // Bordered system [-lap, g; g^T, 0] with the gauge functional g picking
+  // every cell's mean coefficient: the periodic operator's constant null
+  // space is traded for the Lagrange multiplier, which also absorbs any
+  // mean charge (so the factorization never sees a singular matrix).
+  // Assembled column-by-column through the same applyMinusLaplacian the
+  // tests probe, then LU-factored once; solves are back-substitutions.
+  const auto nb = n_ + 1;
+  DenseMatrix A(static_cast<int>(nb), static_cast<int>(nb));
+  std::vector<double> e(n_, 0.0), col(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    e[j] = 1.0;
+    applyMinusLaplacian(e, col);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) A(static_cast<int>(i), static_cast<int>(j)) = col[i];
+  }
+  for (std::size_t c = 0; c < grid_.numCells(); ++c) {
+    const auto i = c * static_cast<std::size_t>(np_);
+    A(static_cast<int>(n_), static_cast<int>(i)) = 1.0;
+    A(static_cast<int>(i), static_cast<int>(n_)) = 1.0;
+  }
+  lu_ = LuSolver(std::move(A));
+  if (lu_.singular())
+    throw std::runtime_error("PoissonSolver: discrete Laplacian factorization is singular");
+}
+
+void PoissonSolver::applyMinusLaplacian(std::span<const double> phi,
+                                        std::span<double> out) const {
+  assert(phi.size() == n_ && out.size() == n_);
+  const int N = grid_.cells[0];
+  const auto np = static_cast<std::size_t>(np_);
+  const double rdx2 = 2.0 / grid_.dx(0);
+  const double s2 = rdx2 * rdx2;
+
+  // out = -s2 * (volume + face terms); accumulate the *negated* Laplacian.
+  for (std::size_t i = 0; i < n_; ++i) out[i] = 0.0;
+  for (int i = 0; i < N; ++i) {
+    const double* pc = phi.data() + static_cast<std::size_t>(i) * np;
+    double* oc = out.data() + static_cast<std::size_t>(i) * np;
+    for (int l = 0; l < np_; ++l) {
+      double s = 0.0;
+      for (int m = 0; m < np_; ++m) s += vol2_(l, m) * pc[m];
+      oc[l] -= s2 * s;
+    }
+  }
+  // Interior == every face (periodic): face i sits between cell i and
+  // cell (i+1) mod N. Recovery value r(0) and slope r'(0) in the two-cell
+  // coordinate zeta (d/deta = (1/2) d/dzeta, hence the 0.5 on the flux).
+  for (int i = 0; i < N; ++i) {
+    const int ir = (i + 1) % N;
+    const double* pL = phi.data() + static_cast<std::size_t>(i) * np;
+    const double* pR = phi.data() + static_cast<std::size_t>(ir) * np;
+    double r0 = 0.0, r1 = 0.0;
+    for (int m = 0; m < np_; ++m) {
+      r0 += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
+            rec_.valR[static_cast<std::size_t>(m)] * pR[m];
+      r1 += rec_.derivL[static_cast<std::size_t>(m)] * pL[m] +
+            rec_.derivR[static_cast<std::size_t>(m)] * pR[m];
+    }
+    double* oL = out.data() + static_cast<std::size_t>(i) * np;
+    double* oR = out.data() + static_cast<std::size_t>(ir) * np;
+    for (int l = 0; l < np_; ++l) {
+      // Flux term [w phi'] with phi' = r'(0)/2 at the interface.
+      oL[l] -= 0.5 * s2 * endPlus_[static_cast<std::size_t>(l)] * r1;
+      oR[l] += 0.5 * s2 * endMinus_[static_cast<std::size_t>(l)] * r1;
+      // Value term -[w' phihat] with phihat = r(0).
+      oL[l] += s2 * dEndPlus_[static_cast<std::size_t>(l)] * r0;
+      oR[l] -= s2 * dEndMinus_[static_cast<std::size_t>(l)] * r0;
+    }
+  }
+}
+
+void PoissonSolver::solve(std::span<const double> rho, std::span<double> phi) const {
+  assert(rho.size() == n_ && phi.size() == n_);
+  std::vector<double> b(n_ + 1);
+  const double s = 1.0 / params_.epsilon0;
+  for (std::size_t i = 0; i < n_; ++i) b[i] = s * rho[i];
+  b[n_] = 0.0;  // gauge: int phi dx = 0
+  lu_.solve(b);
+  for (std::size_t i = 0; i < n_; ++i) phi[i] = b[i];
+}
+
+void PoissonSolver::cellElectricField(std::span<const double> phi, const MultiIndex& gidx,
+                                      int d, std::span<double> e) const {
+  assert(phi.size() == n_ && e.size() == static_cast<std::size_t>(np_));
+  assert(d == 0 && "PoissonSolver: 1x only");
+  (void)d;
+  const int N = grid_.cells[0];
+  const int i = gidx[0];
+  const auto np = static_cast<std::size_t>(np_);
+  const double* pC = phi.data() + static_cast<std::size_t>(i) * np;
+  const double* pL = phi.data() + static_cast<std::size_t>((i + N - 1) % N) * np;
+  const double* pR = phi.data() + static_cast<std::size_t>((i + 1) % N) * np;
+
+  // Recovered (continuous) interface traces at the cell's two faces.
+  double hatLo = 0.0, hatHi = 0.0;
+  for (int m = 0; m < np_; ++m) {
+    hatLo += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
+             rec_.valR[static_cast<std::size_t>(m)] * pC[m];
+    hatHi += rec_.valL[static_cast<std::size_t>(m)] * pC[m] +
+             rec_.valR[static_cast<std::size_t>(m)] * pR[m];
+  }
+  // E_l = (2/dx) [ sum_n D_ln phi_n - w_l(+1) phihat_hi + w_l(-1) phihat_lo ],
+  // the weak projection of -dphi/dx with the continuous trace.
+  const double rdx2 = 2.0 / grid_.dx(0);
+  for (int l = 0; l < np_; ++l)
+    e[static_cast<std::size_t>(l)] =
+        rdx2 * (endMinus_[static_cast<std::size_t>(l)] * hatLo -
+                endPlus_[static_cast<std::size_t>(l)] * hatHi);
+  grad_.execute({pC, np}, e, rdx2);
+}
+
+double PoissonSolver::domainIntegral(std::span<const double> phi) const {
+  assert(phi.size() == n_);
+  double jac = 1.0;
+  for (int d = 0; d < grid_.ndim; ++d) jac *= 0.5 * grid_.dx(d);
+  double s = 0.0;
+  for (std::size_t c = 0; c < grid_.numCells(); ++c)
+    s += phi[c * static_cast<std::size_t>(np_)];
+  return jac * std::pow(2.0, 0.5 * grid_.ndim) * s;
+}
+
+}  // namespace vdg

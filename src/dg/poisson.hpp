@@ -1,0 +1,108 @@
+#pragma once
+// DG Poisson solver for the electrostatic (Vlasov-Poisson) limit of the
+// paper's kinetic scheme:
+//
+//   -lap(phi) = rho / eps0        on the periodic configuration grid,
+//   E = -grad(phi)                projected onto the configuration basis,
+//
+// with the zero-mean gauge int phi dx = 0 fixing the constant that the
+// periodic Laplacian cannot see.
+//
+// The discrete Laplacian is the recovery-based DG operator shared with the
+// LBO collision diffusion (tensors/dg_tensors.hpp): across every interior
+// face the two neighboring cells merge into the unique degree-(2p+1)
+// recovery polynomial reproducing both cells' moments, whose interface
+// value and slope feed the twice-integrated-by-parts weak form — exact
+// sparse tapes, no quadrature in the operator, and super-convergent
+// (order >= p+1, tests/test_poisson.cpp measures ~2p) potentials. The
+// electric field is the weak gradient with the *recovered* (continuous)
+// interface trace of phi, so E inherits the recovery accuracy.
+//
+// Unlike the hyperbolic Maxwell path, the field here is elliptic: the
+// operator couples every cell, so the solve is a global direct LU of the
+// (block-tridiagonal periodic, zero-mean-bordered) system, factored once
+// at setup and back-substituted per evaluation — FFT-free and exact to
+// round-off, the right trade for 1x configuration grids. The flat-vector
+// interface (global cell-major coefficients, forEachCell order) and the
+// per-direction electricField evaluation are cdim-general so a 2x backend
+// (banded or multigrid in place of the dense LU) can slot in behind the
+// same API; construction currently rejects cdim != 1.
+
+#include <span>
+#include <vector>
+
+#include "basis/basis.hpp"
+#include "grid/grid.hpp"
+#include "math/dense_matrix.hpp"
+#include "tensors/dg_tensors.hpp"
+
+namespace vdg {
+
+struct PoissonParams {
+  double epsilon0 = 1.0;
+};
+
+class PoissonSolver {
+ public:
+  /// `confSpec` must have vdim == 0; `confGrid` is the *global* grid (pass
+  /// Grid::parent() of a rank-local window — every rank factors the same
+  /// global operator, which is what keeps distributed solves bit-identical
+  /// to serial ones). Throws for cdim != 1 (2x: planned, same interface).
+  PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid, const PoissonParams& params);
+
+  [[nodiscard]] const Basis& basis() const { return *basis_; }
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const PoissonParams& params() const { return params_; }
+  [[nodiscard]] int numModes() const { return np_; }
+  /// Flat global coefficient count: numCells * numModes, cell-major in
+  /// forEachCell (dimension-0-fastest) order.
+  [[nodiscard]] std::size_t numUnknowns() const { return n_; }
+
+  /// Flat index of the first coefficient of global cell `gidx`.
+  [[nodiscard]] std::size_t flatIndex(const MultiIndex& gidx) const {
+    std::size_t o = 0;
+    for (int d = 0; d < grid_.ndim; ++d)
+      o += static_cast<std::size_t>(gidx[d]) * stride_[static_cast<std::size_t>(d)];
+    return o * static_cast<std::size_t>(np_);
+  }
+
+  /// Solve -lap(phi) = rho/eps0 with the zero-mean gauge. `rho` and `phi`
+  /// are flat global coefficient vectors (size numUnknowns()). Any mean
+  /// charge is absorbed by the gauge's Lagrange multiplier, so a non-
+  /// neutral rho still yields the (unique, zero-mean) periodic potential
+  /// of its fluctuating part.
+  void solve(std::span<const double> rho, std::span<double> phi) const;
+
+  /// out = -lap(phi), the discrete operator the solve inverts (for tests
+  /// and residual checks).
+  void applyMinusLaplacian(std::span<const double> phi, std::span<double> out) const;
+
+  /// E_d = -d(phi)/dx_d of global cell `gidx` as a basis expansion (np
+  /// coefficients): weak gradient with the recovered continuous interface
+  /// trace of phi. Reads only `gidx` and its two d-neighbors (periodic
+  /// wrap), so rank-local writeback from a global phi needs no ghosts.
+  void cellElectricField(std::span<const double> phi, const MultiIndex& gidx, int d,
+                         std::span<double> e) const;
+
+  /// Domain integral of a flat coefficient vector (the gauge functional;
+  /// ~0 for every solve result).
+  [[nodiscard]] double domainIntegral(std::span<const double> phi) const;
+
+ private:
+  const Basis* basis_;
+  Grid grid_;
+  PoissonParams params_;
+  int np_ = 0;
+  std::size_t n_ = 0;
+  std::array<std::size_t, kMaxDim> stride_{};  ///< cell strides, dim 0 fastest
+
+  DenseMatrix vol2_;    ///< int w_l'' w_n deta (volume term of the weak lap)
+  Tape2 grad_;          ///< int w_l' w_n deta (weak gradient volume term)
+  RecoveryWeights rec_;
+  std::vector<double> endMinus_, endPlus_;      ///< psi_l(-1), psi_l(+1)
+  std::vector<double> dEndMinus_, dEndPlus_;    ///< psi_l'(-1), psi_l'(+1)
+
+  LuSolver lu_;  ///< bordered (n+1) system: [-lap, gauge; gauge^T, 0]
+};
+
+}  // namespace vdg

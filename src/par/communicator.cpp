@@ -86,6 +86,33 @@ class ThreadComm::Endpoint final : public Communicator {
     return reduce(v, [](double a, double b) { return a + b; });
   }
 
+  void allReduceSum(std::span<double> v) override {
+    // Publish this rank's block, barrier, then every rank folds all
+    // blocks element-wise in the same (rank) order — same bits everywhere
+    // despite the non-associative +. Mailbox protocol like the halo path.
+    const auto t0 = Clock::now();
+    std::vector<double>& mine = owner_->reduceVecs_[static_cast<std::size_t>(rank_)];
+    mine.assign(v.begin(), v.end());
+    owner_->bar_.arrive_and_wait();
+    const std::vector<double>& first = owner_->reduceVecs_[0];
+    assert(first.size() == v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = first[i];
+    for (int r = 1; r < numRanks(); ++r) {
+      const std::vector<double>& other = owner_->reduceVecs_[static_cast<std::size_t>(r)];
+      assert(other.size() == v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] += other[i];
+    }
+    owner_->bar_.arrive_and_wait();  // blocks free for the next reduction
+    // Book the traffic into the halo stats so the compute/halo split
+    // stays honest for electrostatic runs: this rank read every *other*
+    // rank's block (its own is a self-copy, free by the same convention
+    // as the self-wrap in syncConfGhosts). Coefficient blocks are not
+    // ghost cells, so the cell counter is untouched.
+    bytes_ += static_cast<std::uint64_t>(numRanks() - 1) *
+              static_cast<std::uint64_t>(v.size()) * sizeof(double);
+    sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
   void barrier() override { owner_->bar_.arrive_and_wait(); }
 
   [[nodiscard]] std::uint64_t haloBytes() const override { return bytes_; }
@@ -121,7 +148,8 @@ Communicator& ThreadComm::endpoint(int rank) const {
 ThreadComm::ThreadComm(const CartDecomp& decomp)
     : decomp_(decomp), bar_(decomp.numRanks()), sendLo_(static_cast<std::size_t>(decomp.numRanks())),
       sendHi_(static_cast<std::size_t>(decomp.numRanks())),
-      reduceSlots_(static_cast<std::size_t>(decomp.numRanks()), 0.0) {
+      reduceSlots_(static_cast<std::size_t>(decomp.numRanks()), 0.0),
+      reduceVecs_(static_cast<std::size_t>(decomp.numRanks())) {
   for (int r = 0; r < decomp.numRanks(); ++r)
     endpoints_.push_back(std::make_unique<Endpoint>(*this, r));
 }

@@ -25,6 +25,7 @@
 #include <barrier>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "grid/grid.hpp"
@@ -52,15 +53,28 @@ class Communicator {
   [[nodiscard]] virtual double allReduceMax(double v) = 0;
   [[nodiscard]] virtual double allReduceSum(double v) = 0;
 
+  /// Element-wise all-reduce sum of a coefficient block, in place: after
+  /// the call every rank holds the rank-ordered (deterministic, hence
+  /// bitwise-reproducible) sum of all ranks' vectors. This is how the
+  /// Poisson field updater assembles the *global* charge density from
+  /// per-rank moment blocks (each rank contributes its window of a
+  /// global-shape vector, zeros elsewhere, so the sum is a concatenation
+  /// and stays bit-identical to a serial assembly). Identity for
+  /// SerialComm. All ranks must pass the same size.
+  virtual void allReduceSum(std::span<double> v) = 0;
+
   virtual void barrier() {}
 
   // --- measured halo traffic (calibrates the Fig. 3 MachineModel).
-  /// Bytes this rank exchanged with *other* ranks (self-wrap is free).
+  /// Bytes this rank exchanged with *other* ranks, ghost slabs and vector
+  /// reductions alike (self-wrap / own-block reads are free).
   [[nodiscard]] virtual std::uint64_t haloBytes() const { return 0; }
-  /// Ghost cells this rank received from other ranks.
+  /// Ghost cells this rank received from other ranks (slab exchange only;
+  /// reduction blocks are coefficients, not cells).
   [[nodiscard]] virtual std::uint64_t haloCells() const { return 0; }
-  /// Wall seconds this rank spent in syncConfGhosts (including barrier
-  /// waits — the quantity an MPI profile would report as halo time).
+  /// Wall seconds this rank spent in communication collectives —
+  /// syncConfGhosts and vector allReduceSum, including barrier waits (the
+  /// quantity an MPI profile would report as communication time).
   [[nodiscard]] virtual double haloSeconds() const { return 0.0; }
 };
 
@@ -74,6 +88,7 @@ class SerialComm final : public Communicator {
   }
   [[nodiscard]] double allReduceMax(double v) override { return v; }
   [[nodiscard]] double allReduceSum(double v) override { return v; }
+  void allReduceSum(std::span<double> /*v*/) override {}  // identity
 
   /// Shared stateless instance (safe for concurrent use: syncConfGhosts
   /// only touches the field passed in).
@@ -106,6 +121,7 @@ class ThreadComm {
   std::barrier<> bar_;
   std::vector<std::vector<double>> sendLo_, sendHi_;  ///< per rank mailboxes
   std::vector<double> reduceSlots_;
+  std::vector<std::vector<double>> reduceVecs_;  ///< per rank, vector reduce
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "math/dense_matrix.hpp"
 #include "math/gauss_legendre.hpp"
 #include "math/legendre.hpp"
 
@@ -251,6 +252,52 @@ std::vector<double> basisSupBounds(const Basis& basis) {
     sup[static_cast<std::size_t>(l)] = s;
   }
   return sup;
+}
+
+RecoveryWeights buildRecoveryWeights(int polyOrder) {
+  // Moment conditions: for each neighbor cell and slice degree m,
+  //   int psi_m(x) r(cell-local zeta(x)) dx = g_m
+  // with r a monomial expansion in zeta of degree 2p+1. The weights of the
+  // interface value/slope come from the inverse's first two rows (r(0) and
+  // r'(0) pick the constant and linear monomial coefficients).
+  const int n = polyOrder + 1;
+  const int N = 2 * n;
+  const QuadRule rule = gauss_legendre(2 * polyOrder + 4);
+  DenseMatrix M(N, N);
+  for (int m = 0; m < n; ++m) {
+    for (int q = 0; q < N; ++q) {
+      double sL = 0.0, sR = 0.0;
+      for (std::size_t iq = 0; iq < rule.nodes.size(); ++iq) {
+        const double x = rule.nodes[iq];
+        const double w = rule.weights[iq] * legendrePsi(m, x);
+        sL += w * std::pow(0.5 * (x - 1.0), q);
+        sR += w * std::pow(0.5 * (x + 1.0), q);
+      }
+      M(m, q) = sL;
+      M(n + m, q) = sR;
+    }
+  }
+  const LuSolver lu(std::move(M));
+  assert(!lu.singular());
+  RecoveryWeights rw;
+  rw.valL.resize(static_cast<std::size_t>(n));
+  rw.valR.resize(static_cast<std::size_t>(n));
+  rw.derivL.resize(static_cast<std::size_t>(n));
+  rw.derivR.resize(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(N));
+  for (int col = 0; col < N; ++col) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[static_cast<std::size_t>(col)] = 1.0;
+    lu.solve(e);
+    if (col < n) {
+      rw.valL[static_cast<std::size_t>(col)] = e[0];
+      rw.derivL[static_cast<std::size_t>(col)] = e[1];
+    } else {
+      rw.valR[static_cast<std::size_t>(col - n)] = e[0];
+      rw.derivR[static_cast<std::size_t>(col - n)] = e[1];
+    }
+  }
+  return rw;
 }
 
 }  // namespace vdg

@@ -86,4 +86,18 @@ struct FaceMap {
 /// Lax-Friedrichs penalty bound): prod_i sqrt((2 a_i + 1)/2).
 [[nodiscard]] std::vector<double> basisSupBounds(const Basis& basis);
 
+/// Recovery functionals of the two-cell patch: the unique degree-(2p+1)
+/// polynomial r(zeta) on [-1,1] (interface at zeta = 0, left cell mapped to
+/// [-1,0], right cell to [0,1]) reproducing the p+1 Legendre moments of each
+/// neighbor. Its interface value r(0) and slope r'(0) are linear in the two
+/// cells' 1-D slice coefficients; the weights are the first two rows of the
+/// inverse of the moment-condition matrix. Shared by the recovery-based
+/// diffusion of the LBO collision operator (velocity faces) and the Poisson
+/// solver's continuous interface traces (configuration faces).
+struct RecoveryWeights {
+  std::vector<double> valL, valR;      ///< r(0)  weights, size p+1 each
+  std::vector<double> derivL, derivR;  ///< r'(0) weights (d/dzeta), size p+1
+};
+[[nodiscard]] RecoveryWeights buildRecoveryWeights(int polyOrder);
+
 }  // namespace vdg

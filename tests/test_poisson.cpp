@@ -1,0 +1,382 @@
+// The electrostatic Vlasov-Poisson subsystem: the recovery-based DG
+// Poisson solver (manufactured-solution convergence at order >= p+1, the
+// zero-mean gauge, operator residuals), the field:poisson pipeline path
+// (charge assembly exactness over species, em-slot layout, conservation),
+// physics validation against the analytic electrostatic Landau damping
+// rate, and the distributed/threaded bitwise-identity guarantees the rest
+// of the codebase holds itself to.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "app/distributed.hpp"
+#include "app/projection.hpp"
+#include "app/simulation.hpp"
+#include "app/updaters.hpp"
+#include "dg/poisson.hpp"
+
+namespace vdg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Project a scalar function of x onto the conf basis and flatten into the
+/// solver's global cell-major coefficient layout.
+std::vector<double> projectFlat(const PoissonSolver& solver, const ScalarFn& fn) {
+  const Grid& g = solver.grid();
+  Field f(g, solver.numModes());
+  projectOnBasis(solver.basis(), g, fn, f, solver.basis().spec().polyOrder + 3);
+  std::vector<double> out(solver.numUnknowns());
+  forEachCell(g, [&](const MultiIndex& idx) {
+    const double* src = f.at(idx);
+    double* dst = out.data() + solver.flatIndex(idx);
+    for (int l = 0; l < solver.numModes(); ++l) dst[l] = src[l];
+  });
+  return out;
+}
+
+double l2Diff(const PoissonSolver& solver, std::span<const double> a,
+              std::span<const double> b) {
+  double jac = 1.0;
+  for (int d = 0; d < solver.grid().ndim; ++d) jac *= 0.5 * solver.grid().dx(d);
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    err += d * d;
+  }
+  return std::sqrt(jac * err);
+}
+
+// ------------------------------------------------------------- the solver
+
+struct SolveCase {
+  int polyOrder;
+  double minOrder;
+};
+
+class PoissonConvergence : public ::testing::TestWithParam<SolveCase> {};
+
+/// -phi'' = sin(x) on [0, 2pi] has the zero-mean solution phi = sin(x) and
+/// E = -cos(x). Both the potential and the derived electric field must
+/// converge at order >= p+1 (recovery is in fact super-convergent).
+TEST_P(PoissonConvergence, ManufacturedSolutionAtOrderPPlusOne) {
+  const auto [p, minOrder] = GetParam();
+  const BasisSpec spec{1, 0, p, BasisFamily::Serendipity};
+  double phiErr[2], eErr[2];
+  const int sizes[2] = {8, 16};
+  for (int r = 0; r < 2; ++r) {
+    const Grid g = Grid::make({sizes[r]}, {0.0}, {2.0 * kPi});
+    const PoissonSolver solver(spec, g, PoissonParams{});
+    const auto rho = projectFlat(solver, [](const double* z) { return std::sin(z[0]); });
+    std::vector<double> phi(solver.numUnknowns());
+    solver.solve(rho, phi);
+    const auto phiExact =
+        projectFlat(solver, [](const double* z) { return std::sin(z[0]); });
+    phiErr[r] = l2Diff(solver, phi, phiExact);
+
+    std::vector<double> e(solver.numUnknowns());
+    forEachCell(g, [&](const MultiIndex& idx) {
+      solver.cellElectricField(
+          phi, idx, 0, {e.data() + solver.flatIndex(idx), static_cast<std::size_t>(solver.numModes())});
+    });
+    const auto eExact =
+        projectFlat(solver, [](const double* z) { return -std::cos(z[0]); });
+    eErr[r] = l2Diff(solver, e, eExact);
+  }
+  const double phiOrder = std::log2(phiErr[0] / phiErr[1]);
+  const double eOrder = std::log2(eErr[0] / eErr[1]);
+  EXPECT_GE(phiOrder, minOrder) << "phi errors " << phiErr[0] << " -> " << phiErr[1];
+  EXPECT_GE(eOrder, minOrder) << "E errors " << eErr[0] << " -> " << eErr[1];
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PoissonConvergence,
+                         ::testing::Values(SolveCase{1, 2.0}, SolveCase{2, 3.0}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.polyOrder);
+                         });
+
+/// The gauge: solutions have zero mean, a uniform charge offset changes
+/// nothing (it is absorbed by the Lagrange multiplier), and the residual
+/// of the solve is exactly that uniform part.
+TEST(PoissonSolver, ZeroMeanGaugeRegression) {
+  const BasisSpec spec{1, 0, 2, BasisFamily::Serendipity};
+  const Grid g = Grid::make({12}, {0.0}, {2.0 * kPi});
+  const PoissonSolver solver(spec, g, PoissonParams{});
+  const auto rho = projectFlat(
+      solver, [](const double* z) { return std::sin(z[0]) + 0.3 * std::cos(2.0 * z[0]); });
+
+  std::vector<double> phi(solver.numUnknowns());
+  solver.solve(rho, phi);
+  EXPECT_NEAR(solver.domainIntegral(phi), 0.0, 1e-12);
+
+  // Residual of the neutral problem vanishes identically.
+  std::vector<double> res(solver.numUnknowns());
+  solver.applyMinusLaplacian(phi, res);
+  for (std::size_t i = 0; i < res.size(); ++i) EXPECT_NEAR(res[i], rho[i], 1e-10) << i;
+
+  // A uniform charge offset (mean rho != 0) leaves phi (hence E) unchanged.
+  auto rhoOff = rho;
+  const double off = 5.0 * std::sqrt(2.0);  // 5.0 as a mode-0 coefficient
+  for (std::size_t c = 0; c < rhoOff.size(); c += static_cast<std::size_t>(solver.numModes()))
+    rhoOff[c] += off;
+  std::vector<double> phiOff(solver.numUnknowns());
+  solver.solve(rhoOff, phiOff);
+  for (std::size_t i = 0; i < phi.size(); ++i) EXPECT_NEAR(phiOff[i], phi[i], 1e-10) << i;
+}
+
+TEST(PoissonSolver, EpsilonZeroScalesThePotential) {
+  const BasisSpec spec{1, 0, 1, BasisFamily::Serendipity};
+  const Grid g = Grid::make({8}, {0.0}, {2.0 * kPi});
+  const PoissonSolver unit(spec, g, PoissonParams{.epsilon0 = 1.0});
+  const PoissonSolver half(spec, g, PoissonParams{.epsilon0 = 2.0});
+  const auto rho = projectFlat(unit, [](const double* z) { return std::sin(z[0]); });
+  std::vector<double> a(unit.numUnknowns()), b(unit.numUnknowns());
+  unit.solve(rho, a);
+  half.solve(rho, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(b[i], 0.5 * a[i], 1e-12);
+}
+
+TEST(PoissonSolver, RejectsUnsupportedConfigurations) {
+  EXPECT_THROW(PoissonSolver(BasisSpec{2, 0, 1, BasisFamily::Serendipity},
+                             Grid::make({4, 4}, {0.0, 0.0}, {1.0, 1.0}), PoissonParams{}),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonSolver(BasisSpec{1, 1, 1, BasisFamily::Serendipity},
+                             Grid::make({4}, {0.0}, {1.0}), PoissonParams{}),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonSolver(BasisSpec{1, 0, 1, BasisFamily::Serendipity},
+                             Grid::make({4}, {0.0}, {1.0}), PoissonParams{.epsilon0 = 0.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------- the field:poisson path
+
+Simulation::Builder vpBuilder(int confCells, int velCells, double amp = 0.05,
+                              double nu = 0.0) {
+  const double k = 0.5;
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({confCells}, {0.0}, {2.0 * kPi / k}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({velCells}, {-6.0}, {6.0}),
+               [k, amp](const double* z) {
+                 const double x = z[0], v = z[1];
+                 return (1.0 + amp * std::cos(k * x)) / std::sqrt(2.0 * kPi) *
+                        std::exp(-0.5 * v * v);
+               });
+  if (nu > 0.0) b.collisions(LboParams{.collisionFreq = nu});
+  b.field(PoissonParams{}).backgroundCharge(1.0).cflFrac(0.8).threads(1);
+  return b;
+}
+
+/// The assembled global charge density must be exactly (bitwise) the
+/// charge-weighted sum of the per-species M0 moments — the reduction and
+/// window scatter add nothing and lose nothing — plus the background on
+/// the cell means.
+TEST(PoissonFieldUpdater, ChargeAssemblyIsExactOverSpecies) {
+  const double k = 0.5, L = 2.0 * kPi / k;
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({8}, {0.0}, {L}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({12}, {-6.0}, {6.0}),
+               [k](const double* z) {
+                 return (1.0 + 0.2 * std::cos(k * z[0])) / std::sqrt(2.0 * kPi) *
+                        std::exp(-0.5 * z[1] * z[1]);
+               })
+      .species("ion", 1.0, 25.0, Grid::make({8}, {-2.0}, {2.0}),
+               [k](const double* z) {
+                 return (1.0 + 0.1 * std::sin(k * z[0])) * 2.5 / std::sqrt(2.0 * kPi) *
+                        std::exp(-0.5 * 25.0 * z[1] * z[1]);
+               })
+      .field(PoissonParams{})
+      .threads(1);
+  Simulation sim = b.build();
+  ASSERT_NE(sim.poissonField(), nullptr);
+  const PoissonSolver& solver = *sim.poissonSolver();
+  const int np = solver.numModes();
+
+  std::vector<double> expected(solver.numUnknowns(), 0.0);
+  for (int s = 0; s < sim.numSpecies(); ++s) {
+    Field m0(sim.confGrid(), np);
+    sim.moments(s).compute(sim.distf(s), &m0, nullptr, nullptr);
+    const double q = sim.speciesConfig(s).charge;
+    forEachCell(sim.confGrid(), [&](const MultiIndex& idx) {
+      const double* src = m0.at(idx);
+      double* dst = expected.data() + solver.flatIndex(idx);
+      for (int l = 0; l < np; ++l) dst[l] += q * src[l];
+    });
+  }
+  const auto rho = sim.poissonField()->lastRho();
+  ASSERT_EQ(rho.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(rho[i], expected[i]) << "flat index " << i;
+}
+
+/// Build-time state: E solves Gauss's law for the initial rho, Ey/Ez are
+/// zero, B stays frozen at zero, and the phi diagnostic slot carries the
+/// solved potential.
+TEST(PoissonFieldUpdater, EmSlotLayoutAndInitialConsistency) {
+  Simulation sim = vpBuilder(8, 12).build();
+  const PoissonSolver& solver = *sim.poissonSolver();
+  const int np = solver.numModes();
+  const auto phi = sim.poissonField()->lastPhi();
+
+  std::vector<double> e(static_cast<std::size_t>(np));
+  forEachCell(sim.confGrid(), [&](const MultiIndex& idx) {
+    const double* u = sim.emField().at(idx);
+    solver.cellElectricField(phi, idx, 0, e);
+    for (int l = 0; l < np; ++l) {
+      EXPECT_EQ(u[l], e[static_cast<std::size_t>(l)]);              // Ex
+      EXPECT_EQ(u[np + l], 0.0);                                    // Ey
+      EXPECT_EQ(u[2 * np + l], 0.0);                                // Ez
+      EXPECT_EQ(u[3 * np + l], 0.0);                                // B frozen
+      EXPECT_EQ(u[4 * np + l], 0.0);
+      EXPECT_EQ(u[5 * np + l], 0.0);
+      EXPECT_EQ(u[6 * np + l], phi[solver.flatIndex(idx) + static_cast<std::size_t>(l)]);
+    }
+  });
+  // The initial perturbation makes a nonzero field.
+  EXPECT_GT(sim.energetics().electricEnergy, 0.0);
+  // Pipeline shape: poisson fixup first, no maxwell / current coupling.
+  EXPECT_EQ(sim.pipeline().front()->name(), "field:poisson");
+  for (const auto& upd : sim.pipeline()) {
+    EXPECT_NE(upd->name(), "maxwell");
+    EXPECT_NE(upd->name(), "current-coupling");
+  }
+}
+
+/// An initField-set transverse E is an *external* field: the per-stage
+/// solve only owns the configuration-direction components, so Ey survives
+/// stepping untouched (same frozen-field semantics as B).
+TEST(PoissonFieldUpdater, ExternalTransverseFieldStaysFrozen) {
+  auto b = vpBuilder(8, 12);
+  b.initField([](const double* /*x*/, double* em) {
+    for (int c = 0; c < 8; ++c) em[c] = 0.0;
+    em[1] = 0.25;  // external uniform Ey
+  });
+  Simulation sim = b.build();
+  const int np = sim.poissonSolver()->numModes();
+  sim.step();
+  const double mode0 = 0.25 * std::sqrt(2.0);  // constant's 1-D coefficient
+  forEachCell(sim.confGrid(), [&](const MultiIndex& idx) {
+    const double* u = sim.emField().at(idx);
+    EXPECT_NEAR(u[np], mode0, 1e-14);
+    for (int l = 1; l < np; ++l) EXPECT_NEAR(u[np + l], 0.0, 1e-14);
+  });
+}
+
+TEST(VlasovPoisson, ConservesMassAndEnergy) {
+  Simulation sim = vpBuilder(12, 16).build();
+  const auto e0 = sim.energetics();
+  sim.advanceTo(5.0);
+  const auto e1 = sim.energetics();
+  EXPECT_NEAR(e1.mass[0], e0.mass[0], 1e-12 * std::abs(e0.mass[0]));
+  // Electrostatic total energy (kinetic + field) is conserved to the
+  // scheme's order, not machine precision; pin a generous envelope.
+  EXPECT_NEAR(e1.totalEnergy(), e0.totalEnergy(), 1e-6 * e0.totalEnergy());
+}
+
+/// The headline physics: k vt/wp = 0.5 electrostatic Landau damping at the
+/// kinetic rate gamma ~= -0.1533 (within 10%).
+TEST(VlasovPoisson, LandauDampingRateMatchesTheory) {
+  Simulation sim = vpBuilder(32, 32, 1e-3).build();
+  std::vector<double> tPeaks, ePeaks;
+  double prev2 = 0.0, prev1 = 0.0, tPrev1 = 0.0;
+  while (sim.time() < 20.0) {
+    sim.step();
+    const double eE = sim.energetics().electricEnergy;
+    if (prev1 > prev2 && prev1 > eE && prev1 > 1e-14) {
+      tPeaks.push_back(tPrev1);
+      ePeaks.push_back(prev1);
+    }
+    prev2 = prev1;
+    prev1 = eE;
+    tPrev1 = sim.time();
+  }
+  ASSERT_GE(tPeaks.size(), 4u);
+  double st = 0, sy = 0, stt = 0, sty = 0;
+  const double n = static_cast<double>(tPeaks.size());
+  for (std::size_t i = 0; i < tPeaks.size(); ++i) {
+    st += tPeaks[i];
+    sy += std::log(ePeaks[i]);
+    stt += tPeaks[i] * tPeaks[i];
+    sty += tPeaks[i] * std::log(ePeaks[i]);
+  }
+  const double gamma = 0.5 * (n * sty - st * sy) / (n * stt - st * st);
+  EXPECT_NEAR(gamma, -0.1533, 0.1 * 0.1533) << "peaks: " << tPeaks.size();
+}
+
+// ------------------------------------------------- bitwise reproducibility
+
+TEST(VlasovPoisson, ThreadedMatchesSerialBitForBit) {
+  auto serial = vpBuilder(12, 12).build();
+  auto bThreaded = vpBuilder(12, 12);
+  bThreaded.threads(4);
+  auto threaded = bThreaded.build();
+  for (int i = 0; i < 10; ++i) {
+    const double dtS = serial.step();
+    const double dtT = threaded.step();
+    EXPECT_EQ(dtS, dtT) << "step " << i;
+  }
+  int bad = 0;
+  for (int slot = 0; slot < serial.state().numSlots(); ++slot) {
+    const Field& a = serial.state().slot(slot);
+    const Field& b = threaded.state().slot(slot);
+    forEachCell(a.grid(), [&](const MultiIndex& idx) {
+      for (int l = 0; l < a.ncomp(); ++l)
+        if (a.at(idx)[l] != b.at(idx)[l]) ++bad;
+    });
+  }
+  EXPECT_EQ(bad, 0);
+}
+
+/// Rank shards of a distributed electrostatic run share ONE factored
+/// global solver (the setup LU is paid once per job, not once per rank);
+/// and a provided solver that does not match the run's global grid is
+/// rejected instead of silently producing a wrong field.
+TEST(VlasovPoisson, RankShardsShareOneSolverAndMismatchThrows) {
+  auto builder = vpBuilder(12, 12);
+  DistributedSimulation dist(builder, 2);
+  ASSERT_NE(dist.rankSim(0).poissonSolver(), nullptr);
+  EXPECT_EQ(dist.rankSim(0).poissonSolver(), dist.rankSim(1).poissonSolver());
+
+  auto mismatched = std::make_shared<const PoissonSolver>(
+      BasisSpec{1, 0, 2, BasisFamily::Serendipity}, Grid::make({16}, {0.0}, {1.0}),
+      PoissonParams{});
+  auto bad = vpBuilder(12, 12);
+  bad.poissonSolver(mismatched);
+  EXPECT_THROW(bad.build(), std::invalid_argument);
+}
+
+/// A 2-rank DistributedSimulation — per-rank windows of the charge density
+/// all-reduced into the same global solve — must reproduce the serial
+/// Vlasov-Poisson trajectory bit for bit, collisions included.
+TEST(VlasovPoisson, TwoRankDistributedMatchesSerialBitForBit) {
+  for (double nu : {0.0, 0.5}) {
+    auto builder = vpBuilder(12, 12, 0.05, nu);
+    Simulation serial = builder.build();
+    DistributedSimulation dist(builder, 2);
+    ASSERT_EQ(dist.numRanks(), 2);
+    for (int i = 0; i < 8; ++i) {
+      const double dtS = serial.step();
+      const double dtD = dist.step();
+      EXPECT_EQ(dtS, dtD) << "nu=" << nu << " step " << i;
+    }
+    const StateVector global = dist.gather();
+    int bad = 0;
+    for (int slot = 0; slot < serial.state().numSlots(); ++slot) {
+      const Field& a = serial.state().slot(slot);
+      const Field& b = global.slot(slot);
+      forEachCell(a.grid(), [&](const MultiIndex& idx) {
+        for (int l = 0; l < a.ncomp(); ++l)
+          if (a.at(idx)[l] != b.at(idx)[l]) ++bad;
+      });
+    }
+    EXPECT_EQ(bad, 0) << "nu=" << nu;
+  }
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked-looking *.md file in the repository (skipping build
+trees and VCS metadata) for inline links/images `[text](target)` and
+reference definitions `[id]: target`, and verifies that every relative
+target exists on disk. For links into markdown files with a `#fragment`,
+the fragment is checked against the target's headings using GitHub-style
+anchor slugs. External schemes (http, https, mailto, ...) are ignored —
+this is an *intra-repo* consistency check, meant to be fast, offline and
+deterministic for CI (.github/workflows/ci.yml, docs job).
+
+Usage: python3 tools/check_markdown_links.py [repo-root]
+Exit status: 0 when all links resolve, 1 otherwise (broken links listed).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".github", "node_modules"}
+SKIP_PREFIXES = ("build",)
+
+# Inline links/images [text](target ...) — target ends at whitespace or ')'.
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference definitions: [id]: target
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$", re.M)
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.M)
+CODE_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.M | re.S)
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces -> '-'."""
+    text = re.sub(r"[`*_~]|\[|\]|\(|\)", "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                body = CODE_FENCE_RE.sub("", f.read())
+        except OSError:
+            body = ""
+        slugs = set()
+        for heading in HEADING_RE.findall(body):
+            slug = github_slug(heading)
+            n = 1
+            while slug in slugs:  # duplicate headings get -1, -2, ...
+                slug = f"{github_slug(heading)}-{n}"
+                n += 1
+            slugs.add(slug)
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        body = f.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    body = CODE_FENCE_RE.sub("", body)
+    targets = INLINE_RE.findall(body) + REFDEF_RE.findall(body)
+    for target in targets:
+        if SCHEME_RE.match(target) or target.startswith("//"):
+            continue  # external
+        target, _, fragment = target.partition("#")
+        if not target:  # pure in-file anchor
+            dest = path
+        else:
+            base = root if target.startswith("/") else os.path.dirname(path)
+            dest = os.path.normpath(os.path.join(base, target.lstrip("/")))
+            if not os.path.exists(dest):
+                broken.append((target + ("#" + fragment if fragment else ""),
+                               "missing file"))
+                continue
+        if fragment and dest.lower().endswith(".md"):
+            if github_slug(fragment) not in anchors_of(dest):
+                broken.append((target + "#" + fragment, "missing heading anchor"))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    failures = 0
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        for target, why in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"BROKEN {rel}: ({target}) -> {why}")
+            failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if failures == 0 else f'{failures} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+// Classic kinetic plasma-sheath benchmark (Juno et al., JCP 2018; the
+// canonical wall-bounded scenario the boundary subsystem unlocks): a
+// quasineutral electron/ion plasma between two grounded absorbing walls.
+//
+//   - particles: AbsorbBc on both x faces of both species — anything
+//     crossing a wall is lost (and accounted by the stepper's wall-loss
+//     tracker, so total particles are conserved to round-off);
+//   - potential: Dirichlet phi = 0 on both walls (grounded electrodes)
+//     through the non-periodic Poisson solve;
+//   - collisions: conservative Lenard-Bernstein (Dougherty) on both
+//     species, keeping the bulk near-Maxwellian.
+//
+// Physics (normalized: m_e = e = n_0 = T_e = 1, so v_te = lambda_D =
+// omega_pe = 1): electrons, sqrt(m_i/m_e) faster than ions, initially
+// outrun them to the walls and charge the plasma positive; the bulk
+// potential rises until the electron outflow is throttled to the ion
+// outflow. A positive, monotone-decreasing-toward-the-walls potential
+// hill forms whose drop is of order the floating-sheath estimate
+// Delta phi ~ T_e ln(m_i/m_e)/2, and the two species' wall fluxes
+// approach each other (ambipolar quasi-steady state; without a volume
+// source the bulk slowly drains, so "steady" means the intermediate
+// timescale between sheath formation and global depletion).
+//
+// Checks (nonzero exit on failure — this run is the CI wall-physics
+// smoke): potential sign and monotonicity, ion/electron wall-flux
+// balance, ongoing (non-stalled) mass loss, and per-species conservation
+// of (particles remaining + particles absorbed) to <= 1e-12 relative.
+//
+// Writes sheath_1x1v.csv (TimeSeriesWriter: t, field energy, per-species
+// M0/M1x/M2, absorbed mass, wall-loss rate) and prints a profile summary.
+//
+// Usage: sheath_1x1v [tEnd]   (default 60 omega_pe^-1)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "app/updaters.hpp"
+#include "io/time_series.hpp"
+#include "math/legendre.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdg;
+  constexpr double kPi = std::numbers::pi;
+  const double tEnd = argc > 1 ? std::atof(argv[1]) : 60.0;
+
+  const double massRatio = 25.0;  // m_i/m_e: light ions keep transits short
+  const double Te = 1.0, Ti = 0.25;  // cold-ish ions: the sheath does the pulling
+  const double vti = std::sqrt(Ti / massRatio);
+  const double L = 32.0;  // walls 32 Debye lengths apart
+  const int nx = 32, nvElc = 16, nvIon = 24;
+
+  const auto maxwellian = [](double n, double v, double vth) {
+    return n * std::exp(-0.5 * v * v / (vth * vth)) / std::sqrt(2.0 * kPi * vth * vth);
+  };
+
+  PoissonParams poisson;  // grounded walls: phi = 0 on both electrodes
+  poisson.bc[0][0] = {PoissonBcKind::Dirichlet, 0.0};
+  poisson.bc[0][1] = {PoissonBcKind::Dirichlet, 0.0};
+
+  Simulation sim =
+      Simulation::builder()
+          .confGrid(Grid::make({nx}, {0.0}, {L}))
+          .basis(2, BasisFamily::Serendipity)
+          .species("elc", -1.0, 1.0, Grid::make({nvElc}, {-6.0}, {6.0}),
+                   [&](const double* z) { return maxwellian(1.0, z[1], 1.0); })
+          .collisions(LboParams{.collisionFreq = 0.02})
+          // +-6 v_ti = +-3 c_s: headroom for the Bohm-accelerated outflow.
+          .species("ion", 1.0, massRatio, Grid::make({nvIon}, {-6.0 * vti}, {6.0 * vti}),
+                   [&](const double* z) { return maxwellian(1.0, z[1], vti); })
+          .collisions(LboParams{.collisionFreq = 0.02})
+          .boundary(0, Edge::Lower, {BcKind::Absorb})
+          .boundary(0, Edge::Upper, {BcKind::Absorb})
+          .field(poisson)
+          .cflFrac(0.8)
+          .build();
+
+  TimeSeriesWriter ts("sheath_1x1v.csv", sim);
+  const auto e0 = sim.energetics();
+  ts.sample(sim);
+
+  // The quasi-steady potential is the *time average* over the last few
+  // plasma periods: the initial electron rush rings Langmuir oscillations
+  // through the bulk that the weak collisions damp only slowly, and the
+  // average is what the sheath criteria are about.
+  const PoissonFieldUpdater* pf = sim.poissonField();
+  const PoissonSolver* ps = sim.poissonSolver();
+  const auto np = static_cast<std::size_t>(ps->numModes());
+  const double w0 = legendrePsi(0, 0.0);  // cell average = c0 * psi_0
+  std::vector<double> phiAvg(static_cast<std::size_t>(nx), 0.0);
+  int navg = 0;
+  int step = 0;
+  while (sim.time() < tEnd) {
+    sim.step();
+    if (++step % 25 == 0) ts.sample(sim);
+    if (sim.time() > tEnd - 10.0) {
+      for (int i = 0; i < nx; ++i)
+        phiAvg[static_cast<std::size_t>(i)] +=
+            w0 * pf->lastPhi()[static_cast<std::size_t>(i) * np];
+      ++navg;
+    }
+  }
+  ts.sample(sim);
+  for (double& v : phiAvg) v /= static_cast<double>(navg);
+
+  double phiMax = phiAvg[0];
+  for (double v : phiAvg) phiMax = std::max(phiMax, v);
+  // Monotone from each wall up to the crest of the hill (small slack for
+  // the plateau cells around the maximum).
+  const double slack = 1e-3 * std::abs(phiMax);
+  int crest = 0;
+  for (int i = 1; i < nx; ++i)
+    if (phiAvg[static_cast<std::size_t>(i)] > phiAvg[static_cast<std::size_t>(crest)]) crest = i;
+  bool monotone = true;
+  for (int i = 1; i <= crest; ++i)
+    monotone = monotone && phiAvg[static_cast<std::size_t>(i)] >=
+                               phiAvg[static_cast<std::size_t>(i - 1)] - slack;
+  for (int i = crest + 1; i < nx; ++i)
+    monotone = monotone && phiAvg[static_cast<std::size_t>(i)] <=
+                               phiAvg[static_cast<std::size_t>(i - 1)] + slack;
+
+  const auto e1 = sim.energetics();
+  const double consElc = (e1.mass[0] + sim.absorbedMass(0)) / e0.mass[0] - 1.0;
+  const double consIon = (e1.mass[1] + sim.absorbedMass(1)) / e0.mass[1] - 1.0;
+  // Wall fluxes in particles/time: the loss tracker books mass; divide by
+  // the species mass.
+  const double fluxElc = sim.wallLossRate(0) / 1.0;
+  const double fluxIon = sim.wallLossRate(1) / massRatio;
+  const double fluxImbalance =
+      std::abs(fluxIon - fluxElc) / std::max(std::abs(fluxIon), std::abs(fluxElc));
+
+  std::printf("kinetic sheath, m_i/m_e = %.0f, L = %.0f lambda_D, t = %.1f omega_pe^-1\n",
+              massRatio, L, sim.time());
+  std::printf("  wall->crest potential rise  %.3f Te (floating-sheath scale "
+              "Te ln(mi/me)/2 = %.3f)\n",
+              phiMax, 0.5 * Te * std::log(massRatio));
+  std::printf("  potential monotone wall->crest: %s (crest at cell %d)\n",
+              monotone ? "yes" : "NO", crest);
+  std::printf("  wall flux  elc %.5f  ion %.5f  imbalance %.1f%%\n", fluxElc, fluxIon,
+              100.0 * fluxImbalance);
+  std::printf("  absorbed   elc %.2f%%  ion %.2f%% of initial particles\n",
+              100.0 * sim.absorbedMass(0) / e0.mass[0],
+              100.0 * sim.absorbedMass(1) / e0.mass[1]);
+  std::printf("  conservation (remaining+absorbed)/initial - 1:  elc %.2e  ion %.2e\n",
+              consElc, consIon);
+  std::printf("  time series written to sheath_1x1v.csv\n");
+
+  bool ok = true;
+  if (!(phiMax > 0.0)) {
+    std::printf("FAIL: wall potential drop has the wrong sign (phi crest %.3e <= 0)\n", phiMax);
+    ok = false;
+  }
+  if (!monotone) {
+    std::printf("FAIL: potential is not monotone between walls and crest\n");
+    ok = false;
+  }
+  if (!(std::abs(consElc) <= 1e-12 && std::abs(consIon) <= 1e-12)) {
+    std::printf("FAIL: particle conservation (remaining + absorbed) worse than 1e-12\n");
+    ok = false;
+  }
+  if (!(fluxIon > 0.0) || !(fluxElc > 0.0)) {
+    std::printf("FAIL: wall mass loss stalled (elc %.3e, ion %.3e)\n", fluxElc, fluxIon);
+    ok = false;
+  }
+  if (!(fluxImbalance < 0.35)) {
+    std::printf("FAIL: ion/electron wall fluxes not balanced (imbalance %.1f%%)\n",
+                100.0 * fluxImbalance);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -52,7 +52,7 @@ void DistributedSimulation::onRanks(const Fn& fn) {
 }
 
 DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder, int numRanks)
-    : decomp_(CartDecomp::make(builder.confGrid(), numRanks)),
+    : decomp_(CartDecomp::make(builder.confGrid(), numRanks, builder.periodicDims())),
       comm_(std::make_unique<ThreadComm>(decomp_)),
       wallSec_(static_cast<std::size_t>(numRanks), 0.0) {
   const Grid global = builder.confGrid();

@@ -86,6 +86,44 @@ Simulation::Builder& Simulation::Builder::poissonSolver(
   return *this;
 }
 
+Simulation::Builder& Simulation::Builder::boundary(int dim, Edge edge, BcSpec spec) {
+  if (dim < 0 || dim >= kMaxDim)
+    throw std::invalid_argument("Simulation::Builder::boundary: dimension out of range");
+  bcFaces_[static_cast<std::size_t>(dim)][static_cast<std::size_t>(edge)].all = spec;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::boundary(const std::string& species, int dim,
+                                                   Edge edge, BcSpec spec) {
+  if (dim < 0 || dim >= kMaxDim)
+    throw std::invalid_argument("Simulation::Builder::boundary: dimension out of range");
+  bcFaces_[static_cast<std::size_t>(dim)][static_cast<std::size_t>(edge)]
+      .perSpecies[species] = spec;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::fieldBoundary(int dim, Edge edge, BcSpec spec) {
+  if (dim < 0 || dim >= kMaxDim)
+    throw std::invalid_argument("Simulation::Builder::fieldBoundary: dimension out of range");
+  bcFaces_[static_cast<std::size_t>(dim)][static_cast<std::size_t>(edge)].field = spec;
+  return *this;
+}
+
+std::array<bool, kMaxDim> Simulation::Builder::periodicDims() const {
+  std::array<bool, kMaxDim> p{};
+  p.fill(true);
+  const auto physical = [](const BcSpec& s) { return s.kind != BcKind::Periodic; };
+  for (int d = 0; d < kMaxDim; ++d) {
+    for (int e = 0; e < 2; ++e) {
+      const FaceSpec& fs = bcFaces_[static_cast<std::size_t>(d)][static_cast<std::size_t>(e)];
+      bool wall = (fs.all && physical(*fs.all)) || (fs.field && physical(*fs.field));
+      for (const auto& [name, spec] : fs.perSpecies) wall = wall || physical(spec);
+      if (wall) p[static_cast<std::size_t>(d)] = false;
+    }
+  }
+  return p;
+}
+
 Simulation::Builder& Simulation::Builder::evolveField(bool on) {
   evolveField_ = on;
   return *this;
@@ -213,6 +251,95 @@ Simulation Simulation::Builder::build() {
   // full-phase-space vector for RK2 runs.
   if (stepper_ == Stepper::SspRk3) sim.stage_[1] = sim.state_.zerosLike();
 
+  // --- physical boundary conditions. A dimension is non-periodic as soon
+  // as any face of it carries a physical spec; both faces of such a
+  // dimension must then be fully specified for every species (the em slot
+  // defaults to Copy). The resolved per-slot table drives the wall fills
+  // in BoundarySyncUpdater.
+  const std::array<bool, kMaxDim> periodic = periodicDims();
+  sim.periodicDims_ = periodic;
+  for (int d = cdim; d < kMaxDim; ++d)
+    if (!periodic[static_cast<std::size_t>(d)])
+      throw std::invalid_argument(
+          "Simulation::Builder: boundary() on dimension " + std::to_string(d) +
+          " but the configuration grid has only " + std::to_string(cdim) + " dims");
+  bool anyWall = false;
+  for (int d = 0; d < cdim; ++d) anyWall = anyWall || !periodic[static_cast<std::size_t>(d)];
+  if (anyWall) {
+    if (evolveField_ && !poissonField_)
+      throw std::invalid_argument(
+          "Simulation::Builder: non-periodic boundaries compose with the Poisson field "
+          "path or a non-evolving field (evolveField(false)); the hyperbolic Maxwell "
+          "stepper has no wall closure yet");
+    auto bcTable = std::make_unique<BcTable>(sim.state_.numSlots());
+    for (int d = 0; d < cdim; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      if (periodic[ds]) continue;
+      for (int e = 0; e < 2; ++e) {
+        const FaceSpec& fs = bcFaces_[ds][static_cast<std::size_t>(e)];
+        for (int s = 0; s < sim.numSpecies(); ++s) {
+          const SpeciesConfig& sp = sim.species_[static_cast<std::size_t>(s)];
+          BcSpec spec;
+          if (auto it = fs.perSpecies.find(sp.name); it != fs.perSpecies.end())
+            spec = it->second;
+          else if (fs.all)
+            spec = *fs.all;
+          if (spec.kind == BcKind::Periodic)
+            throw std::invalid_argument(
+                "Simulation::Builder: dimension " + std::to_string(d) +
+                " is non-periodic, but species '" + sp.name + "' has no physical boundary "
+                "condition on its " + (e == 0 ? std::string("lower") : std::string("upper")) +
+                " face — a walled dimension must specify both faces");
+          if (spec.kind == BcKind::Reflect) {
+            if (d >= sp.velGrid.ndim)
+              throw std::invalid_argument(
+                  "Simulation::Builder: Reflect wall normal to dim " + std::to_string(d) +
+                  " needs velocity dimension v" + std::to_string(d) + ", which species '" +
+                  sp.name + "' does not have");
+            const auto vs = static_cast<std::size_t>(d);
+            const double span = sp.velGrid.upper[vs] - sp.velGrid.lower[vs];
+            if (std::abs(sp.velGrid.lower[vs] + sp.velGrid.upper[vs]) > 1e-12 * span)
+              throw std::invalid_argument(
+                  "Simulation::Builder: Reflect wall requires a velocity grid symmetric "
+                  "about v = 0 in dim " + std::to_string(d) + " (species '" + sp.name +
+                  "'): the mirrored ghost is a signed copy only on a mirror-symmetric "
+                  "grid");
+          }
+          const BasisSpec spSpec{cdim, sp.velGrid.ndim, polyOrder_, family_};
+          bcTable->set(s, d, e == 0 ? Edge::Lower : Edge::Upper,
+                       makeBc(spec.kind, basisFor(spSpec), cdim));
+        }
+        const BcSpec femSpec = fs.field.value_or(BcSpec{BcKind::Copy});
+        if (femSpec.kind == BcKind::Periodic || femSpec.kind == BcKind::Reflect)
+          throw std::invalid_argument(
+              "Simulation::Builder: the em slot supports Copy or Absorb on walls (Reflect "
+              "is not meaningful for the component-stacked field expansion)");
+        bcTable->set(sim.emSlot_, d, e == 0 ? Edge::Lower : Edge::Upper,
+                     makeBc(femSpec.kind, sim.maxwell_->basis(), cdim));
+      }
+    }
+    sim.bcTable_ = std::move(bcTable);
+  }
+  // The Poisson wall closures are configured independently (they live on
+  // the potential, not on a StateVector slot); require them to agree with
+  // the particle boundaries on which dimensions wrap.
+  if (poissonField_) {
+    for (int d = 0; d < cdim; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const bool poissonPeriodic =
+          poissonParams_.bc[ds][0].kind == PoissonBcKind::Periodic &&
+          poissonParams_.bc[ds][1].kind == PoissonBcKind::Periodic;
+      if (poissonPeriodic != periodic[ds])
+        throw std::invalid_argument(
+            "Simulation::Builder: PoissonParams::bc and boundary() disagree on the "
+            "periodicity of dimension " + std::to_string(d) +
+            " — walls must be declared on both the particles and the potential");
+    }
+  }
+  sim.trackWallLoss_ = anyWall;
+  sim.absorbed_.assign(static_cast<std::size_t>(sim.numSpecies()), 0.0);
+  sim.lossRate_.assign(static_cast<std::size_t>(sim.numSpecies()), 0.0);
+
   // --- pipeline, in the canonical order of the coupled RHS. The
   // electrostatic path leads with the Poisson fixup (E is a functional of
   // f, recomputed per stage and never stepped: the em slot's derivative is
@@ -231,6 +358,11 @@ Simulation Simulation::Builder::build() {
         const auto ds = static_cast<std::size_t>(d);
         match = sg.cells[ds] == global.cells[ds] && sg.lower[ds] == global.lower[ds] &&
                 sg.upper[ds] == global.upper[ds];
+        for (int e = 0; match && e < 2; ++e) {
+          const PoissonBcSpec& a = providedPoisson_->params().bc[ds][static_cast<std::size_t>(e)];
+          const PoissonBcSpec& b = poissonParams_.bc[ds][static_cast<std::size_t>(e)];
+          match = a.kind == b.kind && a.value == b.value;
+        }
       }
       if (!match)
         throw std::invalid_argument(
@@ -252,7 +384,14 @@ Simulation Simulation::Builder::build() {
     sim.pipeline_.push_back(std::move(pu));
   }
   const bool useEm = poissonField_ || evolveField_ || initField_.has_value();
-  sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_));
+  if (sim.bcTable_) {
+    std::vector<std::string> slotNames;
+    for (int i = 0; i < sim.state_.numSlots(); ++i) slotNames.push_back(sim.state_.slotName(i));
+    sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(
+        cdim, sim.comm_, sim.bcTable_.get(), periodic, std::move(slotNames)));
+  } else {
+    sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_));
+  }
   for (int s = 0; s < sim.numSpecies(); ++s) {
     sim.pipeline_.push_back(std::make_unique<VlasovRhsUpdater>(
         sim.vlasov_[static_cast<std::size_t>(s)].get(),
@@ -307,6 +446,23 @@ double Simulation::rhs(double t, StateVector& u, StateVector& k) {
 }
 
 double Simulation::step(double dtFixed) {
+  // Wall-bounded runs account the discrete boundary mass flux of every RK
+  // stage: the mass mode of the stage RHS integrates, over the domain, to
+  // exactly the net flux through the walls (interior DG faces telescope;
+  // collisions conserve mass to round-off), and the update is a linear
+  // combination of stages — so absorbed_ tracks the stepped mass loss
+  // with the *exact* RK weights and mass(t) + absorbed(t) is conserved to
+  // round-off. Periodic runs skip all of this (no extra collectives, no
+  // behavior change).
+  std::vector<double> rate(trackWallLoss_ ? species_.size() : 0, 0.0);
+  const auto tapRates = [&](double w) {
+    if (!trackWallLoss_) return;
+    for (int s = 0; s < numSpecies(); ++s)
+      rate[static_cast<std::size_t>(s)] +=
+          w * species_[static_cast<std::size_t>(s)].mass *
+          integrateDomain(phaseBasis(s), phaseGrids_[static_cast<std::size_t>(s)], k_.slot(s));
+  };
+
   // Stage 1: k = L(u^n); pick dt from the *global* CFL frequency (the
   // reduction is an identity for SerialComm; across ranks it guarantees
   // every rank steps with the same dt).
@@ -319,26 +475,44 @@ double Simulation::step(double dtFixed) {
 
   switch (stepper_) {
     case Stepper::SspRk2: {
-      // u1 = u + dt k;  u^{n+1} = 1/2 u + 1/2 u1 + 1/2 dt L(u1).
+      // u1 = u + dt k;  u^{n+1} = 1/2 u + 1/2 u1 + 1/2 dt L(u1)
+      //                         = u + dt (1/2 k1 + 1/2 k2).
+      tapRates(0.5);
       stage_[0].combine(1.0, state_, dt, k_);
       rhs(time_ + dt, stage_[0], k_);
+      tapRates(0.5);
       state_.combine(0.5, state_, 0.5, stage_[0]);
       state_.axpy(0.5 * dt, k_);
       break;
     }
     case Stepper::SspRk3: {
-      // Shu-Osher SSP-RK3, arithmetic order identical to the seed app.
+      // Shu-Osher SSP-RK3, arithmetic order identical to the seed app;
+      // as a flat combination u^{n+1} = u + dt (1/6 k1 + 1/6 k2 + 2/3 k3).
+      tapRates(1.0 / 6.0);
       stage_[0].combine(1.0, state_, dt, k_);
       rhs(time_ + dt, stage_[0], k_);
+      tapRates(1.0 / 6.0);
       stage_[1].combine(0.75, state_, 0.25, stage_[0]);
       stage_[1].axpy(0.25 * dt, k_);
       rhs(time_ + 0.5 * dt, stage_[1], k_);
+      tapRates(2.0 / 3.0);
       state_.combine(1.0 / 3.0, state_, 2.0 / 3.0, stage_[1]);
       state_.axpy(2.0 / 3.0 * dt, k_);
       break;
     }
   }
   time_ += dt;
+  if (trackWallLoss_) {
+    // One deterministic (rank-ordered) reduction per species: every rank
+    // books the same global loss. Diagnostic only — it never feeds back
+    // into the trajectory.
+    for (int s = 0; s < numSpecies(); ++s) {
+      const auto ss = static_cast<std::size_t>(s);
+      const double r = comm_->allReduceSum(rate[ss]);
+      lossRate_[ss] = -r;
+      absorbed_[ss] -= dt * r;
+    }
+  }
   // The stage combines mixed the per-stage electrostatic fields; restore
   // E = E[rho(f^{n+1})] so between-step diagnostics are consistent (no-op
   // for the Maxwell path, where the field *is* stepped). The next step's

@@ -18,6 +18,8 @@
 //                  .build();
 //   sim.advanceTo(10.0);
 
+#include <array>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +28,7 @@
 #include "app/projection.hpp"
 #include "app/state.hpp"
 #include "app/updater.hpp"
+#include "bc/bc.hpp"
 #include "collisions/bgk.hpp"
 #include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
@@ -140,6 +143,34 @@ class Simulation {
   /// reduction run through (SerialComm for a non-distributed run).
   [[nodiscard]] Communicator& comm() const { return *comm_; }
 
+  /// Per configuration dimension: true when the domain wraps (the
+  /// default), false when both ends carry physical boundary conditions.
+  [[nodiscard]] const std::array<bool, kMaxDim>& periodicDims() const {
+    return periodicDims_;
+  }
+  /// The per-slot physical boundary conditions, or null when fully
+  /// periodic (slot indices match the StateVector layout).
+  [[nodiscard]] const BcTable* boundaryConditions() const { return bcTable_.get(); }
+
+  /// True when the run has non-periodic configuration boundaries and the
+  /// stepper is accounting the mass crossing them.
+  [[nodiscard]] bool tracksWallLoss() const { return trackWallLoss_; }
+  /// Cumulative mass of species s lost through the domain boundaries
+  /// (absorbing walls) since t = 0: the time integral, with the exact RK
+  /// stage weights, of the discrete boundary mass flux — so
+  /// mass(t) + absorbedMass(t) is conserved to round-off (the sheath
+  /// example pins <= 1e-12 relative over thousands of steps). Globally
+  /// reduced on distributed runs; ~0 for reflecting/periodic faces.
+  [[nodiscard]] double absorbedMass(int s) const {
+    return absorbed_[static_cast<std::size_t>(s)];
+  }
+  /// Mass-loss rate of species s measured over the last step (the
+  /// RK-weighted boundary flux; positive = mass leaving). The sheath
+  /// example's steady-state criterion compares these across species.
+  [[nodiscard]] double wallLossRate(int s) const {
+    return lossRate_[static_cast<std::size_t>(s)];
+  }
+
   /// Conservation diagnostics (paper Section II: the delicate J.E exchange).
   struct Energetics {
     double time = 0.0;
@@ -189,6 +220,12 @@ class Simulation {
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
   Communicator* comm_ = nullptr;           ///< non-owning; SerialComm by default
 
+  std::unique_ptr<BcTable> bcTable_;  ///< physical BCs; null == periodic
+  std::array<bool, kMaxDim> periodicDims_{};
+  bool trackWallLoss_ = false;
+  std::vector<double> absorbed_;  ///< per species, cumulative wall mass loss
+  std::vector<double> lossRate_;  ///< per species, last step's loss rate
+
   int emSlot_ = -1;
   StateVector state_;
   StateVector k_;          ///< RHS evaluation
@@ -229,6 +266,30 @@ class Simulation::Builder {
   /// field(PoissonParams) is selected. DistributedSimulation uses this to
   /// factor the global operator once instead of once per rank.
   Builder& poissonSolver(std::shared_ptr<const PoissonSolver> solver);
+  /// Physical boundary condition on one domain face of configuration
+  /// dimension `dim`, applied to *every* species distribution (override a
+  /// single species with the named overload below). Any non-periodic spec
+  /// makes the whole dimension non-periodic: the opposite face must then
+  /// also be given a physical spec, the periodic wrap is dropped, and the
+  /// ghost slab on each face is filled by the requested condition
+  /// (src/bc/) instead. Reflect requires the species velocity grid to be
+  /// symmetric about v_dim = 0 (validated at build()). Walls currently
+  /// compose with the Poisson field path (whose PoissonParams::bc must be
+  /// non-periodic on the same dims) and with non-evolving fields; the
+  /// hyperbolic Maxwell stepper has no wall closure yet and build()
+  /// rejects the combination.
+  Builder& boundary(int dim, Edge edge, BcSpec spec);
+  /// Per-species override of boundary(dim, edge, spec).
+  Builder& boundary(const std::string& species, int dim, Edge edge, BcSpec spec);
+  /// Condition of the em slot on a walled face (BcKind::Copy — zeroth-
+  /// order extrapolation — by default; Reflect is not meaningful for the
+  /// component-stacked field and is rejected).
+  Builder& fieldBoundary(int dim, Edge edge, BcSpec spec);
+  /// Per configuration dimension: false where boundary(...) declared a
+  /// wall, true (periodic) elsewhere. DistributedSimulation reads this to
+  /// build its CartDecomp with matching edge semantics.
+  [[nodiscard]] std::array<bool, kMaxDim> periodicDims() const;
+
   /// false: the EM field is held fixed (or absent) — free streaming /
   /// external-field runs. Defaults to true.
   Builder& evolveField(bool on);
@@ -271,6 +332,14 @@ class Simulation::Builder {
   double cflFrac_ = 0.9;
   int threads_ = 0;
   Communicator* comm_ = nullptr;
+
+  /// Requested conditions of one domain face.
+  struct FaceSpec {
+    std::optional<BcSpec> all;                 ///< every species (default)
+    std::map<std::string, BcSpec> perSpecies;  ///< named overrides
+    std::optional<BcSpec> field;               ///< em slot (default Copy)
+  };
+  std::array<std::array<FaceSpec, 2>, kMaxDim> bcFaces_;
 };
 
 }  // namespace vdg

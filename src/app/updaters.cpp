@@ -9,11 +9,51 @@
 
 namespace vdg {
 
+std::string BoundarySyncUpdater::name() const {
+  if (!bcs_ || !bcs_->anyPhysical()) return "boundary:periodic";
+  std::string s = "boundary:";
+  bool firstDim = true;
+  for (int d = 0; d < cdim_; ++d) {
+    if (periodic_[static_cast<std::size_t>(d)]) continue;
+    if (!firstDim) s += ";";
+    firstDim = false;
+    s += "d" + std::to_string(d) + "[";
+    for (int i = 0; i < bcs_->numSlots(); ++i) {
+      if (i) s += ",";
+      const BoundaryCondition* lo = bcs_->get(i, d, -1);
+      const BoundaryCondition* hi = bcs_->get(i, d, +1);
+      const std::string slot = i < static_cast<int>(slotNames_.size())
+                                   ? slotNames_[static_cast<std::size_t>(i)]
+                                   : std::to_string(i);
+      s += slot + ":" + (lo ? lo->name() : "periodic") + "|" + (hi ? hi->name() : "periodic");
+    }
+    s += "]";
+  }
+  return s;
+}
+
 double BoundarySyncUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
   // A null comm (direct construction in tests) means single-rank: one
   // ghost code path, no duplicated wrap logic.
   Communicator* comm = comm_ ? comm_ : &SerialComm::instance();
-  for (int i = 0; i < in.numSlots(); ++i) comm->syncConfGhosts(in.slot(i), cdim_);
+  for (int i = 0; i < in.numSlots(); ++i) {
+    Field& f = in.slot(i);
+    for (int d = 0; d < cdim_; ++d) {
+      const bool periodic = periodic_[static_cast<std::size_t>(d)];
+      // Decomposed/periodic exchange first (a collective — every rank
+      // enters in the same slot/dim order), then the rank-local physical
+      // fill of any domain edge this rank's window owns, so the ghost
+      // state dimension d hands to dimension d+1 matches the serial
+      // fill order exactly.
+      comm->syncConfGhostsDim(f, d, periodic);
+      if (periodic) continue;
+      for (const int side : {-1, +1}) {
+        if (!ownsDomainEdge(f.grid(), d, side)) continue;
+        if (const BoundaryCondition* bc = bcs_ ? bcs_->get(i, d, side) : nullptr)
+          bc->apply(f, d, side);
+      }
+    }
+  }
   return 0.0;
 }
 

@@ -1,15 +1,19 @@
 #pragma once
-// Concrete Updaters wrapping the DG engines (dg/, collisions/) into the
-// pipeline contract of app/updater.hpp. These are thin: the engines own
-// the numerics; the wrappers own slot routing and the scratch fields of
-// the coupling terms. Simulation::Builder assembles them in the canonical
-// order (boundary sync, per-species Vlasov, Maxwell, current coupling,
-// collisions) — see docs/ARCHITECTURE.md for the layout.
+// Concrete Updaters wrapping the DG engines (dg/, collisions/, bc/) into
+// the pipeline contract of app/updater.hpp. These are thin: the engines
+// own the numerics; the wrappers own slot routing and the scratch fields
+// of the coupling terms. Simulation::Builder assembles them in the
+// canonical order (field:poisson fixup on electrostatic runs, boundary
+// sync — periodic/decomposed exchange plus physical wall fills, per-
+// species Vlasov, Maxwell, current coupling, collisions) — see
+// docs/ARCHITECTURE.md for the layout.
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "app/updater.hpp"
+#include "bc/bc.hpp"
 #include "collisions/bgk.hpp"
 #include "collisions/lbo.hpp"
 #include "dg/maxwell.hpp"
@@ -24,21 +28,43 @@ class ThreadExec;
 
 /// Repairs ghost layers of every slot of `in` in the configuration
 /// dimensions (phase-space slots never need velocity ghosts: the velocity
-/// boundary uses the zero-flux closure). Must run first. The repair is
-/// delegated to a Communicator endpoint: SerialComm wraps periodically
-/// (bitwise the pre-distributed behavior); a ThreadComm endpoint pulls the
-/// decomposed dimensions' ghosts from neighboring ranks. A null
-/// communicator resolves to the shared SerialComm.
+/// boundary uses the zero-flux closure). Must run first. Per dimension,
+/// in order: the Communicator endpoint repairs the decomposed/periodic
+/// faces (SerialComm wraps periodically — bitwise the pre-distributed
+/// behavior; a ThreadComm endpoint pulls the decomposed dimensions'
+/// ghosts from neighboring ranks), then the physical boundary conditions
+/// of the BcTable fill the non-periodic domain faces — rank-locally, and
+/// only on ranks whose window owns the edge, so distributed walled runs
+/// stay bitwise identical to serial ones. A null communicator resolves to
+/// the shared SerialComm; a null table means fully periodic.
 class BoundarySyncUpdater final : public Updater {
  public:
+  /// Fully periodic sync (the historical behavior).
   explicit BoundarySyncUpdater(int cdim, Communicator* comm = nullptr)
-      : cdim_(cdim), comm_(comm) {}
-  [[nodiscard]] std::string name() const override { return "boundary:periodic"; }
+      : cdim_(cdim), comm_(comm) {
+    periodic_.fill(true);
+  }
+  /// Mixed periodic/physical faces. `bcs` (per slot of the StateView this
+  /// updater is applied to) and `slotNames` (for name()) must outlive the
+  /// updater; `periodic` flags which conf dims wrap.
+  BoundarySyncUpdater(int cdim, Communicator* comm, const BcTable* bcs,
+                      const std::array<bool, kMaxDim>& periodic,
+                      std::vector<std::string> slotNames)
+      : cdim_(cdim), comm_(comm), bcs_(bcs), periodic_(periodic),
+        slotNames_(std::move(slotNames)) {}
+
+  /// "boundary:periodic" when every face wraps; otherwise the actual
+  /// per-face configuration, e.g.
+  /// "boundary:d0[elc:absorb|absorb,em:copy|copy]".
+  [[nodiscard]] std::string name() const override;
   double apply(double t, const StateView& in, StateView& out) override;
 
  private:
   int cdim_;
   Communicator* comm_;
+  const BcTable* bcs_ = nullptr;  ///< non-owning; null == fully periodic
+  std::array<bool, kMaxDim> periodic_{};
+  std::vector<std::string> slotNames_;
 };
 
 /// Streaming + acceleration RHS of one species: out[slot] = L_vlasov(f).

@@ -1,0 +1,98 @@
+#include "bc/bc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vdg {
+
+std::string to_string(BcKind k) {
+  switch (k) {
+    case BcKind::Periodic: return "periodic";
+    case BcKind::Absorb: return "absorb";
+    case BcKind::Reflect: return "reflect";
+    case BcKind::Copy: return "copy";
+  }
+  return "?";
+}
+
+void AbsorbBc::apply(Field& f, int dim, int side) const {
+  const int nc = f.ncomp();
+  f.forEachBoundaryGhost(dim, side, [&](const MultiIndex& idx) {
+    std::fill_n(f.at(idx), nc, 0.0);
+  });
+}
+
+void CopyBc::apply(Field& f, int dim, int side) const {
+  const int nc = f.ncomp();
+  const int skin = side < 0 ? 0 : f.grid().cells[static_cast<std::size_t>(dim)] - 1;
+  f.forEachBoundaryGhost(dim, side, [&](const MultiIndex& idx) {
+    MultiIndex src = idx;
+    src[dim] = skin;
+    std::copy_n(f.at(src), nc, f.at(idx));
+  });
+}
+
+ReflectBc::ReflectBc(const Basis& basis, int cdim)
+    : basis_(&basis), cdim_(cdim), vdim_(basis.ndim() - cdim) {
+  if (cdim_ < 1 || vdim_ < 0)
+    throw std::invalid_argument("ReflectBc: basis has fewer dims than cdim");
+  const int np = basis_->numModes();
+  for (int d = 0; d < cdim_; ++d) {
+    auto& s = sign_[static_cast<std::size_t>(d)];
+    s.resize(static_cast<std::size_t>(np));
+    for (int l = 0; l < np; ++l) {
+      const MultiIndex& a = basis_->mode(l);
+      int parity = a[d];  // face mirror: eta_d -> -eta_d
+      if (d < vdim_) parity += a[cdim_ + d];  // velocity mirror: v_d -> -v_d
+      s[static_cast<std::size_t>(l)] = (parity % 2 != 0) ? -1.0 : 1.0;
+    }
+  }
+}
+
+void ReflectBc::apply(Field& f, int dim, int side) const {
+  const Grid& g = f.grid();
+  const int np = basis_->numModes();
+  const int ncomp = f.ncomp();
+  assert(ncomp % np == 0 && "ReflectBc: field is not a stack of basis expansions");
+  const int nblk = ncomp / np;
+  const int nc = g.cells[static_cast<std::size_t>(dim)];
+  // The wall in conf dim `dim` mirrors the matching velocity dimension
+  // (phase layout: cdim conf dims then vdim velocity dims). The builder
+  // guarantees that dimension's grid is symmetric about v = 0, so the
+  // reversed cell index is the exact mirror cell.
+  const int vd = dim < vdim_ ? cdim_ + dim : -1;
+  const int nv = vd >= 0 ? g.cells[static_cast<std::size_t>(vd)] : 0;
+  const std::vector<double>& sign = sign_[static_cast<std::size_t>(dim)];
+  f.forEachBoundaryGhost(dim, side, [&](const MultiIndex& idx) {
+    MultiIndex src = idx;
+    // Ghost layer k cells beyond the wall mirrors interior layer k cells
+    // inside it: lower ghost -k <- interior k-1, upper ghost nc-1+k <-
+    // interior nc-k.
+    src[dim] = side < 0 ? -1 - idx[dim] : 2 * nc - 1 - idx[dim];
+    if (vd >= 0) src[vd] = nv - 1 - idx[vd];
+    const double* s = f.at(src);
+    double* dst = f.at(idx);
+    for (int b = 0; b < nblk; ++b)
+      for (int l = 0; l < np; ++l)
+        dst[b * np + l] = sign[static_cast<std::size_t>(l)] * s[b * np + l];
+  });
+}
+
+std::unique_ptr<BoundaryCondition> makeBc(BcKind kind, const Basis& basis, int cdim) {
+  switch (kind) {
+    case BcKind::Periodic: return nullptr;
+    case BcKind::Absorb: return std::make_unique<AbsorbBc>();
+    case BcKind::Reflect: return std::make_unique<ReflectBc>(basis, cdim);
+    case BcKind::Copy: return std::make_unique<CopyBc>();
+  }
+  return nullptr;
+}
+
+bool ownsDomainEdge(const Grid& g, int dim, int side) {
+  const auto s = static_cast<std::size_t>(dim);
+  if (g.parentCells[s] == 0) return true;  // not windowed: owns both edges
+  return side < 0 ? g.offset[s] == 0 : g.offset[s] + g.cells[s] == g.parentCells[s];
+}
+
+}  // namespace vdg

@@ -1,0 +1,159 @@
+#pragma once
+// Physical boundary conditions on configuration-space domain faces.
+//
+// Every non-periodic domain face of the simulation box carries a
+// BoundaryCondition: a rank-local fill of the one-cell ghost slab on that
+// face, run by BoundarySyncUpdater *after* the Communicator has repaired
+// the decomposed/periodic faces. The DG surface kernels then see the wall
+// through the ghost data alone — no special-cased wall fluxes anywhere in
+// the hot loops:
+//
+//  - AbsorbBc: zero ghost. The upwind/penalty numerical flux brings nothing
+//    in from a zeroed ghost, so outflow characteristics leave freely and
+//    inflow is empty — the absorbing-wall closure of Juno et al. (JCP 2018)
+//    used by the kinetic sheath benchmark (examples/sheath_1x1v.cpp).
+//  - ReflectBc: specular wall. The ghost cell is the velocity-mirrored,
+//    face-mirrored copy of the interior cell: for a wall normal to conf
+//    dim d, ghost(x, v) = interior(2 x_wall - x, ..., -v_d, ...). In the
+//    modal Legendre basis both mirrors are exact sign flips of the odd
+//    modes, so the fill is a signed copy — exact (no interpolation) on the
+//    mirror-symmetric velocity grids the builder validates.
+//  - CopyBc: zeroth-order extrapolation (the adjacent interior cell's
+//    expansion, unchanged) — an open/outflow boundary.
+//
+// Periodic faces have no BoundaryCondition object; the Communicator wrap
+// *is* the condition. Construction is per slot (a species distribution and
+// the em field may carry different conditions per face), assembled by
+// Simulation::Builder::boundary into a BcTable.
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "basis/basis.hpp"
+#include "grid/grid.hpp"
+
+namespace vdg {
+
+/// Which end of a dimension a boundary condition binds to.
+enum class Edge { Lower = 0, Upper = 1 };
+
+/// Edge as the +-1 side convention of Field::packGhost / CartDecomp.
+[[nodiscard]] constexpr int edgeSide(Edge e) { return e == Edge::Lower ? -1 : +1; }
+
+/// What happens at one domain face.
+enum class BcKind {
+  Periodic,  ///< wrap (the default); handled by the Communicator, no fill
+  Absorb,    ///< zero-inflow ghost: particles crossing the face are lost
+  Reflect,   ///< specular wall: velocity-mirrored copy of the interior cell
+  Copy,      ///< zeroth-order extrapolation (open boundary)
+};
+
+[[nodiscard]] std::string to_string(BcKind k);
+
+/// Per-face request, as passed to Simulation::Builder::boundary.
+struct BcSpec {
+  BcKind kind = BcKind::Periodic;
+};
+
+/// Fills the ghost slab of one domain face of a (possibly rank-local)
+/// field. Implementations are rank-local and read only interior data of
+/// the field they fill, so applying them on edge-owning ranks is bitwise
+/// identical to the serial fill of the same cells.
+class BoundaryCondition {
+ public:
+  virtual ~BoundaryCondition() = default;
+
+  /// Fill the ghost slab on `side` (-1 lower, +1 upper) of dimension `dim`.
+  virtual void apply(Field& f, int dim, int side) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Zero-inflow ghost fill (absorbing wall / particle sink).
+class AbsorbBc final : public BoundaryCondition {
+ public:
+  void apply(Field& f, int dim, int side) const override;
+  [[nodiscard]] std::string name() const override { return "absorb"; }
+};
+
+/// Zeroth-order extrapolation: every ghost layer copies the adjacent
+/// interior cell's expansion unchanged (open boundary).
+class CopyBc final : public BoundaryCondition {
+ public:
+  void apply(Field& f, int dim, int side) const override;
+  [[nodiscard]] std::string name() const override { return "copy"; }
+};
+
+/// Specular (reflecting) wall for a phase-space distribution: the ghost
+/// cell of a wall normal to configuration dim d is the interior cell
+/// mirrored across the wall plane and across v_d = 0. Both mirrors act on
+/// the modal basis as exact sign flips — mode a picks (-1)^(a_d + a_{cdim+d})
+/// — and the velocity *cell* index is reversed, which is exact when the
+/// velocity grid is symmetric about v_d = 0 (the builder validates this).
+/// For a configuration-space basis (vdim == 0) only the face mirror
+/// applies: (-1)^(a_d) — a zero-normal-gradient-of-odd-modes closure.
+class ReflectBc final : public BoundaryCondition {
+ public:
+  /// `basis` is the slot's basis (phase-space for a distribution
+  /// function); `cdim` the number of configuration dimensions.
+  ReflectBc(const Basis& basis, int cdim);
+  void apply(Field& f, int dim, int side) const override;
+  [[nodiscard]] std::string name() const override { return "reflect"; }
+
+ private:
+  const Basis* basis_;
+  int cdim_, vdim_;
+  /// Per conf dim, per mode: the mirror sign (-1)^(a_d [+ a_{cdim+d}]).
+  std::array<std::vector<double>, kMaxDim> sign_;
+};
+
+/// Factory: a fill object for `kind`, or nullptr for Periodic (the wrap is
+/// the Communicator's job). `basis`/`cdim` are only consulted by Reflect.
+[[nodiscard]] std::unique_ptr<BoundaryCondition> makeBc(BcKind kind, const Basis& basis,
+                                                        int cdim);
+
+/// True when this (possibly rank-local subgrid) grid touches the global
+/// domain edge on `side` of `dim` — only edge-owning ranks apply physical
+/// fills, which keeps distributed trajectories bitwise identical to serial.
+[[nodiscard]] bool ownsDomainEdge(const Grid& g, int dim, int side);
+
+/// Per-slot, per-face registry of physical boundary conditions: slot i of
+/// the StateVector uses get(i, dim, side), which is null on periodic faces.
+/// Species distributions and the em field can carry different conditions
+/// on the same face (e.g. absorb for particles, copy for the field).
+class BcTable {
+ public:
+  BcTable() = default;
+  explicit BcTable(int numSlots) : slots_(static_cast<std::size_t>(numSlots)) {}
+
+  [[nodiscard]] int numSlots() const { return static_cast<int>(slots_.size()); }
+
+  void set(int slot, int dim, Edge edge, std::unique_ptr<BoundaryCondition> bc) {
+    slots_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(dim)]
+          [static_cast<std::size_t>(edge)] = std::move(bc);
+  }
+
+  /// The fill for slot/dim/side (-1 lower, +1 upper), or null (periodic).
+  [[nodiscard]] const BoundaryCondition* get(int slot, int dim, int side) const {
+    return slots_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(dim)]
+                 [side < 0 ? 0 : 1]
+                     .get();
+  }
+
+  /// True when any slot carries a physical condition on any face.
+  [[nodiscard]] bool anyPhysical() const {
+    for (const auto& slot : slots_)
+      for (const auto& dim : slot)
+        for (const auto& bc : dim)
+          if (bc) return true;
+    return false;
+  }
+
+ private:
+  using FacePair = std::array<std::unique_ptr<BoundaryCondition>, 2>;
+  std::vector<std::array<FacePair, kMaxDim>> slots_;
+};
+
+}  // namespace vdg

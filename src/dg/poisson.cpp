@@ -23,6 +23,24 @@ PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
         "slot in behind the same API)");
   if (params_.epsilon0 <= 0.0)
     throw std::invalid_argument("PoissonSolver: epsilon0 must be positive");
+  for (int d = grid_.ndim; d < kMaxDim; ++d)
+    for (int e = 0; e < 2; ++e)
+      if (params_.bc[static_cast<std::size_t>(d)][static_cast<std::size_t>(e)].kind !=
+          PoissonBcKind::Periodic)
+        throw std::invalid_argument(
+            "PoissonSolver: bc[" + std::to_string(d) + "] configured but the grid has only " +
+            std::to_string(grid_.ndim) + " dims");
+  const PoissonBcSpec& lo = params_.bc[0][0];
+  const PoissonBcSpec& hi = params_.bc[0][1];
+  if ((lo.kind == PoissonBcKind::Periodic) != (hi.kind == PoissonBcKind::Periodic))
+    throw std::invalid_argument(
+        "PoissonSolver: periodicity is a property of the whole dimension — both edges "
+        "must be Periodic, or both must be a wall (Dirichlet/Neumann)");
+  periodic_ = lo.kind == PoissonBcKind::Periodic;
+  // The operator's constant null space survives unless a Dirichlet wall
+  // pins the potential; keep the zero-mean gauge border exactly there.
+  gauge_ = periodic_ ||
+           (lo.kind == PoissonBcKind::Neumann && hi.kind == PoissonBcKind::Neumann);
 
   n_ = grid_.numCells() * static_cast<std::size_t>(np_);
   stride_[0] = 1;
@@ -53,13 +71,43 @@ PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
     dEndPlus_[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, +1.0);
   }
 
-  // Bordered system [-lap, g; g^T, 0] with the gauge functional g picking
-  // every cell's mean coefficient: the periodic operator's constant null
-  // space is traded for the Lagrange multiplier, which also absorbs any
-  // mean charge (so the factorization never sees a singular matrix).
-  // Assembled column-by-column through the same applyMinusLaplacian the
-  // tests probe, then LU-factored once; solves are back-substitutions.
-  const auto nb = n_ + 1;
+  // Non-periodic walls: one-sided recovery closures and the affine load of
+  // the inhomogeneous wall data (built before the matrix assembly below,
+  // whose columns run through the homogeneous applyMinusLaplacian).
+  bcRhs_.assign(n_, 0.0);
+  if (!periodic_) {
+    const double rdx2 = 2.0 / grid_.dx(0);
+    const double s2 = rdx2 * rdx2;
+    bcLo_ = buildBoundaryRecoveryWeights(confSpec.polyOrder, -1,
+                                         lo.kind == PoissonBcKind::Dirichlet);
+    bcHi_ = buildBoundaryRecoveryWeights(confSpec.polyOrder, +1,
+                                         hi.kind == PoissonBcKind::Dirichlet);
+    // Wall data in reference units: a Neumann dphi/dx becomes dphi/deta.
+    ghatLo_ = lo.kind == PoissonBcKind::Dirichlet ? lo.value : lo.value * 0.5 * grid_.dx(0);
+    ghatHi_ = hi.kind == PoissonBcKind::Dirichlet ? hi.value : hi.value * 0.5 * grid_.dx(0);
+    // The ghat-only part of the wall weak-form terms (see the closures in
+    // applyMinusLaplacian), moved to the right-hand side: the solve
+    // inverts A phi = rho/eps0 + bcRhs_.
+    const std::size_t last = (grid_.numCells() - 1) * static_cast<std::size_t>(np_);
+    for (int l = 0; l < np_; ++l) {
+      const auto ls = static_cast<std::size_t>(l);
+      bcRhs_[ls] -= s2 * (endMinus_[ls] * bcLo_.derivG - dEndMinus_[ls] * bcLo_.valG) * ghatLo_;
+      bcRhs_[last + ls] -=
+          s2 * (-endPlus_[ls] * bcHi_.derivG + dEndPlus_[ls] * bcHi_.valG) * ghatHi_;
+    }
+  }
+
+  // Direct factorization, assembled column-by-column through the same
+  // applyMinusLaplacian the tests probe, then LU-factored once; solves are
+  // back-substitutions. Domains whose operator keeps the constant null
+  // space (periodic, pure Neumann) get the bordered system
+  // [-lap, g; g^T, 0] with the gauge functional g picking every cell's
+  // mean coefficient: the null space is traded for the Lagrange
+  // multiplier, which also absorbs any mean charge or Neumann-datum
+  // incompatibility (so the factorization never sees a singular matrix).
+  // A Dirichlet wall pins the constant, so those domains factor the plain
+  // n x n operator.
+  const std::size_t nb = gauge_ ? n_ + 1 : n_;
   DenseMatrix A(static_cast<int>(nb), static_cast<int>(nb));
   std::vector<double> e(n_, 0.0), col(n_);
   for (std::size_t j = 0; j < n_; ++j) {
@@ -68,10 +116,12 @@ PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
     e[j] = 0.0;
     for (std::size_t i = 0; i < n_; ++i) A(static_cast<int>(i), static_cast<int>(j)) = col[i];
   }
-  for (std::size_t c = 0; c < grid_.numCells(); ++c) {
-    const auto i = c * static_cast<std::size_t>(np_);
-    A(static_cast<int>(n_), static_cast<int>(i)) = 1.0;
-    A(static_cast<int>(i), static_cast<int>(n_)) = 1.0;
+  if (gauge_) {
+    for (std::size_t c = 0; c < grid_.numCells(); ++c) {
+      const auto i = c * static_cast<std::size_t>(np_);
+      A(static_cast<int>(n_), static_cast<int>(i)) = 1.0;
+      A(static_cast<int>(i), static_cast<int>(n_)) = 1.0;
+    }
   }
   lu_ = LuSolver(std::move(A));
   if (lu_.singular())
@@ -97,10 +147,12 @@ void PoissonSolver::applyMinusLaplacian(std::span<const double> phi,
       oc[l] -= s2 * s;
     }
   }
-  // Interior == every face (periodic): face i sits between cell i and
-  // cell (i+1) mod N. Recovery value r(0) and slope r'(0) in the two-cell
-  // coordinate zeta (d/deta = (1/2) d/dzeta, hence the 0.5 on the flux).
-  for (int i = 0; i < N; ++i) {
+  // Two-cell faces: all N of them when periodic (face i sits between cell
+  // i and cell (i+1) mod N), the N-1 interior ones otherwise. Recovery
+  // value r(0) and slope r'(0) in the two-cell coordinate zeta
+  // (d/deta = (1/2) d/dzeta, hence the 0.5 on the flux).
+  const int numFaces = periodic_ ? N : N - 1;
+  for (int i = 0; i < numFaces; ++i) {
     const int ir = (i + 1) % N;
     const double* pL = phi.data() + static_cast<std::size_t>(i) * np;
     const double* pR = phi.data() + static_cast<std::size_t>(ir) * np;
@@ -122,14 +174,37 @@ void PoissonSolver::applyMinusLaplacian(std::span<const double> phi,
       oR[l] -= s2 * dEndMinus_[static_cast<std::size_t>(l)] * r0;
     }
   }
+  if (!periodic_) {
+    // Wall closures: same weak-form structure with the one-sided recovery
+    // polynomial's wall value/slope (homogeneous part only — the ghat
+    // load lives in bcRhs_). Slopes are d/deta of the boundary cell, so
+    // no 0.5 two-cell factor here.
+    const double* p0 = phi.data();
+    const double* pN = phi.data() + (static_cast<std::size_t>(N) - 1) * np;
+    double vLo = 0.0, dLo = 0.0, vHi = 0.0, dHi = 0.0;
+    for (int m = 0; m < np_; ++m) {
+      const auto ms = static_cast<std::size_t>(m);
+      vLo += bcLo_.val[ms] * p0[m];
+      dLo += bcLo_.deriv[ms] * p0[m];
+      vHi += bcHi_.val[ms] * pN[m];
+      dHi += bcHi_.deriv[ms] * pN[m];
+    }
+    double* o0 = out.data();
+    double* oN = out.data() + (static_cast<std::size_t>(N) - 1) * np;
+    for (int l = 0; l < np_; ++l) {
+      const auto ls = static_cast<std::size_t>(l);
+      o0[l] += s2 * (endMinus_[ls] * dLo - dEndMinus_[ls] * vLo);
+      oN[l] += s2 * (-endPlus_[ls] * dHi + dEndPlus_[ls] * vHi);
+    }
+  }
 }
 
 void PoissonSolver::solve(std::span<const double> rho, std::span<double> phi) const {
   assert(rho.size() == n_ && phi.size() == n_);
-  std::vector<double> b(n_ + 1);
+  std::vector<double> b(gauge_ ? n_ + 1 : n_);
   const double s = 1.0 / params_.epsilon0;
-  for (std::size_t i = 0; i < n_; ++i) b[i] = s * rho[i];
-  b[n_] = 0.0;  // gauge: int phi dx = 0
+  for (std::size_t i = 0; i < n_; ++i) b[i] = s * rho[i] + bcRhs_[i];
+  if (gauge_) b[n_] = 0.0;  // gauge: int phi dx = 0
   lu_.solve(b);
   for (std::size_t i = 0; i < n_; ++i) phi[i] = b[i];
 }
@@ -146,13 +221,27 @@ void PoissonSolver::cellElectricField(std::span<const double> phi, const MultiIn
   const double* pL = phi.data() + static_cast<std::size_t>((i + N - 1) % N) * np;
   const double* pR = phi.data() + static_cast<std::size_t>((i + 1) % N) * np;
 
-  // Recovered (continuous) interface traces at the cell's two faces.
+  // Recovered (continuous) interface traces at the cell's two faces. At a
+  // non-periodic wall the trace is the one-sided boundary-recovery wall
+  // value, which carries the Dirichlet/Neumann data (for a Dirichlet wall
+  // it *is* the prescribed potential), so E at the wall is consistent
+  // with the electrode bias.
   double hatLo = 0.0, hatHi = 0.0;
-  for (int m = 0; m < np_; ++m) {
-    hatLo += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
-             rec_.valR[static_cast<std::size_t>(m)] * pC[m];
-    hatHi += rec_.valL[static_cast<std::size_t>(m)] * pC[m] +
-             rec_.valR[static_cast<std::size_t>(m)] * pR[m];
+  if (!periodic_ && i == 0) {
+    hatLo = bcLo_.valG * ghatLo_;
+    for (int m = 0; m < np_; ++m) hatLo += bcLo_.val[static_cast<std::size_t>(m)] * pC[m];
+  } else {
+    for (int m = 0; m < np_; ++m)
+      hatLo += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
+               rec_.valR[static_cast<std::size_t>(m)] * pC[m];
+  }
+  if (!periodic_ && i == N - 1) {
+    hatHi = bcHi_.valG * ghatHi_;
+    for (int m = 0; m < np_; ++m) hatHi += bcHi_.val[static_cast<std::size_t>(m)] * pC[m];
+  } else {
+    for (int m = 0; m < np_; ++m)
+      hatHi += rec_.valL[static_cast<std::size_t>(m)] * pC[m] +
+               rec_.valR[static_cast<std::size_t>(m)] * pR[m];
   }
   // E_l = (2/dx) [ sum_n D_ln phi_n - w_l(+1) phihat_hi + w_l(-1) phihat_lo ],
   // the weak projection of -dphi/dx with the continuous trace.

@@ -8,6 +8,19 @@
 // with the zero-mean gauge int phi dx = 0 fixing the constant that the
 // periodic Laplacian cannot see.
 //
+// Non-periodic domains (PoissonBcKind in PoissonParams::bc) replace the
+// periodic wrap at each wall with a one-sided recovery closure
+// (tensors/dg_tensors.hpp buildBoundaryRecoveryWeights): the boundary
+// cell's moments plus the wall constraint — a Dirichlet potential value
+// (grounded or biased electrode) or a Neumann normal derivative — define a
+// degree-(p+1) polynomial whose wall value/slope feed the same weak form
+// as the interior recovery. With at least one Dirichlet wall the operator
+// is nonsingular and the zero-mean bordered system is dropped; a pure
+// Neumann-Neumann domain keeps the gauge border (the multiplier also
+// absorbs any datum/charge incompatibility). Boundary data enter the solve
+// as an affine load vector; applyMinusLaplacian stays the homogeneous
+// linear operator.
+//
 // The discrete Laplacian is the recovery-based DG operator shared with the
 // LBO collision diffusion (tensors/dg_tensors.hpp): across every interior
 // face the two neighboring cells merge into the unique degree-(2p+1)
@@ -38,8 +51,23 @@
 
 namespace vdg {
 
+/// Potential closure at one domain wall.
+enum class PoissonBcKind {
+  Periodic,   ///< wrap (the default; both edges of a dim must agree)
+  Dirichlet,  ///< phi = value at the wall (grounded / biased electrode)
+  Neumann,    ///< dphi/dx_d = value at the wall (in physical x units)
+};
+
+struct PoissonBcSpec {
+  PoissonBcKind kind = PoissonBcKind::Periodic;
+  double value = 0.0;  ///< wall potential (Dirichlet) or dphi/dx (Neumann)
+};
+
 struct PoissonParams {
   double epsilon0 = 1.0;
+  /// Per [dimension][edge] (edge 0 = lower, 1 = upper) wall closure.
+  /// Defaults to fully periodic — existing callers are untouched.
+  std::array<std::array<PoissonBcSpec, 2>, kMaxDim> bc{};
 };
 
 class PoissonSolver {
@@ -66,21 +94,37 @@ class PoissonSolver {
     return o * static_cast<std::size_t>(np_);
   }
 
-  /// Solve -lap(phi) = rho/eps0 with the zero-mean gauge. `rho` and `phi`
-  /// are flat global coefficient vectors (size numUnknowns()). Any mean
-  /// charge is absorbed by the gauge's Lagrange multiplier, so a non-
-  /// neutral rho still yields the (unique, zero-mean) periodic potential
-  /// of its fluctuating part.
+  /// True when any wall closure is non-periodic.
+  [[nodiscard]] bool isPeriodic() const { return periodic_; }
+  /// True when the solve carries the zero-mean gauge border (periodic or
+  /// pure-Neumann domains, whose operator has the constant null space).
+  [[nodiscard]] bool hasGauge() const { return gauge_; }
+
+  /// Solve -lap(phi) = rho/eps0. `rho` and `phi` are flat global
+  /// coefficient vectors (size numUnknowns()). Periodic and pure-Neumann
+  /// domains solve in the zero-mean gauge: any mean charge (or Neumann
+  /// datum incompatibility) is absorbed by the gauge's Lagrange
+  /// multiplier, yielding the unique zero-mean potential of the
+  /// fluctuating part. With a Dirichlet wall the solution is unique as-is;
+  /// the wall data enter through the affine boundary load boundaryRhs().
   void solve(std::span<const double> rho, std::span<double> phi) const;
 
-  /// out = -lap(phi), the discrete operator the solve inverts (for tests
-  /// and residual checks).
+  /// out = -lap(phi), the *homogeneous* discrete operator (wall data = 0)
+  /// the solve inverts; for tests and residual checks the full equation is
+  /// applyMinusLaplacian(phi) == rho/eps0 + boundaryRhs().
   void applyMinusLaplacian(std::span<const double> phi, std::span<double> out) const;
+
+  /// Affine load of the (inhomogeneous) wall data, already on the
+  /// right-hand side: the solve inverts A phi = rho/eps0 + boundaryRhs().
+  /// All zeros on periodic (or homogeneous-data) domains.
+  [[nodiscard]] std::span<const double> boundaryRhs() const { return bcRhs_; }
 
   /// E_d = -d(phi)/dx_d of global cell `gidx` as a basis expansion (np
   /// coefficients): weak gradient with the recovered continuous interface
   /// trace of phi. Reads only `gidx` and its two d-neighbors (periodic
-  /// wrap), so rank-local writeback from a global phi needs no ghosts.
+  /// wrap; at a non-periodic wall the trace is the boundary-recovery wall
+  /// value, which sees the Dirichlet/Neumann data), so rank-local
+  /// writeback from a global phi needs no ghosts.
   void cellElectricField(std::span<const double> phi, const MultiIndex& gidx, int d,
                          std::span<double> e) const;
 
@@ -102,7 +146,14 @@ class PoissonSolver {
   std::vector<double> endMinus_, endPlus_;      ///< psi_l(-1), psi_l(+1)
   std::vector<double> dEndMinus_, dEndPlus_;    ///< psi_l'(-1), psi_l'(+1)
 
-  LuSolver lu_;  ///< bordered (n+1) system: [-lap, gauge; gauge^T, 0]
+  // --- non-periodic wall closures (1x: the two ends of dimension 0).
+  bool periodic_ = true;
+  bool gauge_ = true;  ///< solve carries the zero-mean border
+  BoundaryRecoveryWeights bcLo_, bcHi_;  ///< one-sided recovery per wall
+  double ghatLo_ = 0.0, ghatHi_ = 0.0;   ///< wall data in reference units
+  std::vector<double> bcRhs_;            ///< affine wall load (size n_)
+
+  LuSolver lu_;  ///< [-lap] (Dirichlet) or bordered (n+1) gauge system
 };
 
 }  // namespace vdg

@@ -172,6 +172,18 @@ class Field {
   /// Fill ghost layers of dimension d by copying the adjacent interior cell.
   void copyGhost(int d);
 
+  /// Invoke fn(ghostIdx) for every ghost cell of the lower (side == -1) or
+  /// upper (side == +1) boundary of dimension d, spanning the *extended*
+  /// box of every other dimension — the same cells a halo slab covers.
+  /// This is the fill seam of the physical boundary conditions (src/bc/):
+  /// a BoundaryCondition decides per ghost cell what interior data (if
+  /// any) to mirror or extrapolate into it.
+  template <typename Fn>
+  void forEachBoundaryGhost(int d, int side, const Fn& fn) const {
+    forEachSlabCell(d, side, /*ghost=*/true,
+                    [&](const MultiIndex& idx, std::size_t /*off*/) { fn(idx); });
+  }
+
  private:
   [[nodiscard]] std::size_t offset(const MultiIndex& idx) const {
     std::size_t o = 0;

@@ -1,0 +1,46 @@
+#include "io/time_series.hpp"
+
+#include "app/projection.hpp"
+#include "app/simulation.hpp"
+
+namespace vdg {
+
+namespace {
+
+std::string headerFor(const Simulation& sim) {
+  std::string h = "t,fieldEnergy,electricEnergy";
+  for (int s = 0; s < sim.numSpecies(); ++s) {
+    const std::string& n = sim.speciesConfig(s).name;
+    h += "," + n + "_M0," + n + "_M1x," + n + "_M2," + n + "_absorbed," + n + "_wallRate";
+  }
+  return h;
+}
+
+}  // namespace
+
+TimeSeriesWriter::TimeSeriesWriter(std::string path, const Simulation& sim)
+    : csv_(std::move(path), headerFor(sim)),
+      m0_(sim.confGrid(), sim.confBasis().numModes()),
+      m1_(sim.confGrid(), 3 * sim.confBasis().numModes()),
+      m2_(sim.confGrid(), sim.confBasis().numModes()) {}
+
+void TimeSeriesWriter::sample(const Simulation& sim) {
+  const Simulation::Energetics e = sim.energetics();
+  row_.clear();
+  row_.push_back(e.time);
+  row_.push_back(e.fieldEnergy);
+  row_.push_back(e.electricEnergy);
+  const Grid& cg = sim.confGrid();
+  const Basis& cb = sim.confBasis();
+  for (int s = 0; s < sim.numSpecies(); ++s) {
+    sim.moments(s).compute(sim.distf(s), &m0_, &m1_, &m2_);
+    row_.push_back(integrateDomain(cb, cg, m0_));
+    row_.push_back(integrateDomain(cb, cg, m1_, 0));
+    row_.push_back(integrateDomain(cb, cg, m2_));
+    row_.push_back(sim.absorbedMass(s));
+    row_.push_back(sim.wallLossRate(s));
+  }
+  csv_.row(row_);
+}
+
+}  // namespace vdg

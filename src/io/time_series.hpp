@@ -1,0 +1,49 @@
+#pragma once
+// Scalar time-series diagnostics of a running Simulation, written as one
+// CSV row per sample: time, field energies, and per species the first
+// three velocity moments (particle number M0, x-momentum M1x, energy
+// density M2 = int |v|^2 f), plus — on wall-bounded runs — the cumulative
+// absorbed mass and the instantaneous wall mass-loss rate that the
+// stepper accounts per RK stage (Simulation::absorbedMass/wallLossRate).
+// This is the one diagnostic loop every driver was re-implementing by
+// hand; the sheath example (examples/sheath_1x1v.cpp) uses it for its
+// steady-state and conservation criteria, and the Landau / bump-on-tail
+// drivers can sample the same columns.
+//
+// Note for distributed runs: moments and energies integrate the *local*
+// window (like Simulation::energetics); sample a serial or gathered
+// simulation for global values. absorbed/wallRate are already globally
+// reduced.
+
+#include <string>
+#include <vector>
+
+#include "io/field_io.hpp"
+
+namespace vdg {
+
+class Simulation;
+
+class TimeSeriesWriter {
+ public:
+  /// Truncates `path` and writes the header derived from the simulation's
+  /// species list: t, fieldEnergy, electricEnergy, then per species
+  /// <name>_M0, <name>_M1x, <name>_M2, <name>_absorbed, <name>_wallRate
+  /// (the last two always present; identically zero on periodic runs).
+  TimeSeriesWriter(std::string path, const Simulation& sim);
+
+  /// Append one row sampled from the simulation's current state.
+  void sample(const Simulation& sim);
+
+  [[nodiscard]] const std::string& path() const { return csv_.path(); }
+  /// The last sampled row (header order) — lets drivers reuse the sampled
+  /// values for their own checks without recomputing moments.
+  [[nodiscard]] const std::vector<double>& lastRow() const { return row_; }
+
+ private:
+  CsvWriter csv_;
+  std::vector<double> row_;
+  Field m0_, m1_, m2_;  ///< moment scratch, shaped once at construction
+};
+
+}  // namespace vdg

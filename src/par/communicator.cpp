@@ -34,49 +34,66 @@ class ThreadComm::Endpoint final : public Communicator {
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int numRanks() const override { return owner_->numRanks(); }
 
-  void syncConfGhosts(Field& f, int cdim) override {
-    assert(cdim <= owner_->decomp_.cdim);
+  void syncConfGhostsDim(Field& f, int d, bool periodic) override {
+    assert(d < owner_->decomp_.cdim);
+    // The decomp's periodicity (neighbor lookup) and the caller's flag
+    // both derive from the builder's BC configuration; they must agree.
+    assert(periodic == owner_->decomp_.periodic[static_cast<std::size_t>(d)]);
     const auto r = static_cast<std::size_t>(rank_);
-    for (int d = 0; d < cdim; ++d) {
-      if (owner_->decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
-        // Non-decomposed dimension: every rank owns the full extent, so
-        // the exchange is a pure self-copy — do the periodic wrap locally
-        // (bitwise the same cells) and skip both barriers. blocks[] is
-        // shared state, so all ranks take this branch consistently and
-        // the collective call sequence stays in lockstep. Untimed: a
-        // serial run does this same wrap as part of compute, so booking
-        // it as halo would skew the measured compute/halo split.
-        f.syncPeriodic(d);
-        continue;
-      }
-      const auto t0 = Clock::now();
-      const std::size_t n = f.ghostSlabSize(d);
-      std::vector<double>& lo = owner_->sendLo_[r];
-      std::vector<double>& hi = owner_->sendHi_[r];
+    if (owner_->decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
+      // Non-decomposed dimension: every rank owns the full extent, so
+      // the exchange is a pure self-copy — do the periodic wrap locally
+      // (bitwise the same cells) and skip both barriers; a non-periodic
+      // dimension is entirely the physical fill's job. blocks[] and the
+      // periodic flag are shared state, so all ranks take this branch
+      // consistently and the collective call sequence stays in lockstep.
+      // Untimed: a serial run does this same wrap as part of compute, so
+      // booking it as halo would skew the measured compute/halo split.
+      if (periodic) f.syncPeriodic(d);
+      return;
+    }
+    const auto t0 = Clock::now();
+    const std::size_t n = f.ghostSlabSize(d);
+    // kNoNeighbor across a non-periodic domain edge: the slab facing the
+    // wall has no consumer, so don't pack it (dead copy that would also
+    // pollute the measured halo time), and nothing is unpacked on that
+    // side — the ghost slab is left for the edge-owning rank's physical
+    // fill. Every rank still enters both barriers, so the collective
+    // stays in lockstep regardless of edge ownership.
+    const int ln = owner_->decomp_.neighbor(rank_, d, -1);
+    const int un = owner_->decomp_.neighbor(rank_, d, +1);
+    std::vector<double>& lo = owner_->sendLo_[r];
+    std::vector<double>& hi = owner_->sendHi_[r];
+    if (ln != kNoNeighbor) {
       lo.resize(n);
-      hi.resize(n);
       f.packGhost(d, -1, lo);
+    }
+    if (un != kNoNeighbor) {
+      hi.resize(n);
       f.packGhost(d, +1, hi);
-      owner_->bar_.arrive_and_wait();
-      const auto ln = static_cast<std::size_t>(owner_->decomp_.neighbor(rank_, d, -1));
-      const auto un = static_cast<std::size_t>(owner_->decomp_.neighbor(rank_, d, +1));
+    }
+    owner_->bar_.arrive_and_wait();
+    if (ln != kNoNeighbor) {
       // Neighbors along d share every transverse block extent, so their
       // slab shapes match this rank's exactly.
-      assert(owner_->sendHi_[ln].size() == n && owner_->sendLo_[un].size() == n);
-      f.unpackGhost(d, -1, owner_->sendHi_[ln]);  // lower ghosts <- left's upper slab
-      f.unpackGhost(d, +1, owner_->sendLo_[un]);  // upper ghosts <- right's lower slab
-      owner_->bar_.arrive_and_wait();
-      const std::size_t slabCells = n / static_cast<std::size_t>(f.ncomp());
-      if (static_cast<int>(ln) != rank_) {
-        bytes_ += n * sizeof(double);
-        cells_ += slabCells;
-      }
-      if (static_cast<int>(un) != rank_) {
-        bytes_ += n * sizeof(double);
-        cells_ += slabCells;
-      }
-      sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
+      assert(owner_->sendHi_[static_cast<std::size_t>(ln)].size() == n);
+      f.unpackGhost(d, -1, owner_->sendHi_[static_cast<std::size_t>(ln)]);
     }
+    if (un != kNoNeighbor) {
+      assert(owner_->sendLo_[static_cast<std::size_t>(un)].size() == n);
+      f.unpackGhost(d, +1, owner_->sendLo_[static_cast<std::size_t>(un)]);
+    }
+    owner_->bar_.arrive_and_wait();
+    const std::size_t slabCells = n / static_cast<std::size_t>(f.ncomp());
+    if (ln != kNoNeighbor && ln != rank_) {
+      bytes_ += n * sizeof(double);
+      cells_ += slabCells;
+    }
+    if (un != kNoNeighbor && un != rank_) {
+      bytes_ += n * sizeof(double);
+      cells_ += slabCells;
+    }
+    sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
   }
 
   [[nodiscard]] double allReduceMax(double v) override {

@@ -18,6 +18,13 @@
 //    with itself, which *is* the periodic wrap — serial and distributed
 //    ghost repair are one code path.
 //
+// Non-periodic dimensions: the communicator only moves data between
+// neighbors that exist. Across a non-periodic domain edge the neighbor
+// lookup yields kNoNeighbor, the unpack on that side is skipped, and the
+// ghost slab is instead filled rank-locally by the physical boundary
+// conditions of src/bc/ (driven by BoundarySyncUpdater after each
+// dimension's exchange) — so walls add no collective traffic at all.
+//
 // Contract: every collective (syncConfGhosts, allReduce*, barrier) must be
 // entered by all ranks of a ThreadComm in the same order, each from its
 // own thread (DistributedSimulation drives this in lockstep).
@@ -41,12 +48,24 @@ class Communicator {
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int numRanks() const = 0;
 
-  /// Repair the ghost layers of the configuration dimensions [0, cdim) of
-  /// a rank-local field: decomposed dimensions receive the neighboring
-  /// ranks' boundary slabs, non-decomposed ones wrap periodically.
-  /// Dimensions are synced in order with completion between them, so the
-  /// corner ghosts match the serial syncPeriodic(0..cdim-1) sequence.
-  virtual void syncConfGhosts(Field& f, int cdim) = 0;
+  /// Repair the ghost layers of one configuration dimension of a
+  /// rank-local field. A decomposed dimension receives the neighboring
+  /// ranks' boundary slabs (skipping, at a non-periodic domain edge, the
+  /// side with no neighbor — the edge-owning rank's physical boundary fill
+  /// runs afterwards, rank-locally, in BoundarySyncUpdater); a
+  /// non-decomposed dimension wraps periodically when `periodic`, and is
+  /// left untouched otherwise. The `periodic` flag must be the same on
+  /// every rank (it derives from the builder's shared BC configuration),
+  /// so the collective call sequence stays in lockstep.
+  virtual void syncConfGhostsDim(Field& f, int d, bool periodic) = 0;
+
+  /// Repair all configuration dimensions [0, cdim), fully periodic — the
+  /// pre-boundary-subsystem behavior. Dimensions are synced in order with
+  /// completion between them, so the corner ghosts match the serial
+  /// syncPeriodic(0..cdim-1) sequence.
+  void syncConfGhosts(Field& f, int cdim) {
+    for (int d = 0; d < cdim; ++d) syncConfGhostsDim(f, d, true);
+  }
 
   /// Global reductions (the CFL frequency uses max). Every rank receives
   /// the same value, computed in a deterministic rank order.
@@ -83,8 +102,11 @@ class SerialComm final : public Communicator {
  public:
   [[nodiscard]] int rank() const override { return 0; }
   [[nodiscard]] int numRanks() const override { return 1; }
-  void syncConfGhosts(Field& f, int cdim) override {
-    for (int d = 0; d < cdim; ++d) f.syncPeriodic(d);
+  void syncConfGhostsDim(Field& f, int d, bool periodic) override {
+    // Non-periodic dims are the physical-BC fill's job (rank-local, after
+    // this call); the single rank owns both edges, so there is nothing to
+    // exchange.
+    if (periodic) f.syncPeriodic(d);
   }
   [[nodiscard]] double allReduceMax(double v) override { return v; }
   [[nodiscard]] double allReduceSum(double v) override { return v; }

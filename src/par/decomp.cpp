@@ -67,14 +67,22 @@ void searchBlocks(const Grid& conf, int cdim, int dim, int ranks,
 
 }  // namespace
 
-SlabDecomp SlabDecomp::make(int totalCells, int numRanks, int dim) {
+SlabDecomp SlabDecomp::make(int totalCells, int numRanks, int dim, bool periodic) {
   if (numRanks < 1 || totalCells < numRanks)
     throw std::invalid_argument("SlabDecomp: need at least one cell per rank");
   SlabDecomp d;
   d.dim = dim;
   d.numRanks = numRanks;
+  d.periodic = periodic;
   partition(totalCells, numRanks, d.start, d.count);
   return d;
+}
+
+int SlabDecomp::neighbor(int rank, int side) const {
+  const int n = rank + side;
+  if (n >= 0 && n < numRanks) return n;
+  if (!periodic) return kNoNeighbor;
+  return (n + numRanks) % numRanks;
 }
 
 Grid SlabDecomp::localGrid(const Grid& global, int rank) const {
@@ -83,9 +91,17 @@ Grid SlabDecomp::localGrid(const Grid& global, int rank) const {
 }
 
 CartDecomp CartDecomp::make(const Grid& confGrid, int numRanks) {
+  std::array<bool, kMaxDim> allPeriodic{};
+  allPeriodic.fill(true);
+  return make(confGrid, numRanks, allPeriodic);
+}
+
+CartDecomp CartDecomp::make(const Grid& confGrid, int numRanks,
+                            const std::array<bool, kMaxDim>& periodicDims) {
   if (numRanks < 1) throw std::invalid_argument("CartDecomp: numRanks must be >= 1");
   CartDecomp d;
   d.cdim = confGrid.ndim;
+  d.periodic = periodicDims;
   // Exhaustive search over factorizations of numRanks into per-dim block
   // counts (each <= the dimension's cells): divisor tuples are few, and
   // greedy placement misses valid tilings (e.g. 12 ranks on 4x3 must be
@@ -134,7 +150,9 @@ int CartDecomp::rankOf(std::array<int, kMaxDim> c) const {
 
 int CartDecomp::neighbor(int rank, int dim, int side) const {
   std::array<int, kMaxDim> c = coords(rank);
-  c[static_cast<std::size_t>(dim)] += side;
+  const auto s = static_cast<std::size_t>(dim);
+  c[s] += side;
+  if (!periodic[s] && (c[s] < 0 || c[s] >= blocks[s])) return kNoNeighbor;
   return rankOf(c);
 }
 

@@ -12,16 +12,26 @@
 
 namespace vdg {
 
+/// Sentinel returned by the neighbor lookups when the step would cross a
+/// non-periodic domain edge: there is nobody to exchange ghosts with, and
+/// the edge-owning rank applies the physical boundary condition instead.
+inline constexpr int kNoNeighbor = -1;
+
 /// Slab decomposition of configuration dimension `dim` into `numRanks`
 /// contiguous, near-equal extents (the 1-D special case of CartDecomp,
 /// kept for the analytic model and simple call sites).
 struct SlabDecomp {
   int dim = 0;
   int numRanks = 1;
+  bool periodic = true;    ///< wrap at the domain edges of `dim`
   std::vector<int> start;  ///< per rank, first owned cell index
   std::vector<int> count;  ///< per rank, number of owned cells
 
-  static SlabDecomp make(int totalCells, int numRanks, int dim = 0);
+  static SlabDecomp make(int totalCells, int numRanks, int dim = 0, bool periodic = true);
+
+  /// Rank one slab over on `side` (-1 lower, +1 upper): periodic wrap, or
+  /// kNoNeighbor across a non-periodic domain edge.
+  [[nodiscard]] int neighbor(int rank, int side) const;
 
   /// Local phase grid of a rank: the global grid with dimension `dim`
   /// restricted to the rank's slab (a bit-exact Grid::subgrid window).
@@ -30,12 +40,17 @@ struct SlabDecomp {
 
 /// Multi-dimensional block decomposition of the first `cdim` (configuration)
 /// dimensions of a grid into numRanks = prod(blocks) near-equal blocks.
-/// Rank order is odometer over block coordinates, dimension 0 fastest;
-/// neighbor lookup wraps periodically (a dimension with one block is its
-/// own neighbor — periodic wrap and halo exchange become one code path).
+/// Rank order is odometer over block coordinates, dimension 0 fastest.
+/// Neighbor lookup wraps periodically only in dimensions flagged periodic
+/// (the default); in a non-periodic dimension the lookup returns
+/// kNoNeighbor across the domain edge, so only edge-owning ranks touch that
+/// face — with the physical fill of src/bc/, not an exchange. A periodic
+/// dimension with one block is its own neighbor, making periodic wrap and
+/// halo exchange one code path.
 struct CartDecomp {
   int cdim = 1;                       ///< number of decomposed (config) dims
   std::array<int, kMaxDim> blocks{};  ///< blocks per dim; product == numRanks
+  std::array<bool, kMaxDim> periodic{};  ///< per dim: wrap at domain edges
   std::array<std::vector<int>, kMaxDim> start;  ///< per dim, per block: first cell
   std::array<std::vector<int>, kMaxDim> count;  ///< per dim, per block: cell count
 
@@ -43,8 +58,13 @@ struct CartDecomp {
   /// numRanks into per-dim block counts (each <= that dimension's cells)
   /// is considered; smallest maximum per-rank cell load wins, halo
   /// surface breaking ties. Throws when no factorization fits (one cell
-  /// per block minimum).
+  /// per block minimum). All dimensions periodic.
   static CartDecomp make(const Grid& confGrid, int numRanks);
+  /// Same, with per-dimension periodicity flags (dims >= confGrid.ndim
+  /// ignored). Non-periodic dims still decompose identically — only the
+  /// neighbor lookup across their domain edges changes.
+  static CartDecomp make(const Grid& confGrid, int numRanks,
+                         const std::array<bool, kMaxDim>& periodicDims);
 
   [[nodiscard]] int numRanks() const;
 
@@ -53,7 +73,8 @@ struct CartDecomp {
   /// Rank at block coordinates, wrapping periodically per dimension.
   [[nodiscard]] int rankOf(std::array<int, kMaxDim> c) const;
   /// Neighbor of `rank` one block over in `dim` (side == -1 lower, +1
-  /// upper), with periodic wrap; rank itself when blocks[dim] == 1.
+  /// upper): periodic wrap (rank itself when blocks[dim] == 1), or
+  /// kNoNeighbor when the step crosses a non-periodic domain edge.
   [[nodiscard]] int neighbor(int rank, int dim, int side) const;
 
   /// Rank-local grid: `global` (conf or phase grid whose first cdim dims

@@ -300,4 +300,57 @@ RecoveryWeights buildRecoveryWeights(int polyOrder) {
   return rw;
 }
 
+BoundaryRecoveryWeights buildBoundaryRecoveryWeights(int polyOrder, int side, bool dirichlet) {
+  assert(side == -1 || side == 1);
+  // Monomial expansion r(eta) = sum_q x_q eta^q of degree p+1 on the
+  // boundary cell. Conditions: the p+1 cell moments
+  //   int psi_m(eta) r(eta) deta = c_m,  m = 0..p,
+  // plus the wall constraint r(side) = ghat (Dirichlet) or
+  // r'(side) = ghat (Neumann). The affine weights of r(side), r'(side)
+  // in (c, ghat) come from the columns of the inverse, exactly as in the
+  // two-cell buildRecoveryWeights.
+  const int n = polyOrder + 1;
+  const int N = n + 1;
+  const double s = static_cast<double>(side);
+  const QuadRule rule = gauss_legendre(2 * polyOrder + 4);
+  DenseMatrix M(N, N);
+  for (int q = 0; q < N; ++q) {
+    for (int m = 0; m < n; ++m) {
+      double sm = 0.0;
+      for (std::size_t iq = 0; iq < rule.nodes.size(); ++iq)
+        sm += rule.weights[iq] * legendrePsi(m, rule.nodes[iq]) *
+              std::pow(rule.nodes[iq], q);
+      M(m, q) = sm;
+    }
+    M(n, q) = dirichlet ? std::pow(s, q)
+                        : (q == 0 ? 0.0 : q * std::pow(s, q - 1));
+  }
+  const LuSolver lu(std::move(M));
+  assert(!lu.singular());
+  BoundaryRecoveryWeights bw;
+  bw.val.resize(static_cast<std::size_t>(n));
+  bw.deriv.resize(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(N));
+  for (int col = 0; col < N; ++col) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[static_cast<std::size_t>(col)] = 1.0;
+    lu.solve(e);
+    // r(side) and r'(side) of the unit response: dot the monomial
+    // coefficients with the wall evaluation row.
+    double val = 0.0, deriv = 0.0;
+    for (int q = 0; q < N; ++q) {
+      val += e[static_cast<std::size_t>(q)] * std::pow(s, q);
+      if (q > 0) deriv += e[static_cast<std::size_t>(q)] * q * std::pow(s, q - 1);
+    }
+    if (col < n) {
+      bw.val[static_cast<std::size_t>(col)] = val;
+      bw.deriv[static_cast<std::size_t>(col)] = deriv;
+    } else {
+      bw.valG = val;
+      bw.derivG = deriv;
+    }
+  }
+  return bw;
+}
+
 }  // namespace vdg

@@ -100,4 +100,23 @@ struct RecoveryWeights {
 };
 [[nodiscard]] RecoveryWeights buildRecoveryWeights(int polyOrder);
 
+/// One-sided recovery functionals at a *domain boundary* face, where the
+/// two-cell patch of buildRecoveryWeights has no second cell: the unique
+/// degree-(p+1) polynomial r(eta) on the boundary cell [-1,1] reproducing
+/// the cell's p+1 Legendre moments plus one wall constraint at eta = side —
+/// the value r(side) = ghat (Dirichlet) or slope r'(side) = ghat (Neumann,
+/// ghat in reference units: d/deta). Wall value and slope are then affine
+/// in the cell's slice coefficients c and the datum:
+///   r(side)  = sum_m val[m]   c_m + valG   * ghat,
+///   r'(side) = sum_m deriv[m] c_m + derivG * ghat.
+/// A Dirichlet constraint makes (val, valG) trivially (0, 1) and a Neumann
+/// one (deriv, derivG) = (0, 1); the other pair carries the recovered
+/// estimate. Used by the non-periodic PoissonSolver wall closures.
+struct BoundaryRecoveryWeights {
+  std::vector<double> val, deriv;  ///< weights on the p+1 slice coefficients
+  double valG = 0.0, derivG = 0.0;  ///< weight on the boundary datum ghat
+};
+[[nodiscard]] BoundaryRecoveryWeights buildBoundaryRecoveryWeights(int polyOrder, int side,
+                                                                   bool dirichlet);
+
 }  // namespace vdg

@@ -175,6 +175,63 @@ TEST(CartDecomp, FindsExactTilingsGreedyPlacementWouldMiss) {
   EXPECT_EQ(e.blocks[1], 2);
 }
 
+TEST(SlabDecomp, NonPeriodicEdgesHaveNoNeighbor) {
+  // Uneven counts (17 over 4) with walls: interior neighbors are intact,
+  // the two domain edges return the sentinel instead of wrapping.
+  const SlabDecomp d = SlabDecomp::make(17, 4, 0, /*periodic=*/false);
+  EXPECT_EQ(d.neighbor(0, -1), kNoNeighbor);
+  EXPECT_EQ(d.neighbor(3, +1), kNoNeighbor);
+  EXPECT_EQ(d.neighbor(0, +1), 1);
+  EXPECT_EQ(d.neighbor(2, -1), 1);
+  // Periodic default wraps as before.
+  const SlabDecomp p = SlabDecomp::make(17, 4);
+  EXPECT_EQ(p.neighbor(0, -1), 3);
+  EXPECT_EQ(p.neighbor(3, +1), 0);
+  // Single-rank slab: periodic is its own neighbor, walled has none.
+  const SlabDecomp one = SlabDecomp::make(6, 1, 0, /*periodic=*/false);
+  EXPECT_EQ(one.neighbor(0, -1), kNoNeighbor);
+  EXPECT_EQ(one.neighbor(0, +1), kNoNeighbor);
+  EXPECT_EQ(SlabDecomp::make(6, 1).neighbor(0, +1), 0);
+}
+
+TEST(CartDecomp, NonPeriodicDimsReturnTheSentinelAtDomainEdges) {
+  // 1-D, uneven counts (10 over 4 -> 3,3,2,2), walls in x.
+  std::array<bool, kMaxDim> periodic{};
+  periodic.fill(true);
+  periodic[0] = false;
+  const Grid conf = Grid::make({10}, {0.0}, {1.0});
+  const CartDecomp d = CartDecomp::make(conf, 4, periodic);
+  EXPECT_FALSE(d.periodic[0]);
+  EXPECT_EQ(d.neighbor(0, 0, -1), kNoNeighbor);
+  EXPECT_EQ(d.neighbor(3, 0, +1), kNoNeighbor);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(d.neighbor(r, 0, +1), r + 1);
+  // The decomposition itself (blocks, counts) is unchanged by the flags.
+  const CartDecomp w = CartDecomp::make(conf, 4);
+  EXPECT_EQ(w.blocks, d.blocks);
+  EXPECT_EQ(w.count[0], d.count[0]);
+}
+
+TEST(CartDecomp, MixedPeriodicityAndSingleBlockDims) {
+  // 2-D, 2 ranks: the exhaustive search splits the 8-cell dim (2 blocks)
+  // and leaves dim 1 whole (single block). Walls in dim 1, periodic dim 0.
+  std::array<bool, kMaxDim> periodic{};
+  periodic.fill(true);
+  periodic[1] = false;
+  const CartDecomp d = CartDecomp::make(Grid::make({8, 4}, {0.0, 0.0}, {1.0, 1.0}), 2, periodic);
+  ASSERT_EQ(d.blocks[0], 2);
+  ASSERT_EQ(d.blocks[1], 1);
+  // Periodic decomposed dim wraps across the edge.
+  EXPECT_EQ(d.neighbor(0, 0, -1), 1);
+  EXPECT_EQ(d.neighbor(1, 0, +1), 0);
+  // Non-periodic single-block dim: every rank owns both walls — no
+  // neighbor on either side (not even itself: walls never exchange).
+  EXPECT_EQ(d.neighbor(0, 1, -1), kNoNeighbor);
+  EXPECT_EQ(d.neighbor(0, 1, +1), kNoNeighbor);
+  // Periodic single-block dim stays a self-wrap.
+  const CartDecomp p = CartDecomp::make(Grid::make({8, 4}, {0.0, 0.0}, {1.0, 1.0}), 2);
+  EXPECT_EQ(p.neighbor(0, 1, -1), 0);
+}
+
 TEST(CartDecomp, ThrowsWhenRanksCannotBePlaced) {
   // More ranks than cells.
   EXPECT_THROW(CartDecomp::make(Grid::make({2}, {0.0}, {1.0}), 3), std::invalid_argument);

@@ -1,0 +1,142 @@
+// Ensemble packing throughput: the same batch of small Vlasov-Poisson
+// members swept over rank-pool sizes {1, 2, 4, ...}, measuring campaign
+// wall time and members/sec. The claim under test is the engine's reason
+// to exist: packing independent members over the rank pool multiplies
+// throughput (near-linearly until the pool outruns the cores), and the
+// async IO thread keeps the stepping threads from ever blocking on disk —
+// Stats::producerStallSeconds, reported per sweep point, is the measured
+// time any stepping thread spent waiting for queue space (zero in a
+// healthy campaign).
+//
+// Gate (exit nonzero on violation), applied only when the host has >= 4
+// hardware threads: the 4-rank campaign must beat the serial (1-rank) one
+// by > 1.5x members/sec. On smaller hosts the sweep still runs and
+// reports, but speedup is not physically available and is not gated.
+//
+// Emits BENCH_ensemble.json: one record per pool size with wall time,
+// members/sec, speedup vs serial, pack factor, and the IO-thread stats.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ensemble/engine.hpp"
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+using namespace vdg;
+constexpr double kPi = std::numbers::pi;
+
+// A small Landau-damping member (16x16 p2 to t = 2): big enough that
+// stepping dominates scheduling, small enough that the batch finishes in
+// bench time. All members share one (grid, p, BC) Poisson signature, so
+// the engine factors exactly one LU for the whole batch.
+ScenarioSpec smallMember(int i, int poolTag) {
+  const double k = 0.5, amp = 1e-3 * (1.0 + 0.1 * i);  // distinct but equal-cost
+  ScenarioSpec spec;
+  spec.name = "m" + std::to_string(i) + "_r" + std::to_string(poolTag);
+  spec.params["amp"] = amp;
+  spec.confGrid = Grid::make({16}, {0.0}, {2.0 * kPi / k});
+  spec.polyOrder = 2;
+  spec.cflFrac = 0.8;
+  SpeciesConfig elc;
+  elc.name = "elc";
+  elc.charge = -1.0;
+  elc.mass = 1.0;
+  elc.velGrid = Grid::make({16}, {-6.0}, {6.0});
+  elc.init = [=](const double* z) {
+    return (1.0 + amp * std::cos(k * z[0])) * std::exp(-0.5 * z[1] * z[1]) /
+           std::sqrt(2.0 * kPi);
+  };
+  spec.species.push_back(elc);
+  spec.field = ScenarioSpec::FieldKind::Poisson;
+  spec.backgroundCharge = 1.0;
+  spec.tEnd = 2.0;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdg;
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  int numMembers = argc > 1 ? std::atoi(argv[1]) : 8;
+  numMembers = std::max(1, numMembers);
+
+  std::vector<int> pools = {1};
+  for (int r = 2; r <= std::min(numMembers, std::max(hw, 4)); r *= 2) pools.push_back(r);
+
+  std::FILE* json = std::fopen("BENCH_ensemble.json", "w");
+  if (json) std::fprintf(json, "[\n");
+  std::printf("ensemble throughput: %d members, hardware threads %d\n", numMembers, hw);
+  std::printf("%6s %8s %12s %10s %8s %12s %12s\n", "ranks", "pack", "wall [s]", "mem/s",
+              "speedup", "stall [s]", "io [s]");
+
+  double serialRate = 0.0, rate4 = 0.0;
+  bool first = true;
+  for (int R : pools) {
+    std::vector<ScenarioSpec> specs;
+    for (int i = 0; i < numMembers; ++i) specs.push_back(smallMember(i, R));
+
+    EnsembleOptions opts;
+    opts.numRanks = R;
+    opts.outputDir = "bench_ensemble_out";
+    opts.sampleEvery = 1;
+    opts.finalCheckpoint = true;
+    Ensemble ens(std::move(specs), opts);
+
+    const auto t0 = Clock::now();
+    ens.run();
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    if (ens.numFailed() > 0) {
+      std::printf("FAIL: %d members failed at %d ranks\n", ens.numFailed(), R);
+      if (json) std::fclose(json);
+      return 1;
+    }
+    const double rate = numMembers / wall;
+    if (R == 1) serialRate = rate;
+    if (R == 4) rate4 = rate;
+    const AsyncWriter::Stats& io = ens.ioStats();
+    std::printf("%6d %8.2f %12.3f %10.2f %7.2fx %12.4f %12.4f\n", R,
+                ens.schedule().packFactor(), wall, rate, rate / serialRate,
+                io.producerStallSeconds, io.ioSeconds);
+    if (json)
+      std::fprintf(json,
+                   "%s  {\"ranks\": %d, \"members\": %d, \"packFactor\": %.3f, "
+                   "\"wall_s\": %.4f, \"members_per_s\": %.3f, \"speedup\": %.3f, "
+                   "\"sharedPoissonGroups\": %d, \"ioLines\": %llu, "
+                   "\"ioCheckpointFields\": %llu, \"io_s\": %.4f, "
+                   "\"producerStall_s\": %.5f, \"maxQueueDepth\": %zu}",
+                   first ? "" : ",\n", R, numMembers, ens.schedule().packFactor(), wall,
+                   rate, rate / serialRate, ens.numSharedPoissonGroups(),
+                   static_cast<unsigned long long>(io.linesWritten),
+                   static_cast<unsigned long long>(io.checkpointFieldsWritten),
+                   io.ioSeconds, io.producerStallSeconds, io.maxQueueDepth);
+    first = false;
+  }
+  if (json) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+    std::printf("written to BENCH_ensemble.json\n");
+  }
+
+  if (hw >= 4 && rate4 > 0.0) {
+    const double speedup = rate4 / serialRate;
+    if (speedup < 1.5) {
+      std::printf("FAIL: 4-rank packing speedup %.2fx < 1.5x over serial\n", speedup);
+      return 1;
+    }
+    std::printf("PASS: 4-rank packing speedup %.2fx (gate > 1.5x)\n", speedup);
+  } else {
+    std::printf("speedup gate skipped (%d hardware threads < 4)\n", hw);
+  }
+  return 0;
+}

@@ -10,8 +10,11 @@
 // No initField is needed: the initial E solving Gauss's law for the
 // perturbed density is computed by the builder itself.
 //
-// Writes vp_landau_field_energy.csv (t, electric field energy) and prints
-// the measured damping rate and frequency.
+// Diagnostics go through the shared TimeSeriesWriter (io/time_series.hpp):
+// one row per step of t, field energies, and the elc moments — the same
+// schema every ensemble member emits. The damping-rate fit below reads the
+// electric energy straight from the sampled row. Writes
+// vp_landau_timeseries.csv and prints the measured rate and frequency.
 
 #include <cmath>
 #include <cstdio>
@@ -19,7 +22,7 @@
 #include <vector>
 
 #include "app/simulation.hpp"
-#include "io/field_io.hpp"
+#include "io/time_series.hpp"
 
 int main() {
   using namespace vdg;
@@ -40,21 +43,23 @@ int main() {
           .cflFrac(0.8)
           .build();
 
-  CsvWriter csv("vp_landau_field_energy.csv", "t,electricEnergy");
+  TimeSeriesWriter ts("vp_landau_timeseries.csv", sim);
+  ts.sample(sim);
   std::vector<double> tPeaks, ePeaks;
   double prev2 = 0.0, prev1 = 0.0, tPrev1 = 0.0;
   while (sim.time() < 25.0) {
     sim.step();
-    const auto e = sim.energetics();
-    csv.row({e.time, e.electricEnergy});
-    if (prev1 > prev2 && prev1 > e.electricEnergy && prev1 > 1e-14) {
+    ts.sample(sim);
+    const double t = ts.lastRow()[0], eE = ts.lastRow()[2];
+    if (prev1 > prev2 && prev1 > eE && prev1 > 1e-14) {
       tPeaks.push_back(tPrev1);
       ePeaks.push_back(prev1);
     }
     prev2 = prev1;
-    prev1 = e.electricEnergy;
-    tPrev1 = e.time;
+    prev1 = eE;
+    tPrev1 = t;
   }
+  ts.flush();
 
   std::printf("Vlasov-Poisson Landau damping: k vt/wp = %.2f, %zu field-energy peaks\n", k,
               tPeaks.size());
@@ -73,6 +78,6 @@ int main() {
         2.0 * (tPeaks.back() - tPeaks.front()) / static_cast<double>(tPeaks.size() - 1);
     std::printf("measured frequency      w    = %.4f (theory:  1.4156)\n", 2.0 * kPi / period);
   }
-  std::printf("time series written to vp_landau_field_energy.csv\n");
+  std::printf("time series written to vp_landau_timeseries.csv\n");
   return 0;
 }

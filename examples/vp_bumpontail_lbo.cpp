@@ -14,7 +14,11 @@
 // energy, and the collisional run's moment drifts (machine-zero by the
 // LBO conservation correction).
 //
-// Writes vp_bumpontail.csv (t, fieldEnergy_collisionless, fieldEnergy_lbo).
+// Each run streams its diagnostics through its own TimeSeriesWriter —
+// one writer per member, the concurrency contract the ensemble engine
+// enforces — so the two series land in vp_bumpontail_collisionless.csv
+// and vp_bumpontail_lbo.csv with the standard schema (t, energies,
+// moments) instead of a hand-rolled two-column CSV.
 
 #include <cmath>
 #include <cstdio>
@@ -22,7 +26,7 @@
 #include <vector>
 
 #include "app/simulation.hpp"
-#include "io/field_io.hpp"
+#include "io/time_series.hpp"
 
 namespace {
 
@@ -63,18 +67,24 @@ int main() {
   const auto e0 = lbo.energetics();
   const double eInit = coll.energetics().electricEnergy;
 
-  CsvWriter csv("vp_bumpontail.csv", "t,fieldEnergy_collisionless,fieldEnergy_lbo");
+  TimeSeriesWriter tsColl("vp_bumpontail_collisionless.csv", coll);
+  TimeSeriesWriter tsLbo("vp_bumpontail_lbo.csv", lbo);
+  tsColl.sample(coll);
+  tsLbo.sample(lbo);
   double peakColl = 0.0, peakLbo = 0.0;
   while (coll.time() < tEnd) {
     coll.step();
-    // Keep the two runs on a common time axis for the CSV.
-    while (lbo.time() < coll.time()) lbo.step();
-    const double eC = coll.energetics().electricEnergy;
-    const double eL = lbo.energetics().electricEnergy;
-    peakColl = std::max(peakColl, eC);
-    peakLbo = std::max(peakLbo, eL);
-    csv.row({coll.time(), eC, eL});
+    tsColl.sample(coll);
+    // Keep the two runs on comparable time axes.
+    while (lbo.time() < coll.time()) {
+      lbo.step();
+      tsLbo.sample(lbo);
+    }
+    peakColl = std::max(peakColl, tsColl.lastRow()[2]);
+    peakLbo = std::max(peakLbo, tsLbo.lastRow()[2]);
   }
+  tsColl.flush();
+  tsLbo.flush();
 
   const auto e1 = lbo.energetics();
   std::printf("bump-on-tail, k = 0.3, beam (delta, ub, vtb) = (0.1, 4.0, 0.5), t = %.0f\n",
@@ -89,6 +99,6 @@ int main() {
   std::printf("    energy: %.2e relative (particle+field; field exchange is resolved,\n"
               "            not collisional)\n",
               std::abs(e1.totalEnergy() - e0.totalEnergy()) / e0.totalEnergy());
-  std::printf("time series written to vp_bumpontail.csv\n");
+  std::printf("time series written to vp_bumpontail_{collisionless,lbo}.csv\n");
   return 0;
 }

@@ -155,6 +155,15 @@ void DistributedSimulation::scatter(const StateVector& global) {
   }
 }
 
+void DistributedSimulation::restore(const StateVector& global, double t) {
+  scatter(global);
+  onRanks([&](int r) {
+    Simulation& sim = sims_[static_cast<std::size_t>(r)];
+    sim.setTime(t);
+    sim.refreshDerivedFields();
+  });
+}
+
 double DistributedSimulation::haloSeconds() const { return comm_->meanHaloSeconds(); }
 
 double DistributedSimulation::computeSeconds() const {

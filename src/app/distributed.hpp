@@ -62,6 +62,13 @@ class DistributedSimulation {
   /// Overwrite every rank's interior cells from a global StateVector.
   void scatter(const StateVector& global);
 
+  /// Restore a checkpointed global state on every rank: scatter the
+  /// interior cells, set each rank's clock to `t`, and run the collective
+  /// derived-field refresh with all ranks entering together — the
+  /// distributed counterpart of Simulation::restore, used by the ensemble
+  /// engine to resume sharded members.
+  void restore(const StateVector& global, double t);
+
   // --- measured two-level timing split (calibrates the Fig. 3 model).
   /// Mean over ranks of wall seconds inside step()/advanceTo() minus the
   /// rank's halo seconds.

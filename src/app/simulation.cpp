@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -522,6 +523,28 @@ double Simulation::step(double dtFixed) {
   // (scatter, tests) between steps.
   refreshDerivedFields();
   return dt;
+}
+
+void Simulation::restore(const StateVector& src, double t) {
+  for (int i = 0; i < state_.numSlots(); ++i) {
+    const int j = src.indexOf(state_.slotName(i));
+    if (j < 0)
+      throw std::invalid_argument("Simulation::restore: missing slot '" + state_.slotName(i) +
+                                  "'");
+    Field& dst = state_.slot(i);
+    const Field& s = src.slot(j);
+    const Grid& g = dst.grid();
+    bool match = s.grid().ndim == g.ndim && s.ncomp() == dst.ncomp();
+    for (int d = 0; match && d < g.ndim; ++d)
+      match = s.grid().cells[static_cast<std::size_t>(d)] == g.cells[static_cast<std::size_t>(d)];
+    if (!match)
+      throw std::invalid_argument("Simulation::restore: slot '" + state_.slotName(i) +
+                                  "' shape mismatch");
+    const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(dst.ncomp());
+    forEachCell(g, [&](const MultiIndex& idx) { std::memcpy(dst.at(idx), s.at(idx), bytes); });
+  }
+  time_ = t;
+  if (comm_->numRanks() == 1) refreshDerivedFields();
 }
 
 void Simulation::refreshDerivedFields() {

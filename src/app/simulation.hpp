@@ -94,6 +94,23 @@ class Simulation {
   /// (all ranks must enter together) when the simulation is distributed.
   void refreshDerivedFields();
 
+  /// Restore a checkpointed state: overwrite every slot's interior cells
+  /// from `src` (matched by slot name; shapes must agree), set the clock
+  /// to `t`, and refresh the derived fields. Ghost layers are *not*
+  /// restored — the pipeline repairs them before any surface term reads
+  /// them, so a restored trajectory is bitwise identical to the
+  /// uninterrupted one (tests/test_ensemble.cpp pins this). The cumulative
+  /// wall-loss accounting (absorbedMass) restarts at zero; restoring it is
+  /// the checkpoint owner's job if the diagnostic must span the restart.
+  /// Collective on distributed runs — use DistributedSimulation::restore,
+  /// which scatters and enters the refresh on every rank together.
+  void restore(const StateVector& src, double t);
+
+  /// Set the clock without touching the state (the low-level half of
+  /// restore(); DistributedSimulation::restore scatters first, then sets
+  /// every rank's clock through this before the collective refresh).
+  void setTime(double t) { time_ = t; }
+
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int numSpecies() const { return static_cast<int>(species_.size()); }
   [[nodiscard]] int speciesIndex(const std::string& name) const;

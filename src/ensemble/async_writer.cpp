@@ -1,0 +1,179 @@
+#include "ensemble/async_writer.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace vdg {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+AsyncWriter::AsyncWriter() : AsyncWriter(Options()) {}
+
+AsyncWriter::AsyncWriter(Options opts) : opts_(opts) {
+  if (opts_.maxQueue == 0)
+    throw std::invalid_argument("AsyncWriter: maxQueue must be positive");
+  writer_ = std::thread([this] { writerLoop(); });
+}
+
+AsyncWriter::~AsyncWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor swallows IO errors; call close() explicitly to see them.
+  }
+}
+
+void AsyncWriter::openCsv(const std::string& path, const std::string& header, bool resume) {
+  Job job;
+  job.kind = Job::Kind::OpenCsv;
+  job.path = path;
+  job.text = header;
+  job.resume = resume;
+  enqueue(std::move(job));
+}
+
+void AsyncWriter::appendLine(const std::string& path, std::string line) {
+  Job job;
+  job.kind = Job::Kind::Line;
+  job.path = path;
+  job.text = std::move(line);
+  enqueue(std::move(job));
+}
+
+void AsyncWriter::writeFieldAsync(const std::string& path, Field field, double time) {
+  Job job;
+  job.kind = Job::Kind::Checkpoint;
+  job.path = path;
+  job.field = std::move(field);
+  job.time = time;
+  enqueue(std::move(job));
+}
+
+void AsyncWriter::enqueue(Job job) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (stop_) throw std::logic_error("AsyncWriter: enqueue after close()");
+  if (enqueued_ - written_ >= opts_.maxQueue) {
+    // Backpressure: the disk is behind. This is the one place a stepping
+    // thread can wait on IO, it is bounded by the high-water mark, and the
+    // time is accounted so the bench can prove it never happens in a
+    // healthy campaign.
+    const auto t0 = Clock::now();
+    spaceCv_.wait(lock, [this] { return enqueued_ - written_ < opts_.maxQueue || stop_; });
+    stats_.producerStallSeconds += secondsSince(t0);
+    if (stop_) throw std::logic_error("AsyncWriter: enqueue after close()");
+  }
+  front_.push_back(std::move(job));
+  ++enqueued_;
+  stats_.maxQueueDepth = std::max(stats_.maxQueueDepth, front_.size());
+  jobsCv_.notify_one();
+}
+
+void AsyncWriter::writerLoop() {
+  std::vector<Job> back;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      jobsCv_.wait(lock, [this] { return !front_.empty() || stop_; });
+      if (front_.empty() && stop_) return;
+      // Double-buffer swap: producers keep filling a fresh front_ while
+      // this thread drains the batch without holding the lock.
+      back.swap(front_);
+      ++stats_.batches;
+    }
+    const auto t0 = Clock::now();
+    for (Job& job : back) {
+      try {
+        process(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        ++written_;
+      }
+      spaceCv_.notify_all();
+    }
+    // Push the batch to the OS before declaring it drained, so a flush()
+    // returning means the bytes left the process.
+    for (auto& [path, csv] : streams_) {
+      try {
+        csv.flush();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stats_.ioSeconds += secondsSince(t0);
+    }
+    back.clear();
+    drainCv_.notify_all();
+  }
+}
+
+void AsyncWriter::process(Job& job) {
+  switch (job.kind) {
+    case Job::Kind::OpenCsv: {
+      // Re-opening (a member resumed inside one campaign) replaces the
+      // stream; resume mode appends to the existing file without
+      // re-emitting the header.
+      streams_.erase(job.path);
+      streams_.try_emplace(job.path, job.path, job.text,
+                           job.resume ? CsvWriter::Mode::Resume : CsvWriter::Mode::Truncate);
+      break;
+    }
+    case Job::Kind::Line: {
+      auto it = streams_.find(job.path);
+      if (it == streams_.end())
+        throw std::logic_error("AsyncWriter: appendLine to unopened CSV " + job.path);
+      it->second.line(job.text);
+      std::lock_guard<std::mutex> lock(m_);
+      ++stats_.linesWritten;
+      break;
+    }
+    case Job::Kind::Checkpoint: {
+      writeField(job.path, *job.field, job.time);
+      std::lock_guard<std::mutex> lock(m_);
+      ++stats_.checkpointFieldsWritten;
+      break;
+    }
+  }
+}
+
+void AsyncWriter::flush() {
+  std::unique_lock<std::mutex> lock(m_);
+  const std::uint64_t target = enqueued_;
+  drainCv_.wait(lock, [&] { return written_ >= target; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void AsyncWriter::close() {
+  if (writer_.joinable()) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      const std::uint64_t target = enqueued_;
+      drainCv_.wait(lock, [&] { return written_ >= target; });
+      stop_ = true;
+    }
+    jobsCv_.notify_all();
+    spaceCv_.notify_all();
+    writer_.join();
+  }
+  std::lock_guard<std::mutex> lock(m_);
+  if (error_) std::rethrow_exception(error_);
+}
+
+AsyncWriter::Stats AsyncWriter::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+}  // namespace vdg

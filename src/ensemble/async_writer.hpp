@@ -1,0 +1,112 @@
+#pragma once
+// AsyncWriter: the campaign's one IO thread. Stepping threads enqueue
+// cheap, self-contained jobs — a formatted CSV row, a CSV open/resume, a
+// copied Field checkpoint — into the front of a double buffer under a
+// short mutex (an O(1) vector push; never file IO), and the writer thread
+// swaps the buffers and drains the back one with no lock held, so members'
+// RK stages never wait on disk. The queue is bounded: a producer that
+// outruns the disk blocks on the high-water mark and the blocked time is
+// accounted (Stats::producerStallSeconds — the throughput bench reports
+// it; in a healthy campaign it is zero).
+//
+// Jobs own everything they need (the checkpoint Field is copied on the
+// stepping thread — memory work, not IO), so a member may finish and its
+// TimeSeriesWriter be destroyed while rows are still queued. Per-path
+// output order is the enqueue order. IO errors on the writer thread are
+// captured and rethrown from the next flush()/close() on the caller side.
+//
+// Failure policy interplay: a member that throws mid-campaign stops
+// enqueueing, but everything it enqueued before dying — including its
+// last checkpoint — is still written. Nothing here cancels queued work.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/field_io.hpp"
+#include "io/time_series.hpp"
+
+namespace vdg {
+
+class AsyncWriter final : public RowSink {
+ public:
+  struct Options {
+    /// Queue bound (jobs): producers block above it (accounted as stall).
+    std::size_t maxQueue = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t linesWritten = 0;
+    std::uint64_t checkpointFieldsWritten = 0;
+    std::uint64_t batches = 0;              ///< buffer swaps the writer drained
+    std::size_t maxQueueDepth = 0;          ///< high-water mark of the front buffer
+    double ioSeconds = 0.0;                 ///< writer-thread wall time inside IO
+    double producerStallSeconds = 0.0;      ///< producers blocked on the bound
+  };
+
+  AsyncWriter();  // default Options
+  explicit AsyncWriter(Options opts);
+  ~AsyncWriter() override;  // close()
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  // --- RowSink (the TimeSeriesWriter seam)
+  void openCsv(const std::string& path, const std::string& header, bool resume) override;
+  void appendLine(const std::string& path, std::string line) override;
+  void flushPath(const std::string& /*path*/) override { flush(); }
+
+  /// Queue one field of a state checkpoint. `field` is a copy made by the
+  /// caller (stepping-thread memory work); the writer thread serializes it
+  /// with io/field_io writeField.
+  void writeFieldAsync(const std::string& path, Field field, double time);
+
+  /// Block until every job enqueued so far is written and the CSV streams
+  /// are flushed; rethrows the first IO error captured on the writer
+  /// thread, if any.
+  void flush();
+
+  /// flush() + join the writer thread (idempotent; the destructor calls it,
+  /// swallowing errors — call close() yourself to see them).
+  void close();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    enum class Kind { OpenCsv, Line, Checkpoint } kind = Kind::Line;
+    std::string path;
+    std::string text;  ///< header (OpenCsv) or row (Line)
+    bool resume = false;
+    std::optional<Field> field;  ///< Checkpoint payload
+    double time = 0.0;
+  };
+
+  void enqueue(Job job);
+  void writerLoop();
+  void process(Job& job);
+
+  const Options opts_;
+
+  mutable std::mutex m_;
+  std::condition_variable jobsCv_;   ///< writer waits for work
+  std::condition_variable spaceCv_;  ///< bounded producers wait for room
+  std::condition_variable drainCv_;  ///< flush waits for the drained mark
+  std::vector<Job> front_;           ///< producers append here (guarded by m_)
+  std::uint64_t enqueued_ = 0;       ///< total jobs ever enqueued
+  std::uint64_t written_ = 0;        ///< total jobs fully processed
+  bool stop_ = false;
+  std::exception_ptr error_;
+  Stats stats_;
+
+  /// CSV streams stay open across batches (one writer thread: no locking).
+  std::map<std::string, CsvWriter> streams_;
+
+  std::thread writer_;
+};
+
+}  // namespace vdg

@@ -1,0 +1,342 @@
+#include "ensemble/engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "app/distributed.hpp"
+#include "app/projection.hpp"
+#include "io/field_io.hpp"
+
+namespace vdg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Same formatting as TimeSeriesWriter's rows (default ostream precision),
+// so sharded members' CSVs are indistinguishable from packed ones.
+std::string formatRow(const std::vector<double>& row) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < row.size(); ++i) os << (i ? "," : "") << row[i];
+  return os.str();
+}
+
+// The TimeSeriesWriter row of a sharded member: per-rank integrals are over
+// disjoint subgrid windows, so the global moments/energies are plain sums —
+// except absorbed/wallRate, which the stepper already reduces globally
+// (take rank 0's copy). Runs on the member's lead thread between steps, so
+// every rank is quiescent.
+std::vector<double> sampleShardedRow(const DistributedSimulation& dsim) {
+  const int nsp = dsim.rankSim(0).numSpecies();
+  std::vector<double> row(3 + 5 * static_cast<std::size_t>(nsp), 0.0);
+  row[0] = dsim.time();
+  for (int r = 0; r < dsim.numRanks(); ++r) {
+    const Simulation& sim = dsim.rankSim(r);
+    const Simulation::Energetics e = sim.energetics();
+    row[1] += e.fieldEnergy;
+    row[2] += e.electricEnergy;
+    const Grid& cg = sim.confGrid();
+    const Basis& cb = sim.confBasis();
+    const int npc = cb.numModes();
+    for (int s = 0; s < nsp; ++s) {
+      Field m0(cg, npc), m1(cg, 3 * npc), m2(cg, npc);
+      sim.moments(s).compute(sim.distf(s), &m0, &m1, &m2);
+      const std::size_t b = 3 + 5 * static_cast<std::size_t>(s);
+      row[b + 0] += integrateDomain(cb, cg, m0);
+      row[b + 1] += integrateDomain(cb, cg, m1, 0);
+      row[b + 2] += integrateDomain(cb, cg, m2);
+      if (r == 0) {
+        row[b + 3] = sim.absorbedMass(s);
+        row[b + 4] = sim.wallLossRate(s);
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+Ensemble::Ensemble(std::vector<ScenarioSpec> specs, EnsembleOptions opts)
+    : specs_(std::move(specs)), opts_(std::move(opts)) {
+  if (opts_.numRanks < 1)
+    throw std::invalid_argument("Ensemble: numRanks must be positive");
+  if (opts_.sampleEvery < 0)
+    throw std::invalid_argument("Ensemble: sampleEvery must be >= 0");
+  std::set<std::string> names;
+  for (const ScenarioSpec& s : specs_) {
+    if (s.name.empty())
+      throw std::invalid_argument("Ensemble: every member needs a name (it keys the outputs)");
+    if (!names.insert(s.name).second)
+      throw std::invalid_argument("Ensemble: duplicate member name '" + s.name + "'");
+  }
+
+  schedule_ = scheduleMembers(specs_, opts_.numRanks);
+  results_.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    MemberResult& r = results_[i];
+    r.name = specs_[i].name;
+    r.params = specs_[i].params;
+    r.leadRank = schedule_.members[i].leadRank;
+    r.numRanks = schedule_.members[i].numRanks;
+  }
+
+  // Factor one Poisson LU per signature that at least two members share;
+  // singletons build their own inside build() on their rank thread (keeps
+  // campaign setup off the critical path when nothing is actually shared).
+  std::map<std::string, int> keyCount;
+  for (const ScenarioSpec& s : specs_) {
+    if (s.field != ScenarioSpec::FieldKind::Poisson) continue;
+    const std::string key = s.shareKey();
+    if (!key.empty()) ++keyCount[key];
+  }
+  for (const ScenarioSpec& s : specs_) {
+    if (s.field != ScenarioSpec::FieldKind::Poisson) continue;
+    const std::string key = s.shareKey();
+    if (key.empty() || keyCount[key] < 2 || sharedPoisson_.count(key)) continue;
+    try {
+      const BasisSpec confSpec{s.confGrid.ndim, 0, s.polyOrder, s.family};
+      sharedPoisson_.emplace(key, std::make_shared<const PoissonSolver>(
+                                      confSpec, s.confGrid.parent(), s.poisson));
+    } catch (...) {
+      // A signature the solver rejects (e.g. cdim != 1): leave the group
+      // unshared so each member fails (and is recorded) individually.
+    }
+  }
+}
+
+int Ensemble::numDone() const {
+  int n = 0;
+  for (const MemberResult& r : results_)
+    if (r.status == MemberResult::Status::Done) ++n;
+  return n;
+}
+
+int Ensemble::numFailed() const {
+  int n = 0;
+  for (const MemberResult& r : results_)
+    if (r.status == MemberResult::Status::Failed) ++n;
+  return n;
+}
+
+std::string Ensemble::outPath(const std::string& file) const {
+  return (std::filesystem::path(opts_.outputDir) / file).string();
+}
+
+void Ensemble::run() {
+  if (ran_) throw std::logic_error("Ensemble::run: a campaign runs once");
+  ran_ = true;
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.outputDir, ec);
+
+  AsyncWriter writer({.maxQueue = opts_.maxQueuedJobs});
+
+  // One thread per rank draining its queue in schedule order. A sharded
+  // member occupies its whole block through the lead thread (the
+  // DistributedSimulation's internal rank threads are its parallelism).
+  const int numRanks = schedule_.numRanks;
+  std::vector<std::exception_ptr> rankError(static_cast<std::size_t>(numRanks));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(numRanks));
+  for (int r = 0; r < numRanks; ++r) {
+    pool.emplace_back([this, r, &writer, &rankError] {
+      try {
+        for (int m : schedule_.rankQueue[static_cast<std::size_t>(r)]) runMember(m, writer);
+      } catch (...) {
+        // runMember absorbs member failures; anything landing here is an
+        // engine bug or the writer's rethrown IO error — infrastructure.
+        rankError[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  // Drain the IO queue before reading stats, then retire the writer;
+  // either call rethrows the first IO error seen on the writer thread.
+  writer.flush();
+  ioStats_ = writer.stats();
+  writer.close();
+
+  for (const std::exception_ptr& e : rankError)
+    if (e) std::rethrow_exception(e);
+
+  if (opts_.writeResultTable) {
+    writeResultTableCsv(outPath("ensemble_results.csv"), results_);
+    writeResultTableJson(outPath("ensemble_results.json"), results_);
+  }
+}
+
+void Ensemble::runMember(int m, AsyncWriter& writer) {
+  const ScenarioSpec& spec = specs_[static_cast<std::size_t>(m)];
+  const MemberPlacement& pl = schedule_.members[static_cast<std::size_t>(m)];
+  MemberResult& res = results_[static_cast<std::size_t>(m)];
+  const auto t0 = Clock::now();
+  try {
+    Simulation::Builder b = spec.toBuilder();
+    if (spec.field == ScenarioSpec::FieldKind::Poisson) {
+      if (auto it = sharedPoisson_.find(spec.shareKey()); it != sharedPoisson_.end())
+        b.poissonSolver(it->second);
+    }
+    if (pl.numRanks == 1) {
+      // Packed member: serial RHS executor — the rank pool is the
+      // parallelism, and a fixed executor keeps the trajectory bitwise
+      // independent of what else runs in the campaign.
+      b.threads(1);
+      Simulation sim = b.build();
+      if (!spec.resumeFrom.empty()) {
+        StateVector ckpt = sim.state().zerosLike();
+        const double t = readStateCheckpoint(spec.resumeFrom, ckpt);
+        sim.restore(ckpt, t);
+      }
+      runPacked(m, sim, writer);
+    } else {
+      DistributedSimulation dsim(b, pl.numRanks);
+      if (!spec.resumeFrom.empty()) {
+        StateVector global = dsim.globalStateLike();
+        const double t = readStateCheckpoint(spec.resumeFrom, global);
+        dsim.restore(global, t);
+      }
+      runSharded(m, dsim, writer);
+    }
+    res.status = MemberResult::Status::Done;
+  } catch (const std::exception& e) {
+    res.status = MemberResult::Status::Failed;
+    res.error = e.what();
+  } catch (...) {
+    res.status = MemberResult::Status::Failed;
+    res.error = "unknown error";
+  }
+  res.wallSeconds = secondsSince(t0);
+}
+
+void Ensemble::checkpointState(const std::string& prefix, const StateVector& state, double time,
+                               AsyncWriter& writer) {
+  // One copied Field per slot: the copies are stepping-thread memory work,
+  // the serialization happens on the writer thread. Re-checkpointing the
+  // same prefix overwrites slot files in queue order, so the newest
+  // complete checkpoint is what a failed member leaves behind.
+  for (int i = 0; i < state.numSlots(); ++i)
+    writer.writeFieldAsync(checkpointSlotPath(prefix, state.slotName(i)), state.slot(i), time);
+}
+
+void Ensemble::runPacked(int m, Simulation& sim, AsyncWriter& writer) {
+  const ScenarioSpec& spec = specs_[static_cast<std::size_t>(m)];
+  MemberResult& res = results_[static_cast<std::size_t>(m)];
+  const bool resumed = !spec.resumeFrom.empty();
+
+  std::optional<TimeSeriesWriter> ts;
+  if (opts_.sampleEvery > 0) {
+    res.seriesPath = outPath(spec.name + ".csv");
+    ts.emplace(res.seriesPath, sim, &writer, resumed);
+    if (!resumed) {  // the t = 0 row was already written by the first leg
+      ts->sample(sim);
+      if (opts_.keepSeries) res.series.push_back(ts->lastRow());
+    }
+  }
+
+  const std::string ckptPrefix = outPath(spec.name + ".ckpt");
+  double nextCkpt = opts_.checkpointInterval > 0.0 ? sim.time() + opts_.checkpointInterval
+                                                   : std::numeric_limits<double>::infinity();
+  res.finalTime = sim.time();
+  // Same loop (and tolerance) as Simulation::advanceTo, so a member's dt
+  // sequence — hence its trajectory — is bitwise identical to a solo run.
+  while (sim.time() < spec.tEnd - 1e-12) {
+    const double dt = sim.step();
+    ++res.steps;
+    res.finalTime = sim.time();
+    if (!std::isfinite(dt) || !std::isfinite(sim.time()))
+      throw std::runtime_error(spec.name + ": non-finite dt at step " +
+                               std::to_string(res.steps) + " (member diverged)");
+    if (ts && res.steps % opts_.sampleEvery == 0) {
+      ts->sample(sim);
+      if (opts_.keepSeries) res.series.push_back(ts->lastRow());
+    }
+    if (sim.time() >= nextCkpt) {
+      res.checkpointPrefix = ckptPrefix;
+      checkpointState(ckptPrefix, sim.state(), sim.time(), writer);
+      nextCkpt += opts_.checkpointInterval;
+    }
+    if (opts_.maxStepsPerMember > 0 &&
+        static_cast<std::uint64_t>(res.steps) >= opts_.maxStepsPerMember &&
+        sim.time() < spec.tEnd - 1e-12)
+      throw std::runtime_error(spec.name + ": exceeded maxStepsPerMember (" +
+                               std::to_string(opts_.maxStepsPerMember) + ") before tEnd");
+  }
+  if (opts_.finalCheckpoint) {
+    res.checkpointPrefix = ckptPrefix;
+    checkpointState(ckptPrefix, sim.state(), sim.time(), writer);
+  }
+  if (opts_.keepFinalState) {
+    res.finalState = sim.state();
+    res.hasFinalState = true;
+  }
+}
+
+void Ensemble::runSharded(int m, DistributedSimulation& dsim, AsyncWriter& writer) {
+  const ScenarioSpec& spec = specs_[static_cast<std::size_t>(m)];
+  MemberResult& res = results_[static_cast<std::size_t>(m)];
+  const bool resumed = !spec.resumeFrom.empty();
+
+  // No TimeSeriesWriter here: its integrals are window-local. The engine
+  // assembles the global row from the rank shards (same schema, same
+  // formatting) and feeds the sink directly.
+  const bool sampling = opts_.sampleEvery > 0;
+  if (sampling) {
+    res.seriesPath = outPath(spec.name + ".csv");
+    writer.openCsv(res.seriesPath, TimeSeriesWriter::headerFor(dsim.rankSim(0)), resumed);
+    if (!resumed) {
+      std::vector<double> row = sampleShardedRow(dsim);
+      writer.appendLine(res.seriesPath, formatRow(row));
+      if (opts_.keepSeries) res.series.push_back(std::move(row));
+    }
+  }
+
+  const std::string ckptPrefix = outPath(spec.name + ".ckpt");
+  double nextCkpt = opts_.checkpointInterval > 0.0 ? dsim.time() + opts_.checkpointInterval
+                                                   : std::numeric_limits<double>::infinity();
+  res.finalTime = dsim.time();
+  while (dsim.time() < spec.tEnd - 1e-12) {
+    const double dt = dsim.step();
+    ++res.steps;
+    res.finalTime = dsim.time();
+    if (!std::isfinite(dt) || !std::isfinite(dsim.time()))
+      throw std::runtime_error(spec.name + ": non-finite dt at step " +
+                               std::to_string(res.steps) + " (member diverged)");
+    if (sampling && res.steps % opts_.sampleEvery == 0) {
+      std::vector<double> row = sampleShardedRow(dsim);
+      writer.appendLine(res.seriesPath, formatRow(row));
+      if (opts_.keepSeries) res.series.push_back(std::move(row));
+    }
+    if (dsim.time() >= nextCkpt) {
+      res.checkpointPrefix = ckptPrefix;
+      checkpointState(ckptPrefix, dsim.gather(), dsim.time(), writer);
+      nextCkpt += opts_.checkpointInterval;
+    }
+    if (opts_.maxStepsPerMember > 0 &&
+        static_cast<std::uint64_t>(res.steps) >= opts_.maxStepsPerMember &&
+        dsim.time() < spec.tEnd - 1e-12)
+      throw std::runtime_error(spec.name + ": exceeded maxStepsPerMember (" +
+                               std::to_string(opts_.maxStepsPerMember) + ") before tEnd");
+  }
+  if (opts_.finalCheckpoint) {
+    res.checkpointPrefix = ckptPrefix;
+    checkpointState(ckptPrefix, dsim.gather(), dsim.time(), writer);
+  }
+  if (opts_.keepFinalState) {
+    res.finalState = dsim.gather();
+    res.hasFinalState = true;
+  }
+}
+
+}  // namespace vdg

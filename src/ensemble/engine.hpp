@@ -1,0 +1,122 @@
+#pragma once
+// The Ensemble engine: N ScenarioSpecs in, one campaign out. The engine
+//
+//  1. schedules members over a pool of rank threads (ensemble/scheduler:
+//     small members pack many-per-rank, ranks>1 members shard over a
+//     contiguous block as a DistributedSimulation led by the block's
+//     first rank — the second use of the existing rank-pool machinery);
+//  2. shares expensive immutable state across members: one factored
+//     Poisson LU per ScenarioSpec::shareKey() group (handed to every
+//     member builder; PoissonSolver solves are const and scratch-free),
+//     while the compiled-kernel registry is process-global and shared by
+//     construction — N members of one basis spec resolve the same kernel
+//     set N times, compiling it zero extra times;
+//  3. streams every member's TimeSeriesWriter rows and field_io v2 state
+//     checkpoints through one double-buffered AsyncWriter thread, so a
+//     member's RK stages never block on disk;
+//  4. isolates failures: a member that throws (CFL blow-up at an
+//     aggressive parameter point, a spec that fails validation) is
+//     recorded as Failed with its message and its last checkpoint
+//     retained, and the rest of the campaign proceeds untouched — a
+//     member's trajectory is bitwise identical to the same scenario run
+//     solo, neighbors' fates included (tests/test_ensemble.cpp).
+//
+// Members run with a serial RHS executor (threads(1)): the rank pool is
+// the parallelism, exactly as in DistributedSimulation, which keeps
+// members/sec scaling with pool size and every trajectory bitwise
+// reproducible.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ensemble/async_writer.hpp"
+#include "ensemble/result_table.hpp"
+#include "ensemble/scenario.hpp"
+#include "ensemble/scheduler.hpp"
+
+namespace vdg {
+
+class DistributedSimulation;
+
+struct EnsembleOptions {
+  /// Size of the rank pool (threads stepping members concurrently).
+  int numRanks = 1;
+  /// Directory for per-member series CSVs, checkpoints, and the result
+  /// table (created if absent).
+  std::string outputDir = ".";
+  /// Sample each member's time series every this many steps (0 = off).
+  int sampleEvery = 1;
+  /// Simulated-time interval between mid-run state checkpoints
+  /// (0 = none; the latest checkpoint overwrites the previous one, so a
+  /// failed member retains its most recent state on disk).
+  double checkpointInterval = 0.0;
+  /// Also checkpoint each member's final state on completion.
+  bool finalCheckpoint = false;
+  /// Retain sampled rows in MemberResult::series (post-processing without
+  /// re-reading the CSVs, e.g. the dispersion-curve fit).
+  bool keepSeries = false;
+  /// Retain each member's final StateVector (bitwise-identity checks).
+  bool keepFinalState = false;
+  /// Abort a member that exceeds this many steps before tEnd (0 = off);
+  /// the guard that turns a stalled dt into a recorded failure instead of
+  /// a hung campaign.
+  std::uint64_t maxStepsPerMember = 0;
+  /// AsyncWriter queue bound (jobs) before producers feel backpressure.
+  std::size_t maxQueuedJobs = 4096;
+  /// Write <outputDir>/ensemble_results.{csv,json} after the run.
+  bool writeResultTable = true;
+};
+
+class Ensemble {
+ public:
+  /// Validates specs (unique, non-empty names — they key the output
+  /// files), computes the deterministic schedule, and factors one shared
+  /// PoissonSolver per multi-member shareKey group. Does not run anything.
+  Ensemble(std::vector<ScenarioSpec> specs, EnsembleOptions opts);
+
+  [[nodiscard]] int numMembers() const { return static_cast<int>(specs_.size()); }
+  [[nodiscard]] const ScenarioSpec& spec(int m) const {
+    return specs_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+  /// Poisson signatures shared by >= 2 members (each factored exactly once).
+  [[nodiscard]] int numSharedPoissonGroups() const {
+    return static_cast<int>(sharedPoisson_.size());
+  }
+
+  /// Execute the campaign: run every member to its tEnd over the rank
+  /// pool, drain the async writer, write the result table. Callable once.
+  /// Member failures are recorded, not thrown; infrastructure failures
+  /// (result table unwritable, IO thread errors) are thrown.
+  void run();
+
+  [[nodiscard]] const std::vector<MemberResult>& results() const { return results_; }
+  [[nodiscard]] const MemberResult& result(int m) const {
+    return results_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] int numDone() const;
+  [[nodiscard]] int numFailed() const;
+  /// IO-thread statistics captured at the end of run() (stall time is the
+  /// bench's "stepping never blocks on IO" evidence).
+  [[nodiscard]] const AsyncWriter::Stats& ioStats() const { return ioStats_; }
+
+ private:
+  void runMember(int m, AsyncWriter& writer);
+  void runPacked(int m, Simulation& sim, AsyncWriter& writer);
+  void runSharded(int m, DistributedSimulation& dsim, AsyncWriter& writer);
+  void checkpointState(const std::string& prefix, const StateVector& state, double time,
+                       AsyncWriter& writer);
+  [[nodiscard]] std::string outPath(const std::string& file) const;
+
+  std::vector<ScenarioSpec> specs_;
+  EnsembleOptions opts_;
+  Schedule schedule_;
+  std::map<std::string, std::shared_ptr<const PoissonSolver>> sharedPoisson_;
+  std::vector<MemberResult> results_;
+  AsyncWriter::Stats ioStats_;
+  bool ran_ = false;
+};
+
+}  // namespace vdg

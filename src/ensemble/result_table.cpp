@@ -1,0 +1,94 @@
+#include "ensemble/result_table.hpp"
+
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+namespace vdg {
+
+namespace {
+
+std::string csvEscape(const std::string& s) {
+  // Error messages can carry commas/quotes; the numeric columns never do.
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* toString(MemberResult::Status s) {
+  switch (s) {
+    case MemberResult::Status::Pending: return "pending";
+    case MemberResult::Status::Done: return "done";
+    case MemberResult::Status::Failed: return "failed";
+  }
+  return "?";
+}
+
+void writeResultTableCsv(const std::string& path, const std::vector<MemberResult>& results) {
+  // Union of parameter keys -> one column each, in sorted (deterministic)
+  // order; members without a key leave the cell empty.
+  std::set<std::string> keys;
+  for (const MemberResult& r : results)
+    for (const auto& [k, v] : r.params) keys.insert(k);
+
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("writeResultTableCsv: cannot open " + path);
+  os << "name,status,leadRank,numRanks,steps,finalTime,wallSeconds";
+  for (const std::string& k : keys) os << "," << k;
+  os << ",error\n";
+  for (const MemberResult& r : results) {
+    os << csvEscape(r.name) << "," << toString(r.status) << "," << r.leadRank << ","
+       << r.numRanks << "," << r.steps << "," << r.finalTime << "," << r.wallSeconds;
+    for (const std::string& k : keys) {
+      os << ",";
+      if (auto it = r.params.find(k); it != r.params.end()) os << it->second;
+    }
+    os << "," << csvEscape(r.error) << "\n";
+  }
+  if (!os) throw std::runtime_error("writeResultTableCsv: write failed for " + path);
+}
+
+void writeResultTableJson(const std::string& path, const std::vector<MemberResult>& results) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("writeResultTableJson: cannot open " + path);
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MemberResult& r = results[i];
+    os << "  {\"name\": \"" << jsonEscape(r.name) << "\", \"status\": \"" << toString(r.status)
+       << "\", \"leadRank\": " << r.leadRank << ", \"numRanks\": " << r.numRanks
+       << ", \"steps\": " << r.steps << ", \"finalTime\": " << r.finalTime
+       << ", \"wallSeconds\": " << r.wallSeconds << ", \"params\": {";
+    bool first = true;
+    for (const auto& [k, v] : r.params) {
+      os << (first ? "" : ", ") << "\"" << jsonEscape(k) << "\": " << v;
+      first = false;
+    }
+    os << "}";
+    if (!r.error.empty()) os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  if (!os) throw std::runtime_error("writeResultTableJson: write failed for " + path);
+}
+
+}  // namespace vdg

@@ -1,0 +1,56 @@
+#pragma once
+// The campaign's summary artifacts: one row per member with its serialized
+// identity/parameters, placement, status, and run counters — written as
+// both CSV (spreadsheet-friendly) and JSON (the BENCH_*.json family's
+// format) once every member has finished or failed.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/state.hpp"
+
+namespace vdg {
+
+/// Outcome of one campaign member.
+struct MemberResult {
+  std::string name;
+  std::map<std::string, double> params;  ///< the spec's scan knobs, verbatim
+
+  enum class Status {
+    Pending,  ///< not run yet (campaign aborted before reaching it)
+    Done,     ///< reached its tEnd
+    Failed,   ///< threw (CFL blow-up, bad spec, ...); error holds the message
+  };
+  Status status = Status::Pending;
+  std::string error;
+
+  int leadRank = 0;
+  int numRanks = 1;
+  int steps = 0;
+  double finalTime = 0.0;
+  double wallSeconds = 0.0;
+
+  std::string seriesPath;        ///< per-member time-series CSV ("" if sampling off)
+  std::string checkpointPrefix;  ///< last checkpoint prefix ("" if none written)
+
+  /// Sampled rows (TimeSeriesWriter schema) when the engine was asked to
+  /// keep them in memory — the dispersion-scan example fits gamma from
+  /// these without re-parsing its own CSV.
+  std::vector<std::vector<double>> series;
+  /// Final state when the engine was asked to keep it (bitwise-identity
+  /// checks against solo runs).
+  StateVector finalState;
+  bool hasFinalState = false;
+};
+
+[[nodiscard]] const char* toString(MemberResult::Status s);
+
+/// Write the member table as CSV (name,status,leadRank,numRanks,steps,
+/// finalTime,wallSeconds,error + one column per parameter key seen).
+void writeResultTableCsv(const std::string& path, const std::vector<MemberResult>& results);
+
+/// Write the member table as a JSON array.
+void writeResultTableJson(const std::string& path, const std::vector<MemberResult>& results);
+
+}  // namespace vdg

@@ -1,0 +1,73 @@
+#include "ensemble/scenario.hpp"
+
+#include <sstream>
+
+namespace vdg {
+
+Simulation::Builder ScenarioSpec::toBuilder() const {
+  Simulation::Builder b = Simulation::builder();
+  b.confGrid(confGrid).basis(polyOrder, family).stepper(stepper).cflFrac(cflFrac);
+  for (const SpeciesConfig& sp : species) b.species(sp);
+  switch (field) {
+    case FieldKind::Poisson:
+      b.field(poisson).backgroundCharge(backgroundCharge);
+      break;
+    case FieldKind::Maxwell:
+      b.field(maxwell).backgroundCharge(backgroundCharge);
+      break;
+    case FieldKind::Fixed:
+      b.evolveField(false);
+      break;
+  }
+  if (initField) b.initField(*initField);
+  for (const BoundarySpec& bc : boundaries) {
+    if (bc.isField)
+      b.fieldBoundary(bc.dim, bc.edge, bc.spec);
+    else if (bc.species.empty())
+      b.boundary(bc.dim, bc.edge, bc.spec);
+    else
+      b.boundary(bc.species, bc.dim, bc.edge, bc.spec);
+  }
+  return b;
+}
+
+std::string ScenarioSpec::shareKey() const {
+  if (field != FieldKind::Poisson) return {};
+  // Everything the PoissonSolver constructor reads: global grid extents,
+  // basis spec, epsilon0, and the per-edge wall closures. Doubles are
+  // printed with full precision (hexfloat) so two keys match only when the
+  // factored operators would be bit-identical.
+  std::ostringstream os;
+  os << std::hexfloat;
+  const Grid g = confGrid.parent();
+  os << "p" << polyOrder << "f" << static_cast<int>(family) << "e" << poisson.epsilon0;
+  for (int d = 0; d < g.ndim; ++d) {
+    const auto s = static_cast<std::size_t>(d);
+    os << "|" << g.cells[s] << "," << g.lower[s] << "," << g.upper[s];
+    for (int e = 0; e < 2; ++e) {
+      const PoissonBcSpec& bc = poisson.bc[s][static_cast<std::size_t>(e)];
+      os << ";" << static_cast<int>(bc.kind) << ":" << bc.value;
+    }
+  }
+  return os.str();
+}
+
+double ScenarioSpec::costEstimate() const {
+  double phaseCells = 0.0;
+  for (const SpeciesConfig& sp : species) {
+    double c = static_cast<double>(confGrid.numCells());
+    c *= static_cast<double>(sp.velGrid.numCells());
+    phaseCells += c;
+  }
+  if (phaseCells <= 0.0) phaseCells = 1.0;
+  return phaseCells * (tEnd > 0.0 ? tEnd : 1.0);
+}
+
+std::string ScenarioSpec::serialize() const {
+  std::ostringstream os;
+  os << name;
+  for (const auto& [key, value] : params) os << " " << key << "=" << value;
+  return os.str();
+}
+
+}  // namespace vdg

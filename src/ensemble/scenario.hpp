@@ -1,0 +1,101 @@
+#pragma once
+// ScenarioSpec: one campaign member as *data* — grid, basis, species,
+// collisions, field path, boundary conditions and run horizon, plus a
+// free-form parameter map recording the scan knobs that produced it
+// (k, nu, Ti/Te, wall bias, ...). A spec is the serializable unit the
+// ensemble engine schedules: it converts to a Simulation::Builder on the
+// rank that runs it (toBuilder), carries a sharing signature (shareKey)
+// so members with identical (grid, p, field-BC) footprints reuse one
+// factored Poisson LU, and serializes its identity + parameters into the
+// campaign result table.
+//
+// Initial conditions are the one part of a scenario that is code, not
+// data: each species holds a ScalarFn closure (typically capturing values
+// from `params`), so specs are freely copyable into worker threads while
+// the parameter map remains the serialized record of what the closure was
+// built from.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace vdg {
+
+/// Serializable description of one ensemble member.
+struct ScenarioSpec {
+  /// Unique member name: output files are derived from it
+  /// (<outputDir>/<name>.csv, <outputDir>/<name>.ckpt.<slot>.fld).
+  std::string name = "member";
+  /// The scan knobs this member was generated from, recorded verbatim in
+  /// the result table (the engine never interprets them).
+  std::map<std::string, double> params;
+
+  // --- discretization
+  Grid confGrid;
+  int polyOrder = 2;
+  BasisFamily family = BasisFamily::Serendipity;
+  double cflFrac = 0.9;
+  Stepper stepper = Stepper::SspRk3;
+
+  // --- species (SpeciesConfig carries velocity grid, init closure, and
+  // optional BGK/LBO collision blocks).
+  std::vector<SpeciesConfig> species;
+
+  // --- field path
+  enum class FieldKind {
+    Poisson,  ///< electrostatic: E from Gauss's law each stage (the default)
+    Maxwell,  ///< full hyperbolic Maxwell + current coupling
+    Fixed,    ///< frozen field (free streaming / external field)
+  };
+  FieldKind field = FieldKind::Poisson;
+  PoissonParams poisson;
+  MaxwellParams maxwell;
+  double backgroundCharge = 0.0;
+  std::optional<VectorFn> initField;
+
+  // --- physical boundaries (empty = fully periodic)
+  struct BoundarySpec {
+    int dim = 0;
+    Edge edge = Edge::Lower;
+    BcSpec spec;
+    std::string species;  ///< empty = every species
+    bool isField = false; ///< em-slot condition (Builder::fieldBoundary)
+  };
+  std::vector<BoundarySpec> boundaries;
+
+  // --- run horizon and placement
+  double tEnd = 1.0;
+  /// Ranks this member wants: 1 (default) packs it many-per-rank; > 1
+  /// shards it over a contiguous rank block via CartDecomp
+  /// (DistributedSimulation), clipped to the pool size.
+  int ranks = 1;
+  /// Resume from a state checkpoint written under this prefix (see
+  /// io/field_io.hpp writeStateCheckpoint); empty = fresh start.
+  std::string resumeFrom;
+
+  /// Assemble the Builder this spec describes (init projection happens at
+  /// build() on the executing rank, not here).
+  [[nodiscard]] Simulation::Builder toBuilder() const;
+
+  /// Members with equal shareKey() solve the *same* global Poisson system
+  /// — identical (grid, polyOrder, family, epsilon0, wall closure) — so
+  /// the engine factors one LU per key and hands the immutable solver to
+  /// every member in the group (PoissonSolver solves are const and
+  /// scratch-free, safe under concurrent stepping). Empty for non-Poisson
+  /// fields: nothing to share.
+  [[nodiscard]] std::string shareKey() const;
+
+  /// Relative cost estimate for the scheduler's load balance: total
+  /// phase-space cells times the run horizon (a proxy for cells x steps;
+  /// exact balance is not required, determinism is).
+  [[nodiscard]] double costEstimate() const;
+
+  /// "name k=0.5 nu=0.01 ..." — the serialized identity + parameter map
+  /// recorded per member in the result table.
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace vdg

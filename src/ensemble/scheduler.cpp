@@ -1,0 +1,59 @@
+#include "ensemble/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdg {
+
+Schedule scheduleMembers(const std::vector<ScenarioSpec>& specs, int numRanks) {
+  if (numRanks < 1) throw std::invalid_argument("scheduleMembers: numRanks must be >= 1");
+  Schedule sch;
+  sch.numRanks = numRanks;
+  sch.rankQueue.resize(static_cast<std::size_t>(numRanks));
+  sch.rankLoad.assign(static_cast<std::size_t>(numRanks), 0.0);
+  sch.members.reserve(specs.size());
+
+  for (std::size_t m = 0; m < specs.size(); ++m) {
+    const ScenarioSpec& spec = specs[m];
+    const double cost = spec.costEstimate();
+    const int want = std::clamp(spec.ranks, 1, numRanks);
+    MemberPlacement p;
+    p.member = static_cast<int>(m);
+    p.numRanks = want;
+    if (want == 1) {
+      // Pack onto the least-loaded rank; ties break to the lowest index so
+      // equal-cost members round-robin deterministically.
+      int best = 0;
+      for (int r = 1; r < numRanks; ++r)
+        if (sch.rankLoad[static_cast<std::size_t>(r)] <
+            sch.rankLoad[static_cast<std::size_t>(best)])
+          best = r;
+      p.leadRank = best;
+      sch.rankLoad[static_cast<std::size_t>(best)] += cost;
+    } else {
+      // Sharded: the contiguous block whose current maximum load is
+      // smallest (first such block on ties). The member's cost spreads
+      // evenly over the block; the lead rank's queue drives it.
+      int bestStart = 0;
+      double bestMax = 0.0;
+      for (int r0 = 0; r0 + want <= numRanks; ++r0) {
+        double mx = 0.0;
+        for (int r = r0; r < r0 + want; ++r)
+          mx = std::max(mx, sch.rankLoad[static_cast<std::size_t>(r)]);
+        if (r0 == 0 || mx < bestMax) {
+          bestMax = mx;
+          bestStart = r0;
+        }
+      }
+      p.leadRank = bestStart;
+      const double share = cost / want;
+      for (int r = bestStart; r < bestStart + want; ++r)
+        sch.rankLoad[static_cast<std::size_t>(r)] += share;
+    }
+    sch.rankQueue[static_cast<std::size_t>(p.leadRank)].push_back(p.member);
+    sch.members.push_back(p);
+  }
+  return sch;
+}
+
+}  // namespace vdg

@@ -1,0 +1,40 @@
+#pragma once
+// Deterministic placement of campaign members onto the rank pool. Small
+// members (ranks == 1) pack many-per-rank onto the least-loaded rank;
+// large members (ranks > 1) claim a contiguous rank block and run as a
+// DistributedSimulation led by the block's first rank. Load is the
+// ScenarioSpec cost estimate; every tie breaks toward the lowest rank
+// index and members are placed in spec order, so the same specs + pool
+// size always yield the same schedule (the member -> rank map is part of
+// a campaign's reproducibility story, tests/test_ensemble.cpp pins it).
+
+#include <vector>
+
+#include "ensemble/scenario.hpp"
+
+namespace vdg {
+
+/// Where one member landed.
+struct MemberPlacement {
+  int member = -1;    ///< index into the spec list
+  int leadRank = 0;   ///< the rank whose queue runs (or leads) the member
+  int numRanks = 1;   ///< 1 = packed; > 1 = sharded over [leadRank, leadRank+numRanks)
+};
+
+struct Schedule {
+  int numRanks = 1;
+  std::vector<MemberPlacement> members;      ///< index-aligned with the specs
+  std::vector<std::vector<int>> rankQueue;   ///< per rank: led members, in run order
+  std::vector<double> rankLoad;              ///< final per-rank load estimate
+
+  /// Members/rank-pool ratio ("pack factor") the throughput bench sweeps.
+  [[nodiscard]] double packFactor() const {
+    return numRanks > 0 ? static_cast<double>(members.size()) / numRanks : 0.0;
+  }
+};
+
+/// Place every spec onto a pool of `numRanks` ranks (throws for
+/// numRanks < 1). Sharded requests are clipped to the pool size.
+[[nodiscard]] Schedule scheduleMembers(const std::vector<ScenarioSpec>& specs, int numRanks);
+
+}  // namespace vdg

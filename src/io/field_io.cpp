@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "app/state.hpp"
 
 namespace vdg {
 
@@ -88,18 +91,72 @@ LoadedField readField(const std::string& path) {
   return out;
 }
 
-CsvWriter::CsvWriter(std::string path, std::string header) : path_(std::move(path)) {
-  // Start a fresh table: each run of a diagnostic owns its file.
-  std::ofstream os(path_, std::ios::trunc);
-  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path_);
-  os << header << "\n";
+std::string checkpointSlotPath(const std::string& prefix, const std::string& slotName) {
+  return prefix + "." + slotName + ".fld";
+}
+
+void writeStateCheckpoint(const std::string& prefix, const StateVector& state, double time) {
+  for (int i = 0; i < state.numSlots(); ++i)
+    writeField(checkpointSlotPath(prefix, state.slotName(i)), state.slot(i), time);
+}
+
+double readStateCheckpoint(const std::string& prefix, StateVector& state) {
+  double time = 0.0;
+  for (int i = 0; i < state.numSlots(); ++i) {
+    const LoadedField lf = readField(checkpointSlotPath(prefix, state.slotName(i)));
+    Field& dst = state.slot(i);
+    const Grid& g = dst.grid();
+    const Grid& lg = lf.field.grid();
+    bool match = lg.ndim == g.ndim && lf.field.ncomp() == dst.ncomp();
+    for (int d = 0; match && d < g.ndim; ++d)
+      match = lg.cells[static_cast<std::size_t>(d)] == g.cells[static_cast<std::size_t>(d)];
+    if (!match)
+      throw std::runtime_error("readStateCheckpoint: slot '" + state.slotName(i) +
+                               "' shape mismatch in " + prefix);
+    const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(dst.ncomp());
+    forEachCell(g, [&](const MultiIndex& idx) {
+      std::memcpy(dst.at(idx), lf.field.at(idx), bytes);
+    });
+    time = lf.time;
+  }
+  return time;
+}
+
+CsvWriter::CsvWriter(std::string path, std::string header, Mode mode) : path_(std::move(path)) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const bool resume =
+      mode == Mode::Resume && fs::exists(path_, ec) && fs::file_size(path_, ec) > 0;
+  if (resume) {
+    // The header must already be there (written by the pre-checkpoint
+    // writer); verify instead of re-emitting so a resumed member's series
+    // file carries the header exactly once.
+    std::ifstream is(path_);
+    std::string first;
+    std::getline(is, first);
+    if (first != header)
+      throw std::runtime_error("CsvWriter: resuming " + path_ +
+                               " but its header does not match the requested schema");
+    os_.open(path_, std::ios::app);
+    if (!os_) throw std::runtime_error("CsvWriter: cannot open " + path_);
+    return;
+  }
+  os_.open(path_, std::ios::trunc);
+  if (!os_) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  os_ << header << "\n";
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
-  std::ofstream os(path_, std::ios::app);
   for (std::size_t i = 0; i < values.size(); ++i)
-    os << (i ? "," : "") << values[i];
-  os << "\n";
+    os_ << (i ? "," : "") << values[i];
+  os_ << "\n";
+}
+
+void CsvWriter::line(const std::string& text) { os_ << text << "\n"; }
+
+void CsvWriter::flush() {
+  os_.flush();
+  if (!os_) throw std::runtime_error("CsvWriter: write failed for " + path_);
 }
 
 }  // namespace vdg

@@ -2,14 +2,20 @@
 // Lightweight binary field I/O and checkpoint/restart — the role ADIOS
 // plays in Gkeyll. The format is a small self-describing header (magic,
 // grid, ncomp) followed by the raw interior coefficient data, so dumps can
-// be post-processed or used to restart a simulation exactly.
+// be post-processed or used to restart a simulation exactly. A whole
+// StateVector checkpoints as one field file per slot under a common
+// prefix (writeStateCheckpoint/readStateCheckpoint), which is the unit the
+// ensemble engine's async writer streams to disk.
 
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "grid/grid.hpp"
 
 namespace vdg {
+
+class StateVector;
 
 /// Write the interior cells of a field (header + doubles). Throws
 /// std::runtime_error on I/O failure.
@@ -23,16 +29,50 @@ struct LoadedField {
 };
 [[nodiscard]] LoadedField readField(const std::string& path);
 
-/// Simple CSV table writer: truncates the file and writes `header` on
-/// construction, then appends one row per call.
+/// Path of slot `slotName` inside a state checkpoint written under
+/// `prefix` — one v1/v2 field file per slot, so the existing field
+/// round-trip machinery (subgrid windows included) carries whole-state
+/// checkpoints unchanged.
+[[nodiscard]] std::string checkpointSlotPath(const std::string& prefix,
+                                             const std::string& slotName);
+
+/// Checkpoint every slot of a StateVector as individual field files under
+/// `prefix` (see checkpointSlotPath), all stamped with the same time.
+void writeStateCheckpoint(const std::string& prefix, const StateVector& state, double time);
+
+/// Restore a checkpoint written by writeStateCheckpoint into `state`
+/// (interior cells only; slot names/shapes must match — the caller builds
+/// the StateVector from the same scenario first). Returns the stored time.
+[[nodiscard]] double readStateCheckpoint(const std::string& prefix, StateVector& state);
+
+/// Simple CSV table writer holding its file open for the lifetime of the
+/// object: writes `header` on construction, then appends one row per call.
+/// In resume mode an existing non-empty file is continued (the header is
+/// written exactly once across checkpoint/restart cycles; a header
+/// mismatch throws — the schema of a resumed series must not change).
 class CsvWriter {
  public:
-  explicit CsvWriter(std::string path, std::string header);
+  enum class Mode {
+    Truncate,  ///< start a fresh table (the default; each run owns its file)
+    Resume,    ///< append to an existing table, writing the header only if absent
+  };
+
+  explicit CsvWriter(std::string path, std::string header, Mode mode = Mode::Truncate);
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
   void row(const std::vector<double>& values);
+  /// Append one already-formatted row line (no trailing newline needed).
+  void line(const std::string& text);
+  /// Push buffered rows to the OS (the object also flushes on destruction).
+  void flush();
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   std::string path_;
+  std::ofstream os_;
 };
 
 }  // namespace vdg

@@ -1,5 +1,10 @@
 #include "io/time_series.hpp"
 
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
 #include "app/projection.hpp"
 #include "app/simulation.hpp"
 
@@ -7,7 +12,37 @@ namespace vdg {
 
 namespace {
 
-std::string headerFor(const Simulation& sim) {
+// One-writer-per-member enforcement: two live TimeSeriesWriters on the
+// same path means two members (or two threads of one member) would
+// interleave rows — a silent data race at the file level even when each
+// write is individually synchronized. Make it a loud logic error instead.
+std::mutex gPathsMutex;
+std::set<std::string>& activePaths() {
+  static std::set<std::string> paths;
+  return paths;
+}
+
+void claimPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(gPathsMutex);
+  if (!activePaths().insert(path).second)
+    throw std::logic_error("TimeSeriesWriter: '" + path +
+                           "' already has a live writer (one writer per member)");
+}
+
+void releasePath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(gPathsMutex);
+  activePaths().erase(path);
+}
+
+std::string formatRow(const std::vector<double>& row) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < row.size(); ++i) os << (i ? "," : "") << row[i];
+  return os.str();
+}
+
+}  // namespace
+
+std::string TimeSeriesWriter::headerFor(const Simulation& sim) {
   std::string h = "t,fieldEnergy,electricEnergy";
   for (int s = 0; s < sim.numSpecies(); ++s) {
     const std::string& n = sim.speciesConfig(s).name;
@@ -16,13 +51,38 @@ std::string headerFor(const Simulation& sim) {
   return h;
 }
 
-}  // namespace
-
-TimeSeriesWriter::TimeSeriesWriter(std::string path, const Simulation& sim)
-    : csv_(std::move(path), headerFor(sim)),
+TimeSeriesWriter::TimeSeriesWriter(std::string path, const Simulation& sim, CsvWriter::Mode mode)
+    : path_(std::move(path)),
       m0_(sim.confGrid(), sim.confBasis().numModes()),
       m1_(sim.confGrid(), 3 * sim.confBasis().numModes()),
-      m2_(sim.confGrid(), sim.confBasis().numModes()) {}
+      m2_(sim.confGrid(), sim.confBasis().numModes()) {
+  claimPath(path_);
+  try {
+    csv_.emplace(path_, headerFor(sim), mode);
+  } catch (...) {
+    releasePath(path_);
+    throw;
+  }
+}
+
+TimeSeriesWriter::TimeSeriesWriter(std::string path, const Simulation& sim, RowSink* sink,
+                                   bool resume)
+    : path_(std::move(path)),
+      sink_(sink),
+      m0_(sim.confGrid(), sim.confBasis().numModes()),
+      m1_(sim.confGrid(), 3 * sim.confBasis().numModes()),
+      m2_(sim.confGrid(), sim.confBasis().numModes()) {
+  if (!sink_) throw std::invalid_argument("TimeSeriesWriter: null RowSink");
+  claimPath(path_);
+  try {
+    sink_->openCsv(path_, headerFor(sim), resume);
+  } catch (...) {
+    releasePath(path_);
+    throw;
+  }
+}
+
+TimeSeriesWriter::~TimeSeriesWriter() { releasePath(path_); }
 
 void TimeSeriesWriter::sample(const Simulation& sim) {
   const Simulation::Energetics e = sim.energetics();
@@ -40,7 +100,17 @@ void TimeSeriesWriter::sample(const Simulation& sim) {
     row_.push_back(sim.absorbedMass(s));
     row_.push_back(sim.wallLossRate(s));
   }
-  csv_.row(row_);
+  if (sink_)
+    sink_->appendLine(path_, formatRow(row_));
+  else
+    csv_->row(row_);
+}
+
+void TimeSeriesWriter::flush() {
+  if (sink_)
+    sink_->flushPath(path_);
+  else
+    csv_->flush();
 }
 
 }  // namespace vdg

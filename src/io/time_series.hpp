@@ -6,15 +6,28 @@
 // absorbed mass and the instantaneous wall mass-loss rate that the
 // stepper accounts per RK stage (Simulation::absorbedMass/wallLossRate).
 // This is the one diagnostic loop every driver was re-implementing by
-// hand; the sheath example (examples/sheath_1x1v.cpp) uses it for its
-// steady-state and conservation criteria, and the Landau / bump-on-tail
-// drivers can sample the same columns.
+// hand; the sheath, Landau, and bump-on-tail examples use it, and the
+// ensemble engine streams one writer per member through its async IO
+// thread so every campaign member emits the same schema as a solo run.
+//
+// Concurrency contract: a TimeSeriesWriter belongs to exactly ONE member
+// (one stepping thread). sample() computes moments into writer-owned
+// scratch and is not reentrant; concurrent members each construct their
+// own writer on their own path. This is enforced, not just documented:
+// two live writers on the same path throw (see the process-global path
+// registry in time_series.cpp). Output goes either directly to the
+// writer's CsvWriter (sync mode) or — when a RowSink is attached — the
+// formatted row is handed off and the actual file IO happens on the
+// sink's thread (src/ensemble/async_writer.hpp), so sampling never blocks
+// the stepping thread on disk.
 //
 // Note for distributed runs: moments and energies integrate the *local*
 // window (like Simulation::energetics); sample a serial or gathered
 // simulation for global values. absorbed/wallRate are already globally
 // reduced.
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,24 +37,62 @@ namespace vdg {
 
 class Simulation;
 
+/// Destination for formatted CSV traffic that a TimeSeriesWriter can hand
+/// rows to instead of touching the file itself — the seam the ensemble
+/// engine's AsyncWriter implements so file IO runs off the stepping
+/// threads. Implementations must be safe to call from multiple member
+/// threads concurrently (for distinct paths).
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  /// Create (or, when `resume`, continue) the CSV at `path` with `header`.
+  virtual void openCsv(const std::string& path, const std::string& header, bool resume) = 0;
+  /// Append one formatted row line to an opened CSV.
+  virtual void appendLine(const std::string& path, std::string line) = 0;
+  /// Block until everything enqueued so far for `path` is on disk.
+  virtual void flushPath(const std::string& path) = 0;
+};
+
 class TimeSeriesWriter {
  public:
-  /// Truncates `path` and writes the header derived from the simulation's
-  /// species list: t, fieldEnergy, electricEnergy, then per species
-  /// <name>_M0, <name>_M1x, <name>_M2, <name>_absorbed, <name>_wallRate
-  /// (the last two always present; identically zero on periodic runs).
-  TimeSeriesWriter(std::string path, const Simulation& sim);
+  /// Sync mode: owns the CSV at `path` directly. Resume mode continues an
+  /// existing file from a checkpoint restart — the header is written
+  /// exactly once across checkpoint/resume cycles (CsvWriter::Mode).
+  TimeSeriesWriter(std::string path, const Simulation& sim,
+                   CsvWriter::Mode mode = CsvWriter::Mode::Truncate);
+  /// Async mode: rows are formatted on the stepping thread and handed to
+  /// `sink`; the sink's thread does the file IO. `sink` must outlive the
+  /// writer's last sample()/flush().
+  TimeSeriesWriter(std::string path, const Simulation& sim, RowSink* sink,
+                   bool resume = false);
+  ~TimeSeriesWriter();
+  TimeSeriesWriter(const TimeSeriesWriter&) = delete;
+  TimeSeriesWriter& operator=(const TimeSeriesWriter&) = delete;
+  TimeSeriesWriter(TimeSeriesWriter&&) = delete;
+  TimeSeriesWriter& operator=(TimeSeriesWriter&&) = delete;
 
-  /// Append one row sampled from the simulation's current state.
+  /// Append one row sampled from the simulation's current state. Call from
+  /// the one thread stepping `sim` only.
   void sample(const Simulation& sim);
 
-  [[nodiscard]] const std::string& path() const { return csv_.path(); }
+  /// Block until every row sampled so far is on disk (fsync-less flush of
+  /// the stream, or a drain of the async sink's queue for this path).
+  void flush();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// The CSV header this writer emits (schema derived from the species
+  /// list; shared between solo runs and ensemble members by construction).
+  [[nodiscard]] static std::string headerFor(const Simulation& sim);
   /// The last sampled row (header order) — lets drivers reuse the sampled
   /// values for their own checks without recomputing moments.
   [[nodiscard]] const std::vector<double>& lastRow() const { return row_; }
 
  private:
-  CsvWriter csv_;
+  void init(const Simulation& sim);
+
+  std::string path_;
+  std::optional<CsvWriter> csv_;  ///< sync mode only
+  RowSink* sink_ = nullptr;       ///< async mode only
   std::vector<double> row_;
   Field m0_, m1_, m2_;  ///< moment scratch, shaped once at construction
 };

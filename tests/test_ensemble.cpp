@@ -1,0 +1,428 @@
+// The ensemble engine's contracts:
+//
+//  * the scheduler is deterministic (same specs + pool -> same placement),
+//    covers every member exactly once for N > R, N < R, and N = 1, and
+//    gives sharded members contiguous rank blocks clipped to the pool;
+//  * a campaign member's trajectory is BITWISE identical to the same
+//    scenario run solo — packed or sharded, with a shared or private
+//    Poisson LU, and regardless of a neighboring member failing;
+//  * a member that diverges (non-finite dt) is recorded as Failed with its
+//    message, its neighbors finish untouched, and the result table still
+//    appears;
+//  * checkpoint/resume THROUGH the async writer reproduces the
+//    uninterrupted run bit for bit, and the resumed series CSV carries its
+//    header exactly once;
+//  * the AsyncWriter preserves per-path order, surfaces writer-thread
+//    errors on flush(), and round-trips checkpoints; TimeSeriesWriter
+//    enforces one live writer per path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/distributed.hpp"
+#include "ensemble/engine.hpp"
+#include "io/field_io.hpp"
+#include "io/time_series.hpp"
+
+namespace vdg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::string tmpDir(const std::string& name) {
+  const auto p = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(p);
+  return p.string();
+}
+
+/// Bitwise comparison of every slot's interior cells (0 == identical).
+int countMismatches(const StateVector& a, const StateVector& b) {
+  EXPECT_EQ(a.numSlots(), b.numSlots());
+  int bad = 0;
+  for (int i = 0; i < a.numSlots(); ++i) {
+    const Field& fa = a.slot(i);
+    const Field& fb = b.slot(i);
+    EXPECT_EQ(fa.ncomp(), fb.ncomp());
+    forEachCell(fa.grid(), [&](const MultiIndex& idx) {
+      const double* pa = fa.at(idx);
+      const double* pb = fb.at(idx);
+      for (int l = 0; l < fa.ncomp(); ++l)
+        if (pa[l] != pb[l]) ++bad;
+    });
+  }
+  return bad;
+}
+
+/// A small electrostatic Landau member; amp individualizes the trajectory
+/// while every member keeps the same (grid, p, BC) Poisson signature.
+ScenarioSpec landauSpec(const std::string& name, double amp, double tEnd = 0.4) {
+  const double k = 0.5;
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.params["amp"] = amp;
+  spec.confGrid = Grid::make({8}, {0.0}, {2.0 * kPi / k});
+  spec.polyOrder = 1;
+  spec.cflFrac = 0.8;
+  SpeciesConfig elc;
+  elc.name = "elc";
+  elc.charge = -1.0;
+  elc.mass = 1.0;
+  elc.velGrid = Grid::make({8}, {-6.0}, {6.0});
+  elc.init = [k, amp](const double* z) {
+    return (1.0 + amp * std::cos(k * z[0])) * std::exp(-0.5 * z[1] * z[1]) /
+           std::sqrt(2.0 * kPi);
+  };
+  spec.species.push_back(elc);
+  spec.field = ScenarioSpec::FieldKind::Poisson;
+  spec.backgroundCharge = 1.0;
+  spec.tEnd = tEnd;
+  return spec;
+}
+
+/// The solo reference: the same spec stepped by Simulation::advanceTo.
+StateVector soloFinalState(const ScenarioSpec& spec) {
+  Simulation::Builder b = spec.toBuilder();
+  b.threads(1);
+  Simulation sim = b.build();
+  sim.advanceTo(spec.tEnd);
+  StateVector out = sim.state().zerosLike();
+  out.copyFrom(sim.state());
+  return out;
+}
+
+// ----------------------------------------------------------- scheduler
+
+TEST(Scheduler, PacksEveryMemberExactlyOnceAndDeterministically) {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 7; ++i)
+    specs.push_back(landauSpec("m" + std::to_string(i), 1e-3, 0.1 * (i + 1)));
+
+  const Schedule s1 = scheduleMembers(specs, 3);
+  const Schedule s2 = scheduleMembers(specs, 3);
+  ASSERT_EQ(s1.members.size(), specs.size());
+
+  std::vector<int> seen(specs.size(), 0);
+  for (int r = 0; r < 3; ++r)
+    for (int m : s1.rankQueue[static_cast<std::size_t>(r)]) {
+      ++seen[static_cast<std::size_t>(m)];
+      EXPECT_EQ(s1.members[static_cast<std::size_t>(m)].leadRank, r);
+      EXPECT_EQ(s1.members[static_cast<std::size_t>(m)].numRanks, 1);
+    }
+  for (int c : seen) EXPECT_EQ(c, 1);
+
+  // Determinism: identical placement on a second scheduling pass.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(s1.members[i].leadRank, s2.members[i].leadRank);
+    EXPECT_EQ(s1.members[i].numRanks, s2.members[i].numRanks);
+  }
+  EXPECT_GT(s1.packFactor(), 2.0);
+}
+
+TEST(Scheduler, FewerMembersThanRanksSpreadsLeads) {
+  std::vector<ScenarioSpec> specs = {landauSpec("a", 1e-3), landauSpec("b", 2e-3)};
+  const Schedule s = scheduleMembers(specs, 4);
+  EXPECT_NE(s.members[0].leadRank, s.members[1].leadRank);
+
+  const Schedule one = scheduleMembers({landauSpec("solo", 1e-3)}, 4);
+  EXPECT_EQ(one.members[0].leadRank, 0);
+}
+
+TEST(Scheduler, ShardedMembersGetContiguousClippedBlocks) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(landauSpec("packed0", 1e-3));
+  ScenarioSpec big = landauSpec("big", 2e-3);
+  big.ranks = 2;
+  specs.push_back(big);
+  ScenarioSpec huge = landauSpec("huge", 3e-3);
+  huge.ranks = 99;  // wants more than the pool has
+  specs.push_back(huge);
+
+  const Schedule s = scheduleMembers(specs, 4);
+  EXPECT_EQ(s.members[1].numRanks, 2);
+  EXPECT_LE(s.members[1].leadRank + 2, 4);
+  EXPECT_EQ(s.members[2].numRanks, 4);  // clipped to the pool
+  EXPECT_EQ(s.members[2].leadRank, 0);
+  // A sharded member appears only in its lead rank's queue.
+  int queued = 0;
+  for (const auto& q : s.rankQueue)
+    for (int m : q)
+      if (m == 1) ++queued;
+  EXPECT_EQ(queued, 1);
+}
+
+// ----------------------------------------------- campaign == solo, bitwise
+
+TEST(Ensemble, PackedMembersMatchSoloBitwise) {
+  const std::string dir = tmpDir("vdg_ens_solo");
+  std::vector<ScenarioSpec> specs = {landauSpec("a", 1e-3), landauSpec("b", 5e-3),
+                                     landauSpec("c", 2e-2)};
+  EnsembleOptions opts;
+  opts.numRanks = 2;
+  opts.outputDir = dir;
+  opts.keepFinalState = true;
+  Ensemble ens(specs, opts);
+  // All three share one Poisson signature: exactly one LU factored.
+  EXPECT_EQ(ens.numSharedPoissonGroups(), 1);
+  ens.run();
+  EXPECT_EQ(ens.numDone(), 3);
+  EXPECT_EQ(ens.numFailed(), 0);
+
+  for (int m = 0; m < 3; ++m) {
+    ASSERT_TRUE(ens.result(m).hasFinalState);
+    const StateVector solo = soloFinalState(specs[static_cast<std::size_t>(m)]);
+    EXPECT_EQ(countMismatches(ens.result(m).finalState, solo), 0)
+        << "member " << ens.result(m).name << " diverged from its solo run";
+    EXPECT_GT(ens.result(m).steps, 0);
+    EXPECT_GE(ens.result(m).finalTime, specs[static_cast<std::size_t>(m)].tEnd - 1e-12);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ensemble, SharedPoissonLuIsBitwiseEqualToPrivate) {
+  // Same two members, one campaign sharing the LU (two members, one
+  // signature) vs solo runs that factor their own — bit-for-bit equal.
+  const std::string dir = tmpDir("vdg_ens_sharedlu");
+  std::vector<ScenarioSpec> specs = {landauSpec("p", 1e-3), landauSpec("q", 4e-3)};
+  EnsembleOptions opts;
+  opts.numRanks = 2;
+  opts.outputDir = dir;
+  opts.keepFinalState = true;
+  opts.sampleEvery = 0;
+  Ensemble ens(specs, opts);
+  ASSERT_EQ(ens.numSharedPoissonGroups(), 1);
+  ens.run();
+  ASSERT_EQ(ens.numDone(), 2);
+  for (int m = 0; m < 2; ++m)
+    EXPECT_EQ(
+        countMismatches(ens.result(m).finalState, soloFinalState(specs[static_cast<std::size_t>(m)])),
+        0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ensemble, FailedMemberIsIsolatedAndRecorded) {
+  const std::string dir = tmpDir("vdg_ens_fail");
+  std::vector<ScenarioSpec> specs = {landauSpec("good0", 1e-3), landauSpec("bad", 1e-3),
+                                     landauSpec("good1", 3e-3)};
+  // Poison the middle member: a NaN initial condition breaks the first CFL
+  // estimate (NaNs fall out of the max, leaving a zero frequency), so the
+  // member throws on its first step and is recorded as Failed.
+  specs[1].species[0].init = [](const double*) { return std::nan(""); };
+
+  EnsembleOptions opts;
+  opts.numRanks = 2;
+  opts.outputDir = dir;
+  opts.keepFinalState = true;
+  Ensemble ens(specs, opts);
+  ens.run();
+
+  EXPECT_EQ(ens.numDone(), 2);
+  EXPECT_EQ(ens.numFailed(), 1);
+  EXPECT_EQ(ens.result(1).status, MemberResult::Status::Failed);
+  EXPECT_NE(ens.result(1).error.find("CFL"), std::string::npos) << ens.result(1).error;
+
+  // Neighbors are bitwise identical to their solo runs — the failure did
+  // not perturb them.
+  EXPECT_EQ(countMismatches(ens.result(0).finalState, soloFinalState(specs[0])), 0);
+  EXPECT_EQ(countMismatches(ens.result(2).finalState, soloFinalState(specs[2])), 0);
+
+  // The result table records the failure.
+  std::ifstream csv(dir + "/ensemble_results.csv");
+  ASSERT_TRUE(csv.good());
+  std::stringstream ss;
+  ss << csv.rdbuf();
+  EXPECT_NE(ss.str().find("bad,failed"), std::string::npos) << ss.str();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ensemble, ShardedMemberMatchesSoloBitwise) {
+  const std::string dir = tmpDir("vdg_ens_shard");
+  ScenarioSpec spec = landauSpec("sharded", 2e-3);
+  spec.ranks = 2;
+  EnsembleOptions opts;
+  opts.numRanks = 2;
+  opts.outputDir = dir;
+  opts.keepFinalState = true;
+  Ensemble ens({spec}, opts);
+  ASSERT_EQ(ens.schedule().members[0].numRanks, 2);
+  ens.run();
+  ASSERT_EQ(ens.numDone(), 1);
+  ASSERT_TRUE(ens.result(0).hasFinalState);
+  EXPECT_EQ(countMismatches(ens.result(0).finalState, soloFinalState(spec)), 0);
+  // The engine-assembled sharded series has the standard schema.
+  std::ifstream csv(ens.result(0).seriesPath);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "t,fieldEnergy,electricEnergy,elc_M0,elc_M1x,elc_M2,elc_absorbed,elc_wallRate");
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------- checkpoint/resume, async writer
+
+TEST(Ensemble, CheckpointResumeThroughAsyncWriterIsBitwise) {
+  const std::string dir = tmpDir("vdg_ens_resume");
+  const double tMid = 0.2, tEnd = 0.45;
+
+  // Leg 1: run to tMid, final checkpoint through the async writer.
+  ScenarioSpec leg1 = landauSpec("member", 2e-3, tMid);
+  EnsembleOptions opts;
+  opts.numRanks = 1;
+  opts.outputDir = dir;
+  opts.finalCheckpoint = true;
+  {
+    Ensemble ens({leg1}, opts);
+    ens.run();
+    ASSERT_EQ(ens.numDone(), 1);
+    ASSERT_FALSE(ens.result(0).checkpointPrefix.empty());
+  }
+
+  // Leg 2: resume from the checkpoint, continue to tEnd.
+  ScenarioSpec leg2 = landauSpec("member", 2e-3, tEnd);
+  leg2.resumeFrom = dir + "/member.ckpt";
+  EnsembleOptions opts2 = opts;
+  opts2.finalCheckpoint = false;
+  opts2.keepFinalState = true;
+  Ensemble ens2({leg2}, opts2);
+  ens2.run();
+  ASSERT_EQ(ens2.numDone(), 1);
+
+  // The uninterrupted reference.
+  ScenarioSpec full = landauSpec("member", 2e-3, tEnd);
+  EXPECT_EQ(countMismatches(ens2.result(0).finalState, soloFinalState(full)), 0);
+
+  // The resumed series continued the same CSV: exactly one header line.
+  std::ifstream csv(dir + "/member.csv");
+  ASSERT_TRUE(csv.good());
+  int headers = 0, rows = 0;
+  for (std::string line; std::getline(csv, line);) {
+    if (line.rfind("t,", 0) == 0)
+      ++headers;
+    else if (!line.empty())
+      ++rows;
+  }
+  EXPECT_EQ(headers, 1);
+  // t=0 row + every step of both legs, with no repeated t=tMid sample.
+  EXPECT_EQ(rows, 1 + ens2.result(0).steps +
+                      [&] {
+                        Simulation::Builder b = leg1.toBuilder();
+                        b.threads(1);
+                        Simulation s = b.build();
+                        return s.advanceTo(tMid);
+                      }());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AsyncWriter, PreservesPerPathOrderAndCounts) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vdg_async_order.csv").string();
+  std::filesystem::remove(path);
+  AsyncWriter w;
+  w.openCsv(path, "i,v", false);
+  for (int i = 0; i < 200; ++i) w.appendLine(path, std::to_string(i) + "," + std::to_string(2 * i));
+  w.flush();
+  const AsyncWriter::Stats st = w.stats();
+  EXPECT_EQ(st.linesWritten, 200u);
+  EXPECT_GE(st.batches, 1u);
+  w.close();
+
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "i,v");
+  int i = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line, std::to_string(i) + "," + std::to_string(2 * i));
+    ++i;
+  }
+  EXPECT_EQ(i, 200);
+  std::filesystem::remove(path);
+}
+
+TEST(AsyncWriter, WriterThreadErrorsSurfaceOnFlush) {
+  AsyncWriter w;
+  w.appendLine("/nonexistent-dir/never-opened.csv", "1,2");
+  EXPECT_THROW(w.flush(), std::logic_error);
+  EXPECT_THROW(w.close(), std::logic_error);  // close reports it too
+}
+
+TEST(AsyncWriter, CheckpointFieldRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vdg_async_ckpt.fld").string();
+  const Grid g = Grid::make({4, 3}, {0.0, -1.0}, {1.0, 1.0});
+  Field f(g, 2);
+  forEachCell(g, [&](const MultiIndex& idx) {
+    f.at(idx)[0] = 10.0 * idx[0] + idx[1];
+    f.at(idx)[1] = -1.5;
+  });
+  {
+    AsyncWriter w;
+    w.writeFieldAsync(path, f, 7.25);
+    w.close();
+  }
+  const LoadedField back = readField(path);
+  EXPECT_EQ(back.time, 7.25);
+  int bad = 0;
+  forEachCell(g, [&](const MultiIndex& idx) {
+    for (int l = 0; l < 2; ++l)
+      if (back.field.at(idx)[l] != f.at(idx)[l]) ++bad;
+  });
+  EXPECT_EQ(bad, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(TimeSeriesWriter, OneLiveWriterPerPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vdg_ts_claim.csv").string();
+  ScenarioSpec spec = landauSpec("claim", 1e-3);
+  Simulation::Builder b = spec.toBuilder();
+  b.threads(1);
+  Simulation sim = b.build();
+  {
+    TimeSeriesWriter ts(path, sim);
+    EXPECT_THROW(TimeSeriesWriter(path, sim), std::logic_error);
+    ts.sample(sim);
+    ts.flush();
+  }
+  // Released on destruction: claimable again, and Resume appends without a
+  // second header.
+  {
+    TimeSeriesWriter ts(path, sim, CsvWriter::Mode::Resume);
+    ts.sample(sim);
+  }
+  std::ifstream is(path);
+  int headers = 0, rows = 0;
+  for (std::string line; std::getline(is, line);) {
+    if (line.rfind("t,", 0) == 0)
+      ++headers;
+    else if (!line.empty())
+      ++rows;
+  }
+  EXPECT_EQ(headers, 1);
+  EXPECT_EQ(rows, 2);
+  std::filesystem::remove(path);
+}
+
+TEST(TimeSeriesWriter, ResumeRejectsSchemaChange) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vdg_ts_schema.csv").string();
+  {
+    CsvWriter csv(path, "t,other_schema");
+    csv.row({0.0, 1.0});
+  }
+  ScenarioSpec spec = landauSpec("schema", 1e-3);
+  Simulation::Builder b = spec.toBuilder();
+  b.threads(1);
+  Simulation sim = b.build();
+  EXPECT_THROW(TimeSeriesWriter(path, sim, CsvWriter::Mode::Resume), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <random>
 #include <vector>
 

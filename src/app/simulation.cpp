@@ -156,6 +156,13 @@ Simulation::Builder& Simulation::Builder::threads(int n) {
   return *this;
 }
 
+Simulation::Builder& Simulation::Builder::batchLanes(int lanes) {
+  if (lanes < 0)
+    throw std::invalid_argument("Simulation::Builder::batchLanes: count must be >= 0");
+  batchLanes_ = lanes;
+  return *this;
+}
+
 Simulation::Builder& Simulation::Builder::communicator(Communicator* comm) {
   comm_ = comm;
   return *this;
@@ -211,6 +218,7 @@ Simulation Simulation::Builder::build() {
     vp.flux = sp.flux;
     auto vlasov = std::make_unique<VlasovUpdater>(spec, pg, vp);
     vlasov->setExecutor(exec);
+    vlasov->setBatchLanes(batchLanes_);
     sim.vlasov_.push_back(std::move(vlasov));
     sim.mom_.push_back(std::make_unique<MomentUpdater>(spec, pg));
     if (sp.collisions) {
@@ -231,6 +239,7 @@ Simulation Simulation::Builder::build() {
       lp.mass = sp.mass;
       auto lbo = std::make_unique<LboUpdater>(spec, pg, lp);
       lbo->setExecutor(exec);
+      lbo->setBatchLanes(batchLanes_);
       sim.lbo_.push_back(std::move(lbo));
     } else {
       sim.lbo_.push_back(nullptr);

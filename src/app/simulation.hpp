@@ -320,6 +320,12 @@ class Simulation::Builder {
   /// RHS thread count: 0 (default) shares the process-global pool; n >= 1
   /// gives this simulation a dedicated pool of n threads (1 = serial).
   Builder& threads(int n);
+  /// SIMD batch width for the Vlasov/LBO hot loops: 0 (default) picks the
+  /// largest batched kernel set the registry offers for the spec; 1 forces
+  /// the scalar cell loops (today's code path, bit-for-bit); 4/8 request a
+  /// specific lane count. The batched path is bitwise identical to scalar,
+  /// so this knob only trades execution schedule — see dg/batch.hpp.
+  Builder& batchLanes(int lanes);
   /// Communication endpoint for boundary sync and the CFL reduction
   /// (non-owning; must outlive the simulation). Default: the shared
   /// SerialComm — single rank, periodic wrap. DistributedSimulation
@@ -348,6 +354,7 @@ class Simulation::Builder {
   Stepper stepper_ = Stepper::SspRk3;
   double cflFrac_ = 0.9;
   int threads_ = 0;
+  int batchLanes_ = 0;
   Communicator* comm_ = nullptr;
 
   /// Requested conditions of one domain face.

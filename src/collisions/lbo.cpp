@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dg/batch.hpp"
 #include "math/dense_matrix.hpp"
 #include "math/gauss_legendre.hpp"
 #include "math/legendre.hpp"
@@ -23,6 +24,9 @@ template <typename Fn>
 void forEachIdx(int nd, const int* hi, Fn fn) {
   forEachIndexInRange(nd, hi, 0, boxSize(nd, hi), fn);
 }
+
+/// Upper bound on the supported batch lane counts (sizes per-lane scratch).
+constexpr int kMaxLanes = 8;
 
 }  // namespace
 
@@ -166,6 +170,23 @@ double LboUpdater::apply(const Field& f, const Field& u, const Field& vtSq, Fiel
     // g2). e2 is a transient eta^2-product slot.
     std::vector<double> wBuf(correct ? nvel * static_cast<std::size_t>((vdim_ + 1) * np) : 0);
     std::vector<double> e2(static_cast<std::size_t>(np));
+    // SIMD-batched volume-loop scratch: AoSoA blocks of B velocity cells
+    // run through the batched tape executors of dg/batch.hpp. Bitwise
+    // identical to the scalar loop per cell (see batch.hpp); leftover
+    // cells when nvel % B != 0 take the scalar path. A velocity box that
+    // cannot fill one block runs fully scalar (no block setup).
+    const int B = activeBatchLanes();
+    const bool batched = B > 1 && nvel >= static_cast<std::size_t>(B);
+    BatchBuffer fBlk, incBlk, ajBlk;
+    if (batched) {
+      fBlk.resize(static_cast<std::size_t>(np) * B);
+      incBlk.resize(static_cast<std::size_t>(np) * B);
+      if (drag) ajBlk.resize(static_cast<std::size_t>(np) * B);
+    }
+    std::array<MultiIndex, kMaxLanes> laneIdx;
+    std::array<std::size_t, kMaxLanes> laneLin{};
+    std::array<const double*, kMaxLanes> lanePtr{};
+    std::array<double*, kMaxLanes> laneOut{};
     double chunkFreq = 0.0;
 
     forEachIndexInRange(cdim_, confHi, begin, end, [&](const MultiIndex& ci) {
@@ -208,34 +229,46 @@ double LboUpdater::apply(const Field& f, const Field& u, const Field& vtSq, Fiel
 
       // ------------------------------------------------------- volume
       double dragFreq = 0.0;  // max over velocity cells of sum_j |alpha|/dv_j
-      std::size_t vlin = 0;
-      forEachIdx(vdim_, velHi, [&](const MultiIndex& vi) {
-        MultiIndex idx = ci;
-        for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[j];
+
+      // Per-lane drag expansion build (shared by both paths): fills the
+      // cell's alphaBuf slot — the surface sweep reads it later — and
+      // returns the cell's CFL frequency contribution.
+      const auto buildDragAlpha = [&](const MultiIndex& idx, std::size_t vlin) {
+        double* al = alphaBuf.data() + vlin * static_cast<std::size_t>(vdim_ * np);
+        double cellFreq = 0.0;
+        for (int j = 0; j < vdim_; ++j) {
+          const int d = cdim_ + j;
+          const double wc = grid_.cellCenter(d, idx[d]);
+          const double hdv = 0.5 * dxv[static_cast<std::size_t>(j)];
+          double* aj = al + static_cast<std::size_t>(j) * np;
+          const double* uj = uPhase.data() + static_cast<std::size_t>(j) * np;
+          for (int l = 0; l < np; ++l) aj[l] = uj[l];
+          for (const auto& [l, c] : ks.unitProj) aj[l] -= wc * c;
+          for (const auto& [l, c] : ks.etaProj[static_cast<std::size_t>(d)]) aj[l] -= hdv * c;
+          double amax = 0.0;
+          for (int l = 0; l < np; ++l)
+            amax += std::abs(aj[l]) * ks.phaseSup[static_cast<std::size_t>(l)];
+          cellFreq += amax / dxv[static_cast<std::size_t>(j)];
+        }
+        return cellFreq;
+      };
+
+      // Scalar volume update of one velocity cell (the pre-batching code
+      // path, verbatim; also the remainder path below).
+      const auto scalarVolCell = [&](const MultiIndex& idx, std::size_t vlin) {
         const std::span<const double> fc = f.cell(idx);
         const std::span<double> ic(inc.data() + vlin * static_cast<std::size_t>(np),
                                    static_cast<std::size_t>(np));
         if (drag) {
           double* al = alphaBuf.data() + vlin * static_cast<std::size_t>(vdim_ * np);
-          double cellFreq = 0.0;
+          dragFreq = std::max(dragFreq, buildDragAlpha(idx, vlin));
           for (int j = 0; j < vdim_; ++j) {
             const int d = cdim_ + j;
-            const double wc = grid_.cellCenter(d, idx[d]);
-            const double hdv = 0.5 * dxv[static_cast<std::size_t>(j)];
-            double* aj = al + static_cast<std::size_t>(j) * np;
-            const double* uj = uPhase.data() + static_cast<std::size_t>(j) * np;
-            for (int l = 0; l < np; ++l) aj[l] = uj[l];
-            for (const auto& [l, c] : ks.unitProj) aj[l] -= wc * c;
-            for (const auto& [l, c] : ks.etaProj[static_cast<std::size_t>(d)]) aj[l] -= hdv * c;
-            const std::span<const double> ajs(aj, static_cast<std::size_t>(np));
+            const std::span<const double> ajs(al + static_cast<std::size_t>(j) * np,
+                                              static_cast<std::size_t>(np));
             ks.volume[static_cast<std::size_t>(d)].execute(ajs, fc, ic,
                                                            rdx2[static_cast<std::size_t>(j)]);
-            double amax = 0.0;
-            for (int l = 0; l < np; ++l)
-              amax += std::abs(aj[l]) * ks.phaseSup[static_cast<std::size_t>(l)];
-            cellFreq += amax / dxv[static_cast<std::size_t>(j)];
           }
-          dragFreq = std::max(dragFreq, cellFreq);
         }
         if (diff) {
           for (int j = 0; j < vdim_; ++j)
@@ -243,8 +276,70 @@ double LboUpdater::apply(const Field& f, const Field& u, const Field& vtSq, Fiel
                 dPhase, fc, ic,
                 rdx2[static_cast<std::size_t>(j)] * rdx2[static_cast<std::size_t>(j)]);
         }
-        ++vlin;
-      });
+      };
+
+      // Batched volume update of B velocity cells (laneIdx/laneLin[0..B)):
+      // same tape terms in the same per-lane order, run as AoSoA lane loops.
+      const auto batchVolBlock = [&]() {
+        for (int b = 0; b < B; ++b)
+          lanePtr[static_cast<std::size_t>(b)] = f.at(laneIdx[static_cast<std::size_t>(b)]);
+        packLanes(B, np, lanePtr.data(), fBlk.data());
+        zeroLanes(B, np, incBlk.data());
+        if (drag) {
+          for (int b = 0; b < B; ++b)
+            dragFreq = std::max(dragFreq, buildDragAlpha(laneIdx[static_cast<std::size_t>(b)],
+                                                         laneLin[static_cast<std::size_t>(b)]));
+          for (int j = 0; j < vdim_; ++j) {
+            for (int b = 0; b < B; ++b)
+              lanePtr[static_cast<std::size_t>(b)] =
+                  alphaBuf.data() +
+                  laneLin[static_cast<std::size_t>(b)] * static_cast<std::size_t>(vdim_ * np) +
+                  static_cast<std::size_t>(j) * np;
+            packLanes(B, np, lanePtr.data(), ajBlk.data());
+            executeBatched(ks.volume[static_cast<std::size_t>(cdim_ + j)], B, ajBlk.data(),
+                           fBlk.data(), incBlk.data(), rdx2[static_cast<std::size_t>(j)]);
+          }
+        }
+        if (diff) {
+          for (int j = 0; j < vdim_; ++j)
+            executeBatchedSharedA(diffVol_[static_cast<std::size_t>(j)], B, dPhase.data(),
+                                  fBlk.data(), incBlk.data(),
+                                  rdx2[static_cast<std::size_t>(j)] *
+                                      rdx2[static_cast<std::size_t>(j)]);
+        }
+        // Volume is the first contribution to each inc slot (inc was just
+        // zero-filled), so the block scatter overwrites.
+        for (int b = 0; b < B; ++b)
+          laneOut[static_cast<std::size_t>(b)] =
+              inc.data() + laneLin[static_cast<std::size_t>(b)] * static_cast<std::size_t>(np);
+        scatterLanes(B, np, incBlk.data(), laneOut.data());
+      };
+
+      std::size_t vlin = 0;
+      if (batched) {
+        int lane = 0;
+        forEachIdx(vdim_, velHi, [&](const MultiIndex& vi) {
+          MultiIndex idx = ci;
+          for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[j];
+          laneIdx[static_cast<std::size_t>(lane)] = idx;
+          laneLin[static_cast<std::size_t>(lane)] = vlin;
+          ++lane;
+          ++vlin;
+          if (lane == B) {
+            batchVolBlock();
+            lane = 0;
+          }
+        });
+        for (int b = 0; b < lane; ++b)
+          scalarVolCell(laneIdx[static_cast<std::size_t>(b)], laneLin[static_cast<std::size_t>(b)]);
+      } else {
+        forEachIdx(vdim_, velHi, [&](const MultiIndex& vi) {
+          MultiIndex idx = ci;
+          for (int j = 0; j < vdim_; ++j) idx[cdim_ + j] = vi[j];
+          scalarVolCell(idx, vlin);
+          ++vlin;
+        });
+      }
       freq += dragFreq;
 
       // ------------------------------------------------------ surface

@@ -32,11 +32,13 @@
 // (velocity faces never straddle configuration cells, so one chunk owns
 // every term of its cells) and are bit-for-bit serial-identical, like BGK.
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "dg/moments.hpp"
 #include "grid/grid.hpp"
+#include "kernels/registry.hpp"
 #include "tensors/vlasov_tensors.hpp"
 
 namespace vdg {
@@ -93,6 +95,22 @@ class LboUpdater {
     prim_->setExecutor(exec);
   }
 
+  /// SIMD batch width for the per-velocity-cell volume loops (drag +
+  /// diffusion), executed through the batched tape executors of
+  /// dg/batch.hpp: 0 = auto (largest kKernelBatchLanes entry, the
+  /// default), 1 = scalar cell loop. Bitwise identical either way — the
+  /// knob exists for A/B benchmarking and bisection.
+  void setBatchLanes(int lanes) { batchLanes_ = lanes; }
+
+  /// The lane count apply() actually blocks the volume loops with.
+  [[nodiscard]] int activeBatchLanes() const {
+    if (batchLanes_ == 1) return 1;
+    if (batchLanes_ != 0) return batchLanes_;
+    int best = 1;
+    for (int b : kKernelBatchLanes) best = std::max(best, b);
+    return best;
+  }
+
  private:
   double apply(const Field& f, const Field& u, const Field& vtSq, Field& rhs, bool drag,
                bool diff, bool correct, double scale) const;
@@ -136,6 +154,7 @@ class LboUpdater {
 
   std::vector<double> confSup_;  ///< sup |w_k| per conf mode (CFL bound)
   double jacV_ = 1.0;            ///< velocity-cell Jacobian prod dv_j/2
+  int batchLanes_ = 0;           ///< requested SIMD batch width (0 = auto)
 };
 
 }  // namespace vdg

@@ -1,12 +1,14 @@
 #include "dg/vlasov.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "dg/batch.hpp"
 #include "par/thread_exec.hpp"
 
 namespace vdg {
@@ -20,12 +22,16 @@ void forEachIdx(int nd, const int* hi, Fn fn) {
   forEachIndexInRange(nd, hi, 0, boxSize(nd, hi), fn);
 }
 
+/// Upper bound on the registry's batched lane counts (sizes the per-lane
+/// pointer/index scratch arrays).
+constexpr int kMaxLanes = 8;
+
 }  // namespace
 
 VlasovUpdater::VlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid,
                              const VlasovParams& params)
     : ks_(&vlasovKernels(spec)), exec_(&ThreadExec::global()), grid_(phaseGrid), params_(params),
-      qbym_(params.charge / params.mass) {
+      qbym_(params.charge / params.mass), specName_(spec.name()) {
   if (phaseGrid.ndim != spec.ndim())
     throw std::invalid_argument("VlasovUpdater: grid/basis dimensionality mismatch");
   for (int d = 0; d < grid_.ndim; ++d) dxv_[static_cast<std::size_t>(d)] = grid_.dx(d);
@@ -44,6 +50,16 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
   const int cdim = ks.cdim, vdim = ks.vdim, ndim = ks.ndim;
   assert(f.ncomp() == np && rhs.ncomp() == np);
   assert(!em || em->ncomp() == kEmComps * ks.numConfModes);
+
+  // Resolve the SIMD-batched kernel set (nullptr: scalar cell loops). The
+  // batched path is bitwise identical to the scalar one per cell, so this
+  // only selects how the same arithmetic is scheduled.
+  const VlasovBatchedKernels* bk = nullptr;
+  {
+    const int lanes = activeBatchLanes();
+    if (lanes > 1) bk = compiled_->findBatched(lanes, cdim, vdim);
+  }
+  logKernelDispatch(specName_, compiled_ != nullptr, bk ? bk->lanes : 1);
 
   rhs.setZero();
   double maxFreq = 0.0;
@@ -64,18 +80,44 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
   // Parallel over configuration cells: every phase-space cell is written by
   // exactly one chunk, so the decomposition is race-free and bitwise
   // reproducible. Acceleration prep and scratch are per-chunk locals.
-  runChunked(boxSize(cdim, confHi), [&](std::size_t begin, std::size_t end) {
+  // With a batched kernel set, runs of B consecutive velocity cells (in the
+  // odometer order of the scalar loop) are gathered into an AoSoA block and
+  // updated by one batched kernel call; leftover cells take the scalar
+  // path. Blocks never span chunk boundaries, so threading stays bitwise
+  // serial-identical.
+  // Skip the batched driver when the velocity box cannot fill even one
+  // block — every cell would take the remainder path anyway, and the
+  // scalar driver avoids the block-buffer setup.
+  const VlasovBatchedKernels* bkVol =
+      (bk && boxSize(vdim, velHi) >= static_cast<std::size_t>(bk->lanes)) ? bk : nullptr;
+  runChunked(boxSize(cdim, confHi), [&, bkVol](std::size_t begin, std::size_t end) {
+    const VlasovBatchedKernels* bk = bkVol;
     AccelWorkspace ws;
     std::vector<double> alpha(static_cast<std::size_t>(vdim) * np);
     std::array<double, kMaxDim> wArr{};
     double chunkFreq = 0.0;
+
+    const int B = bk ? bk->lanes : 1;
+    BatchBuffer wBlk, fBlk, outBlk, alphaBlk;
+    if (bk) {
+      wBlk.resize(static_cast<std::size_t>(ndim) * B);
+      fBlk.resize(static_cast<std::size_t>(np) * B);
+      outBlk.resize(static_cast<std::size_t>(np) * B);
+      if (em) alphaBlk.resize(static_cast<std::size_t>(vdim) * np * B);
+    }
+    std::array<MultiIndex, kMaxLanes> laneIdx;
+    std::array<const double*, kMaxLanes> lanePtr{};
+    std::array<double*, kMaxLanes> laneOut{};
+    std::array<double*, kMaxLanes> laneOutAlpha{};
+    std::array<double, kMaxLanes> laneFreq{};
+
     forEachIndexInRange(cdim, confHi, begin, end, [&](const MultiIndex& cidx) {
       // Per-configuration-cell preparation shared by all velocity cells.
       if (em) prepareAccel(ks, em->at(cidx), ws);
 
-      forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
-        MultiIndex idx = cidx;
-        for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
+      // Scalar volume update of one phase-space cell (the pre-batching
+      // code path, verbatim; also the remainder path below).
+      const auto scalarCell = [&](const MultiIndex& idx) {
         const std::span<const double> fc = f.cell(idx);
         const std::span<double> rc = rhs.cell(idx);
 
@@ -120,7 +162,80 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
           }
         }
         chunkFreq = std::max(chunkFreq, freq);
-      });
+      };
+
+      // Batched volume update of B cells (laneIdx[0..B)): same arithmetic
+      // per lane, scheduled as AoSoA lane loops.
+      const auto batchBlock = [&]() {
+        for (int b = 0; b < B; ++b) {
+          lanePtr[static_cast<std::size_t>(b)] = f.at(laneIdx[static_cast<std::size_t>(b)]);
+          laneOut[static_cast<std::size_t>(b)] = rhs.at(laneIdx[static_cast<std::size_t>(b)]);
+        }
+        for (int d = 0; d < ndim; ++d)
+          for (int b = 0; b < B; ++b)
+            wBlk[static_cast<std::size_t>(d * B + b)] =
+                grid_.cellCenter(d, laneIdx[static_cast<std::size_t>(b)][d]);
+        packLanes(B, np, lanePtr.data(), fBlk.data());
+        zeroLanes(B, np, outBlk.data());
+        bk->streamVol(wBlk.data(), dxv_.data(), fBlk.data(), outBlk.data());
+        for (int b = 0; b < B; ++b) {
+          double freq = 0.0;
+          for (int d = 0; d < cdim; ++d) {
+            const int vd = cdim + d;
+            freq += (std::abs(wBlk[static_cast<std::size_t>(vd * B + b)]) + 0.5 * grid_.dx(vd)) /
+                    grid_.dx(d);
+          }
+          laneFreq[static_cast<std::size_t>(b)] = freq;
+        }
+        if (em) {
+          // Assemble all B alpha expansions directly in AoSoA layout (the
+          // workspace is lane-invariant: one configuration cell per block),
+          // then scatter to alphaField for the surface pass.
+          buildAccelBatched(ks, grid_, qbym_, laneIdx.data(), B, ws, alphaBlk.data());
+          for (int b = 0; b < B; ++b)
+            laneOutAlpha[static_cast<std::size_t>(b)] =
+                alphaField.at(laneIdx[static_cast<std::size_t>(b)]);
+          scatterLanes(B, vdim * np, alphaBlk.data(), laneOutAlpha.data());
+          bk->accelVol(dxv_.data(), alphaBlk.data(), fBlk.data(), outBlk.data());
+          // CFL speed bound per lane, in the scalar loop's l order.
+          for (int b = 0; b < B; ++b) {
+            for (int j = 0; j < vdim; ++j) {
+              const int d = cdim + j;
+              const double* aj = alphaBlk.data() + static_cast<std::size_t>(j) * np * B;
+              double amax = 0.0;
+              for (int l = 0; l < np; ++l)
+                amax += std::abs(aj[l * B + b]) * ks.phaseSup[static_cast<std::size_t>(l)];
+              laneFreq[static_cast<std::size_t>(b)] += amax / grid_.dx(d);
+            }
+          }
+        }
+        // Volume is the first contribution to each rhs cell (rhs was
+        // zeroed), so the block scatter overwrites — exactly the values the
+        // scalar kernels would have accumulated in place.
+        scatterLanes(B, np, outBlk.data(), laneOut.data());
+        for (int b = 0; b < B; ++b)
+          chunkFreq = std::max(chunkFreq, laneFreq[static_cast<std::size_t>(b)]);
+      };
+
+      if (bk) {
+        int lane = 0;
+        forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
+          MultiIndex idx = cidx;
+          for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
+          laneIdx[static_cast<std::size_t>(lane++)] = idx;
+          if (lane == B) {
+            batchBlock();
+            lane = 0;
+          }
+        });
+        for (int b = 0; b < lane; ++b) scalarCell(laneIdx[static_cast<std::size_t>(b)]);
+      } else {
+        forEachIdx(vdim, velHi, [&](const MultiIndex& vidx) {
+          MultiIndex idx = cidx;
+          for (int j = 0; j < vdim; ++j) idx[cdim + j] = vidx[j];
+          scalarCell(idx);
+        });
+      }
     });
     std::scoped_lock lock(freqMutex);
     maxFreq = std::max(maxFreq, chunkFreq);
@@ -132,6 +247,9 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
   // touch only the cells of that line, so lines decompose race-free, and
   // each cell still receives its lower-face then upper-face lift in the
   // serial order — the threaded result stays bit-for-bit serial-identical.
+  // The batched path gathers B parallel lines and walks their faces in
+  // lockstep (every lane at the same face position i, so boundary handling
+  // is uniform across the block); leftover lines take the scalar path.
   const bool penalty = params_.flux == FluxType::Penalty;
   for (int d = 0; d < ndim; ++d) {
     const auto ds = static_cast<std::size_t>(d);
@@ -144,7 +262,13 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
     for (int i = 0; i < ndim; ++i)
       if (i != d) transHi[nt++] = grid_.cells[static_cast<std::size_t>(i)];
 
-    runChunked(boxSize(nt, transHi), [&, d, ds, isConfDir](std::size_t begin, std::size_t end) {
+    // As in the volume pass: no batched driver when there are fewer
+    // transverse lines than one block's worth.
+    const VlasovBatchedKernels* bkSurf =
+        (bk && boxSize(nt, transHi) >= static_cast<std::size_t>(bk->lanes)) ? bk : nullptr;
+    runChunked(boxSize(nt, transHi),
+               [&, d, ds, isConfDir, bkSurf](std::size_t begin, std::size_t end) {
+      const VlasovBatchedKernels* bk = bkSurf;
       const FaceMap& fm = ks.faceMap[ds];
       const int nf = fm.numFaceModes;
       const double rdx2 = 2.0 / grid_.dx(d);
@@ -155,12 +279,28 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
       std::vector<double> scratch(static_cast<std::size_t>(np));  // discarded ghost-side output
       std::array<double, kMaxDim> wArr{};
 
-      forEachIndexInRange(nt, transHi, begin, end, [&](const MultiIndex& tidx) {
-        MultiIndex fidx;
-        int jt = 0;
-        for (int i = 0; i < ndim; ++i)
-          if (i != d) fidx[i] = tidx[jt++];
+      const int B = bk ? bk->lanes : 1;
+      BatchBuffer wBlk, faceBlkA, faceBlkB, outlBlk, outrBlk, alphaBlkA, alphaBlkB;
+      if (bk) {
+        wBlk.resize(static_cast<std::size_t>(ndim) * B);
+        faceBlkA.resize(static_cast<std::size_t>(np) * B);
+        faceBlkB.resize(static_cast<std::size_t>(np) * B);
+        outlBlk.resize(static_cast<std::size_t>(np) * B);
+        outrBlk.resize(static_cast<std::size_t>(np) * B);
+        if (!isConfDir) {
+          alphaBlkA.resize(static_cast<std::size_t>(np) * B);
+          alphaBlkB.resize(static_cast<std::size_t>(np) * B);
+        }
+      }
+      std::array<MultiIndex, kMaxLanes> lineIdx;
+      std::array<const double*, kMaxLanes> srcPtr{};
+      std::array<const double*, kMaxLanes> alphaPtr{};
+      std::array<double*, kMaxLanes> dstPtr{};
 
+      // Scalar face sweep of one line (the pre-batching code path,
+      // verbatim; also the remainder path below). `fidx` has the line's
+      // transverse components set; fidx[d] is scratch.
+      const auto scalarLine = [&](MultiIndex fidx) {
         // Iterate the line's faces: positions i in [0, N_d] (the idx[d] face
         // is the lower face of cell idx). Velocity-space domain boundaries
         // use the zero-flux closure (skip).
@@ -236,7 +376,104 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
           if (lInterior) fm.lift(fhat, rhs.cell(lidx), +1, -rdx2);
           if (rInterior) fm.lift(fhat, rhs.cell(ridx), -1, +rdx2);
         }
-      });
+      };
+
+      // Batched face sweep of B parallel lines (lineIdx[0..B)). The left
+      // block of face i+1 is the right block of face i, so each step packs
+      // only the right side and swaps. Per-lane pointer cursors advance by
+      // one cell stride in d per face, so the sweep does no per-face index
+      // arithmetic.
+      const auto batchLines = [&]() {
+        const int nd = grid_.cells[ds];
+        const int iBegin = isConfDir ? 0 : 1;
+        const int iEnd = isConfDir ? nd : nd - 1;
+        const int j = isConfDir ? -1 : d - cdim;
+        const int off = isConfDir ? 0 : j * np;
+
+        double* fl = faceBlkA.data();
+        double* fr = faceBlkB.data();
+        double* al = alphaBlkA.data();
+        double* ar = alphaBlkB.data();
+
+        if (isConfDir) {
+          // Face-normal speed v_d per lane: a transverse (velocity)
+          // coordinate of the line, constant along the whole sweep.
+          const int vd = cdim + d;
+          for (int b = 0; b < B; ++b)
+            wBlk[static_cast<std::size_t>(vd * B + b)] =
+                grid_.cellCenter(vd, lineIdx[static_cast<std::size_t>(b)][vd]);
+        }
+
+        // One-cell strides in d (uniform across lanes) and per-lane
+        // cursors: fCur/aCur at position i (advanced at the top of each
+        // face step), rCur at position i - 1 (the outl destination).
+        std::ptrdiff_t fStep, rStep, aStep = 0;
+        {
+          MultiIndex p0 = lineIdx[0], p1 = lineIdx[0];
+          p0[d] = iBegin - 1;
+          p1[d] = iBegin;
+          fStep = f.at(p1) - f.at(p0);
+          rStep = rhs.at(p1) - rhs.at(p0);
+          if (!isConfDir) aStep = alphaField.at(p1) - alphaField.at(p0);
+        }
+        for (int b = 0; b < B; ++b) {
+          MultiIndex li = lineIdx[static_cast<std::size_t>(b)];
+          li[d] = iBegin - 1;
+          srcPtr[static_cast<std::size_t>(b)] = f.at(li);
+          dstPtr[static_cast<std::size_t>(b)] = rhs.at(li);
+          if (!isConfDir) alphaPtr[static_cast<std::size_t>(b)] = alphaField.at(li) + off;
+        }
+        packLanes(B, np, srcPtr.data(), fl);
+        if (!isConfDir) packLanes(B, np, alphaPtr.data(), al);
+
+        for (int i = iBegin; i <= iEnd; ++i) {
+          for (int b = 0; b < B; ++b) srcPtr[static_cast<std::size_t>(b)] += fStep;
+          packLanes(B, np, srcPtr.data(), fr);
+          zeroLanes(B, np, outlBlk.data());
+          zeroLanes(B, np, outrBlk.data());
+          if (isConfDir) {
+            bk->streamSurf[d](wBlk.data(), dxv_.data(), fl, fr, outlBlk.data(), outrBlk.data());
+          } else {
+            for (int b = 0; b < B; ++b) alphaPtr[static_cast<std::size_t>(b)] += aStep;
+            packLanes(B, np, alphaPtr.data(), ar);
+            bk->accelSurf[j](dxv_.data(), al, ar, fl, fr, outlBlk.data(), outrBlk.data());
+          }
+          // Scatter-add in face order: a cell's lower-face lift (outr of
+          // face i) lands before its upper-face lift (outl of face i+1),
+          // preserving the scalar path's per-cell accumulation order.
+          // Ghost-side outputs are simply dropped.
+          if (i > 0) scatterAddLanes(B, np, outlBlk.data(), dstPtr.data());
+          for (int b = 0; b < B; ++b) dstPtr[static_cast<std::size_t>(b)] += rStep;
+          if (i < nd) scatterAddLanes(B, np, outrBlk.data(), dstPtr.data());
+          std::swap(fl, fr);
+          if (!isConfDir) std::swap(al, ar);
+        }
+      };
+
+      if (bk) {
+        int lane = 0;
+        forEachIndexInRange(nt, transHi, begin, end, [&](const MultiIndex& tidx) {
+          MultiIndex fidx;
+          int jt = 0;
+          for (int i = 0; i < ndim; ++i)
+            if (i != d) fidx[i] = tidx[jt++];
+          fidx[d] = 0;
+          lineIdx[static_cast<std::size_t>(lane++)] = fidx;
+          if (lane == B) {
+            batchLines();
+            lane = 0;
+          }
+        });
+        for (int b = 0; b < lane; ++b) scalarLine(lineIdx[static_cast<std::size_t>(b)]);
+      } else {
+        forEachIndexInRange(nt, transHi, begin, end, [&](const MultiIndex& tidx) {
+          MultiIndex fidx;
+          int jt = 0;
+          for (int i = 0; i < ndim; ++i)
+            if (i != d) fidx[i] = tidx[jt++];
+          scalarLine(fidx);
+        });
+      }
     });
   }
 

@@ -13,6 +13,7 @@
 // in this path.
 
 #include <span>
+#include <string>
 
 #include "dg/flux.hpp"
 #include "grid/grid.hpp"
@@ -58,8 +59,28 @@ class VlasovUpdater {
   [[nodiscard]] bool usesCompiledKernels() const { return compiled_ != nullptr; }
 
   /// Force tape interpretation even when compiled kernels are registered
-  /// (used by tests and the codegen ablation benchmark).
-  void disableCompiledKernels() { compiled_ = nullptr; }
+  /// (used by tests and the codegen ablation benchmark). Also disables the
+  /// batched path (batched kernels are compiled kernels).
+  void disableCompiledKernels() {
+    compiled_ = nullptr;
+    batchLanes_ = 1;
+  }
+
+  /// SIMD batch width request: 0 = auto (largest registered batched lane
+  /// count, the default), 1 = scalar cell loop (bitwise identical to the
+  /// pre-batching code path), or a kKernelBatchLanes entry. Requests the
+  /// registry cannot serve fall back to scalar. The batched path is itself
+  /// bitwise identical to scalar per cell, so this knob only affects
+  /// speed; it exists for A/B benchmarking and bisection.
+  void setBatchLanes(int lanes) { batchLanes_ = lanes; }
+
+  /// The lane count advance() actually runs with (1 = scalar path).
+  [[nodiscard]] int activeBatchLanes() const {
+    if (!compiled_ || batchLanes_ == 1) return 1;
+    const int avail = compiled_->maxBatchLanes(ks_->cdim, ks_->vdim);
+    if (batchLanes_ == 0) return avail > 1 ? avail : 1;
+    return compiled_->findBatched(batchLanes_, ks_->cdim, ks_->vdim) ? batchLanes_ : 1;
+  }
 
   /// Volume-term-only update (streaming + acceleration), used by the
   /// kernel-cost benchmarks (Fig. 2) and tests.
@@ -81,6 +102,8 @@ class VlasovUpdater {
   VlasovParams params_;
   double qbym_;
   std::array<double, kMaxDim> dxv_{};  ///< per-dimension cell sizes
+  int batchLanes_ = 0;                 ///< requested SIMD batch width (0 = auto)
+  std::string specName_;               ///< basis spec name (dispatch diagnostics)
 };
 
 }  // namespace vdg

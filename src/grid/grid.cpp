@@ -78,13 +78,6 @@ Grid Grid::make(std::initializer_list<int> cells, std::initializer_list<double> 
   return g;
 }
 
-void forEachCell(const Grid& grid, const std::function<void(const MultiIndex&)>& fn) {
-  // Thin type-erased wrapper over the templated iterator (one indirect
-  // call per cell; hot loops use the template directly).
-  forEachIndexInRange(grid.ndim, grid.cells.data(), 0, grid.numCells(),
-                      [&fn](const MultiIndex& idx) { fn(idx); });
-}
-
 Field::Field(const Grid& grid, int ncomp, int nghost)
     : grid_(grid), ncomp_(ncomp), nghost_(nghost) {
   std::size_t total = 1;

@@ -13,7 +13,6 @@
 #include <array>
 #include <cassert>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -92,16 +91,11 @@ struct Grid {
 /// Invoke fn(idx) for every interior cell of the grid (odometer order:
 /// dimension 0 fastest). Templated on the callable so the per-cell body
 /// stays inlinable in the hot loops (Maxwell volume/surface, moments,
-/// projection); the std::function overload below survives as a thin
-/// wrapper for API compatibility.
+/// projection) — no type erasure, no indirect call per cell.
 template <typename Fn>
 void forEachCell(const Grid& grid, const Fn& fn) {
   forEachIndexInRange(grid.ndim, grid.cells.data(), 0, grid.numCells(), fn);
 }
-
-/// Type-erased overload (one indirect call per cell — prefer the template
-/// in per-cell hot loops).
-void forEachCell(const Grid& grid, const std::function<void(const MultiIndex&)>& fn);
 
 /// A DG coefficient field: ncomp doubles per cell, stored cell-major over
 /// the grid extended by `nghost` ghost cells per side in every dimension.

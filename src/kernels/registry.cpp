@@ -3,6 +3,8 @@
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <set>
+#include <sstream>
 
 namespace vdg {
 
@@ -39,13 +41,35 @@ const VlasovCompiledKernels* findCompiledKernels(const std::string& specName) {
 
 void registerCompiledKernels(const std::string& specName, const VlasovCompiledKernels& k) {
   std::scoped_lock lock(tableMutex());
-  const auto [it, inserted] = table().insert_or_assign(specName, k);
-  (void)it;
+  auto [it, inserted] = table().try_emplace(specName);
   if (!inserted) {
-    ++duplicateCount();
-    std::cerr << "vdg: warning: duplicate compiled-kernel registration for spec '" << specName
-              << "' (last registration wins)\n";
+    // A batched translation unit may legitimately have created the entry
+    // first; only a previously-registered *scalar* set counts as a
+    // duplicate. Keep whatever batched slots are already attached.
+    if (it->second.streamVol != nullptr) {
+      ++duplicateCount();
+      std::cerr << "vdg: warning: duplicate compiled-kernel registration for spec '" << specName
+                << "' (last registration wins)\n";
+    }
   }
+  VlasovBatchedKernels saved[kNumKernelBatchLanes];
+  for (int i = 0; i < kNumKernelBatchLanes; ++i) saved[i] = it->second.batched[i];
+  it->second = k;
+  for (int i = 0; i < kNumKernelBatchLanes; ++i)
+    if (it->second.batched[i].lanes == 0 && saved[i].lanes != 0) it->second.batched[i] = saved[i];
+}
+
+void registerBatchedKernels(const std::string& specName, const VlasovBatchedKernels& b) {
+  std::scoped_lock lock(tableMutex());
+  VlasovCompiledKernels& entry = table()[specName];
+  for (int i = 0; i < kNumKernelBatchLanes; ++i) {
+    if (kKernelBatchLanes[i] == b.lanes) {
+      entry.batched[i] = b;
+      return;
+    }
+  }
+  std::cerr << "vdg: warning: batched-kernel registration for spec '" << specName
+            << "' with unsupported lane count " << b.lanes << " ignored\n";
 }
 
 int numCompiledKernelSets() {
@@ -61,6 +85,41 @@ std::vector<std::string> listCompiledKernelSpecs() {
   names.reserve(table().size());
   for (const auto& [name, k] : table()) names.push_back(name);
   return names;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> describeCompiledKernelSpecs() {
+  ensureGeneratedRegistered();
+  std::scoped_lock lock(tableMutex());
+  std::vector<std::string> lines;
+  lines.reserve(table().size());
+  for (const auto& [name, k] : table()) {
+    std::ostringstream os;
+    os << name << ": " << k.numPhaseModes << " modes";
+    bool any = false;
+    for (const VlasovBatchedKernels& b : k.batched) {
+      if (b.lanes == 0) continue;
+      os << (any ? "," : ", batch lanes {") << b.lanes;
+      any = true;
+    }
+    os << (any ? "}" : ", scalar only");
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+void logKernelDispatch(const std::string& specName, bool compiled, int batchLanes) {
+  static std::set<std::string> logged;
+  static std::mutex m;
+  std::ostringstream os;
+  os << "vdg: kernels: " << specName << " -> "
+     << (compiled ? "compiled" : "tape-interpreted");
+  if (batchLanes > 1)
+    os << ", batched B=" << batchLanes << " (AoSoA lane loop active)";
+  else
+    os << ", scalar cell loop";
+  const std::string line = os.str();
+  std::scoped_lock lock(m);
+  if (logged.insert(line).second) std::cerr << line << "\n";
 }
 
 int numDuplicateKernelRegistrations() {

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "kernels/registry.hpp"
 #include "tensors/vlasov_tensors.hpp"
 
 namespace vdg {
@@ -21,13 +22,26 @@ std::string num(double v) {
   return s;
 }
 
+/// Array-element rendering for the two emission modes. Scalar kernels
+/// address one cell: `f[3]`. Batched kernels address an AoSoA block of B
+/// cells (mode-major, lane-minor) from inside a `for (int b...)` lane
+/// loop: `f[3*B+b]`.
+struct Lane {
+  bool on = false;
+  [[nodiscard]] std::string at(const std::string& arr, int i) const {
+    return arr + "[" + std::to_string(i) + (on ? "*B+b]" : "]");
+  }
+};
+
 /// Accumulates source text plus operation counts.
 struct CodeWriter {
   std::ostringstream os;
   std::size_t mults = 0;
   std::size_t adds = 0;
+  std::string indent = "  ";  ///< batched bodies sit inside the lane loop
 
   void line(const std::string& s) { os << s << "\n"; }
+  void body(const std::string& s) { os << indent << s << "\n"; }
 
   /// Render "c1*x1 + c2*x2 + ..." counting one multiply per term and one
   /// add per joint; returns "0.0" for an empty sum.
@@ -56,6 +70,20 @@ struct CodeWriter {
 
 std::string fnPrefix(const BasisSpec& spec) { return "vlasov_" + spec.name(); }
 
+/// Parameter-list rendering: batched kernels take __restrict-qualified
+/// pointers (the pack/scatter layer guarantees disjoint buffers), which
+/// lets the compiler vectorize the lane loop without alias versioning.
+std::string params(const Lane& lane, std::initializer_list<std::pair<const char*, const char*>> ps) {
+  std::string s;
+  bool first = true;
+  for (const auto& [type, name] : ps) {
+    if (!first) s += ", ";
+    first = false;
+    s += std::string(type) + (lane.on ? "* __restrict " : "* ") + name;
+  }
+  return s;
+}
+
 /// Gather tape terms grouped by output index l.
 template <typename Tape>
 std::map<int, std::vector<typename Tape::Term>> groupByOut(const Tape& tape) {
@@ -66,27 +94,44 @@ std::map<int, std::vector<typename Tape::Term>> groupByOut(const Tape& tape) {
 
 }  // namespace
 
-EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec) {
+EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec, bool batched) {
   const VlasovKernelSet& ks = vlasovKernels(spec);
   const int np = ks.numPhaseModes;
+  const Lane lane{batched};
 
   EmittedKernel out;
-  out.functionName = fnPrefix(spec) + "_stream_vol";
+  out.functionName = fnPrefix(spec) + "_stream_vol" + (batched ? "_bat" : "");
   CodeWriter w;
+  if (batched) w.indent = "    ";
   w.line("// Volume streaming kernel (exact DG volume integral of div_x (v f)),");
   w.line("// auto-generated for the " + spec.name() + " basis (" + std::to_string(np) +
          " DOF/cell).");
-  w.line("// Inputs: cell center w, cell size dxv, distribution coefficients f;");
-  w.line("// out is incremented with the forward-Euler volume contribution.");
-  w.line("void " + out.functionName +
-         "(const double* w, const double* dxv, const double* f, double* out) {");
+  if (batched) {
+    w.line("// Batched AoSoA variant: arrays hold B cells mode-major/lane-minor");
+    w.line("// ([i*B+b]); per lane the FP operation order matches the scalar kernel.");
+    w.line("template <int B>");
+  } else {
+    w.line("// Inputs: cell center w, cell size dxv, distribution coefficients f;");
+    w.line("// out is incremented with the forward-Euler volume contribution.");
+  }
+  w.line("void " + out.functionName + "(" +
+         params(lane, {{"const double", "w"},
+                       {"const double", "dxv"},
+                       {"const double", "f"},
+                       {"double", "out"}}) +
+         ") {");
   for (int d = 0; d < ks.cdim; ++d) {
     const int vd = ks.cdim + d;
     const std::string sd = std::to_string(d);
     w.line("  const double rdx2_" + sd + " = 2.0/dxv[" + sd + "];");
-    w.line("  const double wv_" + sd + " = w[" + std::to_string(vd) + "];");
+    if (!batched) w.line("  const double wv_" + sd + " = w[" + std::to_string(vd) + "];");
     w.line("  const double hdv_" + sd + " = 0.5*dxv[" + std::to_string(vd) + "];");
     w.mults += 2;
+  }
+  if (batched) {
+    w.line("  for (int b = 0; b < B; ++b) {");
+    for (int d = 0; d < ks.cdim; ++d)
+      w.body("const double wv_" + std::to_string(d) + " = " + lane.at("w", ks.cdim + d) + ";");
   }
   for (int l = 0; l < np; ++l) {
     for (int d = 0; d < ks.cdim; ++d) {
@@ -110,13 +155,14 @@ EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec) {
         std::vector<std::pair<double, std::string>> parts;
         if (c0 != 0.0) parts.emplace_back(c0, "wv_" + sd);
         if (c1 != 0.0) parts.emplace_back(c1, "hdv_" + sd);
-        expr += "(" + w.sum(parts) + ")*f[" + std::to_string(n) + "]";
+        expr += "(" + w.sum(parts) + ")*" + lane.at("f", n);
         ++w.mults;
       }
-      w.line("  out[" + std::to_string(l) + "] += rdx2_" + sd + "*(" + expr + ");");
+      w.body(lane.at("out", l) + " += rdx2_" + sd + "*(" + expr + ");");
       ++w.mults;
     }
   }
+  if (batched) w.line("  }");
   w.line("}");
   out.source = w.os.str();
   out.multiplies = w.mults;
@@ -124,24 +170,35 @@ EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec) {
   return out;
 }
 
-EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec) {
+EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec, bool batched) {
   const VlasovKernelSet& ks = vlasovKernels(spec);
   const int np = ks.numPhaseModes;
+  const Lane lane{batched};
 
   EmittedKernel out;
-  out.functionName = fnPrefix(spec) + "_accel_vol";
+  out.functionName = fnPrefix(spec) + "_accel_vol" + (batched ? "_bat" : "");
   CodeWriter w;
+  if (batched) w.indent = "    ";
   w.line("// Volume acceleration kernel (exact DG volume integral of div_v (alpha f));");
   w.line("// alpha is the per-cell phase-space flux expansion, vdim x " + std::to_string(np) +
          " coefficients.");
-  w.line("void " + out.functionName +
-         "(const double* dxv, const double* alpha, const double* f, double* out) {");
+  if (batched) {
+    w.line("// Batched AoSoA variant (B cells per call, lane-minor layout).");
+    w.line("template <int B>");
+  }
+  w.line("void " + out.functionName + "(" +
+         params(lane, {{"const double", "dxv"},
+                       {"const double", "alpha"},
+                       {"const double", "f"},
+                       {"double", "out"}}) +
+         ") {");
   for (int j = 0; j < ks.vdim; ++j) {
     const int d = ks.cdim + j;
     w.line("  const double rdv2_" + std::to_string(j) + " = 2.0/dxv[" + std::to_string(d) +
            "];");
     ++w.mults;
   }
+  if (batched) w.line("  for (int b = 0; b < B; ++b) {");
   for (int j = 0; j < ks.vdim; ++j) {
     const int d = ks.cdim + j;
     const auto grouped = groupByOut(ks.volume[static_cast<std::size_t>(d)]);
@@ -157,15 +214,14 @@ EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec) {
           expr += "-";
         }
         const double a = t.c < 0 ? -t.c : t.c;
-        expr += num(a) + "*alpha[" + std::to_string(off + t.m) + "]*f[" + std::to_string(t.n) +
-                "]";
+        expr += num(a) + "*" + lane.at("alpha", off + t.m) + "*" + lane.at("f", t.n);
         w.mults += 2;
       }
-      w.line("  out[" + std::to_string(l) + "] += rdv2_" + std::to_string(j) + "*(" + expr +
-             ");");
+      w.body(lane.at("out", l) + " += rdv2_" + std::to_string(j) + "*(" + expr + ");");
       ++w.mults;
     }
   }
+  if (batched) w.line("  }");
   w.line("}");
   out.source = w.os.str();
   out.multiplies = w.mults;
@@ -176,26 +232,26 @@ EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec) {
 namespace {
 
 /// Emit face-trace assignments: name_k = sum psiEnd * src[l], one local
-/// variable per face mode.
+/// variable per face mode (per lane in batched mode).
 void emitTrace(CodeWriter& w, const FaceMap& fm, const std::string& name, const std::string& src,
-               bool plusSide) {
+               bool plusSide, const Lane& lane) {
   std::map<int, std::vector<std::pair<double, std::string>>> byFace;
   for (const FaceMap::Entry& e : fm.entries)
-    byFace[e.face].emplace_back(plusSide ? e.atPlus : e.atMinus, src + "[" + std::to_string(e.vol) + "]");
+    byFace[e.face].emplace_back(plusSide ? e.atPlus : e.atMinus, lane.at(src, e.vol));
   for (int k = 0; k < fm.numFaceModes; ++k) {
     auto it = byFace.find(k);
-    w.line("  const double " + name + std::to_string(k) + " = " +
+    w.body("const double " + name + std::to_string(k) + " = " +
            (it == byFace.end() ? std::string("0.0") : w.sum(it->second)) + ";");
   }
 }
 
 /// Emit the two diagonal lifts of fhat into outl/outr.
-void emitLifts(CodeWriter& w, const FaceMap& fm, const std::string& rdx2) {
+void emitLifts(CodeWriter& w, const FaceMap& fm, const std::string& rdx2, const Lane& lane) {
   for (const FaceMap::Entry& e : fm.entries) {
     // outl[l] -= rdx2 * psiEnd(+1) * fhat_k ; outr[l] += rdx2 * psiEnd(-1) * fhat_k.
-    w.line("  outl[" + std::to_string(e.vol) + "] -= " + rdx2 + "*" + num(e.atPlus) + "*fhat" +
+    w.body(lane.at("outl", e.vol) + " -= " + rdx2 + "*" + num(e.atPlus) + "*fhat" +
            std::to_string(e.face) + ";");
-    w.line("  outr[" + std::to_string(e.vol) + "] += " + rdx2 + "*" + num(e.atMinus) + "*fhat" +
+    w.body(lane.at("outr", e.vol) + " += " + rdx2 + "*" + num(e.atMinus) + "*fhat" +
            std::to_string(e.face) + ";");
     w.mults += 4;
   }
@@ -203,31 +259,47 @@ void emitLifts(CodeWriter& w, const FaceMap& fm, const std::string& rdx2) {
 
 }  // namespace
 
-EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir) {
+EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir, bool batched) {
   const VlasovKernelSet& ks = vlasovKernels(spec);
   const FaceMap& fm = ks.faceMap[static_cast<std::size_t>(dir)];
   const int nf = fm.numFaceModes;
   const int vd = ks.cdim + dir;
+  const Lane lane{batched};
 
   EmittedKernel out;
-  out.functionName = fnPrefix(spec) + "_stream_surf" + std::to_string(dir);
+  out.functionName =
+      fnPrefix(spec) + "_stream_surf" + std::to_string(dir) + (batched ? "_bat" : "");
   CodeWriter w;
+  if (batched) w.indent = "    ";
   w.line("// Surface streaming kernel, configuration direction " + std::to_string(dir) + ":");
   w.line("// local Lax-Friedrichs flux Fhat = v favg - (tau/2)(fr - fl) on the shared");
   w.line("// face, lifted into both adjacent cells (fl: left/lower cell, fr: right).");
-  w.line("void " + out.functionName +
-         "(const double* w, const double* dxv, const double* fl, const double* fr, double* "
-         "outl, double* outr) {");
+  if (batched) {
+    w.line("// Batched AoSoA variant (B faces per call, lane-minor layout).");
+    w.line("template <int B>");
+  }
+  w.line("void " + out.functionName + "(" +
+         params(lane, {{"const double", "w"},
+                       {"const double", "dxv"},
+                       {"const double", "fl"},
+                       {"const double", "fr"},
+                       {"double", "outl"},
+                       {"double", "outr"}}) +
+         ") {");
   w.line("  const double rdx2 = 2.0/dxv[" + std::to_string(dir) + "];");
-  w.line("  const double wv = w[" + std::to_string(vd) + "];");
+  if (!batched) w.line("  const double wv = w[" + std::to_string(vd) + "];");
   w.line("  const double hdv = 0.5*dxv[" + std::to_string(vd) + "];");
-  w.line("  const double tau = std::fmax(std::fabs(wv - hdv), std::fabs(wv + hdv));");
+  if (batched) {
+    w.line("  for (int b = 0; b < B; ++b) {");
+    w.body("const double wv = " + lane.at("w", vd) + ";");
+  }
+  w.body("const double tau = std::fmax(std::fabs(wv - hdv), std::fabs(wv + hdv));");
   w.mults += 3;
-  emitTrace(w, fm, "fL", "fl", /*plusSide=*/true);
-  emitTrace(w, fm, "fR", "fr", /*plusSide=*/false);
+  emitTrace(w, fm, "fL", "fl", /*plusSide=*/true, lane);
+  emitTrace(w, fm, "fR", "fr", /*plusSide=*/false, lane);
   for (int k = 0; k < nf; ++k) {
     const std::string sk = std::to_string(k);
-    w.line("  const double favg" + sk + " = 0.5*(fL" + sk + " + fR" + sk + ");");
+    w.body("const double favg" + sk + " = 0.5*(fL" + sk + " + fR" + sk + ");");
     ++w.mults;
     ++w.adds;
   }
@@ -243,9 +315,10 @@ EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir) {
                        sk + " - fL" + sk + ")";
     w.mults += 3;
     w.adds += 3;
-    w.line("  const double fhat" + sk + " = " + expr + ";");
+    w.body("const double fhat" + sk + " = " + expr + ";");
   }
-  emitLifts(w, fm, "rdx2");
+  emitLifts(w, fm, "rdx2", lane);
+  if (batched) w.line("  }");
   w.line("}");
   out.source = w.os.str();
   out.multiplies = w.mults;
@@ -253,28 +326,42 @@ EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir) {
   return out;
 }
 
-EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j) {
+EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j, bool batched) {
   const VlasovKernelSet& ks = vlasovKernels(spec);
   const int d = ks.cdim + j;
   const FaceMap& fm = ks.faceMap[static_cast<std::size_t>(d)];
   const int nf = fm.numFaceModes;
   const std::vector<double>& sup = ks.faceSup[static_cast<std::size_t>(d)];
+  const Lane lane{batched};
 
   EmittedKernel out;
-  out.functionName = fnPrefix(spec) + "_accel_surf" + std::to_string(j);
+  out.functionName =
+      fnPrefix(spec) + "_accel_surf" + std::to_string(j) + (batched ? "_bat" : "");
   CodeWriter w;
+  if (batched) w.indent = "    ";
   w.line("// Surface acceleration kernel, velocity direction " + std::to_string(j) + ":");
   w.line("// per-side flux expansions (paper Eq. 5) with a local Lax-Friedrichs");
   w.line("// penalty bounded by the coefficient-sup estimate of |alpha| on the face.");
-  w.line("void " + out.functionName +
-         "(const double* dxv, const double* al, const double* ar, const double* fl, const "
-         "double* fr, double* outl, double* outr) {");
+  if (batched) {
+    w.line("// Batched AoSoA variant (B faces per call, lane-minor layout).");
+    w.line("template <int B>");
+  }
+  w.line("void " + out.functionName + "(" +
+         params(lane, {{"const double", "dxv"},
+                       {"const double", "al"},
+                       {"const double", "ar"},
+                       {"const double", "fl"},
+                       {"const double", "fr"},
+                       {"double", "outl"},
+                       {"double", "outr"}}) +
+         ") {");
   w.line("  const double rdx2 = 2.0/dxv[" + std::to_string(d) + "];");
   ++w.mults;
-  emitTrace(w, fm, "fL", "fl", true);
-  emitTrace(w, fm, "fR", "fr", false);
-  emitTrace(w, fm, "aL", "al", true);
-  emitTrace(w, fm, "aR", "ar", false);
+  if (batched) w.line("  for (int b = 0; b < B; ++b) {");
+  emitTrace(w, fm, "fL", "fl", true, lane);
+  emitTrace(w, fm, "fR", "fr", false, lane);
+  emitTrace(w, fm, "aL", "al", true, lane);
+  emitTrace(w, fm, "aR", "ar", false, lane);
   {
     std::string bl = "0.0", br = "0.0";
     for (int k = 0; k < nf; ++k) {
@@ -285,7 +372,7 @@ EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j) {
       w.mults += 2;
       w.adds += 2;
     }
-    w.line("  const double tau = std::fmax(" + bl + ", " + br + ");");
+    w.body("const double tau = std::fmax(" + bl + ", " + br + ");");
   }
   const auto gaunt = groupByOut(ks.faceProduct[static_cast<std::size_t>(d)]);
   for (int k = 0; k < nf; ++k) {
@@ -309,12 +396,13 @@ EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j) {
       }
     }
     if (expr.empty()) expr = "0.0";
-    w.line("  const double fhat" + sk + " = 0.5*(" + expr + ") - 0.5*tau*(fR" + sk + " - fL" +
+    w.body("const double fhat" + sk + " = 0.5*(" + expr + ") - 0.5*tau*(fR" + sk + " - fL" +
            sk + ");");
     w.mults += 2;
     w.adds += 2;
   }
-  emitLifts(w, fm, "rdx2");
+  emitLifts(w, fm, "rdx2", lane);
+  if (batched) w.line("  }");
   w.line("}");
   out.source = w.os.str();
   out.multiplies = w.mults;
@@ -360,6 +448,59 @@ std::string emitKernelTranslationUnit(const BasisSpec& spec) {
   os << "  registerCompiledKernels(\"" << spec.name() << "\", k);\n"
      << "}\n\n"
      << "}  // namespace vdg::gen_" << spec.name() << "\n";
+  return os.str();
+}
+
+std::string emitBatchedKernelTranslationUnit(const BasisSpec& spec) {
+  std::ostringstream os;
+  os << "// ============================================================================\n"
+     << "// AUTO-GENERATED by tools/gen_kernels — DO NOT EDIT BY HAND.\n"
+     << "// SIMD-batched (AoSoA) modal DG Vlasov kernels for the " << spec.name() << " basis:\n"
+     << "// the scalar kernels of vlasov_" << spec.name() << ".cpp with the cell index turned\n"
+     << "// into an inner lane loop over a block of B cells (mode-major, lane-minor\n"
+     << "// layout, element i of lane b at [i*B+b]) so the compiler autovectorizes\n"
+     << "// across cells. Per lane the FP operation order is identical to the scalar\n"
+     << "// kernel — the batched path is bitwise reproducible (tests/test_batch.cpp).\n"
+     << "// This translation unit is compiled with the VDG_KERNEL_SIMD flags (wider\n"
+     << "// ISA + -ffp-contract=off); the scalar units keep the baseline ISA.\n"
+     << "// Regenerate with: gen_kernels <output-dir>\n"
+     << "// ============================================================================\n"
+     << "// clang-format off\n"
+     << "#include <cmath>\n\n"
+     << "#include \"kernels/registry.hpp\"\n\n"
+     << "namespace vdg::gen_" << spec.name() << "_batch {\nnamespace {\n\n";
+
+  const VlasovKernelSet& ks = vlasovKernels(spec);
+  std::vector<EmittedKernel> kernels;
+  kernels.push_back(emitStreamingVolumeKernel(spec, /*batched=*/true));
+  kernels.push_back(emitAccelVolumeKernel(spec, /*batched=*/true));
+  for (int d = 0; d < ks.cdim; ++d)
+    kernels.push_back(emitStreamingSurfaceKernel(spec, d, /*batched=*/true));
+  for (int j = 0; j < ks.vdim; ++j)
+    kernels.push_back(emitAccelSurfaceKernel(spec, j, /*batched=*/true));
+
+  for (const EmittedKernel& k : kernels) os << k.source << "\n";
+
+  os << "}  // namespace\n\n"
+     << "void registerKernels() {\n";
+  for (int i = 0; i < kNumKernelBatchLanes; ++i) {
+    const int lanes = kKernelBatchLanes[i];
+    os << "  {\n"
+       << "    VlasovBatchedKernels b;\n"
+       << "    b.lanes = " << lanes << ";\n"
+       << "    b.streamVol = " << fnPrefix(spec) << "_stream_vol_bat<" << lanes << ">;\n"
+       << "    b.accelVol = " << fnPrefix(spec) << "_accel_vol_bat<" << lanes << ">;\n";
+    for (int d = 0; d < ks.cdim; ++d)
+      os << "    b.streamSurf[" << d << "] = " << fnPrefix(spec) << "_stream_surf" << d
+         << "_bat<" << lanes << ">;\n";
+    for (int j = 0; j < ks.vdim; ++j)
+      os << "    b.accelSurf[" << j << "] = " << fnPrefix(spec) << "_accel_surf" << j
+         << "_bat<" << lanes << ">;\n";
+    os << "    registerBatchedKernels(\"" << spec.name() << "\", b);\n"
+       << "  }\n";
+  }
+  os << "}\n\n"
+     << "}  // namespace vdg::gen_" << spec.name() << "_batch\n";
   return os.str();
 }
 

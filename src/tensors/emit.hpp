@@ -32,32 +32,50 @@ struct EmittedKernel {
   std::size_t adds = 0;
 };
 
+/// Every emitter below renders a scalar (one-cell) kernel by default.
+/// With `batched = true` it renders the SIMD-batched AoSoA variant
+/// instead: a `template <int B>` function whose body wraps the same
+/// contraction in an inner lane loop over a block of B cells laid out
+/// mode-major, lane-minor (element i of lane b at [i*B+b]), with
+/// __restrict pointer parameters so the compiler autovectorizes across
+/// cells. Per lane the floating-point operation order is identical to the
+/// scalar kernel, keeping the batched path bitwise reproducible.
+
 /// Volume streaming kernel: the exact DG volume integral of div_x (v f)
 /// over all configuration directions (the paper's Fig. 1 kernel shape).
 ///   void f(const double* w, const double* dxv, const double* f, double* out)
-[[nodiscard]] EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec);
+[[nodiscard]] EmittedKernel emitStreamingVolumeKernel(const BasisSpec& spec,
+                                                     bool batched = false);
 
 /// Volume acceleration kernel: div_v (alpha f) over all velocity
 /// directions; `alpha` is the per-cell flux expansion (vdim * Np).
 ///   void f(const double* dxv, const double* alpha, const double* f, double* out)
-[[nodiscard]] EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec);
+[[nodiscard]] EmittedKernel emitAccelVolumeKernel(const BasisSpec& spec, bool batched = false);
 
 /// Surface streaming kernel for configuration direction `dir`: evaluates
 /// the penalty (local Lax-Friedrichs) numerical flux on the shared face of
 /// a left/right cell pair and lifts it into both cells.
 ///   void f(const double* w, const double* dxv,
 ///          const double* fl, const double* fr, double* outl, double* outr)
-[[nodiscard]] EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir);
+[[nodiscard]] EmittedKernel emitStreamingSurfaceKernel(const BasisSpec& spec, int dir,
+                                                      bool batched = false);
 
 /// Surface acceleration kernel for velocity direction `j` (phase dir
 /// cdim + j), with per-side flux expansions as in paper Eq. 5.
 ///   void f(const double* dxv, const double* al, const double* ar,
 ///          const double* fl, const double* fr, double* outl, double* outr)
-[[nodiscard]] EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j);
+[[nodiscard]] EmittedKernel emitAccelSurfaceKernel(const BasisSpec& spec, int j,
+                                                  bool batched = false);
 
 /// Render the complete translation unit (all kernels above + registry
 /// registration) for one spec. This is what tools/gen_kernels writes into
 /// src/kernels/gen/.
 [[nodiscard]] std::string emitKernelTranslationUnit(const BasisSpec& spec);
+
+/// Render the sibling SIMD-batched translation unit (vlasov_<spec>_batch.cpp):
+/// `template <int B>` AoSoA variants of every kernel above, instantiated
+/// and registered for each kKernelBatchLanes entry via
+/// registerBatchedKernels(). Compiled with the VDG_KERNEL_SIMD flags.
+[[nodiscard]] std::string emitBatchedKernelTranslationUnit(const BasisSpec& spec);
 
 }  // namespace vdg

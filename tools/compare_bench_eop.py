@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Guard the Eop efficiency benchmark against regressions.
+
+Compares a freshly produced BENCH_eop.json against the checked-in
+baseline (bench/baselines/BENCH_eop.baseline.json) and fails (exit 1)
+when either
+
+  * the batched Vlasov Eop throughput regressed more than --tolerance
+    (default 15%) below the baseline, or
+  * the batched path fell below the scalar path measured in the same
+    run — the batched kernels must never be a pessimization.
+
+Absolute Eop numbers are hardware-dependent, so CI runners should
+refresh the baseline when the fleet changes; the scalar-vs-batched
+ordering check is hardware-independent.
+
+Usage: tools/compare_bench_eop.py CURRENT.json [--baseline PATH]
+       [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines" / (
+    "BENCH_eop.baseline.json"
+)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=pathlib.Path, help="BENCH_eop.json from this run")
+    ap.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression of batched Vlasov Eop vs baseline",
+    )
+    args = ap.parse_args()
+
+    cur = json.loads(args.current.read_text())
+    base = json.loads(args.baseline.read_text())
+
+    cur_batched = cur["eop"]["vlasov"]
+    cur_scalar = cur["eop"]["vlasov_scalar"]
+    base_batched = base["eop"]["vlasov"]
+
+    failures = []
+
+    floor = base_batched * (1.0 - args.tolerance)
+    if cur_batched < floor:
+        failures.append(
+            f"batched Vlasov Eop regressed: {cur_batched:.3e} < {floor:.3e} "
+            f"(baseline {base_batched:.3e}, tolerance {args.tolerance:.0%})"
+        )
+
+    if cur_batched < cur_scalar:
+        failures.append(
+            f"batched path slower than scalar in the same run: "
+            f"batched {cur_batched:.3e} < scalar {cur_scalar:.3e}"
+        )
+
+    speedup = cur_batched / cur_scalar if cur_scalar else float("nan")
+    print(f"eop: batched {cur_batched:.3e}  scalar {cur_scalar:.3e}  speedup {speedup:.2f}x")
+    print(f"baseline batched {base_batched:.3e}  (floor {floor:.3e})")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("OK: Eop throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
-// Cost profile of the electrostatic field path: the Poisson direct solve
-// is a one-time dense LU factorization of the (bordered, block-tridiagonal
-// periodic) global operator plus an O(n^2) back-substitution per RHS
-// stage. This bench pins both against the per-stage cost drivers of a
-// kinetic run so the "elliptic solve is the cheap part" claim stays
-// measured, not assumed. Emits BENCH_poisson.json.
+// Cost profile of the electrostatic field path across both backends. The
+// 1x direct solve is a one-time dense LU factorization of the (bordered,
+// block-tridiagonal periodic) global operator plus an O(n^2)
+// back-substitution per RHS stage; the multi-dimensional path is the
+// matrix-free block-Jacobi PCG/BiCGStab backend whose per-solve cost is
+// iterations x one recovery-stencil sweep. This bench pins both against
+// the per-stage cost drivers of a kinetic run so the "elliptic solve is
+// the cheap part" claim stays measured, not assumed. Emits
+// BENCH_poisson.json; each record carries dim/method/iterations columns
+// so the CI guard can watch Krylov iteration counts as well as wall time.
 
 #include <chrono>
 #include <cmath>
@@ -14,40 +18,78 @@
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+const char* methodName(vdg::PoissonMethod m) {
+  return m == vdg::PoissonMethod::DirectLu ? "lu" : "cg";
+}
+
+}  // namespace
+
 int main() {
   using namespace vdg;
   std::FILE* json = std::fopen("BENCH_poisson.json", "w");
   if (json) std::fprintf(json, "[\n");
-  std::printf("%6s %3s %8s %14s %14s\n", "cells", "p", "n", "setup [ms]", "solve [us]");
+  std::printf("%4s %6s %3s %7s %8s %14s %14s %6s\n", "dim", "cells", "p", "method", "n",
+              "setup [ms]", "solve [us]", "iters");
   bool first = true;
+
+  const double L = 12.566370614359172;  // 4*pi
+  struct Case {
+    int dim;
+    int cells;  // per dimension
+    PoissonMethod method;
+  };
+  const Case cases[] = {
+      // 1x: dense bordered LU (the historical fast path) and the
+      // matrix-free Krylov backend on the same grids, so the crossover
+      // between O(n^2) back-substitution and O(iters * n) sweeps is in
+      // the table rather than folklore.
+      {1, 32, PoissonMethod::DirectLu},
+      {1, 128, PoissonMethod::DirectLu},
+      {1, 512, PoissonMethod::DirectLu},
+      {1, 512, PoissonMethod::ConjGrad},
+      // 2x: Krylov only — the dense operator would be (cells^2*np)^2.
+      {2, 16, PoissonMethod::ConjGrad},
+      {2, 32, PoissonMethod::ConjGrad},
+      {2, 64, PoissonMethod::ConjGrad},
+  };
+
   for (int p : {1, 2}) {
-    for (int N : {32, 128, 512}) {
-      const BasisSpec spec{1, 0, p, BasisFamily::Serendipity};
-      const Grid g = Grid::make({N}, {0.0}, {12.566370614359172});
+    for (const Case& c : cases) {
+      const BasisSpec spec{c.dim, 0, p, BasisFamily::Serendipity};
+      const Grid g = c.dim == 1 ? Grid::make({c.cells}, {0.0}, {L})
+                                : Grid::make({c.cells, c.cells}, {0.0, 0.0}, {L, L});
+      PoissonParams params;
+      params.method = c.method;
 
       const auto t0 = Clock::now();
-      const PoissonSolver solver(spec, g, PoissonParams{});
+      const PoissonSolver solver(spec, g, params);
       const double setupMs =
           1e3 * std::chrono::duration<double>(Clock::now() - t0).count();
 
       std::vector<double> rho(solver.numUnknowns()), phi(solver.numUnknowns());
       for (std::size_t i = 0; i < rho.size(); ++i)
         rho[i] = std::sin(0.01 * static_cast<double>(i));
-      // Warm once, then time repeated back-substitutions.
-      solver.solve(rho, phi);
-      const int reps = 200;
+      // Warm once, then time repeated solves (LU: back-substitution;
+      // Krylov: full iteration to the default tolerance).
+      PoissonSolver::SolveStats stats = solver.solve(rho, phi, nullptr);
+      const int reps = c.dim == 1 ? 200 : 20;
       const auto t1 = Clock::now();
-      for (int r = 0; r < reps; ++r) solver.solve(rho, phi);
+      for (int r = 0; r < reps; ++r) stats = solver.solve(rho, phi, nullptr);
       const double solveUs =
           1e6 * std::chrono::duration<double>(Clock::now() - t1).count() / reps;
 
-      std::printf("%6d %3d %8zu %14.2f %14.2f\n", N, p, solver.numUnknowns(), setupMs,
-                  solveUs);
+      std::printf("%4d %6d %3d %7s %8zu %14.2f %14.2f %6d\n", c.dim, c.cells, p,
+                  methodName(solver.method()), solver.numUnknowns(), setupMs, solveUs,
+                  stats.iterations);
       if (json)
         std::fprintf(json,
-                     "%s  {\"cells\": %d, \"polyOrder\": %d, \"unknowns\": %zu, "
-                     "\"setup_ms\": %.3f, \"solve_us\": %.3f}",
-                     first ? "" : ",\n", N, p, solver.numUnknowns(), setupMs, solveUs);
+                     "%s  {\"dim\": %d, \"cells\": %d, \"polyOrder\": %d, "
+                     "\"method\": \"%s\", \"unknowns\": %zu, \"setup_ms\": %.3f, "
+                     "\"solve_us\": %.3f, \"iterations\": %d}",
+                     first ? "" : ",\n", c.dim, c.cells, p, methodName(solver.method()),
+                     solver.numUnknowns(), setupMs, solveUs, stats.iterations);
       first = false;
     }
   }

@@ -363,7 +363,10 @@ Simulation Simulation::Builder::build() {
       const Grid global = confGrid_.parent();
       const Grid& sg = providedPoisson_->grid();
       bool match = providedPoisson_->basis().spec() == confSpec && sg.ndim == global.ndim &&
-                   providedPoisson_->params().epsilon0 == poissonParams_.epsilon0;
+                   providedPoisson_->params().epsilon0 == poissonParams_.epsilon0 &&
+                   providedPoisson_->params().method == poissonParams_.method &&
+                   providedPoisson_->params().cgTol == poissonParams_.cgTol &&
+                   providedPoisson_->params().cgMaxIter == poissonParams_.cgMaxIter;
       for (int d = 0; match && d < global.ndim; ++d) {
         const auto ds = static_cast<std::size_t>(d);
         match = sg.cells[ds] == global.cells[ds] && sg.lower[ds] == global.lower[ds] &&

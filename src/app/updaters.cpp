@@ -159,7 +159,10 @@ double PoissonFieldUpdater::apply(double /*t*/, const StateView& in, StateView& 
     for (std::size_t c = 0; c < rho_.size(); c += nps) rho_[c] += bg;
   }
 
-  solver_->solve(rho_, phi_);
+  // The ConjGrad backend routes its residual reductions through this
+  // communicator (collective, bitwise rank-count independent); the LU
+  // path ignores it.
+  solver_->solve(rho_, phi_, comm);
 
   // --- writeback: E_d = -d(phi)/dx_d into the local window's E slots for
   // the configuration directions, potential into the phi diagnostic slot.

@@ -2,25 +2,23 @@
 
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <string>
 
 #include "math/legendre.hpp"
+#include "par/communicator.hpp"
 
 namespace vdg {
 
 PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
                              const PoissonParams& params)
     : basis_(&basisFor(confSpec)), grid_(confGrid.parent()), params_(params),
-      np_(basis_->numModes()) {
+      np_(basis_->numModes()), p1_(confSpec.polyOrder + 1) {
   if (confSpec.vdim != 0)
     throw std::invalid_argument("PoissonSolver: spec must be configuration-space (vdim==0)");
   if (grid_.ndim != confSpec.cdim)
     throw std::invalid_argument("PoissonSolver: grid/basis dimensionality mismatch");
-  if (confSpec.cdim != 1)
-    throw std::invalid_argument(
-        "PoissonSolver: only 1x configuration grids are implemented (the flat-vector "
-        "interface and per-direction electricField are cdim-general; a 2x backend can "
-        "slot in behind the same API)");
   if (params_.epsilon0 <= 0.0)
     throw std::invalid_argument("PoissonSolver: epsilon0 must be positive");
   for (int d = grid_.ndim; d < kMaxDim; ++d)
@@ -30,17 +28,30 @@ PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
         throw std::invalid_argument(
             "PoissonSolver: bc[" + std::to_string(d) + "] configured but the grid has only " +
             std::to_string(grid_.ndim) + " dims");
-  const PoissonBcSpec& lo = params_.bc[0][0];
-  const PoissonBcSpec& hi = params_.bc[0][1];
-  if ((lo.kind == PoissonBcKind::Periodic) != (hi.kind == PoissonBcKind::Periodic))
-    throw std::invalid_argument(
-        "PoissonSolver: periodicity is a property of the whole dimension — both edges "
-        "must be Periodic, or both must be a wall (Dirichlet/Neumann)");
-  periodic_ = lo.kind == PoissonBcKind::Periodic;
-  // The operator's constant null space survives unless a Dirichlet wall
-  // pins the potential; keep the zero-mean gauge border exactly there.
-  gauge_ = periodic_ ||
-           (lo.kind == PoissonBcKind::Neumann && hi.kind == PoissonBcKind::Neumann);
+  periodic_ = true;
+  gauge_ = true;
+  for (int d = 0; d < grid_.ndim; ++d) {
+    const PoissonBcSpec& lo = params_.bc[static_cast<std::size_t>(d)][0];
+    const PoissonBcSpec& hi = params_.bc[static_cast<std::size_t>(d)][1];
+    if ((lo.kind == PoissonBcKind::Periodic) != (hi.kind == PoissonBcKind::Periodic))
+      throw std::invalid_argument(
+          "PoissonSolver: periodicity is a property of the whole dimension — both edges "
+          "of dim " + std::to_string(d) +
+          " must be Periodic, or both must be a wall (Dirichlet/Neumann)");
+    if (lo.kind != PoissonBcKind::Periodic) periodic_ = false;
+    // The operator's constant null space survives unless a Dirichlet wall
+    // somewhere pins the potential; keep the zero-mean gauge exactly then.
+    if (lo.kind == PoissonBcKind::Dirichlet || hi.kind == PoissonBcKind::Dirichlet)
+      gauge_ = false;
+  }
+
+  method_ = params_.method;
+  if (method_ == PoissonMethod::Auto)
+    method_ = grid_.ndim == 1 ? PoissonMethod::DirectLu : PoissonMethod::ConjGrad;
+  // p = 1 recovery Laplacian is symmetric to round-off in every cdim and
+  // BC family; p >= 2 carries a measured ~4-8% intra-cell asymmetry (see
+  // the header comment), where CG stagnates and BiCGStab is used instead.
+  symOp_ = confSpec.polyOrder <= 1;
 
   n_ = grid_.numCells() * static_cast<std::size_t>(np_);
   stride_[0] = 1;
@@ -49,208 +60,547 @@ PoissonSolver::PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid,
         stride_[static_cast<std::size_t>(d - 1)] *
         static_cast<std::size_t>(grid_.cells[static_cast<std::size_t>(d - 1)]);
 
-  // Volume term int w_l'' w_n deta: the coefficient slot of the generic
-  // second-derivative tape contracted with the unit projection (D = 1).
-  vol2_ = DenseMatrix(np_, np_);
-  const Tape3 t2 = buildVolumeTape2(*basis_, 0);
-  for (const auto& [l0, cu] : projectUnit(*basis_))
-    for (const Tape3::Term& t : t2.terms)
-      if (t.m == l0) vol2_(t.l, t.n) += cu * t.c;
-  grad_ = buildGradTape(*basis_, 0);
   rec_ = buildRecoveryWeights(confSpec.polyOrder);
 
-  endMinus_.resize(static_cast<std::size_t>(np_));
-  endPlus_.resize(static_cast<std::size_t>(np_));
-  dEndMinus_.resize(static_cast<std::size_t>(np_));
-  dEndPlus_.resize(static_cast<std::size_t>(np_));
-  for (int l = 0; l < np_; ++l) {
-    const int a = basis_->mode(l)[0];
-    endMinus_[static_cast<std::size_t>(l)] = legendrePsi(a, -1.0);
-    endPlus_[static_cast<std::size_t>(l)] = legendrePsi(a, +1.0);
-    dEndMinus_[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, -1.0);
-    dEndPlus_[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, +1.0);
-  }
-
-  // Non-periodic walls: one-sided recovery closures and the affine load of
-  // the inhomogeneous wall data (built before the matrix assembly below,
-  // whose columns run through the homogeneous applyMinusLaplacian).
-  bcRhs_.assign(n_, 0.0);
-  if (!periodic_) {
-    const double rdx2 = 2.0 / grid_.dx(0);
+  // Fused volume term: -sum_d s2_d int w_l d2w/deta_d^2 w_n deta, the
+  // coefficient slot of each generic second-derivative tape contracted with
+  // the unit projection (D = 1); the minus folds the negated Laplacian.
+  volAll_ = DenseMatrix(np_, np_);
+  const auto unit = projectUnit(*basis_);
+  for (int d = 0; d < grid_.ndim; ++d) {
+    const double rdx2 = 2.0 / grid_.dx(d);
     const double s2 = rdx2 * rdx2;
-    bcLo_ = buildBoundaryRecoveryWeights(confSpec.polyOrder, -1,
-                                         lo.kind == PoissonBcKind::Dirichlet);
-    bcHi_ = buildBoundaryRecoveryWeights(confSpec.polyOrder, +1,
-                                         hi.kind == PoissonBcKind::Dirichlet);
-    // Wall data in reference units: a Neumann dphi/dx becomes dphi/deta.
-    ghatLo_ = lo.kind == PoissonBcKind::Dirichlet ? lo.value : lo.value * 0.5 * grid_.dx(0);
-    ghatHi_ = hi.kind == PoissonBcKind::Dirichlet ? hi.value : hi.value * 0.5 * grid_.dx(0);
-    // The ghat-only part of the wall weak-form terms (see the closures in
-    // applyMinusLaplacian), moved to the right-hand side: the solve
-    // inverts A phi = rho/eps0 + bcRhs_.
-    const std::size_t last = (grid_.numCells() - 1) * static_cast<std::size_t>(np_);
+    const Tape3 t2 = buildVolumeTape2(*basis_, d);
+    for (const auto& [l0, cu] : unit)
+      for (const Tape3::Term& t : t2.terms)
+        if (t.m == l0) volAll_(t.l, t.n) -= s2 * cu * t.c;
+  }
+
+  // Per-direction stencil tables: trace/lift map, 1-D slice index table
+  // (serendipity holes are -1 and read as zero coefficients, matching the
+  // LBO diffusion sweep), end-point derivative traces, and the gradient
+  // tape of the E writeback.
+  dir_.resize(static_cast<std::size_t>(grid_.ndim));
+  for (int d = 0; d < grid_.ndim; ++d) {
+    DirTables& t = dir_[static_cast<std::size_t>(d)];
+    t.face = grid_.ndim == 1 ? buildPointFaceMap(*basis_)
+                             : buildFaceMap(*basis_, basis_->faceBasis(d), d);
+    t.slice.assign(static_cast<std::size_t>(t.face.numFaceModes) *
+                       static_cast<std::size_t>(p1_),
+                   -1);
+    t.dEndM.resize(static_cast<std::size_t>(np_));
+    t.dEndP.resize(static_cast<std::size_t>(np_));
     for (int l = 0; l < np_; ++l) {
-      const auto ls = static_cast<std::size_t>(l);
-      bcRhs_[ls] -= s2 * (endMinus_[ls] * bcLo_.derivG - dEndMinus_[ls] * bcLo_.valG) * ghatLo_;
-      bcRhs_[last + ls] -=
-          s2 * (-endPlus_[ls] * bcHi_.derivG + dEndPlus_[ls] * bcHi_.valG) * ghatHi_;
+      const int a = basis_->mode(l)[d];
+      t.dEndM[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, -1.0);
+      t.dEndP[static_cast<std::size_t>(l)] = legendrePsiDeriv(a, +1.0);
+      t.slice[static_cast<std::size_t>(t.face.entries[static_cast<std::size_t>(l)].face) *
+                  static_cast<std::size_t>(p1_) +
+              static_cast<std::size_t>(a)] = l;
+    }
+    t.grad = buildGradTape(*basis_, d);
+    // Constant wall data expand onto the transverse face basis as
+    // unitFace * ghat on the constant face mode (the face mode every
+    // constant-slice volume mode maps to); (sqrt 2)^(cdim-1) for the
+    // orthonormal Legendre product, 1 for the 1x point face.
+    t.unitFace = std::pow(std::sqrt(2.0), grid_.ndim - 1);
+    const double rdx2 = 2.0 / grid_.dx(d);
+    t.s2 = rdx2 * rdx2;
+    const PoissonBcSpec& lo = params_.bc[static_cast<std::size_t>(d)][0];
+    const PoissonBcSpec& hi = params_.bc[static_cast<std::size_t>(d)][1];
+    t.periodicDim = lo.kind == PoissonBcKind::Periodic;
+    if (!t.periodicDim) {
+      t.bcLo = buildBoundaryRecoveryWeights(confSpec.polyOrder, -1,
+                                            lo.kind == PoissonBcKind::Dirichlet);
+      t.bcHi = buildBoundaryRecoveryWeights(confSpec.polyOrder, +1,
+                                            hi.kind == PoissonBcKind::Dirichlet);
+      // Wall data in reference units: a Neumann dphi/dx becomes dphi/deta.
+      t.ghatLo = lo.kind == PoissonBcKind::Dirichlet ? lo.value : lo.value * 0.5 * grid_.dx(d);
+      t.ghatHi = hi.kind == PoissonBcKind::Dirichlet ? hi.value : hi.value * 0.5 * grid_.dx(d);
     }
   }
 
-  // Direct factorization, assembled column-by-column through the same
-  // applyMinusLaplacian the tests probe, then LU-factored once; solves are
-  // back-substitutions. Domains whose operator keeps the constant null
-  // space (periodic, pure Neumann) get the bordered system
-  // [-lap, g; g^T, 0] with the gauge functional g picking every cell's
-  // mean coefficient: the null space is traded for the Lagrange
-  // multiplier, which also absorbs any mean charge or Neumann-datum
-  // incompatibility (so the factorization never sees a singular matrix).
-  // A Dirichlet wall pins the constant, so those domains factor the plain
-  // n x n operator.
-  const std::size_t nb = gauge_ ? n_ + 1 : n_;
-  DenseMatrix A(static_cast<int>(nb), static_cast<int>(nb));
-  std::vector<double> e(n_, 0.0), col(n_);
-  for (std::size_t j = 0; j < n_; ++j) {
-    e[j] = 1.0;
-    applyMinusLaplacian(e, col);
-    e[j] = 0.0;
-    for (std::size_t i = 0; i < n_; ++i) A(static_cast<int>(i), static_cast<int>(j)) = col[i];
+  // The gauge direction: the volume mode of the constant (whose d-face
+  // index is the constant face mode of every direction).
+  assert(unit.size() == 1 && "orthonormal basis: the constant projects on one mode");
+  constMode_ = unit.front().first;
+
+  // Non-periodic walls: the ghat-only part of the wall weak-form terms
+  // (see the closures in applyMinusLaplacian), moved to the right-hand
+  // side: the solve inverts A phi = rho/eps0 + bcRhs_.
+  bcRhs_.assign(n_, 0.0);
+  const int l0 = constMode_;
+  for (int d = 0; d < grid_.ndim; ++d) {
+    const DirTables& t = dir_[static_cast<std::size_t>(d)];
+    if (t.periodicDim) continue;
+    const int constFace = t.face.entries[static_cast<std::size_t>(l0)].face;
+    const int N = grid_.cells[static_cast<std::size_t>(d)];
+    forEachCell(grid_, [&](const MultiIndex& idx) {
+      const bool atLo = idx[d] == 0;
+      const bool atHi = idx[d] == N - 1;
+      if (!atLo && !atHi) return;
+      double* cell = bcRhs_.data() + flatIndex(idx);
+      for (int l = 0; l < np_; ++l) {
+        const FaceMap::Entry& fe = t.face.entries[static_cast<std::size_t>(l)];
+        if (fe.face != constFace) continue;  // wall data are constant over the face
+        const auto ls = static_cast<std::size_t>(l);
+        if (atLo)
+          cell[l] -= t.s2 * (fe.atMinus * t.bcLo.derivG - t.dEndM[ls] * t.bcLo.valG) *
+                     t.unitFace * t.ghatLo;
+        if (atHi)
+          cell[l] -= t.s2 * (-fe.atPlus * t.bcHi.derivG + t.dEndP[ls] * t.bcHi.valG) *
+                     t.unitFace * t.ghatHi;
+      }
+    });
   }
-  if (gauge_) {
-    for (std::size_t c = 0; c < grid_.numCells(); ++c) {
-      const auto i = c * static_cast<std::size_t>(np_);
-      A(static_cast<int>(n_), static_cast<int>(i)) = 1.0;
-      A(static_cast<int>(i), static_cast<int>(n_)) = 1.0;
+
+  if (method_ == PoissonMethod::DirectLu) {
+    // Direct factorization, assembled column-by-column through the same
+    // applyMinusLaplacian the iterative backend sweeps, then LU-factored
+    // once; solves are back-substitutions. Gauge domains get the bordered
+    // system [-lap, g; g^T, 0] with the gauge functional g picking every
+    // cell's mean coefficient: the null space is traded for the Lagrange
+    // multiplier, which also absorbs any mean charge or Neumann-datum
+    // incompatibility (so the factorization never sees a singular matrix).
+    // A Dirichlet wall pins the constant, so those domains factor the
+    // plain n x n operator. O(n^2) storage: the 1x fast path and the
+    // small-grid cross-check oracle for cdim >= 2.
+    const std::size_t nb = gauge_ ? n_ + 1 : n_;
+    DenseMatrix A(static_cast<int>(nb), static_cast<int>(nb));
+    std::vector<double> e(n_, 0.0), col(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      e[j] = 1.0;
+      applyMinusLaplacian(e, col);
+      e[j] = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) A(static_cast<int>(i), static_cast<int>(j)) = col[i];
+    }
+    if (gauge_) {
+      for (std::size_t c = 0; c < grid_.numCells(); ++c) {
+        const auto i = c * static_cast<std::size_t>(np_) + static_cast<std::size_t>(l0);
+        A(static_cast<int>(n_), static_cast<int>(i)) = 1.0;
+        A(static_cast<int>(i), static_cast<int>(n_)) = 1.0;
+      }
+    }
+    lu_ = LuSolver(std::move(A));
+    if (lu_.singular())
+      throw std::runtime_error("PoissonSolver: discrete Laplacian factorization is singular");
+  } else {
+    buildDiagBlocks();
+    maxIter_ = params_.cgMaxIter;
+    if (maxIter_ <= 0) {
+      int maxN = 1;
+      for (int d = 0; d < grid_.ndim; ++d)
+        maxN = std::max(maxN, grid_.cells[static_cast<std::size_t>(d)]);
+      // Block-Jacobi PCG iteration counts scale ~ linearly with the
+      // per-dimension cell count; this cap is several times the measured
+      // counts (bench_poisson_solve tracks them).
+      maxIter_ = 200 + 40 * maxN * p1_;
     }
   }
-  lu_ = LuSolver(std::move(A));
-  if (lu_.singular())
-    throw std::runtime_error("PoissonSolver: discrete Laplacian factorization is singular");
+}
+
+void PoissonSolver::buildDiagBlocks() {
+  // Block-Jacobi preconditioner: the np x np diagonal block of the
+  // operator, probed through applyMinusLaplacian so preconditioner and
+  // operator can never drift apart. On a uniform grid the block depends
+  // only on the cell's boundary signature (per non-periodic dimension:
+  // interior / lower-wall / upper-wall / both), so one probe per distinct
+  // signature covers the grid — at most 3^cdim probes of the O(n) sweep.
+  const std::size_t numCells = grid_.numCells();
+  blockOf_.assign(numCells, -1);
+  std::map<int, int> sigBlock;                  // signature key -> block index
+  std::vector<std::size_t> repCell;             // block index -> representative
+  std::size_t c = 0;
+  forEachCell(grid_, [&](const MultiIndex& idx) {
+    int key = 0, scale = 1;
+    for (int d = 0; d < grid_.ndim; ++d) {
+      const DirTables& t = dir_[static_cast<std::size_t>(d)];
+      int cat = 0;
+      if (!t.periodicDim) {
+        if (idx[d] == 0) cat |= 1;
+        if (idx[d] == grid_.cells[static_cast<std::size_t>(d)] - 1) cat |= 2;
+      }
+      key += cat * scale;
+      scale *= 4;
+    }
+    auto [it, fresh] = sigBlock.try_emplace(key, static_cast<int>(repCell.size()));
+    if (fresh) repCell.push_back(c);
+    blockOf_[c] = it->second;
+    ++c;
+  });
+
+  blocks_.clear();
+  blocks_.reserve(repCell.size());
+  std::vector<double> e(n_, 0.0), col(n_);
+  for (const std::size_t rep : repCell) {
+    const std::size_t base = rep * static_cast<std::size_t>(np_);
+    DenseMatrix blk(np_, np_);
+    for (int j = 0; j < np_; ++j) {
+      e[base + static_cast<std::size_t>(j)] = 1.0;
+      applyMinusLaplacian(e, col);
+      e[base + static_cast<std::size_t>(j)] = 0.0;
+      for (int i = 0; i < np_; ++i) blk(i, j) = col[base + static_cast<std::size_t>(i)];
+    }
+    blocks_.emplace_back(std::move(blk));
+    if (blocks_.back().singular())
+      throw std::runtime_error(
+          "PoissonSolver: singular diagonal block in the CG preconditioner");
+  }
 }
 
 void PoissonSolver::applyMinusLaplacian(std::span<const double> phi,
                                         std::span<double> out) const {
   assert(phi.size() == n_ && out.size() == n_);
-  const int N = grid_.cells[0];
   const auto np = static_cast<std::size_t>(np_);
-  const double rdx2 = 2.0 / grid_.dx(0);
-  const double s2 = rdx2 * rdx2;
 
-  // out = -s2 * (volume + face terms); accumulate the *negated* Laplacian.
-  for (std::size_t i = 0; i < n_; ++i) out[i] = 0.0;
-  for (int i = 0; i < N; ++i) {
-    const double* pc = phi.data() + static_cast<std::size_t>(i) * np;
-    double* oc = out.data() + static_cast<std::size_t>(i) * np;
-    for (int l = 0; l < np_; ++l) {
-      double s = 0.0;
-      for (int m = 0; m < np_; ++m) s += vol2_(l, m) * pc[m];
-      oc[l] -= s2 * s;
-    }
+  // Volume terms of every direction, fused into one per-cell matvec (the
+  // -s2_d factors are folded into volAll_).
+  for (std::size_t c = 0; c < grid_.numCells(); ++c) {
+    volAll_.matvec({phi.data() + c * np, np}, {out.data() + c * np, np});
   }
-  // Two-cell faces: all N of them when periodic (face i sits between cell
-  // i and cell (i+1) mod N), the N-1 interior ones otherwise. Recovery
-  // value r(0) and slope r'(0) in the two-cell coordinate zeta
-  // (d/deta = (1/2) d/dzeta, hence the 0.5 on the flux).
-  const int numFaces = periodic_ ? N : N - 1;
-  for (int i = 0; i < numFaces; ++i) {
-    const int ir = (i + 1) % N;
-    const double* pL = phi.data() + static_cast<std::size_t>(i) * np;
-    const double* pR = phi.data() + static_cast<std::size_t>(ir) * np;
-    double r0 = 0.0, r1 = 0.0;
-    for (int m = 0; m < np_; ++m) {
-      r0 += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
-            rec_.valR[static_cast<std::size_t>(m)] * pR[m];
-      r1 += rec_.derivL[static_cast<std::size_t>(m)] * pL[m] +
-            rec_.derivR[static_cast<std::size_t>(m)] * pR[m];
-    }
-    double* oL = out.data() + static_cast<std::size_t>(i) * np;
-    double* oR = out.data() + static_cast<std::size_t>(ir) * np;
-    for (int l = 0; l < np_; ++l) {
-      // Flux term [w phi'] with phi' = r'(0)/2 at the interface.
-      oL[l] -= 0.5 * s2 * endPlus_[static_cast<std::size_t>(l)] * r1;
-      oR[l] += 0.5 * s2 * endMinus_[static_cast<std::size_t>(l)] * r1;
-      // Value term -[w' phihat] with phihat = r(0).
-      oL[l] += s2 * dEndPlus_[static_cast<std::size_t>(l)] * r0;
-      oR[l] -= s2 * dEndMinus_[static_cast<std::size_t>(l)] * r0;
-    }
-  }
-  if (!periodic_) {
+
+  int maxFace = 1;
+  for (const DirTables& t : dir_) maxFace = std::max(maxFace, t.face.numFaceModes);
+  std::vector<double> r0(static_cast<std::size_t>(maxFace)),
+      r1(static_cast<std::size_t>(maxFace));
+
+  for (int d = 0; d < grid_.ndim; ++d) {
+    const DirTables& t = dir_[static_cast<std::size_t>(d)];
+    const int N = grid_.cells[static_cast<std::size_t>(d)];
+    const int nf = t.face.numFaceModes;
+    const std::size_t dstride = stride_[static_cast<std::size_t>(d)] * np;
+
+    // Two-cell faces: all N of them when periodic (face i sits between
+    // cell i and cell (i+1) mod N along d), the N-1 interior ones
+    // otherwise. Per transverse face mode k, the 1-D slices of the two
+    // cells recover the unique interface value r(0) and slope r'(0) in
+    // the two-cell coordinate zeta (d/deta = (1/2) d/dzeta, hence the 0.5
+    // on the flux).
+    const int numFaces = t.periodicDim ? N : N - 1;
+    forEachCell(grid_, [&](const MultiIndex& idx) {
+      if (idx[d] >= numFaces) return;
+      const std::size_t baseL = flatIndex(idx);
+      const std::size_t baseR =
+          idx[d] + 1 < N ? baseL + dstride : baseL - static_cast<std::size_t>(N - 1) * dstride;
+      const double* pL = phi.data() + baseL;
+      const double* pR = phi.data() + baseR;
+      for (int k = 0; k < nf; ++k) {
+        double v = 0.0, dv = 0.0;
+        const int* sl = t.slice.data() + static_cast<std::size_t>(k) * p1_;
+        for (int m = 0; m < p1_; ++m) {
+          const int l = sl[m];
+          if (l < 0) continue;  // serendipity hole: zero coefficient
+          const auto ms = static_cast<std::size_t>(m);
+          v += rec_.valL[ms] * pL[l] + rec_.valR[ms] * pR[l];
+          dv += rec_.derivL[ms] * pL[l] + rec_.derivR[ms] * pR[l];
+        }
+        r0[static_cast<std::size_t>(k)] = v;
+        r1[static_cast<std::size_t>(k)] = dv;
+      }
+      double* oL = out.data() + baseL;
+      double* oR = out.data() + baseR;
+      for (int l = 0; l < np_; ++l) {
+        const FaceMap::Entry& fe = t.face.entries[static_cast<std::size_t>(l)];
+        const auto ks = static_cast<std::size_t>(fe.face);
+        const auto ls = static_cast<std::size_t>(l);
+        // Flux term [w phi'] with phi' = r'(0)/2 at the interface.
+        oL[l] -= 0.5 * t.s2 * fe.atPlus * r1[ks];
+        oR[l] += 0.5 * t.s2 * fe.atMinus * r1[ks];
+        // Value term -[w' phihat] with phihat = r(0).
+        oL[l] += t.s2 * t.dEndP[ls] * r0[ks];
+        oR[l] -= t.s2 * t.dEndM[ls] * r0[ks];
+      }
+    });
+
+    if (t.periodicDim) continue;
     // Wall closures: same weak-form structure with the one-sided recovery
     // polynomial's wall value/slope (homogeneous part only — the ghat
     // load lives in bcRhs_). Slopes are d/deta of the boundary cell, so
     // no 0.5 two-cell factor here.
-    const double* p0 = phi.data();
-    const double* pN = phi.data() + (static_cast<std::size_t>(N) - 1) * np;
-    double vLo = 0.0, dLo = 0.0, vHi = 0.0, dHi = 0.0;
-    for (int m = 0; m < np_; ++m) {
-      const auto ms = static_cast<std::size_t>(m);
-      vLo += bcLo_.val[ms] * p0[m];
-      dLo += bcLo_.deriv[ms] * p0[m];
-      vHi += bcHi_.val[ms] * pN[m];
-      dHi += bcHi_.deriv[ms] * pN[m];
-    }
-    double* o0 = out.data();
-    double* oN = out.data() + (static_cast<std::size_t>(N) - 1) * np;
-    for (int l = 0; l < np_; ++l) {
-      const auto ls = static_cast<std::size_t>(l);
-      o0[l] += s2 * (endMinus_[ls] * dLo - dEndMinus_[ls] * vLo);
-      oN[l] += s2 * (-endPlus_[ls] * dHi + dEndPlus_[ls] * vHi);
-    }
+    forEachCell(grid_, [&](const MultiIndex& idx) {
+      const bool atLo = idx[d] == 0;
+      const bool atHi = idx[d] == N - 1;
+      if (!atLo && !atHi) return;
+      const std::size_t base = flatIndex(idx);
+      const double* pc = phi.data() + base;
+      double* oc = out.data() + base;
+      for (const int side : {-1, +1}) {
+        if ((side < 0 && !atLo) || (side > 0 && !atHi)) continue;
+        const BoundaryRecoveryWeights& bw = side < 0 ? t.bcLo : t.bcHi;
+        for (int k = 0; k < nf; ++k) {
+          double v = 0.0, dv = 0.0;
+          const int* sl = t.slice.data() + static_cast<std::size_t>(k) * p1_;
+          for (int m = 0; m < p1_; ++m) {
+            const int l = sl[m];
+            if (l < 0) continue;
+            v += bw.val[static_cast<std::size_t>(m)] * pc[l];
+            dv += bw.deriv[static_cast<std::size_t>(m)] * pc[l];
+          }
+          r0[static_cast<std::size_t>(k)] = v;
+          r1[static_cast<std::size_t>(k)] = dv;
+        }
+        for (int l = 0; l < np_; ++l) {
+          const FaceMap::Entry& fe = t.face.entries[static_cast<std::size_t>(l)];
+          const auto ks = static_cast<std::size_t>(fe.face);
+          const auto ls = static_cast<std::size_t>(l);
+          if (side < 0)
+            oc[l] += t.s2 * (fe.atMinus * r1[ks] - t.dEndM[ls] * r0[ks]);
+          else
+            oc[l] += t.s2 * (-fe.atPlus * r1[ks] + t.dEndP[ls] * r0[ks]);
+        }
+      }
+    });
   }
 }
 
-void PoissonSolver::solve(std::span<const double> rho, std::span<double> phi) const {
+void PoissonSolver::projectOutConstant(std::span<double> v) const {
+  const auto np = static_cast<std::size_t>(np_);
+  const auto l0 = static_cast<std::size_t>(constMode_);
+  const std::size_t numCells = grid_.numCells();
+  double mean = 0.0;
+  for (std::size_t c = 0; c < numCells; ++c) mean += v[c * np + l0];
+  mean /= static_cast<double>(numCells);
+  for (std::size_t c = 0; c < numCells; ++c) v[c * np + l0] -= mean;
+}
+
+void PoissonSolver::applyBlockJacobi(std::span<const double> r, std::span<double> z) const {
+  const auto np = static_cast<std::size_t>(np_);
+  for (std::size_t c = 0; c < grid_.numCells(); ++c) {
+    for (std::size_t l = 0; l < np; ++l) z[c * np + l] = r[c * np + l];
+    blocks_[static_cast<std::size_t>(blockOf_[c])].solve({z.data() + c * np, np});
+  }
+}
+
+double PoissonSolver::dotReduce(std::span<const double> a, std::span<const double> b,
+                                std::span<double> chunks, Communicator* comm,
+                                std::size_t cellBegin, std::size_t cellEnd) const {
+  // Per-cell partial sums, each computed by exactly one rank (zeros
+  // elsewhere), all-reduced — 0 + x == x bitwise, so the reduction is a
+  // concatenation — then accumulated in global cell order. The result is
+  // bitwise independent of the rank count, which is what keeps CG residual
+  // histories (and solutions) identical between serial and distributed
+  // runs.
+  const auto np = static_cast<std::size_t>(np_);
+  const std::size_t numCells = grid_.numCells();
+  for (std::size_t c = 0; c < numCells; ++c) chunks[c] = 0.0;
+  for (std::size_t c = cellBegin; c < cellEnd; ++c) {
+    double s = 0.0;
+    for (std::size_t l = 0; l < np; ++l) s += a[c * np + l] * b[c * np + l];
+    chunks[c] = s;
+  }
+  if (comm && comm->numRanks() > 1) comm->allReduceSum(chunks);
+  double s = 0.0;
+  for (std::size_t c = 0; c < numCells; ++c) s += chunks[c];
+  return s;
+}
+
+PoissonSolver::SolveStats PoissonSolver::solveCg(std::span<double> b, std::span<double> phi,
+                                                 Communicator* comm) const {
+  // Preconditioned conjugate gradients on the matrix-free operator. All
+  // iteration state is local to this call (the solver is shared across
+  // rank threads). On gauge domains the constant null vector is projected
+  // out of b and of every preconditioned residual, so the Krylov space
+  // stays in the operator's range and the solve converges to the
+  // zero-mean representative.
+  const std::size_t numCells = grid_.numCells();
+  std::size_t cellBegin = 0, cellEnd = numCells;
+  if (comm && comm->numRanks() > 1) {
+    const auto R = static_cast<std::size_t>(comm->numRanks());
+    const auto r = static_cast<std::size_t>(comm->rank());
+    cellBegin = numCells * r / R;
+    cellEnd = numCells * (r + 1) / R;
+  }
+  std::vector<double> chunks(numCells);
+  const auto dot = [&](std::span<const double> x, std::span<const double> y) {
+    return dotReduce(x, y, chunks, comm, cellBegin, cellEnd);
+  };
+
+  if (gauge_) projectOutConstant(b);
+  const double bnorm = std::sqrt(dot(b, b));
+  for (std::size_t i = 0; i < n_; ++i) phi[i] = 0.0;
+  if (bnorm == 0.0) return {0, 0.0};
+
+  std::vector<double> r(b.begin(), b.end()), z(n_), p(n_), q(n_);
+  applyBlockJacobi(r, z);
+  if (gauge_) projectOutConstant(z);
+  p = z;
+  double rz = dot(r, z);
+  double relRes = 1.0;
+  for (int it = 1; it <= maxIter_; ++it) {
+    applyMinusLaplacian(p, q);
+    const double pq = dot(p, q);
+    const double alpha = rz / pq;
+    for (std::size_t i = 0; i < n_; ++i) {
+      phi[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    relRes = std::sqrt(dot(r, r)) / bnorm;
+    if (relRes <= params_.cgTol) {
+      if (gauge_) projectOutConstant(phi);
+      return {it, relRes};
+    }
+    applyBlockJacobi(r, z);
+    if (gauge_) projectOutConstant(z);
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n_; ++i) p[i] = z[i] + beta * p[i];
+  }
+  throw std::runtime_error("PoissonSolver: CG did not converge in " +
+                           std::to_string(maxIter_) + " iterations (relative residual " +
+                           std::to_string(relRes) + ", target " +
+                           std::to_string(params_.cgTol) + ")");
+}
+
+PoissonSolver::SolveStats PoissonSolver::solveBiCgStab(std::span<double> b,
+                                                       std::span<double> phi,
+                                                       Communicator* comm) const {
+  // Right-preconditioned BiCGStab (van der Vorst): the p >= 2 recovery
+  // operator is mildly non-self-adjoint, which stalls CG on fine grids;
+  // BiCGStab needs only the same forward sweep (two applications per
+  // iteration) and keeps the short recurrence. Gauge handling mirrors
+  // solveCg: b and every preconditioned direction are projected onto the
+  // zero-mean complement (the constant is both the right and, by flux
+  // conservation, the left null vector). Same chunked deterministic
+  // reductions — bitwise rank-count independent.
+  const std::size_t numCells = grid_.numCells();
+  std::size_t cellBegin = 0, cellEnd = numCells;
+  if (comm && comm->numRanks() > 1) {
+    const auto R = static_cast<std::size_t>(comm->numRanks());
+    const auto r = static_cast<std::size_t>(comm->rank());
+    cellBegin = numCells * r / R;
+    cellEnd = numCells * (r + 1) / R;
+  }
+  std::vector<double> chunks(numCells);
+  const auto dot = [&](std::span<const double> x, std::span<const double> y) {
+    return dotReduce(x, y, chunks, comm, cellBegin, cellEnd);
+  };
+
+  if (gauge_) projectOutConstant(b);
+  const double bnorm = std::sqrt(dot(b, b));
+  for (std::size_t i = 0; i < n_; ++i) phi[i] = 0.0;
+  if (bnorm == 0.0) return {0, 0.0};
+
+  std::vector<double> r(b.begin(), b.end()), rhat(r), p(r), v(n_), s(n_), t(n_), y(n_),
+      z(n_);
+  double rho = dot(rhat, r);
+  double relRes = 1.0;
+  for (int it = 1; it <= maxIter_; ++it) {
+    applyBlockJacobi(p, y);
+    if (gauge_) projectOutConstant(y);
+    applyMinusLaplacian(y, v);
+    const double rv = dot(rhat, v);
+    if (rv == 0.0)
+      throw std::runtime_error("PoissonSolver: BiCGStab breakdown (rhat . v == 0)");
+    const double alpha = rho / rv;
+    for (std::size_t i = 0; i < n_; ++i) s[i] = r[i] - alpha * v[i];
+    relRes = std::sqrt(dot(s, s)) / bnorm;
+    if (relRes <= params_.cgTol) {
+      for (std::size_t i = 0; i < n_; ++i) phi[i] += alpha * y[i];
+      if (gauge_) projectOutConstant(phi);
+      return {it, relRes};
+    }
+    applyBlockJacobi(s, z);
+    if (gauge_) projectOutConstant(z);
+    applyMinusLaplacian(z, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0)
+      throw std::runtime_error("PoissonSolver: BiCGStab breakdown (t . t == 0)");
+    const double omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n_; ++i) {
+      phi[i] += alpha * y[i] + omega * z[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    relRes = std::sqrt(dot(r, r)) / bnorm;
+    if (relRes <= params_.cgTol) {
+      if (gauge_) projectOutConstant(phi);
+      return {it, relRes};
+    }
+    const double rhoNew = dot(rhat, r);
+    if (rhoNew == 0.0 || omega == 0.0)
+      throw std::runtime_error("PoissonSolver: BiCGStab breakdown (rho or omega == 0)");
+    const double beta = (rhoNew / rho) * (alpha / omega);
+    rho = rhoNew;
+    for (std::size_t i = 0; i < n_; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+  }
+  throw std::runtime_error("PoissonSolver: BiCGStab did not converge in " +
+                           std::to_string(maxIter_) + " iterations (relative residual " +
+                           std::to_string(relRes) + ", target " +
+                           std::to_string(params_.cgTol) + ")");
+}
+
+PoissonSolver::SolveStats PoissonSolver::solve(std::span<const double> rho,
+                                               std::span<double> phi,
+                                               Communicator* comm) const {
   assert(rho.size() == n_ && phi.size() == n_);
-  std::vector<double> b(gauge_ ? n_ + 1 : n_);
   const double s = 1.0 / params_.epsilon0;
+  if (method_ == PoissonMethod::DirectLu) {
+    std::vector<double> b(gauge_ ? n_ + 1 : n_);
+    for (std::size_t i = 0; i < n_; ++i) b[i] = s * rho[i] + bcRhs_[i];
+    if (gauge_) b[n_] = 0.0;  // gauge: int phi dx = 0
+    lu_.solve(b);
+    for (std::size_t i = 0; i < n_; ++i) phi[i] = b[i];
+    return {0, 0.0};
+  }
+  std::vector<double> b(n_);
   for (std::size_t i = 0; i < n_; ++i) b[i] = s * rho[i] + bcRhs_[i];
-  if (gauge_) b[n_] = 0.0;  // gauge: int phi dx = 0
-  lu_.solve(b);
-  for (std::size_t i = 0; i < n_; ++i) phi[i] = b[i];
+  return symOp_ ? solveCg(b, phi, comm) : solveBiCgStab(b, phi, comm);
 }
 
 void PoissonSolver::cellElectricField(std::span<const double> phi, const MultiIndex& gidx,
                                       int d, std::span<double> e) const {
   assert(phi.size() == n_ && e.size() == static_cast<std::size_t>(np_));
-  assert(d == 0 && "PoissonSolver: 1x only");
-  (void)d;
-  const int N = grid_.cells[0];
-  const int i = gidx[0];
+  assert(d >= 0 && d < grid_.ndim);
+  const DirTables& t = dir_[static_cast<std::size_t>(d)];
+  const int N = grid_.cells[static_cast<std::size_t>(d)];
+  const int nf = t.face.numFaceModes;
+  const int i = gidx[d];
   const auto np = static_cast<std::size_t>(np_);
-  const double* pC = phi.data() + static_cast<std::size_t>(i) * np;
-  const double* pL = phi.data() + static_cast<std::size_t>((i + N - 1) % N) * np;
-  const double* pR = phi.data() + static_cast<std::size_t>((i + 1) % N) * np;
+  const std::size_t base = flatIndex(gidx);
+  const std::size_t dstride = stride_[static_cast<std::size_t>(d)] * np;
+  const double* pC = phi.data() + base;
+  const double* pL =
+      phi.data() + (i > 0 ? base - dstride : base + static_cast<std::size_t>(N - 1) * dstride);
+  const double* pR =
+      phi.data() + (i + 1 < N ? base + dstride : base - static_cast<std::size_t>(N - 1) * dstride);
 
-  // Recovered (continuous) interface traces at the cell's two faces. At a
-  // non-periodic wall the trace is the one-sided boundary-recovery wall
-  // value, which carries the Dirichlet/Neumann data (for a Dirichlet wall
-  // it *is* the prescribed potential), so E at the wall is consistent
-  // with the electrode bias.
-  double hatLo = 0.0, hatHi = 0.0;
-  if (!periodic_ && i == 0) {
-    hatLo = bcLo_.valG * ghatLo_;
-    for (int m = 0; m < np_; ++m) hatLo += bcLo_.val[static_cast<std::size_t>(m)] * pC[m];
-  } else {
-    for (int m = 0; m < np_; ++m)
-      hatLo += rec_.valL[static_cast<std::size_t>(m)] * pL[m] +
-               rec_.valR[static_cast<std::size_t>(m)] * pC[m];
+  // Recovered (continuous) interface traces at the cell's two d-faces, per
+  // transverse face mode. At a non-periodic wall the trace is the
+  // one-sided boundary-recovery wall value, which carries the
+  // Dirichlet/Neumann data (for a Dirichlet wall it *is* the prescribed
+  // potential), so E at the wall is consistent with the electrode bias.
+  std::vector<double> hatLo(static_cast<std::size_t>(nf), 0.0),
+      hatHi(static_cast<std::size_t>(nf), 0.0);
+  const bool wallLo = !t.periodicDim && i == 0;
+  const bool wallHi = !t.periodicDim && i == N - 1;
+  for (int k = 0; k < nf; ++k) {
+    const int* sl = t.slice.data() + static_cast<std::size_t>(k) * p1_;
+    double lo = 0.0, hi = 0.0;
+    for (int m = 0; m < p1_; ++m) {
+      const int l = sl[m];
+      if (l < 0) continue;
+      const auto ms = static_cast<std::size_t>(m);
+      lo += wallLo ? t.bcLo.val[ms] * pC[l] : rec_.valL[ms] * pL[l] + rec_.valR[ms] * pC[l];
+      hi += wallHi ? t.bcHi.val[ms] * pC[l] : rec_.valL[ms] * pC[l] + rec_.valR[ms] * pR[l];
+    }
+    hatLo[static_cast<std::size_t>(k)] = lo;
+    hatHi[static_cast<std::size_t>(k)] = hi;
   }
-  if (!periodic_ && i == N - 1) {
-    hatHi = bcHi_.valG * ghatHi_;
-    for (int m = 0; m < np_; ++m) hatHi += bcHi_.val[static_cast<std::size_t>(m)] * pC[m];
-  } else {
-    for (int m = 0; m < np_; ++m)
-      hatHi += rec_.valL[static_cast<std::size_t>(m)] * pC[m] +
-               rec_.valR[static_cast<std::size_t>(m)] * pR[m];
+  if (wallLo || wallHi) {
+    // Constant wall datum enters on the constant face mode (see bcRhs_).
+    const int constFace = t.face.entries[static_cast<std::size_t>(constMode_)].face;
+    if (wallLo) hatLo[static_cast<std::size_t>(constFace)] += t.bcLo.valG * t.unitFace * t.ghatLo;
+    if (wallHi) hatHi[static_cast<std::size_t>(constFace)] += t.bcHi.valG * t.unitFace * t.ghatHi;
   }
-  // E_l = (2/dx) [ sum_n D_ln phi_n - w_l(+1) phihat_hi + w_l(-1) phihat_lo ],
-  // the weak projection of -dphi/dx with the continuous trace.
-  const double rdx2 = 2.0 / grid_.dx(0);
-  for (int l = 0; l < np_; ++l)
-    e[static_cast<std::size_t>(l)] =
-        rdx2 * (endMinus_[static_cast<std::size_t>(l)] * hatLo -
-                endPlus_[static_cast<std::size_t>(l)] * hatHi);
-  grad_.execute({pC, np}, e, rdx2);
+  // E_l = (2/dx_d) [ sum_n D_ln phi_n - w_l(+1) phihat_hi + w_l(-1) phihat_lo ],
+  // the weak projection of -dphi/dx_d with the continuous trace.
+  const double rdx2 = 2.0 / grid_.dx(d);
+  for (int l = 0; l < np_; ++l) {
+    const FaceMap::Entry& fe = t.face.entries[static_cast<std::size_t>(l)];
+    const auto ks = static_cast<std::size_t>(fe.face);
+    e[static_cast<std::size_t>(l)] = rdx2 * (fe.atMinus * hatLo[ks] - fe.atPlus * hatHi[ks]);
+  }
+  t.grad.execute({pC, np}, e, rdx2);
 }
 
 double PoissonSolver::domainIntegral(std::span<const double> phi) const {
@@ -258,8 +608,9 @@ double PoissonSolver::domainIntegral(std::span<const double> phi) const {
   double jac = 1.0;
   for (int d = 0; d < grid_.ndim; ++d) jac *= 0.5 * grid_.dx(d);
   double s = 0.0;
+  const auto l0 = static_cast<std::size_t>(constMode_);
   for (std::size_t c = 0; c < grid_.numCells(); ++c)
-    s += phi[c * static_cast<std::size_t>(np_)];
+    s += phi[c * static_cast<std::size_t>(np_) + l0];
   return jac * std::pow(2.0, 0.5 * grid_.ndim) * s;
 }
 

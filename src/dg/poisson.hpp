@@ -2,44 +2,67 @@
 // DG Poisson solver for the electrostatic (Vlasov-Poisson) limit of the
 // paper's kinetic scheme:
 //
-//   -lap(phi) = rho / eps0        on the periodic configuration grid,
+//   -lap(phi) = rho / eps0        on the 1x/2x/3x configuration grid,
 //   E = -grad(phi)                projected onto the configuration basis,
 //
 // with the zero-mean gauge int phi dx = 0 fixing the constant that the
-// periodic Laplacian cannot see.
+// operator cannot see on periodic / pure-Neumann domains.
 //
-// Non-periodic domains (PoissonBcKind in PoissonParams::bc) replace the
+// Non-periodic dimensions (PoissonBcKind in PoissonParams::bc) replace the
 // periodic wrap at each wall with a one-sided recovery closure
 // (tensors/dg_tensors.hpp buildBoundaryRecoveryWeights): the boundary
 // cell's moments plus the wall constraint — a Dirichlet potential value
 // (grounded or biased electrode) or a Neumann normal derivative — define a
 // degree-(p+1) polynomial whose wall value/slope feed the same weak form
 // as the interior recovery. With at least one Dirichlet wall the operator
-// is nonsingular and the zero-mean bordered system is dropped; a pure
-// Neumann-Neumann domain keeps the gauge border (the multiplier also
-// absorbs any datum/charge incompatibility). Boundary data enter the solve
-// as an affine load vector; applyMinusLaplacian stays the homogeneous
-// linear operator.
+// is nonsingular and the zero-mean gauge is dropped; domains whose walls
+// are all periodic or Neumann keep it (the gauge also absorbs any
+// datum/charge incompatibility). Boundary data enter the solve as an
+// affine load vector; applyMinusLaplacian stays the homogeneous linear
+// operator.
 //
 // The discrete Laplacian is the recovery-based DG operator shared with the
 // LBO collision diffusion (tensors/dg_tensors.hpp): across every interior
-// face the two neighboring cells merge into the unique degree-(2p+1)
-// recovery polynomial reproducing both cells' moments, whose interface
-// value and slope feed the twice-integrated-by-parts weak form — exact
-// sparse tapes, no quadrature in the operator, and super-convergent
-// (order >= p+1, tests/test_poisson.cpp measures ~2p) potentials. The
-// electric field is the weak gradient with the *recovered* (continuous)
-// interface trace of phi, so E inherits the recovery accuracy.
+// face the two neighboring cells merge, per transverse face mode, into the
+// unique degree-(2p+1) 1-D recovery polynomial reproducing both cells'
+// slice moments, whose interface value and slope feed the
+// twice-integrated-by-parts weak form — exact sparse tapes, no quadrature
+// in the operator, and super-convergent (order >= p+1,
+// tests/test_poisson.cpp and tests/test_poisson_cg.cpp measure ~2p)
+// potentials in every dimension. The electric field is the weak gradient
+// with the *recovered* (continuous) interface trace of phi, so E inherits
+// the recovery accuracy.
 //
-// Unlike the hyperbolic Maxwell path, the field here is elliptic: the
-// operator couples every cell, so the solve is a global direct LU of the
-// (block-tridiagonal periodic, zero-mean-bordered) system, factored once
-// at setup and back-substituted per evaluation — FFT-free and exact to
-// round-off, the right trade for 1x configuration grids. The flat-vector
-// interface (global cell-major coefficients, forEachCell order) and the
-// per-direction electricField evaluation are cdim-general so a 2x backend
-// (banded or multigrid in place of the dense LU) can slot in behind the
-// same API; construction currently rejects cdim != 1.
+// Two interchangeable backends solve the elliptic system:
+//
+//  - DirectLu: the operator is assembled column-by-column through
+//    applyMinusLaplacian and LU-factored once (with the zero-mean gauge as
+//    a bordered Lagrange row on gauge domains); solves are
+//    back-substitutions, exact to round-off. O(n^2) storage and O(n^3)
+//    setup make it the 1x fast path and the small-grid cross-check oracle
+//    for any cdim.
+//
+//  - ConjGrad: matrix-free block-Jacobi preconditioned Krylov iteration.
+//    The operator is applied as an on-the-fly stencil sweep (never
+//    assembled), the preconditioner is the per-cell np x np diagonal block
+//    factored once per distinct boundary signature, and on gauge domains
+//    the constant null vector is projected out of the right-hand side and
+//    of every preconditioned direction, so the Krylov space never sees it.
+//    O(n) memory — this is what unlocks 2x/3x electrostatics. At p = 1 the
+//    recovery Laplacian is symmetric to round-off and the iteration is
+//    true preconditioned CG; at p >= 2 the twice-integrated-by-parts
+//    recovery operator is mildly non-self-adjoint (measured ~4-8% relative
+//    asymmetry in the intra-cell mode coupling, every cdim — CG stagnates
+//    on it at fine grids), so the backend switches to the transpose-free
+//    BiCGStab recurrence with the same operator sweep, preconditioner, and
+//    reductions. Residual dot products are accumulated per *cell* chunk
+//    and summed in global cell order; on a distributed run each rank
+//    computes only its chunk range and the ranks exchange them through
+//    Communicator::allReduceSum (0 + x == x bitwise, so the reduction is a
+//    concatenation) — the residual history, iteration count, and solution
+//    are bitwise identical to the serial solve.
+//
+// PoissonMethod::Auto picks DirectLu for cdim == 1 and ConjGrad otherwise.
 
 #include <span>
 #include <vector>
@@ -50,6 +73,8 @@
 #include "tensors/dg_tensors.hpp"
 
 namespace vdg {
+
+class Communicator;
 
 /// Potential closure at one domain wall.
 enum class PoissonBcKind {
@@ -63,19 +88,39 @@ struct PoissonBcSpec {
   double value = 0.0;  ///< wall potential (Dirichlet) or dphi/dx (Neumann)
 };
 
+/// Elliptic backend selection (see the header comment).
+enum class PoissonMethod {
+  Auto,      ///< DirectLu for 1x, ConjGrad for 2x/3x
+  DirectLu,  ///< dense assembled LU — exact, O(n^2) memory
+  ConjGrad,  ///< matrix-free block-Jacobi PCG (p1) / BiCGStab (p>=2) — O(n) memory
+};
+
 struct PoissonParams {
   double epsilon0 = 1.0;
   /// Per [dimension][edge] (edge 0 = lower, 1 = upper) wall closure.
   /// Defaults to fully periodic — existing callers are untouched.
   std::array<std::array<PoissonBcSpec, 2>, kMaxDim> bc{};
+  PoissonMethod method = PoissonMethod::Auto;
+  /// ConjGrad: relative residual target ||r|| <= cgTol * ||b||.
+  double cgTol = 1e-12;
+  /// ConjGrad: iteration cap; 0 picks a generous mesh-scaled default.
+  /// solve() throws std::runtime_error if the cap is hit unconverged.
+  int cgMaxIter = 0;
 };
 
 class PoissonSolver {
  public:
+  /// Iteration diagnostics of one solve (ConjGrad; the LU path reports
+  /// zero iterations and its true residual is round-off).
+  struct SolveStats {
+    int iterations = 0;
+    double relResidual = 0.0;
+  };
+
   /// `confSpec` must have vdim == 0; `confGrid` is the *global* grid (pass
-  /// Grid::parent() of a rank-local window — every rank factors the same
-  /// global operator, which is what keeps distributed solves bit-identical
-  /// to serial ones). Throws for cdim != 1 (2x: planned, same interface).
+  /// Grid::parent() of a rank-local window — every rank drives the same
+  /// global solve, which is what keeps distributed runs bit-identical to
+  /// serial ones). Any cdim in [1, kMaxDim] is supported.
   PoissonSolver(const BasisSpec& confSpec, const Grid& confGrid, const PoissonParams& params);
 
   [[nodiscard]] const Basis& basis() const { return *basis_; }
@@ -85,6 +130,8 @@ class PoissonSolver {
   /// Flat global coefficient count: numCells * numModes, cell-major in
   /// forEachCell (dimension-0-fastest) order.
   [[nodiscard]] std::size_t numUnknowns() const { return n_; }
+  /// The backend actually in use (params().method with Auto resolved).
+  [[nodiscard]] PoissonMethod method() const { return method_; }
 
   /// Flat index of the first coefficient of global cell `gidx`.
   [[nodiscard]] std::size_t flatIndex(const MultiIndex& gidx) const {
@@ -94,20 +141,30 @@ class PoissonSolver {
     return o * static_cast<std::size_t>(np_);
   }
 
-  /// True when any wall closure is non-periodic.
+  /// True when every dimension wraps periodically.
   [[nodiscard]] bool isPeriodic() const { return periodic_; }
-  /// True when the solve carries the zero-mean gauge border (periodic or
-  /// pure-Neumann domains, whose operator has the constant null space).
+  /// True when the solve carries the zero-mean gauge (no Dirichlet wall
+  /// anywhere, so the operator has the constant null space).
   [[nodiscard]] bool hasGauge() const { return gauge_; }
 
   /// Solve -lap(phi) = rho/eps0. `rho` and `phi` are flat global
-  /// coefficient vectors (size numUnknowns()). Periodic and pure-Neumann
-  /// domains solve in the zero-mean gauge: any mean charge (or Neumann
-  /// datum incompatibility) is absorbed by the gauge's Lagrange
-  /// multiplier, yielding the unique zero-mean potential of the
+  /// coefficient vectors (size numUnknowns()). Gauge domains solve in the
+  /// zero-mean gauge: any mean charge (or Neumann datum incompatibility)
+  /// is absorbed, yielding the unique zero-mean potential of the
   /// fluctuating part. With a Dirichlet wall the solution is unique as-is;
   /// the wall data enter through the affine boundary load boundaryRhs().
-  void solve(std::span<const double> rho, std::span<double> phi) const;
+  ///
+  /// `comm` (may be null == serial) carries the ConjGrad residual
+  /// reductions: ranks of a distributed run must all enter with their own
+  /// endpoint of the same Communicator, and every rank gets the bitwise
+  /// identical solution and residual history (see the header comment).
+  /// Thread-safe: const, all iteration state is call-local, so one shared
+  /// solver serves concurrent rank threads.
+  SolveStats solve(std::span<const double> rho, std::span<double> phi,
+                   Communicator* comm) const;
+  void solve(std::span<const double> rho, std::span<double> phi) const {
+    (void)solve(rho, phi, nullptr);
+  }
 
   /// out = -lap(phi), the *homogeneous* discrete operator (wall data = 0)
   /// the solve inverts; for tests and residual checks the full equation is
@@ -133,27 +190,61 @@ class PoissonSolver {
   [[nodiscard]] double domainIntegral(std::span<const double> phi) const;
 
  private:
+  // --- per-direction stencil tables (sized [cdim]).
+  struct DirTables {
+    FaceMap face;                ///< volume-mode -> transverse face mode (+ traces)
+    std::vector<int> slice;      ///< [faceMode][m]: volume mode of d-degree m, -1 hole
+    std::vector<double> dEndM;   ///< psi'_{a_d}(-1) per volume mode
+    std::vector<double> dEndP;   ///< psi'_{a_d}(+1) per volume mode
+    Tape2 grad;                  ///< int dw_l/deta_d w_n deta (E volume term)
+    double unitFace = 1.0;       ///< face-mode-0 coefficient of the constant 1
+    double s2 = 0.0;             ///< (2/dx_d)^2
+    // Non-periodic walls of this direction.
+    bool periodicDim = true;
+    BoundaryRecoveryWeights bcLo, bcHi;  ///< one-sided recovery per wall
+    double ghatLo = 0.0, ghatHi = 0.0;   ///< wall data in reference units
+  };
+
+  void buildDiagBlocks();
+  SolveStats solveCg(std::span<double> b, std::span<double> phi, Communicator* comm) const;
+  SolveStats solveBiCgStab(std::span<double> b, std::span<double> phi,
+                           Communicator* comm) const;
+  void applyBlockJacobi(std::span<const double> r, std::span<double> z) const;
+  /// Subtract the constant-mode mean (the gauge projection).
+  void projectOutConstant(std::span<double> v) const;
+  /// Deterministic chunked dot product (see header comment): per-cell
+  /// partials into `chunks`, rank-window restricted, all-reduced, then
+  /// summed in global cell order. Bitwise rank-count independent.
+  [[nodiscard]] double dotReduce(std::span<const double> a, std::span<const double> b,
+                                 std::span<double> chunks, Communicator* comm,
+                                 std::size_t cellBegin, std::size_t cellEnd) const;
+
   const Basis* basis_;
   Grid grid_;
   PoissonParams params_;
+  PoissonMethod method_ = PoissonMethod::DirectLu;
   int np_ = 0;
+  int p1_ = 0;        ///< polyOrder + 1 (slice length)
+  int constMode_ = 0; ///< volume mode of the constant (the gauge direction)
   std::size_t n_ = 0;
   std::array<std::size_t, kMaxDim> stride_{};  ///< cell strides, dim 0 fastest
 
-  DenseMatrix vol2_;    ///< int w_l'' w_n deta (volume term of the weak lap)
-  Tape2 grad_;          ///< int w_l' w_n deta (weak gradient volume term)
+  DenseMatrix volAll_;  ///< sum_d s2_d int w_l d2w_n/deta_d^2 (fused volume term)
   RecoveryWeights rec_;
-  std::vector<double> endMinus_, endPlus_;      ///< psi_l(-1), psi_l(+1)
-  std::vector<double> dEndMinus_, dEndPlus_;    ///< psi_l'(-1), psi_l'(+1)
+  std::vector<DirTables> dir_;
 
-  // --- non-periodic wall closures (1x: the two ends of dimension 0).
   bool periodic_ = true;
-  bool gauge_ = true;  ///< solve carries the zero-mean border
-  BoundaryRecoveryWeights bcLo_, bcHi_;  ///< one-sided recovery per wall
-  double ghatLo_ = 0.0, ghatHi_ = 0.0;   ///< wall data in reference units
-  std::vector<double> bcRhs_;            ///< affine wall load (size n_)
+  bool gauge_ = true;   ///< solve carries the zero-mean gauge
+  bool symOp_ = true;   ///< operator symmetric to round-off (p = 1): true CG
+  std::vector<double> bcRhs_;       ///< affine wall load (size n_)
 
-  LuSolver lu_;  ///< [-lap] (Dirichlet) or bordered (n+1) gauge system
+  LuSolver lu_;  ///< DirectLu: [-lap] (Dirichlet) or bordered (n+1) gauge system
+
+  // ConjGrad block-Jacobi preconditioner: one factored np x np diagonal
+  // block per distinct boundary signature, plus the per-cell signature map.
+  std::vector<LuSolver> blocks_;
+  std::vector<int> blockOf_;  ///< per global cell (flat order), index into blocks_
+  int maxIter_ = 0;           ///< resolved iteration cap
 };
 
 }  // namespace vdg

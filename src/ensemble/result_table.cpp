@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "io/num_format.hpp"
+
 namespace vdg {
 
 namespace {
@@ -58,10 +60,11 @@ void writeResultTableCsv(const std::string& path, const std::vector<MemberResult
   os << ",error\n";
   for (const MemberResult& r : results) {
     os << csvEscape(r.name) << "," << toString(r.status) << "," << r.leadRank << ","
-       << r.numRanks << "," << r.steps << "," << r.finalTime << "," << r.wallSeconds;
+       << r.numRanks << "," << r.steps << "," << formatDouble(r.finalTime) << ","
+       << formatDouble(r.wallSeconds);
     for (const std::string& k : keys) {
       os << ",";
-      if (auto it = r.params.find(k); it != r.params.end()) os << it->second;
+      if (auto it = r.params.find(k); it != r.params.end()) os << formatDouble(it->second);
     }
     os << "," << csvEscape(r.error) << "\n";
   }
@@ -74,13 +77,15 @@ void writeResultTableJson(const std::string& path, const std::vector<MemberResul
   os << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MemberResult& r = results[i];
+    // jsonNumber: round-trip precision, and non-finite values become null
+    // (a bare nan/inf token is invalid JSON and breaks conforming parsers).
     os << "  {\"name\": \"" << jsonEscape(r.name) << "\", \"status\": \"" << toString(r.status)
        << "\", \"leadRank\": " << r.leadRank << ", \"numRanks\": " << r.numRanks
-       << ", \"steps\": " << r.steps << ", \"finalTime\": " << r.finalTime
-       << ", \"wallSeconds\": " << r.wallSeconds << ", \"params\": {";
+       << ", \"steps\": " << r.steps << ", \"finalTime\": " << jsonNumber(r.finalTime)
+       << ", \"wallSeconds\": " << jsonNumber(r.wallSeconds) << ", \"params\": {";
     bool first = true;
     for (const auto& [k, v] : r.params) {
-      os << (first ? "" : ", ") << "\"" << jsonEscape(k) << "\": " << v;
+      os << (first ? "" : ", ") << "\"" << jsonEscape(k) << "\": " << jsonNumber(v);
       first = false;
     }
     os << "}";

@@ -34,13 +34,16 @@ Simulation::Builder ScenarioSpec::toBuilder() const {
 std::string ScenarioSpec::shareKey() const {
   if (field != FieldKind::Poisson) return {};
   // Everything the PoissonSolver constructor reads: global grid extents,
-  // basis spec, epsilon0, and the per-edge wall closures. Doubles are
+  // basis spec, epsilon0, backend selection (method/tolerance/iteration
+  // cap), and the per-edge wall closures. Doubles are
   // printed with full precision (hexfloat) so two keys match only when the
   // factored operators would be bit-identical.
   std::ostringstream os;
   os << std::hexfloat;
   const Grid g = confGrid.parent();
-  os << "p" << polyOrder << "f" << static_cast<int>(family) << "e" << poisson.epsilon0;
+  os << "p" << polyOrder << "f" << static_cast<int>(family) << "e" << poisson.epsilon0
+     << "m" << static_cast<int>(poisson.method) << "t" << poisson.cgTol << "i"
+     << poisson.cgMaxIter;
   for (int d = 0; d < g.ndim; ++d) {
     const auto s = static_cast<std::size_t>(d);
     os << "|" << g.cells[s] << "," << g.lower[s] << "," << g.upper[s];

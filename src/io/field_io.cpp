@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "app/state.hpp"
+#include "io/num_format.hpp"
 
 namespace vdg {
 
@@ -147,8 +148,10 @@ CsvWriter::CsvWriter(std::string path, std::string header, Mode mode) : path_(st
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
+  // Shortest round-trip formatting — streaming doubles at the default
+  // 6-digit precision silently truncates every diagnostics column.
   for (std::size_t i = 0; i < values.size(); ++i)
-    os_ << (i ? "," : "") << values[i];
+    os_ << (i ? "," : "") << formatDouble(values[i]);
   os_ << "\n";
 }
 

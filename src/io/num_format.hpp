@@ -1,0 +1,36 @@
+#pragma once
+// Shortest round-trip formatting of doubles for the diagnostics writers.
+//
+// Default ostream insertion prints 6 significant digits — a time-series
+// row or result table written that way silently loses ~11 digits, which
+// corrupts growth-rate fits on small-amplitude diagnostics and breaks
+// resume cross-checks that compare re-read values against in-memory ones.
+// std::to_chars with no precision argument emits the *shortest* decimal
+// string that parses back to exactly the same double (round-trip
+// guarantee), so every CSV/JSON consumer recovers the bitwise value.
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace vdg {
+
+/// Shortest decimal string that round-trips to exactly `v` (including
+/// "nan"/"inf"/"-inf" spellings for non-finite values — CSV context; JSON
+/// needs jsonNumber below).
+inline std::string formatDouble(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 32 chars always fit the shortest form of a double
+  return std::string(buf, ptr);
+}
+
+/// JSON-safe number token: shortest round-trip form, except non-finite
+/// values become "null" (bare nan/inf is invalid JSON and breaks every
+/// conforming parser on an otherwise-recoverable result table).
+inline std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return formatDouble(v);
+}
+
+}  // namespace vdg

@@ -7,6 +7,7 @@
 
 #include "app/projection.hpp"
 #include "app/simulation.hpp"
+#include "io/num_format.hpp"
 
 namespace vdg {
 
@@ -35,9 +36,14 @@ void releasePath(const std::string& path) {
 }
 
 std::string formatRow(const std::vector<double>& row) {
-  std::ostringstream os;
-  for (std::size_t i = 0; i < row.size(); ++i) os << (i ? "," : "") << row[i];
-  return os.str();
+  // Shortest round-trip formatting: default ostream precision (6 digits)
+  // would truncate every diagnostic this file exists to record.
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    out += formatDouble(row[i]);
+  }
+  return out;
 }
 
 }  // namespace

@@ -19,8 +19,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <numbers>
 #include <sstream>
 #include <string>
@@ -422,6 +425,162 @@ TEST(TimeSeriesWriter, ResumeRejectsSchemaChange) {
   Simulation sim = b.build();
   EXPECT_THROW(TimeSeriesWriter(path, sim, CsvWriter::Mode::Resume), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------- result tables
+
+namespace json {
+
+// Minimal recursive-descent JSON validator/extractor for the regression
+// test below: enough of RFC 8259 to reject bare nan/inf tokens (which the
+// old writer emitted) and to pull out number/null values by key path.
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') i += s[i] == '\\' ? 2 : 1;
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    char* end = nullptr;
+    std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) return false;
+    // strtod accepts "nan"/"inf", JSON does not: require a digit/sign start.
+    if (s[i] != '-' && (s[i] < '0' || s[i] > '9')) return false;
+    i = static_cast<std::size_t>(end - s.c_str());
+    return true;
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '"') return string();
+    if (s[i] == '{') {
+      ++i;
+      ws();
+      if (s[i] == '}') return ++i, true;
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        break;
+      }
+      if (i >= s.size() || s[i] != '}') return false;
+      return ++i, true;
+    }
+    if (s[i] == '[') {
+      ++i;
+      ws();
+      if (s[i] == ']') return ++i, true;
+      while (true) {
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        break;
+      }
+      if (i >= s.size() || s[i] != ']') return false;
+      return ++i, true;
+    }
+    return lit("true") || lit("false") || lit("null") || number();
+  }
+};
+
+bool valid(const std::string& text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.ws();
+  return p.i == text.size();
+}
+
+}  // namespace json
+
+/// The CSV and JSON result tables must reproduce every finite double
+/// bitwise on re-read (round-trip formatting), and non-finite values must
+/// land in the JSON as null — the emitted document has to parse.
+TEST(ResultTable, RoundTripsDoublesAndEmitsValidJson) {
+  const double t = 12.566370614359172;   // 4*pi: not representable in 6 digits
+  const double wall = 1.0 / 3.0;
+  const double k = 0.6000000000000001;   // differs from 0.6 by one ulp
+
+  std::vector<MemberResult> results(2);
+  results[0].name = "good";
+  results[0].status = MemberResult::Status::Done;
+  results[0].steps = 42;
+  results[0].finalTime = t;
+  results[0].wallSeconds = wall;
+  results[0].params = {{"k", k}, {"amp", 1e-12}};
+  results[1].name = "diverged, \"sadly\"";  // exercises both escapers
+  results[1].status = MemberResult::Status::Failed;
+  results[1].error = "non-finite dt";
+  results[1].finalTime = std::nan("");
+  results[1].wallSeconds = std::numeric_limits<double>::infinity();
+  results[1].params = {{"k", std::nan("")}, {"amp", 1e-12}};
+
+  const std::string csvPath =
+      (std::filesystem::temp_directory_path() / "vdg_results_rt.csv").string();
+  const std::string jsonPath =
+      (std::filesystem::temp_directory_path() / "vdg_results_rt.json").string();
+  writeResultTableCsv(csvPath, results);
+  writeResultTableJson(jsonPath, results);
+
+  // CSV: the finite doubles of the "good" row round-trip bitwise.
+  {
+    std::ifstream is(csvPath);
+    std::string header, row;
+    std::getline(is, header);
+    EXPECT_EQ(header, "name,status,leadRank,numRanks,steps,finalTime,wallSeconds,amp,k,error");
+    std::getline(is, row);
+    std::vector<std::string> cols;
+    std::stringstream ss(row);
+    for (std::string c; std::getline(ss, c, ',');) cols.push_back(c);
+    ASSERT_GE(cols.size(), 9u);
+    EXPECT_EQ(std::strtod(cols[5].c_str(), nullptr), t) << cols[5];
+    EXPECT_EQ(std::strtod(cols[6].c_str(), nullptr), wall) << cols[6];
+    EXPECT_EQ(std::strtod(cols[7].c_str(), nullptr), 1e-12) << cols[7];
+    EXPECT_EQ(std::strtod(cols[8].c_str(), nullptr), k) << cols[8];
+  }
+
+  // JSON: the document parses, non-finite values are null, finite ones
+  // round-trip bitwise out of the raw text.
+  {
+    std::ifstream is(jsonPath);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+    EXPECT_TRUE(json::valid(text)) << text;
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_NE(text.find("\"finalTime\": null"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"wallSeconds\": null"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"k\": null"), std::string::npos) << text;
+    const std::size_t pos = text.find("\"finalTime\": ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(std::strtod(text.c_str() + pos + 13, nullptr), t);
+    const std::size_t kpos = text.find("\"k\": ");
+    ASSERT_NE(kpos, std::string::npos);
+    EXPECT_EQ(std::strtod(text.c_str() + kpos + 5, nullptr), k);
+  }
+
+  std::filesystem::remove(csvPath);
+  std::filesystem::remove(jsonPath);
 }
 
 }  // namespace

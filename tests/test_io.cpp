@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -69,6 +71,46 @@ TEST(FieldIo, ReadRejectsGarbage) {
   }
   EXPECT_THROW(readField(path), std::runtime_error);
   EXPECT_THROW(readField(tmpPath("vdg_does_not_exist.bin")), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+/// Every double written to a CSV row must come back bitwise identical on
+/// re-read (shortest round-trip formatting). The old default-precision
+/// stream formatting truncated to 6 significant digits, which corrupted
+/// gamma fits and broke resume cross-checks.
+TEST(CsvWriter, RowsRoundTripBitwise) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           0.1,
+                           3.141592653589793,
+                           6.02214076e23,
+                           -1.1e-300,
+                           5e-324,               // smallest denormal
+                           1.7976931348623157e308,  // largest finite
+                           1.0000000000000002,   // 1 + ulp
+                           -123456.78901234567};
+  const std::string path = tmpPath("vdg_roundtrip.csv");
+  std::filesystem::remove(path);
+  {
+    CsvWriter w(path, "v");
+    for (const double v : values) w.row({v, 2.0 * v});
+  }
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);  // header
+  for (const double v : values) {
+    ASSERT_TRUE(std::getline(is, line));
+    const std::size_t comma = line.find(',');
+    ASSERT_NE(comma, std::string::npos) << line;
+    char* end = nullptr;
+    const double a = std::strtod(line.c_str(), &end);
+    const double b = std::strtod(line.c_str() + comma + 1, &end);
+    // Bitwise: EXPECT_EQ distinguishes 0.0 from -0.0 via the sign test.
+    EXPECT_EQ(a, v) << line;
+    EXPECT_EQ(std::signbit(a), std::signbit(v)) << line;
+    EXPECT_EQ(b, 2.0 * v) << line;
+  }
   std::filesystem::remove(path);
 }
 

@@ -141,14 +141,22 @@ TEST(PoissonSolver, EpsilonZeroScalesThePotential) {
 }
 
 TEST(PoissonSolver, RejectsUnsupportedConfigurations) {
-  EXPECT_THROW(PoissonSolver(BasisSpec{2, 0, 1, BasisFamily::Serendipity},
-                             Grid::make({4, 4}, {0.0, 0.0}, {1.0, 1.0}), PoissonParams{}),
-               std::invalid_argument);
+  // 2x construction is supported since the CG backend landed (Auto
+  // resolves it to ConjGrad); the solver must come up, not throw.
+  const PoissonSolver p2x(BasisSpec{2, 0, 1, BasisFamily::Serendipity},
+                          Grid::make({4, 4}, {0.0, 0.0}, {1.0, 1.0}), PoissonParams{});
+  EXPECT_EQ(p2x.method(), PoissonMethod::ConjGrad);
   EXPECT_THROW(PoissonSolver(BasisSpec{1, 1, 1, BasisFamily::Serendipity},
                              Grid::make({4}, {0.0}, {1.0}), PoissonParams{}),
                std::invalid_argument);
   EXPECT_THROW(PoissonSolver(BasisSpec{1, 0, 1, BasisFamily::Serendipity},
                              Grid::make({4}, {0.0}, {1.0}), PoissonParams{.epsilon0 = 0.0}),
+               std::invalid_argument);
+  // Mixed periodic/wall edges of one dimension stay rejected.
+  PoissonParams mixed;
+  mixed.bc[0][0] = {PoissonBcKind::Dirichlet, 0.0};
+  EXPECT_THROW(PoissonSolver(BasisSpec{1, 0, 1, BasisFamily::Serendipity},
+                             Grid::make({4}, {0.0}, {1.0}), mixed),
                std::invalid_argument);
 }
 

@@ -1,0 +1,331 @@
+// The matrix-free block-Jacobi PCG Poisson backend (PoissonMethod::ConjGrad):
+// 1x agreement with the retained direct-LU oracle across every wall-closure
+// family, 2x manufactured-solution convergence at order >= p+1 for phi and
+// both E components, the zero-mean gauge in 2x, a small 3x residual sanity
+// check, and the threading / distributed bitwise guarantees: one shared
+// const solver serves concurrent callers, and a 2-rank solve whose residual
+// reductions go through Communicator::allReduceSum reproduces the serial
+// iteration history and solution bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include "app/projection.hpp"
+#include "dg/poisson.hpp"
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<double> projectFlat(const PoissonSolver& solver, const ScalarFn& fn) {
+  const Grid& g = solver.grid();
+  Field f(g, solver.numModes());
+  projectOnBasis(solver.basis(), g, fn, f, solver.basis().spec().polyOrder + 3);
+  std::vector<double> out(solver.numUnknowns());
+  forEachCell(g, [&](const MultiIndex& idx) {
+    const double* src = f.at(idx);
+    double* dst = out.data() + solver.flatIndex(idx);
+    for (int l = 0; l < solver.numModes(); ++l) dst[l] = src[l];
+  });
+  return out;
+}
+
+double l2Diff(const PoissonSolver& solver, std::span<const double> a,
+              std::span<const double> b) {
+  double jac = 1.0;
+  for (int d = 0; d < solver.grid().ndim; ++d) jac *= 0.5 * solver.grid().dx(d);
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    err += d * d;
+  }
+  return std::sqrt(jac * err);
+}
+
+PoissonParams withMethod(PoissonParams p, PoissonMethod m) {
+  p.method = m;
+  return p;
+}
+
+// --------------------------------------------- 1x: CG against the LU oracle
+
+/// Same operator, two backends: for every wall-closure family and both
+/// polynomial orders the CG solution must match the direct-LU oracle to a
+/// pinned tolerance (the LU is exact to round-off; CG stops at a 1e-12
+/// relative residual).
+TEST(PoissonCg, MatchesLuOracle1x) {
+  struct BcCase {
+    const char* name;
+    PoissonBcSpec lo, hi;
+  };
+  const BcCase cases[] = {
+      {"periodic", {}, {}},
+      {"DD", {PoissonBcKind::Dirichlet, 0.5}, {PoissonBcKind::Dirichlet, -0.25}},
+      {"DN", {PoissonBcKind::Dirichlet, 0.0}, {PoissonBcKind::Neumann, 0.75}},
+      {"NN", {PoissonBcKind::Neumann, 0.3}, {PoissonBcKind::Neumann, 0.3}},
+  };
+  for (int p = 1; p <= 2; ++p) {
+    const BasisSpec spec{1, 0, p, BasisFamily::Serendipity};
+    const Grid g = Grid::make({24}, {0.0}, {2.0 * kPi});
+    for (const BcCase& bc : cases) {
+      PoissonParams params;
+      params.bc[0][0] = bc.lo;
+      params.bc[0][1] = bc.hi;
+      const PoissonSolver lu(spec, g, withMethod(params, PoissonMethod::DirectLu));
+      const PoissonSolver cg(spec, g, withMethod(params, PoissonMethod::ConjGrad));
+      ASSERT_EQ(lu.method(), PoissonMethod::DirectLu);
+      ASSERT_EQ(cg.method(), PoissonMethod::ConjGrad);
+      const auto rho = projectFlat(
+          lu, [](const double* z) { return std::sin(z[0]) + 0.2 * std::cos(2.0 * z[0]); });
+      std::vector<double> phiLu(lu.numUnknowns()), phiCg(cg.numUnknowns());
+      lu.solve(rho, phiLu);
+      const auto stats = cg.solve(rho, phiCg, nullptr);
+      EXPECT_GT(stats.iterations, 0) << bc.name;
+      EXPECT_LE(stats.relResidual, cg.params().cgTol) << bc.name;
+      for (std::size_t i = 0; i < phiLu.size(); ++i)
+        EXPECT_NEAR(phiCg[i], phiLu[i], 1e-9)
+            << bc.name << " p" << p << " coeff " << i;
+    }
+  }
+}
+
+/// Auto resolves to the LU fast path in 1x and to CG in 2x.
+TEST(PoissonCg, AutoDispatch) {
+  const PoissonSolver s1(BasisSpec{1, 0, 1, BasisFamily::Serendipity},
+                         Grid::make({8}, {0.0}, {1.0}), PoissonParams{});
+  EXPECT_EQ(s1.method(), PoissonMethod::DirectLu);
+  const PoissonSolver s2(BasisSpec{2, 0, 1, BasisFamily::Serendipity},
+                         Grid::make({4, 4}, {0.0, 0.0}, {1.0, 1.0}), PoissonParams{});
+  EXPECT_EQ(s2.method(), PoissonMethod::ConjGrad);
+}
+
+// ------------------------------------------------- 2x: manufactured solution
+
+struct SolveCase {
+  int polyOrder;
+  double minOrder;
+};
+
+class PoissonCgConvergence2x : public ::testing::TestWithParam<SolveCase> {};
+
+/// -lap(phi) = 2 sin(x) sin(y) on the doubly periodic [0, 2pi]^2 has the
+/// zero-mean solution phi = sin(x) sin(y), E = (-cos x sin y, -sin x cos y).
+/// The potential superconverges (measured ~2p+: far above p+1); E converges
+/// at exactly order p+1 in multi-D — the interface flux's transverse
+/// expansion is limited to the degree-p face basis, so the 1x
+/// superconvergence does not carry over — and approaches that asymptote
+/// from below (p2 measures 2.89 at 8->16 cells, 2.95 at 12->24, 2.97 at
+/// 16->32), hence the small pre-asymptotic allowance on the E threshold.
+TEST_P(PoissonCgConvergence2x, ManufacturedSolutionAtOrderPPlusOne) {
+  const auto [p, minOrder] = GetParam();
+  const BasisSpec spec{2, 0, p, BasisFamily::Serendipity};
+  double phiErr[2], exErr[2], eyErr[2];
+  const int sizes[2] = {12, 24};
+  for (int r = 0; r < 2; ++r) {
+    const Grid g = Grid::make({sizes[r], sizes[r]}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
+    const PoissonSolver solver(spec, g, PoissonParams{});
+    ASSERT_EQ(solver.method(), PoissonMethod::ConjGrad);
+    const auto rho = projectFlat(
+        solver, [](const double* z) { return 2.0 * std::sin(z[0]) * std::sin(z[1]); });
+    std::vector<double> phi(solver.numUnknowns());
+    const auto stats = solver.solve(rho, phi, nullptr);
+    EXPECT_LE(stats.relResidual, solver.params().cgTol);
+    const auto phiExact = projectFlat(
+        solver, [](const double* z) { return std::sin(z[0]) * std::sin(z[1]); });
+    phiErr[r] = l2Diff(solver, phi, phiExact);
+
+    const auto np = static_cast<std::size_t>(solver.numModes());
+    std::vector<double> ex(solver.numUnknowns()), ey(solver.numUnknowns());
+    forEachCell(g, [&](const MultiIndex& idx) {
+      solver.cellElectricField(phi, idx, 0, {ex.data() + solver.flatIndex(idx), np});
+      solver.cellElectricField(phi, idx, 1, {ey.data() + solver.flatIndex(idx), np});
+    });
+    const auto exExact = projectFlat(
+        solver, [](const double* z) { return -std::cos(z[0]) * std::sin(z[1]); });
+    const auto eyExact = projectFlat(
+        solver, [](const double* z) { return -std::sin(z[0]) * std::cos(z[1]); });
+    exErr[r] = l2Diff(solver, ex, exExact);
+    eyErr[r] = l2Diff(solver, ey, eyExact);
+  }
+  EXPECT_GE(std::log2(phiErr[0] / phiErr[1]), minOrder)
+      << "phi errors " << phiErr[0] << " -> " << phiErr[1];
+  const double eMinOrder = minOrder - 0.1;  // pre-asymptotic allowance
+  EXPECT_GE(std::log2(exErr[0] / exErr[1]), eMinOrder)
+      << "Ex errors " << exErr[0] << " -> " << exErr[1];
+  EXPECT_GE(std::log2(eyErr[0] / eyErr[1]), eMinOrder)
+      << "Ey errors " << eyErr[0] << " -> " << eyErr[1];
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PoissonCgConvergence2x,
+                         ::testing::Values(SolveCase{1, 2.0}, SolveCase{2, 3.0}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.polyOrder);
+                         });
+
+/// 2x gauge: solutions have zero mean, the solve residual closes the weak
+/// equation, and a uniform charge offset changes nothing.
+TEST(PoissonCg, ZeroMeanGauge2x) {
+  const BasisSpec spec{2, 0, 2, BasisFamily::Serendipity};
+  const Grid g = Grid::make({8, 8}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
+  const PoissonSolver solver(spec, g, PoissonParams{});
+  const auto rho = projectFlat(solver, [](const double* z) {
+    return 2.0 * std::sin(z[0]) * std::sin(z[1]) + 0.3 * std::cos(z[0]);
+  });
+
+  std::vector<double> phi(solver.numUnknowns());
+  solver.solve(rho, phi);
+  EXPECT_NEAR(solver.domainIntegral(phi), 0.0, 1e-10);
+
+  std::vector<double> res(solver.numUnknowns());
+  solver.applyMinusLaplacian(phi, res);
+  for (std::size_t i = 0; i < res.size(); ++i) EXPECT_NEAR(res[i], rho[i], 1e-8) << i;
+
+  // A uniform charge offset (mean rho != 0) leaves phi unchanged: the
+  // gauge projection strips it from the right-hand side.
+  auto rhoOff = rho;
+  const double off = 5.0 * 2.0;  // 5.0 as a 2-D mode-0 coefficient
+  for (std::size_t c = 0; c < rhoOff.size(); c += static_cast<std::size_t>(solver.numModes()))
+    rhoOff[c] += off;
+  std::vector<double> phiOff(solver.numUnknowns());
+  solver.solve(rhoOff, phiOff);
+  for (std::size_t i = 0; i < phi.size(); ++i) EXPECT_NEAR(phiOff[i], phi[i], 1e-9) << i;
+}
+
+/// On grids small enough to assemble, the 2x CG solution must match the
+/// dense-LU oracle — periodic and with walls (biased Dirichlet plates in x,
+/// periodic in y), which also exercises the 2x boundary load.
+TEST(PoissonCg, MatchesLuOracle2x) {
+  for (int p = 1; p <= 2; ++p) {
+    const BasisSpec spec{2, 0, p, BasisFamily::Serendipity};
+    const Grid g = Grid::make({6, 5}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
+    for (const bool walls : {false, true}) {
+      PoissonParams params;
+      if (walls) {
+        params.bc[0][0] = {PoissonBcKind::Dirichlet, 1.0};
+        params.bc[0][1] = {PoissonBcKind::Dirichlet, -1.0};
+      }
+      const PoissonSolver lu(spec, g, withMethod(params, PoissonMethod::DirectLu));
+      const PoissonSolver cg(spec, g, withMethod(params, PoissonMethod::ConjGrad));
+      EXPECT_EQ(lu.hasGauge(), !walls);
+      const auto rho = projectFlat(
+          lu, [](const double* z) { return std::sin(z[0]) * (1.0 + 0.5 * std::cos(z[1])); });
+      std::vector<double> phiLu(lu.numUnknowns()), phiCg(cg.numUnknowns());
+      lu.solve(rho, phiLu);
+      cg.solve(rho, phiCg);
+      double scale = 1.0;
+      for (const double v : phiLu) scale = std::max(scale, std::abs(v));
+      for (std::size_t i = 0; i < phiLu.size(); ++i)
+        EXPECT_NEAR(phiCg[i], phiLu[i], 1e-9 * scale)
+            << (walls ? "walls" : "periodic") << " p" << p << " coeff " << i;
+    }
+  }
+}
+
+/// 3x sanity: the CG solve closes the weak equation on a small triply
+/// periodic grid (the operator sweep and preconditioner are dimension-
+/// general; this pins the 3x code path).
+TEST(PoissonCg, Residual3x) {
+  const BasisSpec spec{3, 0, 1, BasisFamily::Serendipity};
+  const Grid g = Grid::make({4, 4, 4}, {0.0, 0.0, 0.0}, {2.0 * kPi, 2.0 * kPi, 2.0 * kPi});
+  const PoissonSolver solver(spec, g, PoissonParams{});
+  ASSERT_EQ(solver.method(), PoissonMethod::ConjGrad);
+  const auto rho = projectFlat(solver, [](const double* z) {
+    return 3.0 * std::sin(z[0]) * std::sin(z[1]) * std::sin(z[2]);
+  });
+  std::vector<double> phi(solver.numUnknowns());
+  const auto stats = solver.solve(rho, phi, nullptr);
+  EXPECT_LE(stats.relResidual, solver.params().cgTol);
+  std::vector<double> res(solver.numUnknowns());
+  solver.applyMinusLaplacian(phi, res);
+  for (std::size_t i = 0; i < res.size(); ++i) EXPECT_NEAR(res[i], rho[i], 1e-8) << i;
+}
+
+// ----------------------------------------- threading / distributed identity
+
+/// One shared const solver, many concurrent callers: every thread gets the
+/// bitwise identical solution (all iteration state is call-local).
+TEST(PoissonCg, SharedSolverThreadSafe) {
+  const BasisSpec spec{2, 0, 2, BasisFamily::Serendipity};
+  const Grid g = Grid::make({8, 8}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
+  const PoissonSolver solver(spec, g, PoissonParams{});
+  const auto rho = projectFlat(
+      solver, [](const double* z) { return 2.0 * std::sin(z[0]) * std::sin(z[1]); });
+  std::vector<double> ref(solver.numUnknowns());
+  solver.solve(rho, ref);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> phi(kThreads,
+                                       std::vector<double>(solver.numUnknowns()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { solver.solve(rho, phi[static_cast<std::size_t>(t)]); });
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    int bad = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      if (phi[static_cast<std::size_t>(t)][i] != ref[i]) ++bad;
+    EXPECT_EQ(bad, 0) << "thread " << t;
+  }
+}
+
+/// Two ranks driving the same global solve through ThreadComm endpoints:
+/// the residual reductions are collective (each rank computes only its
+/// per-cell chunk window, allReduceSum concatenates them), and the
+/// resulting iteration count and solution are bitwise identical to the
+/// serial solve on every rank.
+TEST(PoissonCg, TwoRankDistributedBitwiseMatchesSerial) {
+  const BasisSpec spec{2, 0, 1, BasisFamily::Serendipity};
+  const Grid g = Grid::make({8, 6}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi});
+  const PoissonSolver solver(spec, g, PoissonParams{});
+  const auto rho = projectFlat(
+      solver, [](const double* z) { return 2.0 * std::sin(z[0]) * std::sin(z[1]); });
+
+  std::vector<double> ref(solver.numUnknowns());
+  const auto serialStats = solver.solve(rho, ref, nullptr);
+
+  ThreadComm comm(CartDecomp::make(g, 2));
+  ASSERT_EQ(comm.numRanks(), 2);
+  std::vector<std::vector<double>> phi(2, std::vector<double>(solver.numUnknowns()));
+  PoissonSolver::SolveStats stats[2];
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r)
+    threads.emplace_back([&, r] {
+      stats[r] = solver.solve(rho, phi[static_cast<std::size_t>(r)], &comm.endpoint(r));
+    });
+  for (auto& th : threads) th.join();
+
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(stats[r].iterations, serialStats.iterations) << "rank " << r;
+    EXPECT_EQ(stats[r].relResidual, serialStats.relResidual) << "rank " << r;
+    int bad = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      if (phi[static_cast<std::size_t>(r)][i] != ref[i]) ++bad;
+    EXPECT_EQ(bad, 0) << "rank " << r;
+  }
+}
+
+/// An unreachable tolerance must surface as the documented runtime_error,
+/// not silent non-convergence.
+TEST(PoissonCg, ThrowsWhenIterationCapHit) {
+  PoissonParams params;
+  params.method = PoissonMethod::ConjGrad;
+  params.cgMaxIter = 2;
+  const PoissonSolver solver(BasisSpec{2, 0, 1, BasisFamily::Serendipity},
+                             Grid::make({8, 8}, {0.0, 0.0}, {1.0, 1.0}), params);
+  const auto rho = projectFlat(solver, [](const double* z) {
+    return std::sin(2.0 * kPi * z[0]) * std::sin(2.0 * kPi * z[1]);
+  });
+  std::vector<double> phi(solver.numUnknowns());
+  EXPECT_THROW(solver.solve(rho, phi), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vdg

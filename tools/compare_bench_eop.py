@@ -16,6 +16,9 @@ ordering check is hardware-independent.
 
 Usage: tools/compare_bench_eop.py CURRENT.json [--baseline PATH]
        [--tolerance 0.15]
+
+Exit codes: 0 ok, 1 regression, 2 missing/unreadable input file,
+3 malformed JSON schema (missing key).
 """
 
 from __future__ import annotations
@@ -42,12 +45,46 @@ def main() -> int:
     )
     args = ap.parse_args()
 
-    cur = json.loads(args.current.read_text())
-    base = json.loads(args.baseline.read_text())
+    # Actionable one-line failures instead of raw tracebacks: a missing
+    # file (fresh runner without a baseline, bench that never ran) exits 2,
+    # a schema drift (key renamed/removed) exits 3.
+    def load(path: pathlib.Path, label: str) -> dict:
+        try:
+            return json.loads(path.read_text())
+        except OSError as e:
+            print(
+                f"compare_bench_eop: cannot read {label} '{path}': {e.strerror or e} "
+                f"(did the benchmark run / is the baseline checked in?)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        except json.JSONDecodeError as e:
+            print(
+                f"compare_bench_eop: {label} '{path}' is not valid JSON: {e}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
 
-    cur_batched = cur["eop"]["vlasov"]
-    cur_scalar = cur["eop"]["vlasov_scalar"]
-    base_batched = base["eop"]["vlasov"]
+    def pick(doc: dict, path: pathlib.Path, *keys: str) -> float:
+        node = doc
+        for k in keys:
+            if not isinstance(node, dict) or k not in node:
+                print(
+                    f"compare_bench_eop: '{path}' is missing key "
+                    f"'{'.'.join(keys)}' — schema drift? regenerate the file "
+                    f"with the current bench_eop",
+                    file=sys.stderr,
+                )
+                raise SystemExit(3)
+            node = node[k]
+        return node
+
+    cur = load(args.current, "current results")
+    base = load(args.baseline, "baseline")
+
+    cur_batched = pick(cur, args.current, "eop", "vlasov")
+    cur_scalar = pick(cur, args.current, "eop", "vlasov_scalar")
+    base_batched = pick(base, args.baseline, "eop", "vlasov")
 
     failures = []
 

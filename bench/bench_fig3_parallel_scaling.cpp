@@ -17,6 +17,7 @@
 // seconds / halo seconds / halo fraction, the calibrated model, and the
 // projected weak/strong curves) so the perf trajectory is tracked in CI.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +27,7 @@
 #include "app/distributed.hpp"
 #include "app/simulation.hpp"
 #include "par/comm_model.hpp"
+#include "par/communicator.hpp"
 
 namespace {
 using namespace vdg;
@@ -68,6 +70,51 @@ struct MeasuredPoint {
   std::uint64_t haloBytes = 0;
   std::uint64_t haloCells = 0;
 };
+
+/// A 1x1v Landau pipeline for the overlap study: the decomposition is
+/// necessarily 1-D along x, so *every* ghost slab rides the overlapped
+/// dim-0 split-phase exchange — no blocking higher-dim sync dilutes the
+/// measurement the way the 2-D decomposition of the scaling problem would.
+Simulation::Builder landauOverlapBuilder(int confCells, int velCells) {
+  const double k = 0.5;
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({confCells}, {0.0}, {2.0 * kPi / k}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({velCells}, {-6.0}, {6.0}),
+               [k](const double* z) {
+                 const double x = z[0], v = z[1];
+                 return (1.0 + 0.05 * std::cos(k * x)) / std::sqrt(2.0 * kPi) *
+                        std::exp(-0.5 * v * v);
+               })
+      .field(MaxwellParams{})
+      .initField([k](const double* x, double* em) {
+        for (int c = 0; c < 8; ++c) em[c] = 0.0;
+        em[0] = -0.05 * std::sin(k * x[0]) / k;
+      })
+      .stepper(Stepper::SspRk3)
+      .cflFrac(0.8)
+      .threads(1);
+  return b;
+}
+
+struct OverlapPoint {
+  int ranks = 1;
+  double latencySec = 0.0;  ///< emulated wire latency per slab
+  double blockingWaitSec = 0.0;
+  double overlappedWaitSec = 0.0;
+  double computeSec = 0.0;
+  double measured = 0.0;  // fraction of the blocking receive-wait hidden
+  double modeled = 0.0;   // fraction hideable: min(1, compute / wait)
+};
+
+/// Aggregate receive-wait across all rank endpoints (the waitSec bucket
+/// only: pack/post/unpack are work the overlap cannot hide by design).
+double totalWaitSec(DistributedSimulation& d) {
+  double w = 0.0;
+  for (int r = 0; r < d.numRanks(); ++r)
+    w += d.comm().endpoint(r).haloStats().waitSec;
+  return w;
+}
 
 }  // namespace
 
@@ -152,6 +199,71 @@ int main() {
                             ? "SHAPE OK: near-flat weak scaling, saturating strong scaling"
                             : "SHAPE MISMATCH vs paper Fig. 3");
 
+  // ---- overlap efficiency: split-phase schedule vs blocking schedule.
+  // On a timeshared single core, genuine receive-waits are pure scheduler
+  // noise, so the measurement injects an emulated wire latency: each
+  // posted slab becomes visible to its receiver only L seconds after the
+  // post (the sender is NOT slowed — this is in-flight time, exactly what
+  // an interconnect adds). The blocking schedule must sit L out in its
+  // receive wait; the split-phase schedule computes interior volume terms
+  // through it. Measured = the fraction of the blocking receive-wait the
+  // overlapped schedule hides (waitSec buckets, summed over ranks).
+  // Modeled = the fraction hideable, min(1, compute / wait): the interior
+  // work available to run while slabs are in flight. L is calibrated to
+  // half the per-rank interior compute per exchange, so full hiding is
+  // possible and sleep granularity (~0.1 ms) stays resolvable.
+  const int oCells = 32, oVelCells = 64, oSteps = 3;
+  auto ob = landauOverlapBuilder(oCells, oVelCells);
+  double calibCompute = 0.0;
+  {
+    DistributedSimulation calib(ob, 1);
+    for (int s = 0; s < oSteps; ++s) calib.step();
+    calibCompute = calib.computeSeconds();
+  }
+  std::printf("\noverlapped halo exchange (beginSync -> interior volume -> endSync -> surface;\n"
+              " 1x1v Landau p2, %dx%d cells, decomposition purely along x, emulated slab\n"
+              " latency calibrated to half the per-rank interior compute per exchange)\n",
+              oCells, oVelCells);
+  std::printf("%-8s %12s %14s %14s %12s %12s\n", "ranks", "latency[s]", "block wait[s]",
+              "ovl wait[s]", "measured", "modeled");
+  std::vector<OverlapPoint> opoints;
+  for (int ranks : {2, 4, 8, 16}) {
+    OverlapPoint p;
+    p.ranks = ranks;
+    const double interiorPerExchange = calibCompute / (oSteps * rk3Syncs * ranks);
+    p.latencySec = std::clamp(0.5 * interiorPerExchange, 1e-4, 5e-3);
+    {
+      DistributedSimulation blocking(ob, ranks, /*overlapHalo=*/false);
+      blocking.comm().setDeliveryLatency(p.latencySec);
+      for (int s = 0; s < oSteps; ++s) blocking.step();
+      p.blockingWaitSec = totalWaitSec(blocking);
+      p.computeSec = blocking.computeSeconds();
+    }
+    {
+      DistributedSimulation overlapped(ob, ranks, /*overlapHalo=*/true);
+      overlapped.comm().setDeliveryLatency(p.latencySec);
+      for (int s = 0; s < oSteps; ++s) overlapped.step();
+      p.overlappedWaitSec = totalWaitSec(overlapped);
+    }
+    p.measured = p.blockingWaitSec > 0.0
+                     ? std::clamp(1.0 - p.overlappedWaitSec / p.blockingWaitSec, 0.0, 1.0)
+                     : 0.0;
+    p.modeled = std::min(1.0, p.computeSec / std::max(p.blockingWaitSec, 1e-12));
+    opoints.push_back(p);
+    std::printf("%-8d %12.5f %14.5f %14.5f %12.3f %12.3f\n", ranks, p.latencySec,
+                p.blockingWaitSec, p.overlappedWaitSec, p.measured, p.modeled);
+  }
+  // The acceptance gate rides the 8-rank point: the overlapped schedule
+  // must hide at least 60% of what the model says is hideable. Recorded
+  // in the JSON (overlap.ok) rather than the exit code: on a one-core CI
+  // host the thread ranks timeshare, so the trend is tracked, not gated.
+  bool overlapOk = true;
+  for (const OverlapPoint& p : opoints)
+    if (p.ranks == 8) overlapOk = p.measured >= 0.6 * p.modeled;
+  std::printf("%s\n", overlapOk
+                          ? "OVERLAP OK: measured efficiency >= 60% of modeled at 8 ranks"
+                          : "OVERLAP BELOW MODEL: <60% of modeled hidden at 8 ranks");
+
   // ---- machine-readable trajectory record.
   if (FILE* js = std::fopen("BENCH_fig3.json", "w")) {
     std::fprintf(js, "{\n  \"bench\": \"fig3_parallel_scaling\",\n");
@@ -187,6 +299,23 @@ int main() {
     };
     writeCurve("weak_scaling", weak, false);
     writeCurve("strong_scaling", strong, false);
+    std::fprintf(js, "  \"overlap\": {\n");
+    std::fprintf(js, "    \"setup\": {\"problem\": \"landau_1x1v_p2\", \"conf_cells\": %d, "
+                     "\"vel_cells\": %d, \"steps\": %d},\n",
+                 oCells, oVelCells, oSteps);
+    std::fprintf(js, "    \"points\": [\n");
+    for (std::size_t i = 0; i < opoints.size(); ++i) {
+      const OverlapPoint& p = opoints[i];
+      std::fprintf(js,
+                   "      {\"ranks\": %d, \"latency_seconds\": %.6e, "
+                   "\"blocking_wait_seconds\": %.6e, \"overlapped_wait_seconds\": %.6e, "
+                   "\"compute_seconds\": %.6e, \"measured_efficiency\": %.4f, "
+                   "\"modeled_efficiency\": %.4f}%s\n",
+                   p.ranks, p.latencySec, p.blockingWaitSec, p.overlappedWaitSec, p.computeSec,
+                   p.measured, p.modeled, i + 1 < opoints.size() ? "," : "");
+    }
+    std::fprintf(js, "    ],\n");
+    std::fprintf(js, "    \"ok\": %s\n  },\n", overlapOk ? "true" : "false");
     std::fprintf(js, "  \"shape_ok\": %s\n}\n", weakOk && strongOk ? "true" : "false");
     std::fclose(js);
     std::printf("wrote BENCH_fig3.json\n");

@@ -1,0 +1,209 @@
+#include "app/conformance.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "app/updaters.hpp"
+
+namespace vdg {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Simulation::Builder landauBuilder() {
+  const double k = 0.5;
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({12}, {0.0}, {2.0 * kPi / k}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({16}, {-6.0}, {6.0}),
+               [k](const double* z) {
+                 const double x = z[0], v = z[1];
+                 return (1.0 + 0.05 * std::cos(k * x)) / std::sqrt(2.0 * kPi) *
+                        std::exp(-0.5 * v * v);
+               })
+      .field(MaxwellParams{})
+      .initField([k](const double* x, double* em) {
+        for (int c = 0; c < 8; ++c) em[c] = 0.0;
+        em[0] = -0.05 * std::sin(k * x[0]) / k;
+      })
+      .stepper(Stepper::SspRk3)
+      .cflFrac(0.8)
+      .threads(1);
+  return b;
+}
+
+Simulation::Builder sheathBuilder() {
+  // Miniature of examples/sheath_1x1v: absorbing walls on both species,
+  // grounded Dirichlet electrodes for the potential, LBO keeping the bulk
+  // Maxwellian. Small enough for a multi-rank conformance step battery,
+  // wall-shaped enough to exercise every kNoNeighbor path.
+  const double massRatio = 25.0;
+  const double vti = std::sqrt(0.25 / massRatio);
+  const auto maxwellian = [](double v, double vth) {
+    return std::exp(-0.5 * v * v / (vth * vth)) / std::sqrt(2.0 * kPi * vth * vth);
+  };
+  PoissonParams poisson;
+  poisson.bc[0][0] = {PoissonBcKind::Dirichlet, 0.0};
+  poisson.bc[0][1] = {PoissonBcKind::Dirichlet, 0.0};
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({12}, {0.0}, {16.0}))
+      .basis(2, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({12}, {-6.0}, {6.0}),
+               [=](const double* z) { return maxwellian(z[1], 1.0); })
+      .collisions(LboParams{.collisionFreq = 0.02})
+      .species("ion", 1.0, massRatio, Grid::make({12}, {-6.0 * vti}, {6.0 * vti}),
+               [=](const double* z) { return maxwellian(z[1], vti); })
+      .collisions(LboParams{.collisionFreq = 0.02})
+      .boundary(0, Edge::Lower, {BcKind::Absorb})
+      .boundary(0, Edge::Upper, {BcKind::Absorb})
+      .field(poisson)
+      .cflFrac(0.8)
+      .threads(1);
+  return b;
+}
+
+Simulation::Builder poisson2x2vBuilder() {
+  // Doubly periodic 2x2v electrostatic run on the matrix-free Krylov
+  // backend (PoissonMethod::Auto resolves to ConjGrad for cdim == 2): the
+  // iteration count of every per-stage solve depends on the bits of the
+  // globally-reduced charge density, so any reduction-order slip in a
+  // backend shows up as a Krylov history drift long before the state
+  // visibly diverges.
+  const double amp = 0.05, vt = 0.6;
+  auto b = Simulation::builder();
+  b.confGrid(Grid::make({6, 6}, {0.0, 0.0}, {2.0 * kPi, 2.0 * kPi}))
+      .basis(1, BasisFamily::Serendipity)
+      .species("elc", -1.0, 1.0, Grid::make({6, 6}, {-3.0, -3.0}, {3.0, 3.0}),
+               [=](const double* z) {
+                 const double x = z[0], y = z[1], vx = z[2], vy = z[3];
+                 const double pert = 1.0 + amp * (std::cos(x) + std::cos(y));
+                 return pert * std::exp(-0.5 * (vx * vx + vy * vy) / (vt * vt)) /
+                        (2.0 * kPi * vt * vt);
+               })
+      .field(PoissonParams{})
+      .backgroundCharge(1.0)
+      .cflFrac(0.8)
+      .threads(1);
+  return b;
+}
+
+Simulation::Builder lboBuilder() {
+  auto b = landauBuilder();
+  b.collisions(LboParams{1.0, 0.5, true});
+  return b;
+}
+
+}  // namespace
+
+std::vector<std::string> conformanceScenarios() {
+  return {"landau", "lbo", "sheath", "poisson2x2v"};
+}
+
+Simulation::Builder conformanceScenario(const std::string& name) {
+  if (name == "landau") return landauBuilder();
+  if (name == "lbo") return lboBuilder();
+  if (name == "sheath") return sheathBuilder();
+  if (name == "poisson2x2v") return poisson2x2vBuilder();
+  throw std::invalid_argument("conformanceScenario: unknown scenario '" + name + "'");
+}
+
+CartDecomp conformanceDecomp(const Simulation::Builder& builder, int ranks) {
+  return CartDecomp::make(builder.confGrid(), ranks, builder.periodicDims());
+}
+
+namespace {
+
+void recordStep(Simulation& sim, ConformanceTrace& trace) {
+  trace.dts.push_back(sim.step());
+  if (sim.poissonField())
+    trace.krylovIters.push_back(
+        static_cast<double>(sim.poissonField()->lastSolveStats().iterations));
+}
+
+}  // namespace
+
+ConformanceResult runConformanceRank(const Simulation::Builder& builder,
+                                     const CartDecomp& decomp, Communicator& comm,
+                                     int steps, bool overlapHalo) {
+  ConformanceResult res;
+
+  // The serial oracle, run privately by every rank (small scenarios make
+  // this cheaper than shipping global state across processes) — the
+  // global grid, the shared SerialComm, the blocking schedule.
+  Simulation::Builder ob = builder;
+  ob.communicator(&SerialComm::instance());
+  ob.threads(1);
+  Simulation oracle = ob.build();
+
+  // This rank's window on the backend under test.
+  Simulation::Builder rb = builder;
+  rb.confGrid(decomp.localGrid(builder.confGrid(), comm.rank()));
+  rb.communicator(&comm);
+  rb.threads(1);
+  rb.overlapHalo(overlapHalo);
+  Simulation sim = rb.build();
+  // build() skips the t = 0 derived-field refresh on multi-rank
+  // communicators (it is collective); every rank entering here together
+  // is that collective. No-op for Maxwell scenarios.
+  sim.refreshDerivedFields();
+
+  for (int i = 0; i < steps; ++i) recordStep(oracle, res.oracle);
+  for (int i = 0; i < steps; ++i) recordStep(sim, res.rank);
+
+  // Bitwise window comparison: every interior coefficient of every slot
+  // against the oracle's cells at the global indices.
+  const StateVector& ls = sim.state();
+  const StateVector& gs = oracle.state();
+  double bad = 0.0;
+  for (int i = 0; i < ls.numSlots(); ++i) {
+    const Field& lf = ls.slot(i);
+    const Field& gf = gs.slot(i);
+    forEachCell(lf.grid(), [&](const MultiIndex& idx) {
+      MultiIndex gidx = idx;
+      for (int d = 0; d < lf.grid().ndim; ++d)
+        gidx[d] += lf.grid().offset[static_cast<std::size_t>(d)];
+      const double* pl = lf.at(idx);
+      const double* pg = gf.at(gidx);
+      for (int c = 0; c < lf.ncomp(); ++c)
+        if (pl[c] != pg[c]) bad += 1.0;
+    });
+  }
+  res.mismatches = bad;
+  return res;
+}
+
+std::vector<double> packConformance(const ConformanceResult& r) {
+  std::vector<double> p;
+  p.push_back(r.mismatches);
+  p.push_back(static_cast<double>(r.rank.dts.size()));
+  p.push_back(static_cast<double>(r.rank.krylovIters.size()));
+  p.insert(p.end(), r.rank.dts.begin(), r.rank.dts.end());
+  p.insert(p.end(), r.oracle.dts.begin(), r.oracle.dts.end());
+  p.insert(p.end(), r.rank.krylovIters.begin(), r.rank.krylovIters.end());
+  p.insert(p.end(), r.oracle.krylovIters.begin(), r.oracle.krylovIters.end());
+  return p;
+}
+
+ConformanceResult unpackConformance(std::span<const double> p) {
+  if (p.size() < 3) throw std::invalid_argument("unpackConformance: short payload");
+  ConformanceResult r;
+  r.mismatches = p[0];
+  const std::size_t ns = static_cast<std::size_t>(p[1]);
+  const std::size_t nk = static_cast<std::size_t>(p[2]);
+  if (p.size() != 3 + 2 * ns + 2 * nk)
+    throw std::invalid_argument("unpackConformance: payload size mismatch");
+  std::size_t off = 3;
+  auto take = [&](std::vector<double>& dst, std::size_t n) {
+    dst.assign(p.begin() + static_cast<long>(off), p.begin() + static_cast<long>(off + n));
+    off += n;
+  };
+  take(r.rank.dts, ns);
+  take(r.oracle.dts, ns);
+  take(r.rank.krylovIters, nk);
+  take(r.oracle.krylovIters, nk);
+  return r;
+}
+
+}  // namespace vdg

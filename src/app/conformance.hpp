@@ -1,0 +1,79 @@
+#pragma once
+// Transport conformance harness: one shared definition of "this backend
+// carries a real simulation bit-exactly", used by the in-tree battery
+// (tests/test_comm_conformance.cpp, over SerialComm / ThreadComm /
+// ProcessComm) and by tools/vdg_launch (over ProcessComm or MpiComm).
+//
+// The check is deliberately end-to-end: a rank builds its window of a
+// named scenario on the backend under test, steps it, and compares —
+// bitwise, no tolerances — against a full serial oracle it runs locally:
+//   - every interior coefficient of its window,
+//   - the dt sequence (the globally-reduced CFL),
+//   - the Krylov iteration count per step (electrostatic scenarios; the
+//     rank-ordered reduction fold must reproduce the serial residual
+//     history exactly, or iteration counts drift).
+// A backend that passes on the four scenarios has demonstrated the full
+// contract: halo pairing, corner ghosts via sequential dim syncs, uneven
+// decompositions, walls + kNoNeighbor edges, and ordered reductions.
+//
+// Results cross process boundaries (ProcessGroup result pipes, vdg_launch
+// rank processes), so they flatten to a vector<double> — pack/unpack
+// below.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+/// Per-step observables of one run (rank view or oracle view).
+struct ConformanceTrace {
+  std::vector<double> dts;          ///< dt of every step
+  std::vector<double> krylovIters;  ///< Poisson iterations per step (empty: no solve)
+};
+
+/// One rank's verdict: its window vs the serial oracle.
+struct ConformanceResult {
+  double mismatches = 0.0;  ///< bitwise-mismatching interior coefficients
+  ConformanceTrace rank;
+  ConformanceTrace oracle;
+  /// Convenience: bit-exact window, dt sequence, and Krylov history.
+  [[nodiscard]] bool identical() const {
+    return mismatches == 0.0 && rank.dts == oracle.dts &&
+           rank.krylovIters == oracle.krylovIters;
+  }
+};
+
+/// The scenario battery, by name:
+///   "landau"      periodic 1x1v Vlasov-Maxwell, p2 (the workhorse)
+///   "lbo"         landau + conservative Lenard-Bernstein collisions
+///   "sheath"      walled 1x1v Vlasov-Poisson: absorbing walls, grounded
+///                 (Dirichlet) electrodes, LBO — exercises kNoNeighbor
+///                 edges and the physical-fill path
+///   "poisson2x2v" periodic 2x2v Vlasov-Poisson, p1 — exercises corner
+///                 ghosts and the matrix-free Krylov backend's iteration
+///                 counts under the rank-ordered vector reduction
+[[nodiscard]] std::vector<std::string> conformanceScenarios();
+[[nodiscard]] Simulation::Builder conformanceScenario(const std::string& name);
+
+/// The decomposition a scenario uses at a given rank count (periodicity
+/// flags taken from the builder's boundary config).
+[[nodiscard]] CartDecomp conformanceDecomp(const Simulation::Builder& builder, int ranks);
+
+/// Run `steps` of the scenario on this rank's window of `decomp` through
+/// `comm`, and of the serial oracle locally; compare. Collective: every
+/// rank of `decomp` must call this with its own endpoint.
+[[nodiscard]] ConformanceResult runConformanceRank(const Simulation::Builder& builder,
+                                                   const CartDecomp& decomp,
+                                                   Communicator& comm, int steps,
+                                                   bool overlapHalo = true);
+
+/// Flatten to / recover from a plain double vector (process-boundary safe).
+[[nodiscard]] std::vector<double> packConformance(const ConformanceResult& r);
+[[nodiscard]] ConformanceResult unpackConformance(std::span<const double> p);
+
+}  // namespace vdg

@@ -51,7 +51,8 @@ void DistributedSimulation::onRanks(const Fn& fn) {
     if (e) std::rethrow_exception(e);
 }
 
-DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder, int numRanks)
+DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder, int numRanks,
+                                             bool overlapHalo)
     : decomp_(CartDecomp::make(builder.confGrid(), numRanks, builder.periodicDims())),
       comm_(std::make_unique<ThreadComm>(decomp_)),
       wallSec_(static_cast<std::size_t>(numRanks), 0.0) {
@@ -70,6 +71,7 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
     b.confGrid(decomp_.localGrid(global, r));
     b.communicator(&comm_->endpoint(r));
     b.threads(1);
+    b.overlapHalo(overlapHalo);
     if (sharedPoisson) b.poissonSolver(sharedPoisson);
     sims_.push_back(b.build());
     if (r == 0) sharedPoisson = sims_.front().sharedPoissonSolver();  // null for Maxwell

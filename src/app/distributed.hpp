@@ -35,7 +35,12 @@ class DistributedSimulation {
   /// subgrid with the rank's communication endpoint (and a serial RHS
   /// executor — the rank threads are the parallelism). Initial conditions
   /// are projected per rank, bit-identical to a global projection.
-  DistributedSimulation(const Simulation::Builder& builder, int numRanks);
+  /// `overlapHalo` selects the split-phase schedule (halo exchange hidden
+  /// behind the Vlasov volume terms) — on by default, since it is bitwise
+  /// identical to the blocking schedule; false forces blocking sync (the
+  /// A/B baseline of bench_fig3's overlap-efficiency measurement).
+  DistributedSimulation(const Simulation::Builder& builder, int numRanks,
+                        bool overlapHalo = true);
 
   [[nodiscard]] int numRanks() const { return static_cast<int>(sims_.size()); }
   [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
@@ -79,6 +84,9 @@ class DistributedSimulation {
   [[nodiscard]] std::uint64_t haloBytes() const { return comm_->totalHaloBytes(); }
   /// Total ghost cells received from distinct ranks.
   [[nodiscard]] std::uint64_t haloCells() const { return comm_->totalHaloCells(); }
+  /// The in-process transport carrying the rank traffic (fault-injection
+  /// hooks and per-endpoint HaloStats live here).
+  [[nodiscard]] ThreadComm& comm() { return *comm_; }
 
  private:
   /// Run fn(rank) on one thread per rank, join, rethrow the first error.

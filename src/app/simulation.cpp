@@ -1,6 +1,7 @@
 #include "app/simulation.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -165,6 +166,11 @@ Simulation::Builder& Simulation::Builder::batchLanes(int lanes) {
 
 Simulation::Builder& Simulation::Builder::communicator(Communicator* comm) {
   comm_ = comm;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::overlapHalo(bool on) {
+  overlapHalo_ = on;
   return *this;
 }
 
@@ -397,19 +403,28 @@ Simulation Simulation::Builder::build() {
     sim.pipeline_.push_back(std::move(pu));
   }
   const bool useEm = poissonField_ || evolveField_ || initField_.has_value();
-  if (sim.bcTable_) {
-    std::vector<std::string> slotNames;
-    for (int i = 0; i < sim.state_.numSlots(); ++i) slotNames.push_back(sim.state_.slotName(i));
-    sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(
-        cdim, sim.comm_, sim.bcTable_.get(), periodic, std::move(slotNames)));
-  } else {
-    sim.pipeline_.push_back(std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_));
+  {
+    std::unique_ptr<BoundarySyncUpdater> bs;
+    if (sim.bcTable_) {
+      std::vector<std::string> slotNames;
+      for (int i = 0; i < sim.state_.numSlots(); ++i)
+        slotNames.push_back(sim.state_.slotName(i));
+      bs = std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_, sim.bcTable_.get(), periodic,
+                                                 std::move(slotNames));
+    } else {
+      bs = std::make_unique<BoundarySyncUpdater>(cdim, sim.comm_);
+    }
+    sim.bsyncUpd_ = bs.get();
+    sim.pipeline_.push_back(std::move(bs));
   }
   for (int s = 0; s < sim.numSpecies(); ++s) {
-    sim.pipeline_.push_back(std::make_unique<VlasovRhsUpdater>(
+    auto vu = std::make_unique<VlasovRhsUpdater>(
         sim.vlasov_[static_cast<std::size_t>(s)].get(),
-        sim.species_[static_cast<std::size_t>(s)].name, s, sim.emSlot_, useEm));
+        sim.species_[static_cast<std::size_t>(s)].name, s, sim.emSlot_, useEm);
+    sim.vlasovUpds_.push_back(vu.get());
+    sim.pipeline_.push_back(std::move(vu));
   }
+  sim.overlapHalo_ = overlapHalo_;
   if (evolveField_ && !poissonField_) {
     sim.pipeline_.push_back(std::make_unique<MaxwellRhsUpdater>(sim.maxwell_.get(), sim.emSlot_));
     std::vector<CurrentCouplingUpdater::SpeciesTap> taps;
@@ -449,12 +464,44 @@ int Simulation::speciesIndex(const std::string& name) const {
   return -1;
 }
 
+bool Simulation::overlapActive() const {
+  return overlapHalo_ && bsyncUpd_ && !vlasovUpds_.empty() && comm_->supportsSplitSync();
+}
+
+void Simulation::setGhostPoison(bool on) {
+  if (bsyncUpd_) bsyncUpd_->setGhostPoison(on);
+}
+
 double Simulation::rhs(double t, StateVector& u, StateVector& k) {
   StateView in = u.view();
   StateView out = k.view();
   double freq = 0.0;
-  for (const std::unique_ptr<Updater>& upd : pipeline_)
-    freq = std::max(freq, upd->apply(t, in, out));
+  if (!overlapActive()) {
+    for (const std::unique_ptr<Updater>& upd : pipeline_)
+      freq = std::max(freq, upd->apply(t, in, out));
+    return freq;
+  }
+  // Split-phase schedule, bitwise identical to the blocking loop above:
+  // post the dimension-0 halo sends, run every species' volume pass (reads
+  // no ghosts, and by itself produces the complete CFL frequency) while
+  // they fly, complete the sync, then the surface passes and the rest of
+  // the pipeline. Per state slot the accumulation order (volume -> surface
+  // -> field/collisions) is exactly the blocking path's; only the
+  // interleaving across independent slots changes.
+  std::size_t i = 0;
+  // Updaters ahead of the boundary sync (the electrostatic field fixup)
+  // read the state the sync is about to repair from, so they run first.
+  for (; pipeline_[i].get() != static_cast<Updater*>(bsyncUpd_); ++i)
+    freq = std::max(freq, pipeline_[i]->apply(t, in, out));
+  bsyncUpd_->beginApply(in);
+  for (VlasovRhsUpdater* vu : vlasovUpds_) freq = std::max(freq, vu->applyVolume(in, out));
+  bsyncUpd_->finishApply(in);
+  for (VlasovRhsUpdater* vu : vlasovUpds_) vu->applySurface(in, out);
+  // Skip past the sync and the Vlasov updaters (they are contiguous by
+  // construction of build()); everything after runs in pipeline order.
+  i += 1 + vlasovUpds_.size();
+  assert(i <= pipeline_.size());
+  for (; i < pipeline_.size(); ++i) freq = std::max(freq, pipeline_[i]->apply(t, in, out));
   return freq;
 }
 

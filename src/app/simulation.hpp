@@ -39,9 +39,11 @@
 
 namespace vdg {
 
+class BoundarySyncUpdater;
 class Communicator;
 class PoissonFieldUpdater;
 class ThreadExec;
+class VlasovRhsUpdater;
 
 /// Strong-stability-preserving Runge-Kutta time steppers operating
 /// generically on StateVector.
@@ -160,6 +162,22 @@ class Simulation {
   /// reduction run through (SerialComm for a non-distributed run).
   [[nodiscard]] Communicator& comm() const { return *comm_; }
 
+  /// Whether rhs() runs the split-phase schedule (dimension-0 halo sends
+  /// posted, Vlasov volume terms computed while they fly, then wait +
+  /// remaining sync + surface terms). Takes effect only on a communicator
+  /// that supportsSplitSync(); bitwise identical to the blocking schedule
+  /// either way, so it may be toggled freely between steps — but it is a
+  /// collective property: every rank of a distributed run must agree.
+  void setOverlapHalo(bool on) { overlapHalo_ = on; }
+  [[nodiscard]] bool overlapHalo() const { return overlapHalo_; }
+  /// True when the next rhs() will actually take the overlapped schedule.
+  [[nodiscard]] bool overlapActive() const;
+
+  /// Test hook (see BoundarySyncUpdater::setGhostPoison): NaN-flood the
+  /// configuration ghost slabs inside each overlapped sync, proving no
+  /// ghost is read before its repair. Only meaningful with overlap on.
+  void setGhostPoison(bool on);
+
   /// Per configuration dimension: true when the domain wraps (the
   /// default), false when both ends carry physical boundary conditions.
   [[nodiscard]] const std::array<bool, kMaxDim>& periodicDims() const {
@@ -233,6 +251,9 @@ class Simulation {
   /// Electrostatic runs only; shared so rank shards reuse one LU.
   std::shared_ptr<const PoissonSolver> poisson_;
   PoissonFieldUpdater* poissonUpd_ = nullptr;  ///< non-owning, in pipeline_
+  BoundarySyncUpdater* bsyncUpd_ = nullptr;    ///< non-owning, in pipeline_
+  std::vector<VlasovRhsUpdater*> vlasovUpds_;  ///< non-owning, in pipeline_
+  bool overlapHalo_ = false;
   std::vector<std::unique_ptr<Updater>> pipeline_;
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
   Communicator* comm_ = nullptr;           ///< non-owning; SerialComm by default
@@ -331,6 +352,12 @@ class Simulation::Builder {
   /// SerialComm — single rank, periodic wrap. DistributedSimulation
   /// passes each rank's ThreadComm endpoint through here.
   Builder& communicator(Communicator* comm);
+  /// Overlap halo exchange with the Vlasov volume terms (split-phase
+  /// sync; see Simulation::setOverlapHalo). Off by default here — the
+  /// schedule is bitwise identical, so DistributedSimulation turns it on
+  /// for its rank builders unless told otherwise. Collective: pass the
+  /// same value to every rank of a distributed run.
+  Builder& overlapHalo(bool on);
 
   /// The configured configuration grid (throws if confGrid(...) has not
   /// been called) — DistributedSimulation reads this to decompose it.
@@ -356,6 +383,7 @@ class Simulation::Builder {
   int threads_ = 0;
   int batchLanes_ = 0;
   Communicator* comm_ = nullptr;
+  bool overlapHalo_ = false;
 
   /// Requested conditions of one domain face.
   struct FaceSpec {

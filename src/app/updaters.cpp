@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "par/communicator.hpp"
 #include "par/thread_exec.hpp"
@@ -32,34 +33,100 @@ std::string BoundarySyncUpdater::name() const {
   return s;
 }
 
-double BoundarySyncUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
+Communicator* BoundarySyncUpdater::resolveComm() const {
   // A null comm (direct construction in tests) means single-rank: one
   // ghost code path, no duplicated wrap logic.
-  Communicator* comm = comm_ ? comm_ : &SerialComm::instance();
+  return comm_ ? comm_ : &SerialComm::instance();
+}
+
+void BoundarySyncUpdater::syncAndFillDim(Communicator* comm, int slotIdx, Field& f, int d) {
+  const bool periodic = periodic_[static_cast<std::size_t>(d)];
+  // Decomposed/periodic exchange first (a collective — every rank
+  // enters in the same slot/dim order), then the rank-local physical
+  // fill of any domain edge this rank's window owns, so the ghost
+  // state dimension d hands to dimension d+1 matches the serial
+  // fill order exactly.
+  comm->syncConfGhostsDim(f, d, periodic);
+  if (periodic) return;
+  for (const int side : {-1, +1}) {
+    if (!ownsDomainEdge(f.grid(), d, side)) continue;
+    if (const BoundaryCondition* bc = bcs_ ? bcs_->get(slotIdx, d, side) : nullptr)
+      bc->apply(f, d, side);
+  }
+}
+
+double BoundarySyncUpdater::apply(double /*t*/, const StateView& in, StateView& /*out*/) {
+  Communicator* comm = resolveComm();
   for (int i = 0; i < in.numSlots(); ++i) {
     Field& f = in.slot(i);
-    for (int d = 0; d < cdim_; ++d) {
-      const bool periodic = periodic_[static_cast<std::size_t>(d)];
-      // Decomposed/periodic exchange first (a collective — every rank
-      // enters in the same slot/dim order), then the rank-local physical
-      // fill of any domain edge this rank's window owns, so the ghost
-      // state dimension d hands to dimension d+1 matches the serial
-      // fill order exactly.
-      comm->syncConfGhostsDim(f, d, periodic);
-      if (periodic) continue;
+    for (int d = 0; d < cdim_; ++d) syncAndFillDim(comm, i, f, d);
+  }
+  return 0.0;
+}
+
+void BoundarySyncUpdater::beginApply(const StateView& in) {
+  Communicator* comm = resolveComm();
+  // Post every slot's dimension-0 sends first. Their packed slabs read
+  // interior cells only (spanning the still-stale transverse ghosts, same
+  // bytes the blocking path would pack), so the sends can be in flight
+  // while the volume terms compute.
+  for (int i = 0; i < in.numSlots(); ++i)
+    comm->beginSyncConfGhostsDim(in.slot(i), 0, periodic_[0]);
+  if (!poisonGhosts_) return;
+  // Flood the configuration-ghost slabs with NaN *after* the packs: every
+  // poisoned cell is provably rewritten by the sync/fill sequence (a cell
+  // ghost in conf dims S is in the max(S) slab, whose repair sources are
+  // ghost only in earlier conf dims — already repaired — or in velocity
+  // dims, never poisoned), so any surviving NaN convicts an early read.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < in.numSlots(); ++i) {
+    Field& f = in.slot(i);
+    for (int d = 0; d < cdim_; ++d)
+      for (const int side : {-1, +1})
+        f.forEachBoundaryGhost(d, side, [&](const MultiIndex& idx) {
+          double* c = f.at(idx);
+          for (int l = 0; l < f.ncomp(); ++l) c[l] = nan;
+        });
+  }
+}
+
+void BoundarySyncUpdater::finishApply(const StateView& in) {
+  Communicator* comm = resolveComm();
+  // Complete dimension 0 (wait+unpack, then the physical fill of owned
+  // edges), then run dimensions 1..cdim-1 blocking — each dimension's pack
+  // must see the previous one's repaired ghosts, exactly the serial corner
+  // semantics. Slot-major per dimension matches the begin order on every
+  // rank, so the per-channel FIFOs pair begins and ends correctly.
+  for (int i = 0; i < in.numSlots(); ++i) {
+    Field& f = in.slot(i);
+    comm->endSyncConfGhostsDim(f, 0, periodic_[0]);
+    if (!periodic_[0]) {
       for (const int side : {-1, +1}) {
-        if (!ownsDomainEdge(f.grid(), d, side)) continue;
-        if (const BoundaryCondition* bc = bcs_ ? bcs_->get(i, d, side) : nullptr)
-          bc->apply(f, d, side);
+        if (!ownsDomainEdge(f.grid(), 0, side)) continue;
+        if (const BoundaryCondition* bc = bcs_ ? bcs_->get(i, 0, side) : nullptr)
+          bc->apply(f, 0, side);
       }
     }
   }
-  return 0.0;
+  for (int i = 0; i < in.numSlots(); ++i) {
+    Field& f = in.slot(i);
+    for (int d = 1; d < cdim_; ++d) syncAndFillDim(comm, i, f, d);
+  }
 }
 
 double VlasovRhsUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
   const Field* em = useEm_ ? &in.slot(emSlot_) : nullptr;
   return vlasov_->advance(in.slot(slot_), em, out.slot(slot_));
+}
+
+double VlasovRhsUpdater::applyVolume(const StateView& in, StateView& out) {
+  const Field* em = useEm_ ? &in.slot(emSlot_) : nullptr;
+  return vlasov_->advanceVolume(in.slot(slot_), em, out.slot(slot_), alphaScratch_);
+}
+
+void VlasovRhsUpdater::applySurface(const StateView& in, StateView& out) {
+  const Field* em = useEm_ ? &in.slot(emSlot_) : nullptr;
+  vlasov_->advanceSurface(in.slot(slot_), em, out.slot(slot_), alphaScratch_);
 }
 
 double MaxwellRhsUpdater::apply(double /*t*/, const StateView& in, StateView& out) {
@@ -162,7 +229,7 @@ double PoissonFieldUpdater::apply(double /*t*/, const StateView& in, StateView& 
   // The ConjGrad backend routes its residual reductions through this
   // communicator (collective, bitwise rank-count independent); the LU
   // path ignores it.
-  solver_->solve(rho_, phi_, comm);
+  solveStats_ = solver_->solve(rho_, phi_, comm);
 
   // --- writeback: E_d = -d(phi)/dx_d into the local window's E slots for
   // the configuration directions, potential into the phi diagnostic slot.

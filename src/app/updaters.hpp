@@ -59,12 +59,40 @@ class BoundarySyncUpdater final : public Updater {
   [[nodiscard]] std::string name() const override;
   double apply(double t, const StateView& in, StateView& out) override;
 
+  // --- split-phase form (communication/compute overlap). beginApply
+  // packs+posts the dimension-0 halo sends of every slot; the caller then
+  // runs work that reads no configuration ghosts (the Vlasov volume
+  // passes); finishApply waits+unpacks dimension 0, fills its physical
+  // faces, and runs the remaining dimensions' blocking sync+fill in the
+  // serial order. Only dimension 0 overlaps: its packed slabs read the
+  // same (stale) transverse ghost bytes the blocking path would, while a
+  // later dimension's pack must see dimension 0 already repaired — so
+  // this split is bitwise identical to apply(), corner ghosts included.
+  void beginApply(const StateView& in);
+  void finishApply(const StateView& in);
+
+  /// Test hook: when enabled, beginApply (after posting its sends) floods
+  /// every configuration-dimension ghost slab of every slot with NaN.
+  /// The sync/fill sequence provably overwrites every such cell, so a
+  /// bitwise-clean trajectory proves no updater read a ghost before its
+  /// repair — the overlap-correctness tests flip this on and EXPECT_EQ
+  /// against the unpoisoned run. Velocity-space ghosts are untouched
+  /// (nothing ever repairs them; the velocity boundary is the zero-flux
+  /// closure, which reads no ghosts).
+  void setGhostPoison(bool on) { poisonGhosts_ = on; }
+
  private:
+  /// Blocking sync + physical fill of one slot's dimension d (the loop
+  /// body shared by apply() and finishApply()).
+  void syncAndFillDim(Communicator* comm, int slotIdx, Field& f, int d);
+  [[nodiscard]] Communicator* resolveComm() const;
+
   int cdim_;
   Communicator* comm_;
   const BcTable* bcs_ = nullptr;  ///< non-owning; null == fully periodic
   std::array<bool, kMaxDim> periodic_{};
   std::vector<std::string> slotNames_;
+  bool poisonGhosts_ = false;
 };
 
 /// Streaming + acceleration RHS of one species: out[slot] = L_vlasov(f).
@@ -78,11 +106,19 @@ class VlasovRhsUpdater final : public Updater {
   [[nodiscard]] std::string name() const override { return "vlasov:" + species_; }
   double apply(double t, const StateView& in, StateView& out) override;
 
+  // --- split form (VlasovUpdater::advanceVolume/advanceSurface), used by
+  // the overlapped stepper: the volume half reads no ghosts and returns
+  // the full CFL frequency; the surface half needs f's configuration
+  // ghosts current. applyVolume-then-applySurface == apply, bitwise.
+  double applyVolume(const StateView& in, StateView& out);
+  void applySurface(const StateView& in, StateView& out);
+
  private:
   const VlasovUpdater* vlasov_;
   std::string species_;
   int slot_, emSlot_;
   bool useEm_;
+  Field alphaScratch_;  ///< acceleration expansions, volume -> surface
 };
 
 /// Homogeneous perfectly-hyperbolic Maxwell RHS: out[em] = L_maxwell(em).
@@ -170,6 +206,10 @@ class PoissonFieldUpdater final : public Updater {
   /// PoissonSolver layout) — diagnostics and the rho-assembly tests.
   [[nodiscard]] std::span<const double> lastRho() const { return rho_; }
   [[nodiscard]] std::span<const double> lastPhi() const { return phi_; }
+  /// Iteration diagnostics of the last solve — identical on every rank
+  /// (the Krylov reductions are rank-ordered), which the transport
+  /// conformance battery asserts against the serial iteration counts.
+  [[nodiscard]] const PoissonSolver::SolveStats& lastSolveStats() const { return solveStats_; }
 
  private:
   Grid confGrid_;
@@ -181,6 +221,7 @@ class PoissonFieldUpdater final : public Updater {
   ThreadExec* exec_;
   Field m0scratch_;
   std::vector<double> rho_, phi_;  ///< global flat coefficient vectors
+  PoissonSolver::SolveStats solveStats_;
 };
 
 /// BGK collisional relaxation of one species: out[slot] += nu (f_M - f).

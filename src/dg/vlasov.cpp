@@ -44,7 +44,22 @@ VlasovUpdater::VlasovUpdater(const BasisSpec& spec, const Grid& phaseGrid,
   }
 }
 
+const VlasovBatchedKernels* VlasovUpdater::batchedKernels() const {
+  const int lanes = activeBatchLanes();
+  return lanes > 1 ? compiled_->findBatched(lanes, ks_->cdim, ks_->vdim) : nullptr;
+}
+
 double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const {
+  // Local alpha scratch keeps advance() re-entrant; callers that overlap
+  // communication hold their own scratch across the volume/surface split.
+  Field alpha;
+  const double maxFreq = advanceVolume(f, em, rhs, alpha);
+  advanceSurface(f, em, rhs, alpha);
+  return maxFreq;
+}
+
+double VlasovUpdater::advanceVolume(const Field& f, const Field* em, Field& rhs,
+                                    Field& alphaScratch) const {
   const VlasovKernelSet& ks = *ks_;
   const int np = ks.numPhaseModes;
   const int cdim = ks.cdim, vdim = ks.vdim, ndim = ks.ndim;
@@ -54,11 +69,7 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
   // Resolve the SIMD-batched kernel set (nullptr: scalar cell loops). The
   // batched path is bitwise identical to the scalar one per cell, so this
   // only selects how the same arithmetic is scheduled.
-  const VlasovBatchedKernels* bk = nullptr;
-  {
-    const int lanes = activeBatchLanes();
-    if (lanes > 1) bk = compiled_->findBatched(lanes, cdim, vdim);
-  }
+  const VlasovBatchedKernels* bk = batchedKernels();
   logKernelDispatch(specName_, compiled_ != nullptr, bk ? bk->lanes : 1);
 
   rhs.setZero();
@@ -67,8 +78,11 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
 
   // Acceleration expansion per cell (no ghosts needed: velocity faces never
   // straddle configuration cells, config faces carry only streaming flux).
-  Field alphaField;
-  if (em) alphaField = Field(grid_, vdim * np, 0);
+  // Written here, read back by the surface pass through the same scratch.
+  Field& alphaField = alphaScratch;
+  if (em &&
+      (alphaField.ncomp() != vdim * np || alphaField.grid().numCells() != grid_.numCells()))
+    alphaField = Field(grid_, vdim * np, 0);
 
   int confHi[kMaxDim], velHi[kMaxDim];
   for (int d = 0; d < cdim; ++d) confHi[d] = grid_.cells[static_cast<std::size_t>(d)];
@@ -240,6 +254,20 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
     std::scoped_lock lock(freqMutex);
     maxFreq = std::max(maxFreq, chunkFreq);
   });
+
+  return maxFreq;
+}
+
+void VlasovUpdater::advanceSurface(const Field& f, const Field* em, Field& rhs,
+                                   const Field& alphaScratch) const {
+  const VlasovKernelSet& ks = *ks_;
+  const int np = ks.numPhaseModes;
+  const int cdim = ks.cdim, ndim = ks.ndim;
+  assert(f.ncomp() == np && rhs.ncomp() == np);
+  const Field& alphaField = alphaScratch;
+  const VlasovBatchedKernels* bk = batchedKernels();
+
+  const auto runChunked = [this](std::size_t n, const auto& fn) { chunkedFor(exec_, n, fn); };
 
   // --------------------------------------------------------------- surface
   // Parallel per direction over the transverse "lines" of faces: the faces
@@ -476,8 +504,6 @@ double VlasovUpdater::advance(const Field& f, const Field* em, Field& rhs) const
       }
     });
   }
-
-  return maxFreq;
 }
 
 void VlasovUpdater::volumeTerm(std::span<const double> f, std::span<const double> alpha,

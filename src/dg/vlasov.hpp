@@ -50,6 +50,20 @@ class VlasovUpdater {
   /// (multiply by (2p+1) and invert for a stable explicit dt).
   double advance(const Field& f, const Field* em, Field& rhs) const;
 
+  /// Split form of advance() for communication/compute overlap. The volume
+  /// pass reads only each cell's own coefficients (never a ghost) and by
+  /// itself produces the *entire* CFL frequency, so it can run while the
+  /// configuration-space halo exchange of `f` is in flight; the surface
+  /// pass then needs `f`'s configuration ghosts up to date. advanceVolume
+  /// zeroes rhs, adds all volume terms, and fills `alphaScratch` with the
+  /// per-cell acceleration expansions ((re)shaped as needed — pass the
+  /// same field, untouched, to advanceSurface, which reads it instead of
+  /// rebuilding). advanceVolume + advanceSurface is bitwise identical to
+  /// advance, which is exactly this pair over a local scratch.
+  double advanceVolume(const Field& f, const Field* em, Field& rhs, Field& alphaScratch) const;
+  void advanceSurface(const Field& f, const Field* em, Field& rhs,
+                      const Field& alphaScratch) const;
+
   [[nodiscard]] const VlasovKernelSet& kernels() const { return *ks_; }
   [[nodiscard]] const Grid& phaseGrid() const { return grid_; }
 
@@ -95,6 +109,11 @@ class VlasovUpdater {
   [[nodiscard]] ThreadExec* executor() const { return exec_; }
 
  private:
+  /// The SIMD-batched kernel set advance() dispatches to (nullptr: scalar
+  /// cell loops). Deterministic, so the volume and surface passes resolve
+  /// it independently and agree.
+  [[nodiscard]] const VlasovBatchedKernels* batchedKernels() const;
+
   const VlasovKernelSet* ks_;
   const VlasovCompiledKernels* compiled_ = nullptr;
   ThreadExec* exec_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 namespace vdg {
 
@@ -15,15 +16,22 @@ SerialComm& SerialComm::instance() {
 
 namespace {
 using Clock = std::chrono::steady_clock;
-}
 
-/// One rank's endpoint into the shared ThreadComm state. The mailbox
-/// protocol per dimension:
-///   pack my two boundary slabs into my send buffers
-///   barrier                      (everyone's slabs are published)
-///   unpack my ghosts from my lower/upper neighbors' buffers
-///   barrier                      (everyone is done reading; buffers may
-///                                 be reused for the next dimension)
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+/// One rank's endpoint into the shared ThreadComm state. The halo protocol
+/// per dimension is plain message passing, split into two phases:
+///   begin: pack my two boundary slabs, enqueue each on the directed
+///          channel of the neighbor that consumes it
+///   end:   dequeue (blocking until delivered) the slab for each of my
+///          ghost sides from my neighbors, unpack into the ghost layer
+/// The blocking sync is begin immediately followed by end. Channels have
+/// one producer and one consumer each (the (receiver, dim, ghost-side)
+/// triple pins both ends of the edge), so FIFO order per channel is the
+/// begin order — which is what lets several fields be in flight at once.
 /// A dimension with one block has this rank as both neighbors: the
 /// exchange is a self pack/unpack, i.e. exactly the periodic wrap of
 /// Field::syncPeriodic — one code path for serial and distributed ghosts.
@@ -34,66 +42,54 @@ class ThreadComm::Endpoint final : public Communicator {
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int numRanks() const override { return owner_->numRanks(); }
 
+  [[nodiscard]] bool supportsSplitSync() const override { return true; }
+
   void syncConfGhostsDim(Field& f, int d, bool periodic) override {
+    beginSyncConfGhostsDim(f, d, periodic);
+    endSyncConfGhostsDim(f, d, periodic);
+  }
+
+  void beginSyncConfGhostsDim(Field& f, int d, bool periodic) override {
     assert(d < owner_->decomp_.cdim);
     // The decomp's periodicity (neighbor lookup) and the caller's flag
     // both derive from the builder's BC configuration; they must agree.
     assert(periodic == owner_->decomp_.periodic[static_cast<std::size_t>(d)]);
-    const auto r = static_cast<std::size_t>(rank_);
+    (void)periodic;
     if (owner_->decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
-      // Non-decomposed dimension: every rank owns the full extent, so
-      // the exchange is a pure self-copy — do the periodic wrap locally
-      // (bitwise the same cells) and skip both barriers; a non-periodic
-      // dimension is entirely the physical fill's job. blocks[] and the
-      // periodic flag are shared state, so all ranks take this branch
-      // consistently and the collective call sequence stays in lockstep.
+      // Non-decomposed dimension: every rank owns the full extent, so the
+      // exchange is a pure self-copy. The wrap runs at end time (it writes
+      // only ghosts, which no caller may touch between begin and end, and
+      // reads interior cells the compute phase only reads — so deferring
+      // it is bitwise free). Nothing to post.
+      return;
+    }
+    // kNoNeighbor across a non-periodic domain edge: the slab facing the
+    // wall has no consumer, so don't pack it (dead copy that would also
+    // pollute the measured halo time) — the ghost slab on that side is
+    // left for the edge-owning rank's physical fill.
+    const std::size_t n = f.ghostSlabSize(d);
+    const int ln = owner_->decomp_.neighbor(rank_, d, -1);
+    const int un = owner_->decomp_.neighbor(rank_, d, +1);
+    // My lower interior slab becomes the lower neighbor's *upper* ghost
+    // layer, and vice versa (Field::unpackGhost's pairing convention).
+    if (ln != kNoNeighbor) post(f, d, -1, ln, +1, n);
+    if (un != kNoNeighbor) post(f, d, +1, un, -1, n);
+  }
+
+  void endSyncConfGhostsDim(Field& f, int d, bool periodic) override {
+    assert(d < owner_->decomp_.cdim);
+    if (owner_->decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
       // Untimed: a serial run does this same wrap as part of compute, so
-      // booking it as halo would skew the measured compute/halo split.
+      // booking it as halo would skew the measured compute/halo split. A
+      // non-periodic dimension is entirely the physical fill's job.
       if (periodic) f.syncPeriodic(d);
       return;
     }
-    const auto t0 = Clock::now();
     const std::size_t n = f.ghostSlabSize(d);
-    // kNoNeighbor across a non-periodic domain edge: the slab facing the
-    // wall has no consumer, so don't pack it (dead copy that would also
-    // pollute the measured halo time), and nothing is unpacked on that
-    // side — the ghost slab is left for the edge-owning rank's physical
-    // fill. Every rank still enters both barriers, so the collective
-    // stays in lockstep regardless of edge ownership.
     const int ln = owner_->decomp_.neighbor(rank_, d, -1);
     const int un = owner_->decomp_.neighbor(rank_, d, +1);
-    std::vector<double>& lo = owner_->sendLo_[r];
-    std::vector<double>& hi = owner_->sendHi_[r];
-    if (ln != kNoNeighbor) {
-      lo.resize(n);
-      f.packGhost(d, -1, lo);
-    }
-    if (un != kNoNeighbor) {
-      hi.resize(n);
-      f.packGhost(d, +1, hi);
-    }
-    owner_->bar_.arrive_and_wait();
-    if (ln != kNoNeighbor) {
-      // Neighbors along d share every transverse block extent, so their
-      // slab shapes match this rank's exactly.
-      assert(owner_->sendHi_[static_cast<std::size_t>(ln)].size() == n);
-      f.unpackGhost(d, -1, owner_->sendHi_[static_cast<std::size_t>(ln)]);
-    }
-    if (un != kNoNeighbor) {
-      assert(owner_->sendLo_[static_cast<std::size_t>(un)].size() == n);
-      f.unpackGhost(d, +1, owner_->sendLo_[static_cast<std::size_t>(un)]);
-    }
-    owner_->bar_.arrive_and_wait();
-    const std::size_t slabCells = n / static_cast<std::size_t>(f.ncomp());
-    if (ln != kNoNeighbor && ln != rank_) {
-      bytes_ += n * sizeof(double);
-      cells_ += slabCells;
-    }
-    if (un != kNoNeighbor && un != rank_) {
-      bytes_ += n * sizeof(double);
-      cells_ += slabCells;
-    }
-    sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
+    if (ln != kNoNeighbor) receive(f, d, -1, n);
+    if (un != kNoNeighbor) receive(f, d, +1, n);
   }
 
   [[nodiscard]] double allReduceMax(double v) override {
@@ -106,7 +102,7 @@ class ThreadComm::Endpoint final : public Communicator {
   void allReduceSum(std::span<double> v) override {
     // Publish this rank's block, barrier, then every rank folds all
     // blocks element-wise in the same (rank) order — same bits everywhere
-    // despite the non-associative +. Mailbox protocol like the halo path.
+    // despite the non-associative +.
     const auto t0 = Clock::now();
     std::vector<double>& mine = owner_->reduceVecs_[static_cast<std::size_t>(rank_)];
     mine.assign(v.begin(), v.end());
@@ -123,22 +119,72 @@ class ThreadComm::Endpoint final : public Communicator {
     // Book the traffic into the halo stats so the compute/halo split
     // stays honest for electrostatic runs: this rank read every *other*
     // rank's block (its own is a self-copy, free by the same convention
-    // as the self-wrap in syncConfGhosts). Coefficient blocks are not
+    // as the self-wrap in the ghost sync). Coefficient blocks are not
     // ghost cells, so the cell counter is untouched.
-    bytes_ += static_cast<std::uint64_t>(numRanks() - 1) *
-              static_cast<std::uint64_t>(v.size()) * sizeof(double);
-    sec_ += std::chrono::duration<double>(Clock::now() - t0).count();
+    stats_.bytes += static_cast<std::uint64_t>(numRanks() - 1) *
+                    static_cast<std::uint64_t>(v.size()) * sizeof(double);
+    stats_.reduceSec += since(t0);
   }
 
   void barrier() override { owner_->bar_.arrive_and_wait(); }
 
-  [[nodiscard]] std::uint64_t haloBytes() const override { return bytes_; }
-  [[nodiscard]] std::uint64_t haloCells() const override { return cells_; }
-  [[nodiscard]] double haloSeconds() const override { return sec_; }
+  [[nodiscard]] HaloStats haloStats() const override { return stats_; }
 
  private:
+  void post(const Field& f, int d, int mySide, int dst, int dstSide, std::size_t n) {
+    const auto t0 = Clock::now();
+    std::vector<double> buf(n);
+    f.packGhost(d, mySide, buf);
+    const auto t1 = Clock::now();
+    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    if (owner_->fault_) owner_->fault_(rank_, dst, d, dstSide);
+    Channel& ch = owner_->channel(dst, d, dstSide);
+    auto ready = Clock::now();
+    if (owner_->latencySec_ > 0.0)
+      ready += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(owner_->latencySec_));
+    {
+      std::lock_guard<std::mutex> lk(ch.m);
+      ch.q.push_back({ready, std::move(buf)});
+    }
+    ch.cv.notify_one();
+    stats_.postSec += since(t1);
+  }
+
+  void receive(Field& f, int d, int side, std::size_t n) {
+    const auto t0 = Clock::now();
+    Channel& ch = owner_->channel(rank_, d, side);
+    std::vector<double> buf;
+    {
+      std::unique_lock<std::mutex> lk(ch.m);
+      ch.cv.wait(lk, [&ch] { return !ch.q.empty(); });
+      // Emulated wire latency: the slab is in the queue but not yet
+      // "delivered". Single consumer per channel, so sleeping outside the
+      // lock cannot race another receiver for the front message.
+      const auto ready = ch.q.front().ready;
+      if (Clock::now() < ready) {
+        lk.unlock();
+        std::this_thread::sleep_until(ready);
+        lk.lock();
+      }
+      buf = std::move(ch.q.front().buf);
+      ch.q.pop_front();
+    }
+    const auto t1 = Clock::now();
+    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    // Neighbors along d share every transverse block extent, so their
+    // slab shapes match this rank's exactly.
+    assert(buf.size() == n);
+    (void)n;
+    f.unpackGhost(d, side, buf);
+    stats_.unpackSec += since(t1);
+    stats_.bytes += buf.size() * sizeof(double);
+    stats_.cells += buf.size() / static_cast<std::size_t>(f.ncomp());
+  }
+
   template <typename Op>
   double reduce(double v, Op op) {
+    const auto t0 = Clock::now();
     owner_->reduceSlots_[static_cast<std::size_t>(rank_)] = v;
     owner_->bar_.arrive_and_wait();
     // Every rank folds the slots in the same (rank) order, so all see the
@@ -147,13 +193,13 @@ class ThreadComm::Endpoint final : public Communicator {
     for (int r = 1; r < numRanks(); ++r)
       acc = op(acc, owner_->reduceSlots_[static_cast<std::size_t>(r)]);
     owner_->bar_.arrive_and_wait();  // slots free for the next reduction
+    stats_.reduceSec += since(t0);
     return acc;
   }
 
   ThreadComm* owner_;
   int rank_;
-  std::uint64_t bytes_ = 0, cells_ = 0;
-  double sec_ = 0.0;
+  HaloStats stats_;
 };
 
 ThreadComm::~ThreadComm() = default;
@@ -162,11 +208,22 @@ Communicator& ThreadComm::endpoint(int rank) const {
   return *endpoints_[static_cast<std::size_t>(rank)];
 }
 
+ThreadComm::Channel& ThreadComm::channel(int dst, int d, int side) const {
+  const std::size_t i =
+      (static_cast<std::size_t>(dst) * static_cast<std::size_t>(kMaxDim) +
+       static_cast<std::size_t>(d)) *
+          2 +
+      (side > 0 ? 1 : 0);
+  return *channels_[i];
+}
+
 ThreadComm::ThreadComm(const CartDecomp& decomp)
-    : decomp_(decomp), bar_(decomp.numRanks()), sendLo_(static_cast<std::size_t>(decomp.numRanks())),
-      sendHi_(static_cast<std::size_t>(decomp.numRanks())),
+    : decomp_(decomp), bar_(decomp.numRanks()),
       reduceSlots_(static_cast<std::size_t>(decomp.numRanks()), 0.0),
       reduceVecs_(static_cast<std::size_t>(decomp.numRanks())) {
+  channels_.resize(static_cast<std::size_t>(decomp.numRanks()) *
+                   static_cast<std::size_t>(kMaxDim) * 2);
+  for (auto& c : channels_) c = std::make_unique<Channel>();
   for (int r = 0; r < decomp.numRanks(); ++r)
     endpoints_.push_back(std::make_unique<Endpoint>(*this, r));
 }

@@ -1,9 +1,9 @@
 #pragma once
 // The rank-communication seam of the distributed layer (paper Section IV):
-// a per-rank Communicator endpoint abstracts the only two collectives the
+// a per-rank Communicator endpoint abstracts the only collectives the
 // two-level parallel scheme needs — the one-layer configuration-space
-// ghost exchange feeding the DG surface terms, and scalar reductions for
-// the global CFL condition.
+// ghost exchange feeding the DG surface terms, and scalar/vector
+// reductions for the global CFL condition and the Poisson assembly.
 //
 // Backends:
 //  - SerialComm: the single-rank endpoint. Ghost "exchange" degenerates to
@@ -11,12 +11,25 @@
 //    shared packGhost/unpackGhost slab path), bitwise identical to the
 //    pre-distributed serial code.
 //  - ThreadComm: an in-process multi-rank backend. Each rank runs on its
-//    own thread; halo exchange is mailbox-style (pack into the owner's
-//    send buffers, barrier, unpack from the neighbors' buffers, barrier),
-//    exactly the communication pattern of an MPI halo exchange. Neighbor
-//    lookup comes from a CartDecomp; a dimension with one block exchanges
-//    with itself, which *is* the periodic wrap — serial and distributed
-//    ghost repair are one code path.
+//    own thread; halo exchange is message-passing over per-directed-pair
+//    FIFO channels (sender packs and enqueues, receiver dequeues and
+//    unpacks), exactly the send/recv pattern of an MPI halo exchange and
+//    the backend that supports split-phase (overlapped) sync. Neighbor
+//    lookup comes from a CartDecomp; a dimension with one block wraps
+//    locally — serial and distributed ghost repair are one code path.
+//  - ProcessComm (par/process_comm.hpp): the same protocol spoken over
+//    Unix-domain sockets between forked processes — a real transport.
+//  - MpiComm (par/mpi_comm.hpp): the same protocol over MPI point-to-point
+//    messaging, compiled only when MPI is found at configure time.
+//
+// Split-phase ghost exchange: beginSyncConfGhostsDim packs the boundary
+// slabs and posts the sends; the caller then computes anything that reads
+// no ghost cells (the DG volume terms); endSyncConfGhostsDim waits for the
+// neighbors' slabs and unpacks them. begin+end moves exactly the bytes the
+// blocking call moves, so the overlapped schedule is bitwise identical —
+// it only hides the wait behind interior compute. Backends that cannot
+// split (SerialComm) inherit the default: begin is a no-op and end is the
+// blocking call, so one orchestration code path serves every backend.
 //
 // Non-periodic dimensions: the communicator only moves data between
 // neighbors that exist. Across a non-periodic domain edge the neighbor
@@ -25,13 +38,18 @@
 // conditions of src/bc/ (driven by BoundarySyncUpdater after each
 // dimension's exchange) — so walls add no collective traffic at all.
 //
-// Contract: every collective (syncConfGhosts, allReduce*, barrier) must be
-// entered by all ranks of a ThreadComm in the same order, each from its
-// own thread (DistributedSimulation drives this in lockstep).
+// Contract: every collective (sync begin/end pairs included), must be
+// entered by all ranks in the same order, each from its own thread or
+// process (DistributedSimulation drives this in lockstep).
 
 #include <barrier>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -39,6 +57,27 @@
 #include "par/decomp.hpp"
 
 namespace vdg {
+
+/// Wall-time and traffic split of the halo path, bucketed by protocol
+/// phase so overlapped exchange stays measurable: pack (slab -> send
+/// buffer), post (handing buffers to the transport), wait (blocked until
+/// neighbor data is available), unpack (buffer -> ghost slab), plus the
+/// reduction collectives. With a blocking backend wait dominates; with
+/// split-phase sync the wait bucket is exactly the *exposed* (un-hidden)
+/// communication time — the quantity bench_fig3's overlap-efficiency
+/// report is built on.
+struct HaloStats {
+  double packSec = 0.0;
+  double postSec = 0.0;
+  double waitSec = 0.0;
+  double unpackSec = 0.0;
+  double reduceSec = 0.0;  ///< scalar + vector all-reduce collectives
+  std::uint64_t bytes = 0;
+  std::uint64_t cells = 0;
+  [[nodiscard]] double totalSec() const {
+    return packSec + postSec + waitSec + unpackSec + reduceSec;
+  }
+};
 
 /// One rank's communication endpoint.
 class Communicator {
@@ -67,6 +106,29 @@ class Communicator {
     for (int d = 0; d < cdim; ++d) syncConfGhostsDim(f, d, true);
   }
 
+  // --- split-phase ghost exchange (communication/compute overlap).
+  /// True when begin/end actually split: begin posts the sends and end
+  /// only waits + unpacks. False (the default) means begin is a no-op and
+  /// end degenerates to the blocking sync — callers can drive the split
+  /// protocol unconditionally.
+  [[nodiscard]] virtual bool supportsSplitSync() const { return false; }
+  /// Pack this field's dimension-d boundary slabs and post them to the
+  /// neighbors. Between begin and end the caller must not read or write
+  /// the dimension-d ghost slabs of `f` (interior cells are fair game —
+  /// the slabs were packed at begin time). Multiple fields may be begun
+  /// before any is ended; ends must come in begin order (FIFO per
+  /// neighbor channel).
+  virtual void beginSyncConfGhostsDim(Field& f, int d, bool periodic) {
+    (void)f;
+    (void)d;
+    (void)periodic;
+  }
+  /// Wait for the neighbors' dimension-d slabs and unpack them into `f`'s
+  /// ghost layers (plus the local periodic wrap of a non-decomposed dim).
+  virtual void endSyncConfGhostsDim(Field& f, int d, bool periodic) {
+    syncConfGhostsDim(f, d, periodic);
+  }
+
   /// Global reductions (the CFL frequency uses max). Every rank receives
   /// the same value, computed in a deterministic rank order.
   [[nodiscard]] virtual double allReduceMax(double v) = 0;
@@ -85,16 +147,18 @@ class Communicator {
   virtual void barrier() {}
 
   // --- measured halo traffic (calibrates the Fig. 3 MachineModel).
+  /// Per-phase wall-time and traffic split (see HaloStats).
+  [[nodiscard]] virtual HaloStats haloStats() const { return {}; }
   /// Bytes this rank exchanged with *other* ranks, ghost slabs and vector
   /// reductions alike (self-wrap / own-block reads are free).
-  [[nodiscard]] virtual std::uint64_t haloBytes() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t haloBytes() const { return haloStats().bytes; }
   /// Ghost cells this rank received from other ranks (slab exchange only;
   /// reduction blocks are coefficients, not cells).
-  [[nodiscard]] virtual std::uint64_t haloCells() const { return 0; }
-  /// Wall seconds this rank spent in communication collectives —
-  /// syncConfGhosts and vector allReduceSum, including barrier waits (the
-  /// quantity an MPI profile would report as communication time).
-  [[nodiscard]] virtual double haloSeconds() const { return 0.0; }
+  [[nodiscard]] virtual std::uint64_t haloCells() const { return haloStats().cells; }
+  /// Wall seconds this rank spent in communication collectives — the sum
+  /// of every HaloStats bucket (the quantity an MPI profile would report
+  /// as communication time).
+  [[nodiscard]] virtual double haloSeconds() const { return haloStats().totalSec(); }
 };
 
 /// The single-rank backend: periodic wrap, no synchronization, no traffic.
@@ -118,8 +182,11 @@ class SerialComm final : public Communicator {
 };
 
 /// In-process multi-rank backend: one endpoint per rank, each driven by
-/// its own thread, synchronized through a shared barrier and per-rank
-/// mailbox buffers.
+/// its own thread. Halo slabs travel over per-directed-pair FIFO channels
+/// (sender enqueues a packed buffer, receiver blocks until it arrives) —
+/// no barrier anywhere in the halo path, which is what lets split-phase
+/// sync genuinely overlap the wait with interior compute. Reductions keep
+/// the shared barrier + rank-ordered fold (bitwise deterministic).
 class ThreadComm {
  public:
   explicit ThreadComm(const CartDecomp& decomp);
@@ -131,6 +198,26 @@ class ThreadComm {
   [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
   [[nodiscard]] Communicator& endpoint(int rank) const;
 
+  /// Test hook: invoked on the *sender's* thread immediately before a halo
+  /// message becomes visible to its receiver, with (src, dst, dim, side —
+  /// the receiver's ghost side). Injecting latency here delays delivery
+  /// arbitrarily, which the overlap-correctness tests use to prove the
+  /// split-phase stepper never reads a ghost before endSync and that
+  /// results stay bitwise identical under adversarial timing. Set before
+  /// the rank threads start (not synchronized against in-flight sends).
+  using DeliveryFault = std::function<void(int src, int dst, int dim, int side)>;
+  void setDeliveryFault(DeliveryFault f) { fault_ = std::move(f); }
+
+  /// Bench hook: emulate wire latency. Each posted slab becomes visible to
+  /// its receiver only `seconds` after the post, without slowing the
+  /// sender (unlike a DeliveryFault sleep, which stalls the sending
+  /// thread). A blocking sync must sit out the latency in its receive
+  /// wait; the split-phase schedule computes interior terms through it —
+  /// which is what lets bench_fig3 measure overlap efficiency on a
+  /// timeshared host, where genuine halo waits are scheduling noise. Set
+  /// before the rank threads start.
+  void setDeliveryLatency(double seconds) { latencySec_ = seconds; }
+
   // Aggregates over all endpoints.
   [[nodiscard]] std::uint64_t totalHaloBytes() const;
   [[nodiscard]] std::uint64_t totalHaloCells() const;
@@ -139,11 +226,28 @@ class ThreadComm {
  private:
   class Endpoint;
 
+  /// One directed FIFO: messages from one sender destined for one
+  /// (receiver, dim, receiver-ghost-side) slot. Keying by the receiver's
+  /// side disambiguates the two-rank periodic case, where both of a
+  /// rank's messages go to the same peer.
+  struct Channel {
+    struct Msg {
+      std::chrono::steady_clock::time_point ready;  ///< delivery time
+      std::vector<double> buf;
+    };
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Msg> q;
+  };
+  [[nodiscard]] Channel& channel(int dst, int d, int side) const;
+
   CartDecomp decomp_;
-  std::barrier<> bar_;
-  std::vector<std::vector<double>> sendLo_, sendHi_;  ///< per rank mailboxes
+  std::barrier<> bar_;  ///< reductions only; the halo path is barrier-free
   std::vector<double> reduceSlots_;
   std::vector<std::vector<double>> reduceVecs_;  ///< per rank, vector reduce
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< [dst][dim][side]
+  DeliveryFault fault_;
+  double latencySec_ = 0.0;  ///< emulated wire latency (bench hook)
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

@@ -1,0 +1,197 @@
+#include "par/mpi_comm.hpp"
+
+namespace vdg {
+
+bool mpiAvailable() {
+#ifdef VDG_HAVE_MPI
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace vdg
+
+#ifdef VDG_HAVE_MPI
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace vdg {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int haloTag(int d, int side) { return d * 2 + (side > 0 ? 1 : 0); }
+
+void check(int err, const char* what) {
+  if (err != MPI_SUCCESS) throw std::runtime_error(std::string("MpiComm: ") + what + " failed");
+}
+
+}  // namespace
+
+MpiComm::MpiComm(const CartDecomp& decomp, MPI_Comm comm) : decomp_(decomp), comm_(comm) {
+  int inited = 0;
+  check(MPI_Initialized(&inited), "MPI_Initialized");
+  if (!inited)
+    throw std::runtime_error("MpiComm: MPI is not initialized — launch via vdg_launch/mpiexec");
+  check(MPI_Comm_rank(comm_, &rank_), "MPI_Comm_rank");
+  check(MPI_Comm_size(comm_, &size_), "MPI_Comm_size");
+  if (size_ != decomp.numRanks())
+    throw std::runtime_error("MpiComm: launched with " + std::to_string(size_) +
+                             " processes but the decomposition has " +
+                             std::to_string(decomp.numRanks()) + " ranks");
+}
+
+MpiComm::~MpiComm() {
+  // Cancel anything still pending (abnormal teardown only — a clean run
+  // has waited every request).
+  for (auto& q : recvQ_)
+    for (auto& sideQ : q)
+      for (Pending& p : sideQ)
+        if (p.req != MPI_REQUEST_NULL) MPI_Cancel(&p.req), MPI_Request_free(&p.req);
+  for (Pending& p : sendQ_)
+    if (p.req != MPI_REQUEST_NULL) MPI_Wait(&p.req, MPI_STATUS_IGNORE);
+}
+
+void MpiComm::reapSends() {
+  auto done = [](Pending& p) {
+    int flag = 0;
+    MPI_Test(&p.req, &flag, MPI_STATUS_IGNORE);
+    return flag != 0;
+  };
+  sendQ_.erase(std::remove_if(sendQ_.begin(), sendQ_.end(), done), sendQ_.end());
+}
+
+void MpiComm::syncConfGhostsDim(Field& f, int d, bool periodic) {
+  beginSyncConfGhostsDim(f, d, periodic);
+  endSyncConfGhostsDim(f, d, periodic);
+}
+
+void MpiComm::beginSyncConfGhostsDim(Field& f, int d, bool periodic) {
+  assert(d < decomp_.cdim);
+  assert(periodic == decomp_.periodic[static_cast<std::size_t>(d)]);
+  (void)periodic;
+  // Protocol identical to ThreadComm/ProcessComm (see communicator.cpp
+  // for the blocks==1 / kNoNeighbor rationale).
+  if (decomp_.blocks[static_cast<std::size_t>(d)] == 1) return;
+  const std::size_t n = f.ghostSlabSize(d);
+  const int ln = decomp_.neighbor(rank_, d, -1);
+  const int un = decomp_.neighbor(rank_, d, +1);
+  // Receives first, so a fast neighbor's eager send always has a posted
+  // match waiting.
+  auto postRecv = [&](int src, int side) {
+    Pending p;
+    p.buf.resize(n);
+    check(MPI_Irecv(p.buf.data(), static_cast<int>(n), MPI_DOUBLE, src, haloTag(d, side),
+                    comm_, &p.req),
+          "MPI_Irecv");
+    recvQ_[d][side > 0 ? 1 : 0].push_back(std::move(p));
+  };
+  if (ln != kNoNeighbor) postRecv(ln, -1);
+  if (un != kNoNeighbor) postRecv(un, +1);
+  auto postSend = [&](int mySide, int dst, int dstSide) {
+    const auto t0 = Clock::now();
+    Pending p;
+    p.buf.resize(n);
+    f.packGhost(d, mySide, p.buf);
+    const auto t1 = Clock::now();
+    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    check(MPI_Isend(p.buf.data(), static_cast<int>(n), MPI_DOUBLE, dst, haloTag(d, dstSide),
+                    comm_, &p.req),
+          "MPI_Isend");
+    sendQ_.push_back(std::move(p));
+    stats_.postSec += since(t1);
+  };
+  if (ln != kNoNeighbor) postSend(-1, ln, +1);
+  if (un != kNoNeighbor) postSend(+1, un, -1);
+}
+
+void MpiComm::endSyncConfGhostsDim(Field& f, int d, bool periodic) {
+  assert(d < decomp_.cdim);
+  if (decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
+    if (periodic) f.syncPeriodic(d);
+    return;
+  }
+  const int ln = decomp_.neighbor(rank_, d, -1);
+  const int un = decomp_.neighbor(rank_, d, +1);
+  auto waitRecv = [&](int side) {
+    auto& q = recvQ_[d][side > 0 ? 1 : 0];
+    assert(!q.empty() && "endSync without a matching beginSync");
+    Pending p = std::move(q.front());
+    q.pop_front();
+    const auto t0 = Clock::now();
+    check(MPI_Wait(&p.req, MPI_STATUS_IGNORE), "MPI_Wait");
+    const auto t1 = Clock::now();
+    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    f.unpackGhost(d, side, p.buf);
+    stats_.unpackSec += since(t1);
+    stats_.bytes += p.buf.size() * sizeof(double);
+    stats_.cells += p.buf.size() / static_cast<std::size_t>(f.ncomp());
+  };
+  if (ln != kNoNeighbor) waitRecv(-1);
+  if (un != kNoNeighbor) waitRecv(+1);
+  reapSends();
+}
+
+template <typename Op>
+double MpiComm::reduce(double v, Op op) {
+  // Gather + rank-ordered fold + broadcast. Never MPI_Allreduce: its
+  // reduction tree (hence double-rounding pattern) is implementation-
+  // defined, and the whole point of this seam is one bit pattern across
+  // all four backends.
+  const auto t0 = Clock::now();
+  gatherBuf_.resize(static_cast<std::size_t>(size_));
+  check(MPI_Gather(&v, 1, MPI_DOUBLE, gatherBuf_.data(), 1, MPI_DOUBLE, 0, comm_),
+        "MPI_Gather");
+  double acc = 0.0;
+  if (rank_ == 0) {
+    acc = gatherBuf_[0];
+    for (int r = 1; r < size_; ++r) acc = op(acc, gatherBuf_[static_cast<std::size_t>(r)]);
+  }
+  check(MPI_Bcast(&acc, 1, MPI_DOUBLE, 0, comm_), "MPI_Bcast");
+  stats_.reduceSec += since(t0);
+  return acc;
+}
+
+double MpiComm::allReduceMax(double v) {
+  return reduce(v, [](double a, double b) { return std::max(a, b); });
+}
+
+double MpiComm::allReduceSum(double v) {
+  return reduce(v, [](double a, double b) { return a + b; });
+}
+
+void MpiComm::allReduceSum(std::span<double> v) {
+  const auto t0 = Clock::now();
+  gatherBuf_.resize(v.size() * static_cast<std::size_t>(size_));
+  check(MPI_Gather(v.data(), static_cast<int>(v.size()), MPI_DOUBLE, gatherBuf_.data(),
+                   static_cast<int>(v.size()), MPI_DOUBLE, 0, comm_),
+        "MPI_Gather");
+  if (rank_ == 0) {
+    // Fold the rank blocks in rank order into block 0 — the ThreadComm /
+    // ProcessComm operation sequence exactly.
+    for (int r = 1; r < size_; ++r) {
+      const double* other = gatherBuf_.data() + static_cast<std::size_t>(r) * v.size();
+      for (std::size_t i = 0; i < v.size(); ++i) gatherBuf_[i] += other[i];
+    }
+  }
+  check(MPI_Bcast(gatherBuf_.data(), static_cast<int>(v.size()), MPI_DOUBLE, 0, comm_),
+        "MPI_Bcast");
+  std::copy(gatherBuf_.begin(), gatherBuf_.begin() + static_cast<long>(v.size()), v.begin());
+  stats_.bytes += static_cast<std::uint64_t>(size_ - 1) *
+                  static_cast<std::uint64_t>(v.size()) * sizeof(double);
+  stats_.reduceSec += since(t0);
+}
+
+void MpiComm::barrier() { check(MPI_Barrier(comm_), "MPI_Barrier"); }
+
+}  // namespace vdg
+
+#endif  // VDG_HAVE_MPI

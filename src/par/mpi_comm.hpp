@@ -1,0 +1,93 @@
+#pragma once
+// MPI-backed Communicator: the fourth backend behind the same seam, used
+// when the toolchain has an MPI (CMake's find_package(MPI) defines
+// VDG_HAVE_MPI and links MPI::MPI_CXX; without it this header still
+// compiles and mpiAvailable() reports false, so call sites need no #ifdef
+// of their own — only this pair of files touches <mpi.h>).
+//
+// The protocol is the ProcessComm one translated to MPI primitives:
+//   - split-phase halo: begin packs each boundary slab and MPI_Isends it
+//     with tag dim*2+receiverSide, and posts the matching MPI_Irecvs for
+//     this rank's ghost sides; end waits the FIFO-ordered pending recv for
+//     each side and unpacks. Several fields may be in flight at once —
+//     MPI's non-overtaking rule per (source, tag) gives the same FIFO the
+//     socket stream gives ProcessComm.
+//   - reductions: MPI_Gather to rank 0, fold **in rank order** (never
+//     MPI_Allreduce, whose reduction order is implementation-defined),
+//     MPI_Bcast the folded bits — so dt sequences and Krylov histories
+//     stay bitwise identical to the serial/ThreadComm/ProcessComm folds.
+//
+// MPI_Init/Finalize belong to the launcher (tools/vdg_launch), not to this
+// class: constructing an MpiComm requires an initialized MPI runtime.
+
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+/// True when this build carries the MPI backend (VDG_HAVE_MPI).
+[[nodiscard]] bool mpiAvailable();
+
+}  // namespace vdg
+
+#ifdef VDG_HAVE_MPI
+
+#include <mpi.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace vdg {
+
+/// One MPI process's endpoint. Rank/size come from the communicator
+/// (MPI_COMM_WORLD by default) and must agree with the CartDecomp —
+/// launch with exactly decomp.numRanks() processes.
+class MpiComm final : public Communicator {
+ public:
+  explicit MpiComm(const CartDecomp& decomp, MPI_Comm comm = MPI_COMM_WORLD);
+  ~MpiComm() override;
+  MpiComm(const MpiComm&) = delete;
+  MpiComm& operator=(const MpiComm&) = delete;
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int numRanks() const override { return size_; }
+  [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
+
+  [[nodiscard]] bool supportsSplitSync() const override { return true; }
+  void syncConfGhostsDim(Field& f, int d, bool periodic) override;
+  void beginSyncConfGhostsDim(Field& f, int d, bool periodic) override;
+  void endSyncConfGhostsDim(Field& f, int d, bool periodic) override;
+
+  [[nodiscard]] double allReduceMax(double v) override;
+  [[nodiscard]] double allReduceSum(double v) override;
+  void allReduceSum(std::span<double> v) override;
+  void barrier() override;
+
+  [[nodiscard]] HaloStats haloStats() const override { return stats_; }
+
+ private:
+  struct Pending {
+    MPI_Request req = MPI_REQUEST_NULL;
+    std::vector<double> buf;
+  };
+
+  template <typename Op>
+  double reduce(double v, Op op);
+  /// Retire completed sends (non-blocking) so buffers are reclaimed.
+  void reapSends();
+
+  CartDecomp decomp_;
+  MPI_Comm comm_;
+  int rank_ = 0;
+  int size_ = 1;
+  /// FIFO of posted-but-unwaited receives per (dim, ghost side).
+  std::deque<Pending> recvQ_[kMaxDim][2];
+  std::vector<Pending> sendQ_;
+  HaloStats stats_;
+  std::vector<double> gatherBuf_;  ///< rank-0 fold staging
+};
+
+}  // namespace vdg
+
+#endif  // VDG_HAVE_MPI

@@ -1,0 +1,546 @@
+#include "par/process_comm.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace vdg {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Frame tags. Halo slabs use d*2 + (side > 0), i.e. [0, kMaxDim*2); the
+// reduction star gets the two tags above that range. Matching is by tag,
+// so a reduction frame can sit queued behind halo frames (and vice versa)
+// without confusing either consumer.
+constexpr std::uint32_t kTagReduce = static_cast<std::uint32_t>(kMaxDim) * 2;
+constexpr std::uint32_t kTagBcast = kTagReduce + 1;
+
+constexpr std::uint32_t haloTag(int d, int side) {
+  return static_cast<std::uint32_t>(d) * 2 + (side > 0 ? 1u : 0u);
+}
+
+constexpr std::size_t kHeaderBytes = 2 * sizeof(std::uint32_t);
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw std::runtime_error("ProcessComm: fcntl(O_NONBLOCK) failed: " +
+                             std::string(std::strerror(errno)));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- ProcessComm
+
+ProcessComm::ProcessComm(const CartDecomp& decomp, int rank, std::vector<int> peerFds)
+    : decomp_(decomp), rank_(rank) {
+  assert(static_cast<int>(peerFds.size()) == decomp.numRanks());
+  assert(peerFds[static_cast<std::size_t>(rank)] < 0);
+  peers_.resize(peerFds.size());
+  for (std::size_t p = 0; p < peerFds.size(); ++p) {
+    peers_[p].fd = peerFds[p];
+    if (peers_[p].fd >= 0) setNonBlocking(peers_[p].fd);
+  }
+}
+
+ProcessComm::~ProcessComm() {
+  for (Peer& p : peers_)
+    if (p.fd >= 0) ::close(p.fd);
+}
+
+void ProcessComm::peerFailed(int peer, const std::string& what) const {
+  throw std::runtime_error("ProcessComm rank " + std::to_string(rank_) + ": peer rank " +
+                           std::to_string(peer) + " " + what);
+}
+
+void ProcessComm::send(int dst, std::uint32_t tag, const double* data, std::size_t count) {
+  Peer& p = peers_[static_cast<std::size_t>(dst)];
+  if (p.fd < 0) peerFailed(dst, "connection already closed (send)");
+  const std::uint32_t header[2] = {tag, static_cast<std::uint32_t>(count)};
+  const std::size_t payloadBytes = count * sizeof(double);
+  // Fast path: nothing parked, try to push header+payload straight into
+  // the kernel buffer; whatever does not fit parks in the outbox and is
+  // drained by pump() while this rank waits on its own receives.
+  auto park = [&p](const void* bytes, std::size_t len, std::size_t from) {
+    const auto* b = static_cast<const std::uint8_t*>(bytes);
+    p.outbox.insert(p.outbox.end(), b + from, b + len);
+  };
+  auto tryWrite = [&](const void* bytes, std::size_t len) -> std::size_t {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::send(p.fd, static_cast<const std::uint8_t*>(bytes) + off,
+                               len - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      peerFailed(dst, "send failed (" + std::string(std::strerror(errno)) +
+                          ") — peer likely dead");
+    }
+    return off;
+  };
+  if (p.outbox.empty()) {
+    const std::size_t sent = tryWrite(header, kHeaderBytes);
+    if (sent < kHeaderBytes) {
+      park(header, kHeaderBytes, sent);
+      park(data, payloadBytes, 0);
+      return;
+    }
+    const std::size_t sentPayload = tryWrite(data, payloadBytes);
+    if (sentPayload < payloadBytes) park(data, payloadBytes, sentPayload);
+    return;
+  }
+  // Stream order must be preserved: earlier bytes are still parked, so
+  // this frame queues behind them in full.
+  park(header, kHeaderBytes, 0);
+  park(data, payloadBytes, 0);
+}
+
+void ProcessComm::parseFrames(Peer& p) {
+  std::size_t off = 0;
+  while (p.inbuf.size() - off >= kHeaderBytes) {
+    std::uint32_t header[2];
+    std::memcpy(header, p.inbuf.data() + off, kHeaderBytes);
+    const std::size_t payloadBytes = static_cast<std::size_t>(header[1]) * sizeof(double);
+    if (p.inbuf.size() - off < kHeaderBytes + payloadBytes) break;
+    Peer::Frame fr;
+    fr.tag = header[0];
+    fr.data.resize(header[1]);
+    std::memcpy(fr.data.data(), p.inbuf.data() + off + kHeaderBytes, payloadBytes);
+    p.inbox.push_back(std::move(fr));
+    off += kHeaderBytes + payloadBytes;
+  }
+  if (off > 0) p.inbuf.erase(p.inbuf.begin(), p.inbuf.begin() + static_cast<long>(off));
+}
+
+void ProcessComm::pump(int timeoutMs) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> which;
+  pfds.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].fd < 0) continue;
+    pollfd pf{};
+    pf.fd = peers_[i].fd;
+    pf.events = POLLIN;
+    if (!peers_[i].outbox.empty()) pf.events |= POLLOUT;
+    pfds.push_back(pf);
+    which.push_back(i);
+  }
+  if (pfds.empty()) return;
+  const int nready = ::poll(pfds.data(), pfds.size(), timeoutMs);
+  if (nready < 0) {
+    if (errno == EINTR) return;
+    throw std::runtime_error("ProcessComm rank " + std::to_string(rank_) +
+                             ": poll failed: " + std::string(std::strerror(errno)));
+  }
+  for (std::size_t k = 0; k < pfds.size(); ++k) {
+    Peer& p = peers_[which[k]];
+    const short re = pfds[k].revents;
+    if (re & POLLOUT) {
+      // Drain as much of the parked stream as the kernel will take.
+      std::size_t off = 0;
+      while (off < p.outbox.size()) {
+        const ssize_t n =
+            ::send(p.fd, p.outbox.data() + off, p.outbox.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+          off += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        peerFailed(static_cast<int>(which[k]),
+                   "send failed (" + std::string(std::strerror(errno)) +
+                       ") — peer likely dead");
+      }
+      if (off > 0)
+        p.outbox.erase(p.outbox.begin(), p.outbox.begin() + static_cast<long>(off));
+    }
+    if (re & (POLLIN | POLLHUP | POLLERR)) {
+      // Read everything available. 0 bytes = orderly EOF: the peer is
+      // gone. That is only fatal once somebody actually needs a frame the
+      // peer never sent (recvMatch reports it with context); a peer that
+      // already delivered everything and exited is a normal shutdown.
+      std::uint8_t buf[65536];
+      while (true) {
+        const ssize_t n = ::recv(p.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          p.inbuf.insert(p.inbuf.end(), buf, buf + n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        ::close(p.fd);
+        p.fd = -1;
+        break;
+      }
+      parseFrames(p);
+    }
+  }
+}
+
+std::vector<double> ProcessComm::recvMatch(int src, std::uint32_t tag) {
+  Peer& p = peers_[static_cast<std::size_t>(src)];
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(recvTimeoutSec_));
+  while (true) {
+    // Frames are matched by tag but consumed in stream order within a tag
+    // (several fields' slabs of the same (dim, side) may be in flight).
+    for (auto it = p.inbox.begin(); it != p.inbox.end(); ++it) {
+      if (it->tag != tag) continue;
+      std::vector<double> data = std::move(it->data);
+      p.inbox.erase(it);
+      return data;
+    }
+    if (p.fd < 0)
+      peerFailed(src, "closed the connection before a required message arrived "
+                      "(tag " + std::to_string(tag) + ") — peer died mid-exchange");
+    if (Clock::now() >= deadline)
+      peerFailed(src, "timed out after " + std::to_string(recvTimeoutSec_) +
+                          " s waiting for a message (tag " + std::to_string(tag) +
+                          ") — peer wedged or deadlocked");
+    pump(/*timeoutMs=*/100);
+  }
+}
+
+void ProcessComm::flush() {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(recvTimeoutSec_));
+  while (true) {
+    bool pending = false;
+    for (const Peer& p : peers_)
+      if (p.fd >= 0 && !p.outbox.empty()) pending = true;
+    if (!pending) return;
+    if (Clock::now() >= deadline)
+      throw std::runtime_error("ProcessComm rank " + std::to_string(rank_) +
+                               ": flush timed out — a peer stopped reading");
+    pump(/*timeoutMs=*/100);
+  }
+}
+
+void ProcessComm::syncConfGhostsDim(Field& f, int d, bool periodic) {
+  beginSyncConfGhostsDim(f, d, periodic);
+  endSyncConfGhostsDim(f, d, periodic);
+}
+
+void ProcessComm::beginSyncConfGhostsDim(Field& f, int d, bool periodic) {
+  assert(d < decomp_.cdim);
+  assert(periodic == decomp_.periodic[static_cast<std::size_t>(d)]);
+  (void)periodic;
+  // Same protocol as ThreadComm::Endpoint (see communicator.cpp for the
+  // blocks==1 and kNoNeighbor rationale) — only the channel push is
+  // replaced by a framed socket send.
+  if (decomp_.blocks[static_cast<std::size_t>(d)] == 1) return;
+  const std::size_t n = f.ghostSlabSize(d);
+  const int ln = decomp_.neighbor(rank_, d, -1);
+  const int un = decomp_.neighbor(rank_, d, +1);
+  std::vector<double> buf(n);
+  auto postSlab = [&](int mySide, int dst, int dstSide) {
+    const auto t0 = Clock::now();
+    f.packGhost(d, mySide, buf);
+    const auto t1 = Clock::now();
+    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    send(dst, haloTag(d, dstSide), buf.data(), buf.size());
+    stats_.postSec += since(t1);
+  };
+  if (ln != kNoNeighbor) postSlab(-1, ln, +1);
+  if (un != kNoNeighbor) postSlab(+1, un, -1);
+}
+
+void ProcessComm::endSyncConfGhostsDim(Field& f, int d, bool periodic) {
+  assert(d < decomp_.cdim);
+  if (decomp_.blocks[static_cast<std::size_t>(d)] == 1) {
+    if (periodic) f.syncPeriodic(d);
+    return;
+  }
+  const std::size_t n = f.ghostSlabSize(d);
+  const int ln = decomp_.neighbor(rank_, d, -1);
+  const int un = decomp_.neighbor(rank_, d, +1);
+  auto receiveSlab = [&](int src, int side) {
+    const auto t0 = Clock::now();
+    const std::vector<double> buf = recvMatch(src, haloTag(d, side));
+    const auto t1 = Clock::now();
+    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    assert(buf.size() == n);
+    (void)n;
+    f.unpackGhost(d, side, buf);
+    stats_.unpackSec += since(t1);
+    stats_.bytes += buf.size() * sizeof(double);
+    stats_.cells += buf.size() / static_cast<std::size_t>(f.ncomp());
+  };
+  if (ln != kNoNeighbor) receiveSlab(ln, -1);
+  if (un != kNoNeighbor) receiveSlab(un, +1);
+}
+
+template <typename Op>
+double ProcessComm::reduce(double v, Op op) {
+  // Rank-0 star with the fold running in rank order on rank 0 — the exact
+  // operation sequence of the ThreadComm/serial fold, so the result bits
+  // match those backends, and the broadcast hands every rank those bits.
+  const auto t0 = Clock::now();
+  double acc = v;
+  if (rank_ == 0) {
+    for (int r = 1; r < numRanks(); ++r) {
+      const std::vector<double> m = recvMatch(r, kTagReduce);
+      assert(m.size() == 1);
+      acc = op(acc, m[0]);
+    }
+    for (int r = 1; r < numRanks(); ++r) send(r, kTagBcast, &acc, 1);
+  } else {
+    send(0, kTagReduce, &v, 1);
+    const std::vector<double> m = recvMatch(0, kTagBcast);
+    assert(m.size() == 1);
+    acc = m[0];
+  }
+  stats_.reduceSec += since(t0);
+  return acc;
+}
+
+double ProcessComm::allReduceMax(double v) {
+  return reduce(v, [](double a, double b) { return std::max(a, b); });
+}
+
+double ProcessComm::allReduceSum(double v) {
+  return reduce(v, [](double a, double b) { return a + b; });
+}
+
+void ProcessComm::allReduceSum(std::span<double> v) {
+  const auto t0 = Clock::now();
+  if (rank_ == 0) {
+    redScratch_.assign(v.begin(), v.end());
+    for (int r = 1; r < numRanks(); ++r) {
+      const std::vector<double> m = recvMatch(r, kTagReduce);
+      assert(m.size() == v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) redScratch_[i] += m[i];
+    }
+    for (int r = 1; r < numRanks(); ++r) send(r, kTagBcast, redScratch_.data(), redScratch_.size());
+    std::copy(redScratch_.begin(), redScratch_.end(), v.begin());
+  } else {
+    send(0, kTagReduce, v.data(), v.size());
+    const std::vector<double> m = recvMatch(0, kTagBcast);
+    assert(m.size() == v.size());
+    std::copy(m.begin(), m.end(), v.begin());
+  }
+  // Same booking convention as ThreadComm (each rank reads every *other*
+  // rank's block), so cross-backend stats stay comparable even though the
+  // star's physical traffic is asymmetric.
+  stats_.bytes += static_cast<std::uint64_t>(numRanks() - 1) *
+                  static_cast<std::uint64_t>(v.size()) * sizeof(double);
+  stats_.reduceSec += since(t0);
+}
+
+void ProcessComm::barrier() {
+  // A scalar reduction is already a full synchronization of the star.
+  (void)reduce(0.0, [](double a, double b) { return a + b; });
+}
+
+// ------------------------------------------------------------ ProcessGroup
+
+namespace {
+
+/// Result-pipe frame the child writes before _exit:
+///   [u8 ok][u64 count][payload]   ok=1: count doubles; ok=0: count error
+///   chars. Parsed leniently — a child that died early simply leaves a
+///   short (or empty) pipe, which the parent reports via the exit status.
+void writeAll(int fd, const void* bytes, std::size_t len) {
+  const auto* b = static_cast<const std::uint8_t*>(bytes);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, b + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // parent gone; nothing useful left to do in the child
+  }
+}
+
+void writeResult(int fd, bool ok, const void* payload, std::uint64_t count,
+                 std::size_t elemSize) {
+  const std::uint8_t okByte = ok ? 1 : 0;
+  writeAll(fd, &okByte, 1);
+  writeAll(fd, &count, sizeof count);
+  writeAll(fd, payload, static_cast<std::size_t>(count) * elemSize);
+}
+
+}  // namespace
+
+std::vector<ProcessGroup::RankOutcome> ProcessGroup::run(const CartDecomp& decomp,
+                                                         const RankFn& fn,
+                                                         double recvTimeoutSec) {
+  const int n = decomp.numRanks();
+  const std::size_t un = static_cast<std::size_t>(n);
+  // Full socketpair mesh, created before any fork so every child inherits
+  // exactly the row it needs. mesh[i][j] is rank i's end of the (i, j)
+  // connection.
+  std::vector<std::vector<int>> mesh(un, std::vector<int>(un, -1));
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        throw std::runtime_error("ProcessGroup: socketpair failed: " +
+                                 std::string(std::strerror(errno)));
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sv[0];
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
+    }
+  std::vector<std::array<int, 2>> resPipe(un);
+  for (std::size_t r = 0; r < un; ++r)
+    if (::pipe(resPipe[r].data()) != 0)
+      throw std::runtime_error("ProcessGroup: pipe failed: " +
+                               std::string(std::strerror(errno)));
+
+  // Children inherit copies of the parent's stdio buffers; flush now so a
+  // child's own output can never replay the parent's buffered text.
+  std::fflush(nullptr);
+  std::vector<pid_t> pids(un, -1);
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0)
+      throw std::runtime_error("ProcessGroup: fork failed: " +
+                               std::string(std::strerror(errno)));
+    if (pid != 0) {
+      pids[static_cast<std::size_t>(r)] = pid;
+      continue;
+    }
+    // ---- child: rank r. Keep only this rank's mesh row and result write
+    // end; everything else is other processes' business.
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        const int fd = mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        if (fd >= 0 && i != r) ::close(fd);
+      }
+    for (std::size_t rr = 0; rr < un; ++rr) {
+      ::close(resPipe[rr][0]);
+      if (static_cast<int>(rr) != r) ::close(resPipe[rr][1]);
+    }
+    const int resFd = resPipe[static_cast<std::size_t>(r)][1];
+    int status = 0;
+    try {
+      ProcessComm comm(decomp, r, mesh[static_cast<std::size_t>(r)]);
+      comm.setRecvTimeout(recvTimeoutSec);
+      const std::vector<double> vals = fn(comm);
+      // Peers may still be blocked on this rank's last slabs: push every
+      // parked byte before the sockets close at _exit.
+      comm.flush();
+      writeResult(resFd, true, vals.data(), vals.size(), sizeof(double));
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      writeResult(resFd, false, what.data(), what.size(), 1);
+      status = 1;
+    } catch (...) {
+      const std::string what = "unknown exception";
+      writeResult(resFd, false, what.data(), what.size(), 1);
+      status = 1;
+    }
+    ::close(resFd);
+    // _exit, not exit: no atexit handlers or stdio flushes of inherited
+    // parent state (the test binary's output streams) in the child.
+    ::_exit(status);
+  }
+
+  // ---- parent: drop the children's fds, then drain every result pipe to
+  // EOF before reaping. Reads run in a poll loop across all pipes at once
+  // so a large result on one rank cannot deadlock against another.
+  for (auto& row : mesh)
+    for (int fd : row)
+      if (fd >= 0) ::close(fd);
+  for (std::size_t r = 0; r < un; ++r) ::close(resPipe[r][1]);
+
+  std::vector<std::vector<std::uint8_t>> raw(un);
+  {
+    std::vector<bool> open(un, true);
+    const auto deadline = Clock::now() +
+                          std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(recvTimeoutSec + 30.0));
+    std::size_t nOpen = un;
+    while (nOpen > 0) {
+      if (Clock::now() >= deadline) {
+        // Children wedged past their own timeout margin: kill and move on
+        // so the caller sees failed outcomes instead of a hung parent.
+        for (pid_t pid : pids)
+          if (pid > 0) ::kill(pid, SIGKILL);
+        break;
+      }
+      std::vector<pollfd> pfds;
+      std::vector<std::size_t> which;
+      for (std::size_t r = 0; r < un; ++r)
+        if (open[r]) {
+          pollfd pf{};
+          pf.fd = resPipe[r][0];
+          pf.events = POLLIN;
+          pfds.push_back(pf);
+          which.push_back(r);
+        }
+      const int nready = ::poll(pfds.data(), pfds.size(), 1000);
+      if (nready < 0 && errno != EINTR)
+        throw std::runtime_error("ProcessGroup: poll failed: " +
+                                 std::string(std::strerror(errno)));
+      for (std::size_t k = 0; k < pfds.size(); ++k) {
+        if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        std::uint8_t buf[65536];
+        const ssize_t nr = ::read(pfds[k].fd, buf, sizeof buf);
+        if (nr > 0) {
+          raw[which[k]].insert(raw[which[k]].end(), buf, buf + nr);
+        } else if (nr == 0 || (nr < 0 && errno != EINTR && errno != EAGAIN)) {
+          open[which[k]] = false;
+          --nOpen;
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < un; ++r) ::close(resPipe[r][0]);
+
+  std::vector<RankOutcome> out(un);
+  for (std::size_t r = 0; r < un; ++r) {
+    int status = 0;
+    if (pids[r] > 0) ::waitpid(pids[r], &status, 0);
+    out[r].exitStatus = status;
+    const std::vector<std::uint8_t>& b = raw[r];
+    if (b.size() < 1 + sizeof(std::uint64_t)) {
+      out[r].error = "rank " + std::to_string(r) + " exited without a result (status " +
+                     std::to_string(status) + ")";
+      continue;
+    }
+    std::uint64_t count = 0;
+    std::memcpy(&count, b.data() + 1, sizeof count);
+    const std::size_t elem = b[0] ? sizeof(double) : 1;
+    if (b.size() < 1 + sizeof(std::uint64_t) + count * elem) {
+      out[r].error = "rank " + std::to_string(r) + " result truncated (status " +
+                     std::to_string(status) + ")";
+      continue;
+    }
+    const std::uint8_t* payload = b.data() + 1 + sizeof(std::uint64_t);
+    if (b[0]) {
+      out[r].ok = true;
+      out[r].values.resize(count);
+      std::memcpy(out[r].values.data(), payload, count * sizeof(double));
+    } else {
+      out[r].error.assign(reinterpret_cast<const char*>(payload), count);
+    }
+  }
+  return out;
+}
+
+}  // namespace vdg

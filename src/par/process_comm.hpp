@@ -1,0 +1,144 @@
+#pragma once
+// Cross-process Communicator backend: the ThreadComm protocol spoken over
+// a full mesh of Unix-domain socketpairs between forked processes — a real
+// transport with kernel-mediated message passing, no shared memory. This
+// is the no-MPI deployment shape of the distributed layer (MpiComm,
+// par/mpi_comm.hpp, is the same seam over MPI when the toolchain has it):
+// one process per CartDecomp rank, the same split-phase halo exchange and
+// rank-ordered reductions, and therefore the same bits as SerialComm and
+// ThreadComm — the transport conformance battery
+// (tests/test_comm_conformance.cpp) and tools/vdg_launch prove it.
+//
+// Wire protocol, per directed peer connection (SOCK_STREAM, byte order is
+// native — all ranks are forks of one process):
+//   frame := [u32 tag][u32 count][count * f64 payload]
+//   tag   := dim*2+side for halo slabs (side: 0 = receiver's lower ghost,
+//            1 = upper), or one of the reduction tags below.
+// Sockets are non-blocking; every send is attempted immediately and any
+// remainder parks in a per-peer outbox that is drained whenever the
+// receive loop polls — so a rank that is waiting to receive is always
+// also making progress on its sends, and the mesh cannot deadlock on full
+// kernel buffers. Stream order per peer is preserved, but frames are
+// *matched by tag* (the two-rank periodic topology delivers both of a
+// peer's slabs on one connection, in post order, while the receiver
+// unpacks lower-then-upper).
+//
+// Reductions are a rank-0 star: every rank sends its operand to rank 0,
+// which folds in rank order — bit-identical to the ThreadComm fold, since
+// the sequence of operations is the same — and broadcasts the result.
+//
+// Failure semantics: a dead peer (socket EOF / EPIPE) or a poll timeout
+// raises std::runtime_error naming this rank and the peer, so a crashed
+// rank collapses the whole group loudly instead of hanging it (the
+// kill-one-rank test pins this with a bounded timeout).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+
+namespace vdg {
+
+/// One process's endpoint into the socket mesh. Construct via
+/// ProcessGroup::run (which forks the mesh) — or directly from a set of
+/// connected socket fds (one per peer, -1 at the own-rank slot), which the
+/// endpoint takes ownership of.
+class ProcessComm final : public Communicator {
+ public:
+  ProcessComm(const CartDecomp& decomp, int rank, std::vector<int> peerFds);
+  ~ProcessComm() override;
+  ProcessComm(const ProcessComm&) = delete;
+  ProcessComm& operator=(const ProcessComm&) = delete;
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int numRanks() const override { return decomp_.numRanks(); }
+  [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
+
+  [[nodiscard]] bool supportsSplitSync() const override { return true; }
+  void syncConfGhostsDim(Field& f, int d, bool periodic) override;
+  void beginSyncConfGhostsDim(Field& f, int d, bool periodic) override;
+  void endSyncConfGhostsDim(Field& f, int d, bool periodic) override;
+
+  [[nodiscard]] double allReduceMax(double v) override;
+  [[nodiscard]] double allReduceSum(double v) override;
+  void allReduceSum(std::span<double> v) override;
+  void barrier() override;
+
+  [[nodiscard]] HaloStats haloStats() const override { return stats_; }
+
+  /// Drain every parked outbound byte (blocking until the kernel accepts
+  /// them). Call before tearing the endpoint down while peers may still be
+  /// waiting on this rank's last messages.
+  void flush();
+
+  /// Bound, in seconds, on any single wait for peer data (and on flush).
+  /// Exceeding it throws — the backstop that turns a wedged peer into an
+  /// error when its socket never reports EOF. Default 120 s.
+  void setRecvTimeout(double seconds) { recvTimeoutSec_ = seconds; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<std::uint8_t> outbox;  ///< unsent bytes, in send order
+    std::vector<std::uint8_t> inbuf;   ///< partial inbound frame bytes
+    struct Frame {
+      std::uint32_t tag;
+      std::vector<double> data;
+    };
+    std::deque<Frame> inbox;  ///< complete frames awaiting a match
+  };
+
+  void send(int dst, std::uint32_t tag, const double* data, std::size_t count);
+  /// Block until a frame with `tag` arrives from `src` (earlier frames
+  /// from src stay queued for their own matches), pumping all peers' IO.
+  [[nodiscard]] std::vector<double> recvMatch(int src, std::uint32_t tag);
+  /// One poll round over every peer: flush outboxes, ingest inbound bytes.
+  void pump(int timeoutMs);
+  void parseFrames(Peer& p);
+  [[noreturn]] void peerFailed(int peer, const std::string& what) const;
+
+  template <typename Op>
+  double reduce(double v, Op op);
+
+  CartDecomp decomp_;
+  int rank_;
+  std::vector<Peer> peers_;
+  double recvTimeoutSec_ = 120.0;
+  HaloStats stats_;
+  std::vector<double> redScratch_;  ///< rank-0 vector-reduce fold buffer
+};
+
+/// Forks one process per CartDecomp rank, wires the socketpair mesh, runs
+/// a caller-supplied function on every rank, and gathers each rank's
+/// result payload (plus failures) back into the parent. The conformance
+/// battery and tools/vdg_launch drive all their multi-process scenarios
+/// through this.
+class ProcessGroup {
+ public:
+  /// What one forked rank produced.
+  struct RankOutcome {
+    bool ok = false;
+    std::vector<double> values;  ///< fn's return payload (ok only)
+    std::string error;           ///< exception text (failed only)
+    int exitStatus = 0;          ///< raw waitpid status
+  };
+
+  /// The per-rank body: runs in the forked child with that rank's live
+  /// endpoint; its return vector is shipped back to the parent over a
+  /// pipe. Throwing marks the rank failed (the text travels back too).
+  using RankFn = std::function<std::vector<double>(ProcessComm&)>;
+
+  /// Fork decomp.numRanks() processes, run fn in each, wait for all, and
+  /// return every rank's outcome (index == rank). Does not throw on rank
+  /// failure — inspect the outcomes — but does throw if the mesh itself
+  /// cannot be set up. `recvTimeoutSec` bounds every child-side wait.
+  static std::vector<RankOutcome> run(const CartDecomp& decomp, const RankFn& fn,
+                                      double recvTimeoutSec = 120.0);
+};
+
+}  // namespace vdg

@@ -1,0 +1,343 @@
+// Transport conformance battery: every Communicator backend must carry
+// the same bits. Three layers of proof, each over both in-tree multi-rank
+// transports (ThreadComm shared-memory channels, ProcessComm forked
+// processes over Unix-domain socketpairs; the MPI backend runs the same
+// scenarios through tools/vdg_launch on MPI-enabled builds):
+//
+//   1. halo property tests — a synced window field's ghost layer equals
+//      the wrapped/neighbor interior of a global oracle field, over
+//      periodic, walled, uneven, and 2-D (corner-ghost) decompositions;
+//   2. ordered reductions — scalar and vector all-reduce results are the
+//      exact rank-order fold, bitwise, on every rank;
+//   3. end-to-end trajectories — the shared conformance scenarios
+//      (app/conformance.hpp) run distributed and match a serial oracle's
+//      coefficients, dt sequence, and Krylov iteration counts with
+//      EXPECT_EQ, no tolerances.
+//
+// Plus the failure contract: a rank that dies mid-exchange must surface
+// as a thrown error naming the dead peer on the survivors — not a hang.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/conformance.hpp"
+#include "par/communicator.hpp"
+#include "par/decomp.hpp"
+#include "par/process_comm.hpp"
+
+// Fork-based cases are meaningless under ThreadSanitizer (fork from the
+// instrumented test binary is unsupported); the ThreadComm cases are the
+// ones the TSan job is for.
+#if defined(__SANITIZE_THREAD__)
+#define VDG_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VDG_TSAN 1
+#endif
+#endif
+#ifndef VDG_TSAN
+#define VDG_TSAN 0
+#endif
+
+namespace vdg {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+/// Run fn(comm, rank) on every rank of a ThreadComm, one thread per rank.
+template <typename Fn>
+void onThreadRanks(ThreadComm& comm, int ranks, const Fn& fn) {
+  std::vector<std::thread> ts;
+  for (int r = 0; r < ranks; ++r)
+    ts.emplace_back([&, r] { fn(comm.endpoint(r), r); });
+  for (auto& t : ts) t.join();
+}
+
+/// Ghost-layer property check for one rank: fill the local window from a
+/// deterministic global field, sync every configuration dimension, then
+/// every ghost cell whose global pull-index is resolvable (periodic wrap,
+/// or an interior neighbor in a walled dimension) must hold that exact
+/// interior value. Returns {mismatches, cellsChecked}.
+std::pair<int, int> haloRoundTrip(const Grid& global, const CartDecomp& decomp,
+                                  Communicator& comm, int ncomp) {
+  const int rank = comm.rank();
+  const Grid local = decomp.localGrid(global, rank);
+  Field f(local, ncomp);
+  forEachCell(local, [&](const MultiIndex& idx) {
+    double base = 0.0;
+    for (int d = 0; d < local.ndim; ++d)
+      base = base * 1000.0 + (idx[d] + local.offset[static_cast<std::size_t>(d)]);
+    for (int c = 0; c < ncomp; ++c) f.at(idx)[c] = base * 10.0 + c;
+  });
+  for (int d = 0; d < decomp.cdim; ++d)
+    comm.syncConfGhostsDim(f, d, decomp.periodic[static_cast<std::size_t>(d)]);
+
+  int bad = 0, checked = 0;
+  // Walk the extended box (one ghost layer per synced dim) by odometer.
+  MultiIndex idx;
+  std::vector<int> lo(static_cast<std::size_t>(local.ndim)), hi(lo);
+  for (int d = 0; d < local.ndim; ++d) {
+    const bool synced = d < decomp.cdim;
+    lo[static_cast<std::size_t>(d)] = synced ? -1 : 0;
+    hi[static_cast<std::size_t>(d)] = local.cells[static_cast<std::size_t>(d)] + (synced ? 1 : 0);
+    idx[d] = lo[static_cast<std::size_t>(d)];
+  }
+  while (true) {
+    bool isGhost = false, resolvable = true;
+    MultiIndex gidx;
+    for (int d = 0; d < local.ndim; ++d) {
+      gidx[d] = idx[d] + local.offset[static_cast<std::size_t>(d)];
+      if (idx[d] < 0 || idx[d] >= local.cells[static_cast<std::size_t>(d)]) {
+        isGhost = true;
+        const int n = global.cells[static_cast<std::size_t>(d)];
+        if (gidx[d] < 0 || gidx[d] >= n) {
+          if (decomp.periodic[static_cast<std::size_t>(d)])
+            gidx[d] = (gidx[d] + n) % n;
+          else
+            resolvable = false;  // wall ghost: the physical fill's job
+        }
+      }
+    }
+    if (isGhost && resolvable) {
+      ++checked;
+      double base = 0.0;
+      for (int d = 0; d < local.ndim; ++d) base = base * 1000.0 + gidx[d];
+      for (int c = 0; c < ncomp; ++c)
+        if (f.at(idx)[c] != base * 10.0 + c) ++bad;
+    }
+    int d = 0;
+    for (; d < local.ndim; ++d) {
+      if (++idx[d] < hi[static_cast<std::size_t>(d)]) break;
+      idx[d] = lo[static_cast<std::size_t>(d)];
+    }
+    if (d == local.ndim) break;
+  }
+  return {bad, checked};
+}
+
+struct HaloCase {
+  std::string name;
+  Grid global;
+  int ranks;
+  std::array<bool, kMaxDim> periodic;
+};
+
+std::vector<HaloCase> haloCases() {
+  std::array<bool, kMaxDim> allPeriodic{};
+  allPeriodic.fill(true);
+  std::array<bool, kMaxDim> walledX = allPeriodic;
+  walledX[0] = false;
+  return {
+      {"1x-even-2r", Grid::make({8}, {0.0}, {1.0}), 2, allPeriodic},
+      {"1x-uneven-4r", Grid::make({10}, {0.0}, {1.0}), 4, allPeriodic},
+      {"1x-walled-3r", Grid::make({9}, {0.0}, {1.0}), 3, walledX},
+      {"2x-corners-4r", Grid::make({6, 6}, {0.0, 0.0}, {1.0, 1.0}), 4, allPeriodic},
+      {"2x-walledx-4r", Grid::make({8, 4}, {0.0, 0.0}, {1.0, 1.0}), 4, walledX},
+  };
+}
+
+// ------------------------------------------------------ 1. halo property
+
+TEST(CommConformance, ThreadCommHaloRoundTrip) {
+  for (const HaloCase& hc : haloCases()) {
+    const CartDecomp decomp = CartDecomp::make(hc.global, hc.ranks, hc.periodic);
+    ThreadComm comm(decomp);
+    std::vector<std::pair<int, int>> results(static_cast<std::size_t>(hc.ranks));
+    onThreadRanks(comm, hc.ranks, [&](Communicator& c, int r) {
+      results[static_cast<std::size_t>(r)] = haloRoundTrip(hc.global, decomp, c, 3);
+    });
+    for (int r = 0; r < hc.ranks; ++r) {
+      EXPECT_EQ(results[static_cast<std::size_t>(r)].first, 0)
+          << hc.name << " rank " << r;
+      EXPECT_GT(results[static_cast<std::size_t>(r)].second, 0)
+          << hc.name << " rank " << r;
+    }
+  }
+}
+
+TEST(CommConformance, ProcessCommHaloRoundTrip) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  for (const HaloCase& hc : haloCases()) {
+    const CartDecomp decomp = CartDecomp::make(hc.global, hc.ranks, hc.periodic);
+    const auto outcomes = ProcessGroup::run(
+        decomp,
+        [&](ProcessComm& pc) {
+          const auto [bad, checked] = haloRoundTrip(hc.global, decomp, pc, 3);
+          return std::vector<double>{static_cast<double>(bad),
+                                     static_cast<double>(checked)};
+        },
+        /*recvTimeoutSec=*/60.0);
+    ASSERT_EQ(static_cast<int>(outcomes.size()), hc.ranks) << hc.name;
+    for (int r = 0; r < hc.ranks; ++r) {
+      const auto& o = outcomes[static_cast<std::size_t>(r)];
+      ASSERT_TRUE(o.ok) << hc.name << " rank " << r << ": " << o.error;
+      EXPECT_EQ(o.values[0], 0.0) << hc.name << " rank " << r;
+      EXPECT_GT(o.values[1], 0.0) << hc.name << " rank " << r;
+    }
+  }
+}
+
+// --------------------------------------------------- 2. ordered reductions
+
+TEST(CommConformance, ProcessCommReductionsMatchRankOrderFold) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  const int ranks = 4;
+  const CartDecomp decomp =
+      CartDecomp::make(Grid::make({8}, {0.0}, {1.0}), ranks);
+  const auto outcomes = ProcessGroup::run(
+      decomp,
+      [&](ProcessComm& pc) {
+        const int r = pc.rank();
+        const double mx = pc.allReduceMax(1.0 + r);
+        const double sm = pc.allReduceSum(0.1 * (r + 1));
+        std::vector<double> vec = {0.3 * (r + 1), -0.07 * (r + 1)};
+        pc.allReduceSum(std::span<double>(vec));
+        pc.barrier();
+        return std::vector<double>{mx, sm, vec[0], vec[1]};
+      },
+      /*recvTimeoutSec=*/60.0);
+  // The exact fold the serial/ThreadComm reduction performs, same order.
+  const double expectSum = ((0.1 + 0.2) + 0.3) + 0.4;
+  const double expectV0 = ((0.3 + 0.6) + 0.9) + 1.2;
+  const double expectV1 = ((-0.07 + -0.14) + -0.21) + -0.28;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& o = outcomes[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(o.ok) << "rank " << r << ": " << o.error;
+    EXPECT_EQ(o.values[0], 4.0) << "rank " << r;
+    EXPECT_EQ(o.values[1], expectSum) << "rank " << r;
+    EXPECT_EQ(o.values[2], expectV0) << "rank " << r;
+    EXPECT_EQ(o.values[3], expectV1) << "rank " << r;
+  }
+}
+
+// ------------------------------------------------ 3. trajectory conformance
+
+void expectIdentical(const ConformanceResult& res, const std::string& tag) {
+  EXPECT_EQ(res.mismatches, 0.0) << tag << ": state coefficients diverged";
+  EXPECT_EQ(res.rank.dts, res.oracle.dts) << tag << ": dt sequence diverged";
+  EXPECT_EQ(res.rank.krylovIters, res.oracle.krylovIters)
+      << tag << ": Krylov iteration history diverged";
+  EXPECT_FALSE(res.rank.dts.empty()) << tag;
+}
+
+void runThreadScenario(const std::string& name, int ranks, int steps) {
+  const Simulation::Builder builder = conformanceScenario(name);
+  const CartDecomp decomp = conformanceDecomp(builder, ranks);
+  ThreadComm comm(decomp);
+  std::vector<ConformanceResult> results(static_cast<std::size_t>(ranks));
+  onThreadRanks(comm, ranks, [&](Communicator& c, int r) {
+    results[static_cast<std::size_t>(r)] =
+        runConformanceRank(builder, decomp, c, steps);
+  });
+  for (int r = 0; r < ranks; ++r)
+    expectIdentical(results[static_cast<std::size_t>(r)],
+                    name + " thread ranks=" + std::to_string(ranks) +
+                        " rank=" + std::to_string(r));
+}
+
+void runProcessScenario(const std::string& name, int ranks, int steps) {
+  const Simulation::Builder builder = conformanceScenario(name);
+  const CartDecomp decomp = conformanceDecomp(builder, ranks);
+  const auto outcomes = ProcessGroup::run(
+      decomp,
+      [&](ProcessComm& pc) {
+        return packConformance(runConformanceRank(builder, decomp, pc, steps));
+      },
+      /*recvTimeoutSec=*/120.0);
+  for (int r = 0; r < ranks; ++r) {
+    const auto& o = outcomes[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(o.ok) << name << " process rank " << r << ": " << o.error;
+    expectIdentical(unpackConformance(o.values),
+                    name + " process ranks=" + std::to_string(ranks) +
+                        " rank=" + std::to_string(r));
+  }
+}
+
+TEST(CommConformance, ThreadCommLandauTrajectory) {
+  runThreadScenario("landau", 2, 3);
+  runThreadScenario("landau", 4, 3);
+}
+
+TEST(CommConformance, ThreadCommLboTrajectory) { runThreadScenario("lbo", 2, 3); }
+
+TEST(CommConformance, ThreadCommSheathTrajectory) { runThreadScenario("sheath", 2, 3); }
+
+TEST(CommConformance, ThreadCommPoisson2x2vTrajectory) {
+  runThreadScenario("poisson2x2v", 4, 2);
+}
+
+TEST(CommConformance, ProcessCommLandauTrajectory) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  runProcessScenario("landau", 2, 3);
+  runProcessScenario("landau", 4, 3);
+}
+
+TEST(CommConformance, ProcessCommLboTrajectory) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  runProcessScenario("lbo", 2, 3);
+}
+
+TEST(CommConformance, ProcessCommSheathTrajectory) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  // 3 ranks over 12 cells: uneven walled decomposition, both edge ranks
+  // owning a physical wall and the middle rank owning none.
+  runProcessScenario("sheath", 3, 3);
+}
+
+TEST(CommConformance, ProcessCommPoisson2x2vTrajectory) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  runProcessScenario("poisson2x2v", 4, 2);
+}
+
+// --------------------------------------------------- 4. failure semantics
+
+TEST(CommConformance, DeadPeerSurfacesAsErrorNotHang) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  const CartDecomp decomp = CartDecomp::make(Grid::make({8}, {0.0}, {1.0}), 2);
+  const auto outcomes = ProcessGroup::run(
+      decomp,
+      [&](ProcessComm& pc) {
+        if (pc.rank() == 1) ::_exit(0);  // die abruptly, no result, no goodbye
+        Field f(decomp.localGrid(Grid::make({8}, {0.0}, {1.0}), 0), 2);
+        pc.syncConfGhostsDim(f, 0, true);  // must throw on peer EOF, not hang
+        return std::vector<double>{1.0};   // unreachable
+      },
+      /*recvTimeoutSec=*/20.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("peer rank 1"), std::string::npos)
+      << "error was: " << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok);  // rank 1 wrote no result before _exit
+}
+
+TEST(CommConformance, RecvTimeoutSurfacesAsError) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  // A live-but-silent peer: rank 1 never sends, never closes. The bounded
+  // receive timeout must convert the wait into a thrown error.
+  const CartDecomp decomp = CartDecomp::make(Grid::make({8}, {0.0}, {1.0}), 2);
+  const auto outcomes = ProcessGroup::run(
+      decomp,
+      [&](ProcessComm& pc) {
+        pc.setRecvTimeout(1.5);
+        if (pc.rank() == 1) {
+          ::sleep(4);  // stay alive, say nothing
+          return std::vector<double>{0.0};
+        }
+        Field f(decomp.localGrid(Grid::make({8}, {0.0}, {1.0}), 0), 2);
+        pc.endSyncConfGhostsDim(f, 0, true);  // nothing was ever posted
+        return std::vector<double>{1.0};      // unreachable
+      },
+      /*recvTimeoutSec=*/30.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("timed out"), std::string::npos)
+      << "error was: " << outcomes[0].error;
+}
+
+}  // namespace
+}  // namespace vdg

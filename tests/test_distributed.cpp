@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <numbers>
 #include <thread>
@@ -203,6 +204,79 @@ TEST(DistributedSimulation, LboCollisionalLandauStaysBitExact) {
     EXPECT_EQ(dist.step(), serialDt[static_cast<std::size_t>(i)]) << "step " << i;
   EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
   EXPECT_GT(dist.haloBytes(), 0u);
+}
+
+TEST(DistributedSimulation, OverlapStaysBitExactUnderAdversarialDeliveryDelays) {
+  // The split-phase schedule (halo exchange overlapped with interior
+  // volume work) must be a pure latency optimization: no matter when a
+  // ghost slab actually arrives, endSync blocks until it has, so the
+  // surface terms always see repaired ghosts. The DeliveryFault hook
+  // runs on the sender thread just before each slab is published —
+  // skewing every channel by a different delay makes "ghost arrives
+  // after the receiver started computing" the common case instead of a
+  // rare race, and the trajectory must still be bitwise serial.
+  auto builder = landauBuilder(12);
+  Simulation serial = builder.build();
+  std::vector<double> serialDt;
+  const int steps = 3;
+  for (int i = 0; i < steps; ++i) serialDt.push_back(serial.step());
+
+  DistributedSimulation dist(builder, 2);
+  ASSERT_TRUE(dist.rankSim(0).overlapHalo());
+  dist.comm().setDeliveryFault([](int src, int dst, int dim, int side) {
+    const int skewMs = 1 + (src * 5 + dst * 3 + dim + (side > 0 ? 2 : 0)) % 4;
+    std::this_thread::sleep_for(std::chrono::milliseconds(skewMs));
+  });
+  for (int i = 0; i < steps; ++i)
+    EXPECT_EQ(dist.step(), serialDt[static_cast<std::size_t>(i)]) << "step " << i;
+  EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
+}
+
+TEST(DistributedSimulation, OverlapNeverReadsAGhostBeforeRepair) {
+  // Ghost poison NaN-floods every ghost slab at beginSync; endSync's
+  // unpack (and the wall-BC fill) overwrite the poison with real data.
+  // NaN is sticky through every kernel, so a single premature ghost read
+  // anywhere in the overlapped interior-volume window would corrupt the
+  // trajectory irreversibly — bitwise equality with serial is proof the
+  // schedule never touches a ghost cell before its repair completes.
+  auto builder = landauBuilder(12);
+  Simulation serial = builder.build();
+  const int steps = 3;
+  for (int i = 0; i < steps; ++i) serial.step();
+
+  DistributedSimulation dist(builder, 2);
+  for (int r = 0; r < dist.numRanks(); ++r) dist.rankSim(r).setGhostPoison(true);
+  for (int i = 0; i < steps; ++i) dist.step();
+  EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
+}
+
+TEST(DistributedSimulation, GhostPoisonHoldsOn2x2vCornerExchange) {
+  // Same poison proof on the 2-D decomposition (2x2 ranks, corner ghosts
+  // filled across two sequential dimension syncs): the overlapped dim-0
+  // exchange plus blocking dim-1 sync must repair every ghost — corners
+  // included — before any surface kernel reads them.
+  auto builder = weibelBuilder();
+  Simulation serial = builder.build();
+  for (int i = 0; i < 2; ++i) serial.step();
+
+  DistributedSimulation dist(builder, 4);
+  for (int r = 0; r < dist.numRanks(); ++r) dist.rankSim(r).setGhostPoison(true);
+  for (int i = 0; i < 2; ++i) dist.step();
+  EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
+}
+
+TEST(DistributedSimulation, BlockingScheduleRemainsBitExact) {
+  // overlapHalo=false falls back to the fully blocking sync-then-compute
+  // schedule; both schedules must land on the same bits as serial.
+  auto builder = landauBuilder(12);
+  Simulation serial = builder.build();
+  const int steps = 3;
+  for (int i = 0; i < steps; ++i) serial.step();
+
+  DistributedSimulation dist(builder, 2, /*overlapHalo=*/false);
+  ASSERT_FALSE(dist.rankSim(0).overlapHalo());
+  for (int i = 0; i < steps; ++i) dist.step();
+  EXPECT_EQ(countMismatches(dist.gather(), serial.state()), 0);
 }
 
 TEST(ThreadComm, ReductionsAreDeterministicAndGlobal) {

@@ -8,11 +8,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numbers>
+#include <thread>
 #include <vector>
 
 #include "par/comm_model.hpp"
+#include "par/communicator.hpp"
 #include "par/decomp.hpp"
 #include "par/thread_exec.hpp"
 
@@ -324,6 +327,63 @@ TEST(Field, SyncPeriodicMatchesSlabExchangeOracle) {
     while (k < g.ndim && ++ext[k] >= g.cells[static_cast<std::size_t>(k)] + 1) ext[k++] = -1;
     if (k == g.ndim) break;
   }
+}
+
+TEST(HaloStats, BucketsBookTrafficAndDeriveTheLegacyCounters) {
+  // A two-rank exchange on a tiny 1-D field books exact byte/cell counts
+  // into the split stats, and the legacy haloBytes/haloCells/haloSeconds
+  // accessors are pure derivations of haloStats() — one source of truth.
+  const Grid global = Grid::make({8}, {0.0}, {1.0});
+  const CartDecomp decomp = CartDecomp::make(global, 2);
+  ThreadComm comm(decomp);
+  std::vector<std::thread> ts;
+  for (int r = 0; r < 2; ++r)
+    ts.emplace_back([&, r] {
+      Field f(decomp.localGrid(global, r), 3);
+      f.setZero();
+      comm.endpoint(r).syncConfGhostsDim(f, 0, true);
+      (void)comm.endpoint(r).allReduceSum(1.0);
+    });
+  for (auto& t : ts) t.join();
+  for (int r = 0; r < 2; ++r) {
+    const Communicator& ep = comm.endpoint(r);
+    const HaloStats s = ep.haloStats();
+    // Two received slabs of ghostSlabSize = ncomp (3) doubles each.
+    EXPECT_EQ(s.bytes, 2u * 3u * sizeof(double)) << "rank " << r;
+    EXPECT_EQ(s.cells, 2u) << "rank " << r;
+    EXPECT_GT(s.reduceSec, 0.0) << "rank " << r;
+    EXPECT_EQ(ep.haloBytes(), s.bytes) << "rank " << r;
+    EXPECT_EQ(ep.haloCells(), s.cells) << "rank " << r;
+    EXPECT_EQ(ep.haloSeconds(),
+              s.packSec + s.postSec + s.waitSec + s.unpackSec + s.reduceSec)
+        << "rank " << r;
+    EXPECT_EQ(s.totalSec(), ep.haloSeconds()) << "rank " << r;
+  }
+}
+
+TEST(HaloStats, InjectedDeliveryDelayLandsInTheWaitBucket) {
+  // The fault hook delays rank 1's posts by 30 ms each; rank 0 posts
+  // instantly and must spend that time blocked in receive — so the split
+  // attribution (wait, not pack/post/unpack) reflects where the real time
+  // went. This is also the latency-injection seam the overlap tests use.
+  const Grid global = Grid::make({8}, {0.0}, {1.0});
+  const CartDecomp decomp = CartDecomp::make(global, 2);
+  ThreadComm comm(decomp);
+  comm.setDeliveryFault([](int src, int /*dst*/, int /*dim*/, int /*side*/) {
+    if (src == 1) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  std::vector<std::thread> ts;
+  for (int r = 0; r < 2; ++r)
+    ts.emplace_back([&, r] {
+      Field f(decomp.localGrid(global, r), 2);
+      f.setZero();
+      comm.endpoint(r).syncConfGhostsDim(f, 0, true);
+    });
+  for (auto& t : ts) t.join();
+  // Rank 1's two delayed posts complete at ~30/~60 ms; rank 0 waits for
+  // both. Assert half the injected floor — generous against scheduler
+  // jitter, far above what an undelayed exchange measures.
+  EXPECT_GE(comm.endpoint(0).haloStats().waitSec, 0.03);
 }
 
 TEST(CommModel, WeakScalingStaysNearFlat) {

@@ -1,0 +1,194 @@
+// vdg_launch: map CartDecomp ranks onto real processes and prove the
+// transport carries the simulation bit-exactly.
+//
+// Two launch shapes behind one command:
+//   - under an MPI launcher (mpiexec/mpirun/srun; detected from the
+//     launcher's environment *before* MPI_Init, so a non-MPI run never
+//     initializes MPI) each process becomes one rank on the MpiComm
+//     backend — requires a VDG_HAVE_MPI build;
+//   - standalone, it forks --ranks processes wired by a Unix-domain
+//     socketpair mesh (ProcessComm) — works on any build, no MPI needed.
+//
+// Every rank runs the shared conformance battery (app/conformance.hpp):
+// its window of each scenario on the real transport, a full serial oracle
+// locally, and a bitwise comparison of coefficients, dt sequence, and
+// Krylov iteration counts. Exit 0 only if every rank of every scenario is
+// identical — this is the executable the CI MPI leg drives through ctest.
+//
+// Usage:
+//   vdg_launch [--ranks N] [--scenario NAME|all] [--steps S] [--no-overlap]
+//   mpiexec -n N vdg_launch [--scenario NAME|all] [--steps S] [--no-overlap]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "app/conformance.hpp"
+#include "par/mpi_comm.hpp"
+#include "par/process_comm.hpp"
+
+#ifdef VDG_HAVE_MPI
+#include <mpi.h>
+#endif
+
+namespace {
+
+using namespace vdg;
+
+/// True when an MPI launcher started this process (checked before any
+/// MPI call: fork-based fallback must never MPI_Init, and an MPI build
+/// run directly — no launcher — should use the fork transport too).
+bool underMpiLauncher() {
+  return std::getenv("OMPI_COMM_WORLD_SIZE") != nullptr ||  // Open MPI
+         std::getenv("PMI_SIZE") != nullptr ||              // MPICH/Hydra
+         std::getenv("PMIX_RANK") != nullptr ||             // PMIx/Slurm
+         std::getenv("MPI_LOCALNRANKS") != nullptr;
+}
+
+struct Options {
+  int ranks = 2;
+  int steps = 3;
+  bool overlap = true;
+  std::vector<std::string> scenarios = conformanceScenarios();
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--ranks N] [--scenario NAME|all] [--steps S] [--no-overlap]\n"
+               "scenarios: all", argv0);
+  for (const auto& s : conformanceScenarios()) std::fprintf(stderr, " %s", s.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+bool verdict(const ConformanceResult& r, int rank, const std::string& scenario) {
+  const bool ok = r.identical();
+  std::printf("  %-12s rank %d: %s (%zu steps, %.0f coefficient mismatches%s)\n",
+              scenario.c_str(), rank, ok ? "OK" : "MISMATCH", r.rank.dts.size(),
+              r.mismatches,
+              r.rank.krylovIters.empty() ? "" : ", Krylov history checked");
+  if (!ok && r.rank.dts != r.oracle.dts)
+    std::printf("               rank %d: dt sequence diverged from serial oracle\n", rank);
+  if (!ok && r.rank.krylovIters != r.oracle.krylovIters)
+    std::printf("               rank %d: Krylov iteration history diverged\n", rank);
+  return ok;
+}
+
+int runFork(const Options& opt) {
+  std::printf("vdg_launch: transport=fork(sockets) ranks=%d steps=%d overlap=%s\n",
+              opt.ranks, opt.steps, opt.overlap ? "on" : "off");
+  int failures = 0;
+  for (const std::string& name : opt.scenarios) {
+    const Simulation::Builder builder = conformanceScenario(name);
+    CartDecomp decomp;
+    try {
+      decomp = conformanceDecomp(builder, opt.ranks);
+    } catch (const std::exception& e) {
+      // Undecomposable (e.g. more ranks than configuration cells): a
+      // usage error, not a transport failure.
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+      return 2;
+    }
+    const auto outcomes = ProcessGroup::run(
+        decomp,
+        [&](ProcessComm& pc) {
+          return packConformance(
+              runConformanceRank(builder, decomp, pc, opt.steps, opt.overlap));
+        },
+        /*recvTimeoutSec=*/300.0);
+    for (int r = 0; r < opt.ranks; ++r) {
+      const auto& o = outcomes[static_cast<std::size_t>(r)];
+      if (!o.ok) {
+        std::printf("  %-12s rank %d: FAILED: %s\n", name.c_str(), r, o.error.c_str());
+        ++failures;
+        continue;
+      }
+      if (!verdict(unpackConformance(o.values), r, name)) ++failures;
+    }
+  }
+  std::printf("%s\n", failures == 0 ? "PASS: all ranks bitwise identical to serial oracle"
+                                    : "FAIL: transport diverged from serial oracle");
+  return failures == 0 ? 0 : 1;
+}
+
+#ifdef VDG_HAVE_MPI
+int runMpi(int argc, char** argv, const Options& opt) {
+  MPI_Init(&argc, &argv);
+  int rank = 0, size = 1;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0)
+    std::printf("vdg_launch: transport=mpi ranks=%d steps=%d overlap=%s\n", size,
+                opt.steps, opt.overlap ? "on" : "off");
+  int failures = 0;
+  for (const std::string& name : opt.scenarios) {
+    const Simulation::Builder builder = conformanceScenario(name);
+    CartDecomp decomp;
+    try {
+      decomp = conformanceDecomp(builder, size);
+    } catch (const std::exception& e) {
+      // Deterministic computation: every rank throws the same way.
+      if (rank == 0) std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+      MPI_Finalize();
+      return 2;
+    }
+    MpiComm comm(decomp);
+    const ConformanceResult res =
+        runConformanceRank(builder, decomp, comm, opt.steps, opt.overlap);
+    // Rank 0 reports; the reduction makes the verdict collective.
+    const double localBad = res.identical() ? 0.0 : 1.0;
+    const double totalBad = comm.allReduceSum(localBad);
+    if (rank == 0) {
+      verdict(res, 0, name);
+      if (totalBad > 0.0) {
+        std::printf("  %-12s %.0f rank(s) diverged\n", name.c_str(), totalBad);
+        ++failures;
+      }
+    } else if (totalBad > 0.0) {
+      ++failures;
+    }
+  }
+  if (rank == 0)
+    std::printf("%s\n", failures == 0
+                            ? "PASS: all ranks bitwise identical to serial oracle"
+                            : "FAIL: transport diverged from serial oracle");
+  MPI_Finalize();
+  return failures == 0 ? 0 : 1;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--ranks" && i + 1 < argc) {
+      opt.ranks = std::atoi(argv[++i]);
+    } else if (a == "--steps" && i + 1 < argc) {
+      opt.steps = std::atoi(argv[++i]);
+    } else if (a == "--scenario" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name != "all") opt.scenarios = {name};
+    } else if (a == "--no-overlap") {
+      opt.overlap = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.ranks < 1 || opt.steps < 1) return usage(argv[0]);
+  for (const std::string& name : opt.scenarios) {
+    bool known = false;
+    for (const auto& s : conformanceScenarios()) known = known || s == name;
+    if (!known) return usage(argv[0]);
+  }
+
+  if (vdg::mpiAvailable() && underMpiLauncher()) {
+#ifdef VDG_HAVE_MPI
+    return runMpi(argc, argv, opt);
+#endif
+  }
+  return runFork(opt);
+}

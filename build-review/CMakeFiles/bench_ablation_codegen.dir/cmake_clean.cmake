@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codegen.dir/bench/bench_ablation_codegen.cpp.o"
+  "CMakeFiles/bench_ablation_codegen.dir/bench/bench_ablation_codegen.cpp.o.d"
+  "bench_ablation_codegen"
+  "bench_ablation_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

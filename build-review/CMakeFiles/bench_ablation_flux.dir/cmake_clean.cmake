@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flux.dir/bench/bench_ablation_flux.cpp.o"
+  "CMakeFiles/bench_ablation_flux.dir/bench/bench_ablation_flux.cpp.o.d"
+  "bench_ablation_flux"
+  "bench_ablation_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

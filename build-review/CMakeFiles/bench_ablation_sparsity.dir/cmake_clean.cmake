@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparsity.dir/bench/bench_ablation_sparsity.cpp.o"
+  "CMakeFiles/bench_ablation_sparsity.dir/bench/bench_ablation_sparsity.cpp.o.d"
+  "bench_ablation_sparsity"
+  "bench_ablation_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ensemble_throughput.dir/bench/bench_ensemble_throughput.cpp.o"
+  "CMakeFiles/bench_ensemble_throughput.dir/bench/bench_ensemble_throughput.cpp.o.d"
+  "bench_ensemble_throughput"
+  "bench_ensemble_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ensemble_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

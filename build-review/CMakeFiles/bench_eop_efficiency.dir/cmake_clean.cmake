@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eop_efficiency.dir/bench/bench_eop_efficiency.cpp.o"
+  "CMakeFiles/bench_eop_efficiency.dir/bench/bench_eop_efficiency.cpp.o.d"
+  "bench_eop_efficiency"
+  "bench_eop_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eop_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_opcount.dir/bench/bench_fig1_opcount.cpp.o"
+  "CMakeFiles/bench_fig1_opcount.dir/bench/bench_fig1_opcount.cpp.o.d"
+  "bench_fig1_opcount"
+  "bench_fig1_opcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_opcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

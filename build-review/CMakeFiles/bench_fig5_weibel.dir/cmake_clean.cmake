@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_weibel.dir/bench/bench_fig5_weibel.cpp.o"
+  "CMakeFiles/bench_fig5_weibel.dir/bench/bench_fig5_weibel.cpp.o.d"
+  "bench_fig5_weibel"
+  "bench_fig5_weibel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_weibel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

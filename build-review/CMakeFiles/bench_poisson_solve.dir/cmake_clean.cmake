@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poisson_solve.dir/bench/bench_poisson_solve.cpp.o"
+  "CMakeFiles/bench_poisson_solve.dir/bench/bench_poisson_solve.cpp.o.d"
+  "bench_poisson_solve"
+  "bench_poisson_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poisson_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

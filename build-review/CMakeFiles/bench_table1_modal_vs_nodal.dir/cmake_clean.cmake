@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_modal_vs_nodal.dir/bench/bench_table1_modal_vs_nodal.cpp.o"
+  "CMakeFiles/bench_table1_modal_vs_nodal.dir/bench/bench_table1_modal_vs_nodal.cpp.o.d"
+  "bench_table1_modal_vs_nodal"
+  "bench_table1_modal_vs_nodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_modal_vs_nodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgk_relaxation.dir/examples/bgk_relaxation.cpp.o"
+  "CMakeFiles/bgk_relaxation.dir/examples/bgk_relaxation.cpp.o.d"
+  "bgk_relaxation"
+  "bgk_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgk_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

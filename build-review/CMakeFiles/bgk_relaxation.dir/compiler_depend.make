@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bgk_relaxation.
+# This may be replaced when dependencies are built.

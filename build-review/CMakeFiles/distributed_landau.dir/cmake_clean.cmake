@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_landau.dir/examples/distributed_landau.cpp.o"
+  "CMakeFiles/distributed_landau.dir/examples/distributed_landau.cpp.o.d"
+  "distributed_landau"
+  "distributed_landau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_landau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

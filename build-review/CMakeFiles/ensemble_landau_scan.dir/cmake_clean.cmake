@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_landau_scan.dir/examples/ensemble_landau_scan.cpp.o"
+  "CMakeFiles/ensemble_landau_scan.dir/examples/ensemble_landau_scan.cpp.o.d"
+  "ensemble_landau_scan"
+  "ensemble_landau_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_landau_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_kernels.dir/tools/gen_kernels.cpp.o"
+  "CMakeFiles/gen_kernels.dir/tools/gen_kernels.cpp.o.d"
+  "gen_kernels"
+  "gen_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_emit.dir/examples/kernel_emit.cpp.o"
+  "CMakeFiles/kernel_emit.dir/examples/kernel_emit.cpp.o.d"
+  "kernel_emit"
+  "kernel_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

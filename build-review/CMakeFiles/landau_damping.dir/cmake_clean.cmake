@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landau_damping.dir/examples/landau_damping.cpp.o"
+  "CMakeFiles/landau_damping.dir/examples/landau_damping.cpp.o.d"
+  "landau_damping"
+  "landau_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landau_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

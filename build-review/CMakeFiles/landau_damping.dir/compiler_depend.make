@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for landau_damping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landau_damping_2x2v.dir/examples/landau_damping_2x2v.cpp.o"
+  "CMakeFiles/landau_damping_2x2v.dir/examples/landau_damping_2x2v.cpp.o.d"
+  "landau_damping_2x2v"
+  "landau_damping_2x2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landau_damping_2x2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

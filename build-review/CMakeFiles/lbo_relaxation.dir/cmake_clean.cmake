@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbo_relaxation.dir/examples/lbo_relaxation.cpp.o"
+  "CMakeFiles/lbo_relaxation.dir/examples/lbo_relaxation.cpp.o.d"
+  "lbo_relaxation"
+  "lbo_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbo_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

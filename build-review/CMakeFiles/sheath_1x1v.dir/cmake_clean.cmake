@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sheath_1x1v.dir/examples/sheath_1x1v.cpp.o"
+  "CMakeFiles/sheath_1x1v.dir/examples/sheath_1x1v.cpp.o.d"
+  "sheath_1x1v"
+  "sheath_1x1v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sheath_1x1v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

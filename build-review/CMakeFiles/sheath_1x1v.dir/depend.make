@@ -1,0 +1,2 @@
+# Empty dependencies file for sheath_1x1v.
+# This may be replaced when dependencies are built.

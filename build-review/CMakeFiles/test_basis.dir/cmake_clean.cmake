@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basis.dir/tests/test_basis.cpp.o"
+  "CMakeFiles/test_basis.dir/tests/test_basis.cpp.o.d"
+  "test_basis"
+  "test_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

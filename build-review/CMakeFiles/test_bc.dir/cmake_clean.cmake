@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bc.dir/tests/test_bc.cpp.o"
+  "CMakeFiles/test_bc.dir/tests/test_bc.cpp.o.d"
+  "test_bc"
+  "test_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

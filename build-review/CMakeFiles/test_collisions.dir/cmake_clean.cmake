@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collisions.dir/tests/test_collisions.cpp.o"
+  "CMakeFiles/test_collisions.dir/tests/test_collisions.cpp.o.d"
+  "test_collisions"
+  "test_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_conformance.dir/tests/test_comm_conformance.cpp.o"
+  "CMakeFiles/test_comm_conformance.dir/tests/test_comm_conformance.cpp.o.d"
+  "test_comm_conformance"
+  "test_comm_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ensemble.dir/tests/test_ensemble.cpp.o"
+  "CMakeFiles/test_ensemble.dir/tests/test_ensemble.cpp.o.d"
+  "test_ensemble"
+  "test_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

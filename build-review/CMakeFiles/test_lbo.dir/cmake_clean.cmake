@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbo.dir/tests/test_lbo.cpp.o"
+  "CMakeFiles/test_lbo.dir/tests/test_lbo.cpp.o.d"
+  "test_lbo"
+  "test_lbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

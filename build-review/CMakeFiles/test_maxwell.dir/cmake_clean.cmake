@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxwell.dir/tests/test_maxwell.cpp.o"
+  "CMakeFiles/test_maxwell.dir/tests/test_maxwell.cpp.o.d"
+  "test_maxwell"
+  "test_maxwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

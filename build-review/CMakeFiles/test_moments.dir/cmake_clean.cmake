@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moments.dir/tests/test_moments.cpp.o"
+  "CMakeFiles/test_moments.dir/tests/test_moments.cpp.o.d"
+  "test_moments"
+  "test_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par.dir/tests/test_par.cpp.o"
+  "CMakeFiles/test_par.dir/tests/test_par.cpp.o.d"
+  "test_par"
+  "test_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poisson_cg.dir/tests/test_poisson_cg.cpp.o"
+  "CMakeFiles/test_poisson_cg.dir/tests/test_poisson_cg.cpp.o.d"
+  "test_poisson_cg"
+  "test_poisson_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poisson_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

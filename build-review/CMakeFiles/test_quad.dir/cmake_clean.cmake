@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quad.dir/tests/test_quad.cpp.o"
+  "CMakeFiles/test_quad.dir/tests/test_quad.cpp.o.d"
+  "test_quad"
+  "test_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

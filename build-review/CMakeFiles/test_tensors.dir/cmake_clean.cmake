@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensors.dir/tests/test_tensors.cpp.o"
+  "CMakeFiles/test_tensors.dir/tests/test_tensors.cpp.o.d"
+  "test_tensors"
+  "test_tensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

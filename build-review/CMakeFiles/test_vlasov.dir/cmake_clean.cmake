@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vlasov.dir/tests/test_vlasov.cpp.o"
+  "CMakeFiles/test_vlasov.dir/tests/test_vlasov.cpp.o.d"
+  "test_vlasov"
+  "test_vlasov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vlasov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

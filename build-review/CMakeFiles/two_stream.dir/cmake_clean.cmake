@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stream.dir/examples/two_stream.cpp.o"
+  "CMakeFiles/two_stream.dir/examples/two_stream.cpp.o.d"
+  "two_stream"
+  "two_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_launch.dir/tools/vdg_launch.cpp.o"
+  "CMakeFiles/vdg_launch.dir/tools/vdg_launch.cpp.o.d"
+  "vdg_launch"
+  "vdg_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlasov_poisson_landau.dir/examples/vlasov_poisson_landau.cpp.o"
+  "CMakeFiles/vlasov_poisson_landau.dir/examples/vlasov_poisson_landau.cpp.o.d"
+  "vlasov_poisson_landau"
+  "vlasov_poisson_landau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlasov_poisson_landau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

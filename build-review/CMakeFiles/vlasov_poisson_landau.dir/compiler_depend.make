@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vlasov_poisson_landau.
+# This may be replaced when dependencies are built.

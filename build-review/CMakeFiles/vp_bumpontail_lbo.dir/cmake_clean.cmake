@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_bumpontail_lbo.dir/examples/vp_bumpontail_lbo.cpp.o"
+  "CMakeFiles/vp_bumpontail_lbo.dir/examples/vp_bumpontail_lbo.cpp.o.d"
+  "vp_bumpontail_lbo"
+  "vp_bumpontail_lbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_bumpontail_lbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

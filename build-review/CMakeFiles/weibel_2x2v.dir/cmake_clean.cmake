@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weibel_2x2v.dir/examples/weibel_2x2v.cpp.o"
+  "CMakeFiles/weibel_2x2v.dir/examples/weibel_2x2v.cpp.o.d"
+  "weibel_2x2v"
+  "weibel_2x2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weibel_2x2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

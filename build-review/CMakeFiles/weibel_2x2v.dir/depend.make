@@ -1,0 +1,2 @@
+# Empty dependencies file for weibel_2x2v.
+# This may be replaced when dependencies are built.

@@ -107,12 +107,13 @@ struct OverlapPoint {
   double modeled = 0.0;   // fraction hideable: min(1, compute / wait)
 };
 
-/// Aggregate receive-wait across all rank endpoints (the waitSec bucket
-/// only: pack/post/unpack are work the overlap cannot hide by design).
+/// Aggregate receive-wait across all ranks (the halo:wait zone only:
+/// pack/post/unpack are work the overlap cannot hide by design). Reads the
+/// per-rank profilers' leaf zones, which carry the exact timestamps of the
+/// HaloStats waitSec bucket — the two agree to summation rounding.
 double totalWaitSec(DistributedSimulation& d) {
   double w = 0.0;
-  for (int r = 0; r < d.numRanks(); ++r)
-    w += d.comm().endpoint(r).haloStats().waitSec;
+  for (int r = 0; r < d.numRanks(); ++r) w += d.rankProfiler(r).zoneSeconds("halo:wait");
   return w;
 }
 

@@ -40,7 +40,16 @@ int main(int argc, char** argv) {
   std::printf("Landau damping, serial vs %d-rank DistributedSimulation, tEnd=%.1f\n", ranks,
               tEnd);
 
-  Simulation serial = builder.build();
+  // The serial oracle opts out of instrumentation explicitly: with
+  // VDG_TRACE set, the env fallback would otherwise have both runs racing
+  // to write the same trace file. The distributed run keeps the env spec
+  // and writes one merged per-rank trace (try
+  //   VDG_TRACE=landau_trace.json ./distributed_landau
+  // then load the file in a Chrome-trace viewer: one track per rank with
+  // the step / rk:stage / updater / halo:* zone nesting).
+  Simulation::Builder serialBuilder = builder;
+  serialBuilder.profiling(ProfilingSpec{});
+  Simulation serial = serialBuilder.build();
   const int stepsSerial = serial.advanceTo(tEnd);
 
   DistributedSimulation dist(builder, ranks);

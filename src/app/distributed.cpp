@@ -1,15 +1,19 @@
 #include "app/distributed.hpp"
 
-#include <chrono>
+#include <algorithm>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <thread>
+
+#include "obs/trace.hpp"
 
 namespace vdg {
 
 namespace {
-using Clock = std::chrono::steady_clock;
 
 /// Visit every interior cell of a rank-local grid together with its index
 /// in the parent (global) grid — the one place the local->global index
@@ -55,7 +59,7 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
                                              bool overlapHalo)
     : decomp_(CartDecomp::make(builder.confGrid(), numRanks, builder.periodicDims())),
       comm_(std::make_unique<ThreadComm>(decomp_)),
-      wallSec_(static_cast<std::size_t>(numRanks), 0.0) {
+      profSpec_(builder.resolvedProfilingSpec()) {
   const Grid global = builder.confGrid();
   sims_.reserve(static_cast<std::size_t>(numRanks));
   // Electrostatic runs: every rank solves the *same* global Poisson
@@ -73,6 +77,18 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
     b.threads(1);
     b.overlapHalo(overlapHalo);
     if (sharedPoisson) b.poissonSolver(sharedPoisson);
+    // Rank profilers are always enabled: their "step"/halo zones *are* the
+    // compute/halo split (replacing the retired wallSec_ bookkeeping, which
+    // was always measured too). Tracing follows the user's spec; the
+    // trace/report paths move up to this object, which writes one merged
+    // artifact instead of letting rank 0's file clobber the others.
+    ProfilingSpec rs = profSpec_;
+    rs.enabled = true;
+    rs.trace = profSpec_.tracing();
+    rs.tracePath.clear();
+    rs.reportPath.clear();
+    profilers_.push_back(std::make_shared<Profiler>(std::move(rs), r));
+    b.profiler(profilers_.back());
     sims_.push_back(b.build());
     if (r == 0) sharedPoisson = sims_.front().sharedPoissonSolver();  // null for Maxwell
   }
@@ -82,17 +98,34 @@ DistributedSimulation::DistributedSimulation(const Simulation::Builder& builder,
   onRanks([&](int r) { sims_[static_cast<std::size_t>(r)].refreshDerivedFields(); });
 }
 
+DistributedSimulation::~DistributedSimulation() {
+  try {
+    if (!profSpec_.tracePath.empty()) writeTrace(profSpec_.tracePath);
+    if (!profSpec_.reportPath.empty()) {
+      // One JSON array of per-rank reports (each row self-identifies via
+      // its "rank" field).
+      std::string out = "[\n";
+      for (int r = 0; r < numRanks(); ++r) {
+        if (r > 0) out += ",\n";
+        out += profilers_[static_cast<std::size_t>(r)]->reportJson();
+      }
+      out += "]\n";
+      std::ofstream os(profSpec_.reportPath);
+      os << out;
+    }
+  } catch (...) {
+    // Destructor context: a failed diagnostic write must not terminate.
+  }
+}
+
 double DistributedSimulation::step(double dtFixed) {
   std::vector<double> dts(static_cast<std::size_t>(numRanks()), 0.0);
-  // Rank wall time is clocked *inside* the rank thread, so per-call
-  // thread spawn/join overhead never contaminates the compute-vs-halo
-  // split that calibrates the scaling model. Long runs should prefer
-  // advanceTo, which amortizes the spawn over the whole interval.
+  // Rank timing comes from each rank profiler's "step" zone, opened
+  // *inside* Simulation::step on the rank thread — per-call thread
+  // spawn/join overhead never contaminates the compute-vs-halo split that
+  // calibrates the scaling model.
   onRanks([&](int r) {
-    const auto t0 = Clock::now();
     dts[static_cast<std::size_t>(r)] = sims_[static_cast<std::size_t>(r)].step(dtFixed);
-    wallSec_[static_cast<std::size_t>(r)] +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
   });
   for (double dt : dts)
     if (dt != dts[0])
@@ -105,10 +138,7 @@ int DistributedSimulation::advanceTo(double tEnd) {
   // stay in lockstep and terminate after the same number of steps.
   std::vector<int> steps(static_cast<std::size_t>(numRanks()), 0);
   onRanks([&](int r) {
-    const auto t0 = Clock::now();
     steps[static_cast<std::size_t>(r)] = sims_[static_cast<std::size_t>(r)].advanceTo(tEnd);
-    wallSec_[static_cast<std::size_t>(r)] +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
   });
   return steps[0];
 }
@@ -169,10 +199,75 @@ void DistributedSimulation::restore(const StateVector& global, double t) {
 double DistributedSimulation::haloSeconds() const { return comm_->meanHaloSeconds(); }
 
 double DistributedSimulation::computeSeconds() const {
+  // zoneSeconds("step") accumulates one duration per step in chronological
+  // order — the exact arithmetic of the retired per-rank wallSec_ sum.
   double s = 0.0;
   for (int r = 0; r < numRanks(); ++r)
-    s += wallSec_[static_cast<std::size_t>(r)] - comm_->endpoint(r).haloSeconds();
+    s += profilers_[static_cast<std::size_t>(r)]->zoneSeconds("step") -
+         comm_->endpoint(r).haloSeconds();
   return s / static_cast<double>(numRanks());
+}
+
+std::vector<DistributedSimulation::ZoneStat> DistributedSimulation::zoneSummary() {
+  // Path union over ranks, read quiescently from the main thread (the rank
+  // threads only exist inside onRanks).
+  std::vector<std::string> paths;
+  std::map<std::string, std::uint64_t> count0;
+  {
+    std::set<std::string> u;
+    for (int r = 0; r < numRanks(); ++r)
+      for (const ZoneReport& zr : profilers_[static_cast<std::size_t>(r)]->report()) {
+        u.insert(zr.path);
+        if (r == 0) count0[zr.path] = zr.count;
+      }
+    paths.assign(u.begin(), u.end());
+  }
+  const std::size_t np = paths.size();
+  std::vector<double> sums(np, 0.0), mins(np, 0.0), maxs(np, 0.0);
+  // Aggregate through the collectives, every rank entering in lockstep
+  // over the shared (sorted, hence identical) path list: one vector
+  // all-reduce for the sums, then scalar max / negated-max (= min) per
+  // path. This is the code path an MPI-backed summary would take too.
+  onRanks([&](int r) {
+    Communicator& ep = comm_->endpoint(r);
+    std::vector<double> mine(np, 0.0);
+    {
+      std::map<std::string, double> byPath;
+      for (const ZoneReport& zr : profilers_[static_cast<std::size_t>(r)]->report())
+        byPath[zr.path] = zr.seconds;
+      for (std::size_t i = 0; i < np; ++i)
+        if (const auto it = byPath.find(paths[i]); it != byPath.end()) mine[i] = it->second;
+    }
+    std::vector<double> sum = mine;
+    ep.allReduceSum(std::span<double>(sum));
+    std::vector<double> mx(np), mn(np);
+    for (std::size_t i = 0; i < np; ++i) mx[i] = ep.allReduceMax(mine[i]);
+    for (std::size_t i = 0; i < np; ++i) mn[i] = -ep.allReduceMax(-mine[i]);
+    if (r == 0) {
+      sums = std::move(sum);
+      maxs = std::move(mx);
+      mins = std::move(mn);
+    }
+  });
+  std::vector<ZoneStat> out;
+  out.reserve(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    ZoneStat zs;
+    zs.path = paths[i];
+    if (const auto it = count0.find(paths[i]); it != count0.end()) zs.count = it->second;
+    zs.minSec = mins[i];
+    zs.meanSec = sums[i] / static_cast<double>(numRanks());
+    zs.maxSec = maxs[i];
+    out.push_back(std::move(zs));
+  }
+  return out;
+}
+
+void DistributedSimulation::writeTrace(const std::string& path) const {
+  std::vector<const Profiler*> ps;
+  ps.reserve(profilers_.size());
+  for (const auto& p : profilers_) ps.push_back(p.get());
+  writeChromeTrace(path, ps);
 }
 
 }  // namespace vdg

@@ -15,11 +15,14 @@
 // a serial periodic sync would read, the distributed trajectory is
 // bit-for-bit identical to the serial Simulation's (tests/
 // test_distributed.cpp proves this for Landau damping and a 2x2v Weibel
-// run). The measured compute/halo split calibrates the Fig. 3 analytic
-// MachineModel from real full-pipeline traffic.
+// run). Timing comes from the src/obs/ profiler: every rank carries an
+// always-on Profiler whose "step" zone (clocked on the rank thread) and
+// halo:* leaf zones yield the compute/halo split that calibrates the
+// Fig. 3 analytic MachineModel from real full-pipeline traffic.
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "app/simulation.hpp"
@@ -41,6 +44,10 @@ class DistributedSimulation {
   /// A/B baseline of bench_fig3's overlap-efficiency measurement).
   DistributedSimulation(const Simulation::Builder& builder, int numRanks,
                         bool overlapHalo = true);
+
+  /// Writes the merged per-rank trace/report when the builder's profiling
+  /// spec (or the VDG_TRACE/VDG_PROFILE environment) asked for files.
+  ~DistributedSimulation();
 
   [[nodiscard]] int numRanks() const { return static_cast<int>(sims_.size()); }
   [[nodiscard]] const CartDecomp& decomp() const { return decomp_; }
@@ -75,10 +82,17 @@ class DistributedSimulation {
   void restore(const StateVector& global, double t);
 
   // --- measured two-level timing split (calibrates the Fig. 3 model).
-  /// Mean over ranks of wall seconds inside step()/advanceTo() minus the
-  /// rank's halo seconds.
+  // Served by the per-rank profilers: the "step" zone is each rank's wall
+  // time inside step()/advanceTo(), clocked on the rank thread so the
+  // per-call spawn/join overhead stays out of the split.
+  /// Mean over ranks of the profiler's "step" zone seconds minus the
+  /// rank's halo seconds (the retired hand-rolled wallSec_ split, now a
+  /// profiler query).
   [[nodiscard]] double computeSeconds() const;
-  /// Mean over ranks of seconds spent in ghost exchange (incl. barriers).
+  /// Mean over ranks of seconds spent in ghost exchange (incl. barriers) —
+  /// the HaloStats facade. The rank profilers' halo:* zones carry the
+  /// exact same timestamps, so the two reconcile to summation rounding
+  /// (tests/test_obs.cpp pins this).
   [[nodiscard]] double haloSeconds() const;
   /// Total bytes exchanged between distinct ranks.
   [[nodiscard]] std::uint64_t haloBytes() const { return comm_->totalHaloBytes(); }
@@ -88,6 +102,31 @@ class DistributedSimulation {
   /// hooks and per-endpoint HaloStats live here).
   [[nodiscard]] ThreadComm& comm() { return *comm_; }
 
+  // --- per-rank instrumentation (always on: it carries the timing split
+  // above; trace events only when the builder's spec / env asked).
+  [[nodiscard]] const Profiler& rankProfiler(int r) const {
+    return *profilers_[static_cast<std::size_t>(r)];
+  }
+
+  /// Cross-rank aggregate of one zone path: entry count (rank 0's) and
+  /// min/mean/max seconds over ranks.
+  struct ZoneStat {
+    std::string path;
+    std::uint64_t count = 0;
+    double minSec = 0.0, meanSec = 0.0, maxSec = 0.0;
+  };
+  /// Merge the rank profilers' zone trees and aggregate each path across
+  /// ranks through the collective reductions (allReduceSum / allReduceMax
+  /// entered by every rank in lockstep — the same path an MPI build
+  /// takes). The collectives themselves book halo:reduce time, so read
+  /// computeSeconds()/haloSeconds() first if the split matters.
+  [[nodiscard]] std::vector<ZoneStat> zoneSummary();
+
+  /// Write one merged Chrome trace: one pid track per rank. Requires the
+  /// builder's spec (or env) to have enabled tracing, else the ranks
+  /// recorded no events and the trace is empty.
+  void writeTrace(const std::string& path) const;
+
  private:
   /// Run fn(rank) on one thread per rank, join, rethrow the first error.
   template <typename Fn>
@@ -95,8 +134,11 @@ class DistributedSimulation {
 
   CartDecomp decomp_;
   std::unique_ptr<ThreadComm> comm_;  ///< declared before sims_: outlives them
+  ProfilingSpec profSpec_;  ///< user-facing spec; file output happens here
+  /// One always-enabled profiler per rank (trace/report paths cleared —
+  /// the merged artifacts are written by this object, once).
+  std::vector<std::shared_ptr<Profiler>> profilers_;
   std::vector<Simulation> sims_;
-  std::vector<double> wallSec_;  ///< per rank, cumulative step/advance wall time
 };
 
 }  // namespace vdg

@@ -3,17 +3,39 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "app/updaters.hpp"
+#include "obs/trace.hpp"
 #include "par/communicator.hpp"
 #include "par/thread_exec.hpp"
 
 namespace vdg {
 
-Simulation::~Simulation() = default;
+Simulation::~Simulation() { flushProfilerOutput(); }
+
+void Simulation::flushProfilerOutput() noexcept {
+  // Owned output only: a shared profiler's files belong to whoever created
+  // it (DistributedSimulation writes one merged trace; the Ensemble one
+  // campaign trace). A moved-from Simulation has a null profiler_, so the
+  // files are written exactly once.
+  if (!profiler_ || !ownsProfilerOutput_) return;
+  ownsProfilerOutput_ = false;
+  try {
+    const ProfilingSpec& s = profiler_->spec();
+    if (!s.tracePath.empty()) writeChromeTrace(s.tracePath, *profiler_);
+    if (!s.reportPath.empty()) profiler_->writeReportJson(s.reportPath);
+    // Zones on but no file asked for (VDG_PROFILE=1): the human-readable
+    // table is the output — stderr, so stdout stays byte-comparable.
+    if (s.enabled && s.tracePath.empty() && s.reportPath.empty())
+      std::fputs(profiler_->table().c_str(), stderr);
+  } catch (...) {
+    // Destructor context: a failed diagnostic write must not terminate.
+  }
+}
 Simulation::Simulation(Simulation&&) noexcept = default;
 Simulation& Simulation::operator=(Simulation&&) noexcept = default;
 
@@ -174,6 +196,21 @@ Simulation::Builder& Simulation::Builder::overlapHalo(bool on) {
   return *this;
 }
 
+Simulation::Builder& Simulation::Builder::profiling(ProfilingSpec spec) {
+  profSpec_ = std::move(spec);
+  profilingSet_ = true;
+  return *this;
+}
+
+Simulation::Builder& Simulation::Builder::profiler(std::shared_ptr<Profiler> p) {
+  sharedProfiler_ = std::move(p);
+  return *this;
+}
+
+ProfilingSpec Simulation::Builder::resolvedProfilingSpec() const {
+  return profilingSet_ ? profSpec_ : ProfilingSpec::fromEnv();
+}
+
 const Grid& Simulation::Builder::confGrid() const {
   if (!haveConfGrid_)
     throw std::logic_error("Simulation::Builder::confGrid: no grid configured yet");
@@ -203,6 +240,25 @@ Simulation Simulation::Builder::build() {
   if (threads_ > 0) {
     sim.ownedExec_ = std::make_unique<ThreadExec>(threads_);
     exec = sim.ownedExec_.get();
+  }
+
+  // --- instrumentation. A shared profiler (distributed rank / ensemble
+  // campaign) wins; else an active spec — explicit or from the
+  // environment — makes this simulation construct and own one.
+  if (sharedProfiler_) {
+    sim.profiler_ = sharedProfiler_;
+  } else if (ProfilingSpec ps = resolvedProfilingSpec(); ps.active()) {
+    sim.profiler_ = std::make_shared<Profiler>(std::move(ps), sim.comm_->rank());
+    sim.ownsProfilerOutput_ = true;
+  }
+  if (sim.profiler_) {
+    // Never instrument the shared SerialComm singleton: it is stateless by
+    // contract and used concurrently by packed ensemble members. (It has
+    // no halo phases to zone anyway.) The owned thread pool is safe — it
+    // cannot outlive the profiler; the process-global pool could, so it
+    // stays untouched.
+    if (sim.comm_ != &SerialComm::instance()) sim.comm_->setProfiler(sim.profiler_.get());
+    if (sim.ownedExec_) sim.ownedExec_->setProfiler(sim.profiler_.get());
   }
 
   const int cdim = confGrid_.ndim;
@@ -448,6 +504,26 @@ Simulation Simulation::Builder::build() {
           sim.species_[static_cast<std::size_t>(s)].name, s));
     }
   }
+  // Zone names are cached here because Updater::name() allocates and the
+  // stepper zones every updater once per RK stage. Batch-lane gauges pin
+  // which hot loops run SIMD-batched vs scalar (0 = scalar) — the profile
+  // artifact ROADMAP item 2 wants for "what to batch next".
+  if (sim.profiler_) {
+    for (const std::unique_ptr<Updater>& u : sim.pipeline_) sim.zoneNames_.push_back(u->name());
+    for (const VlasovRhsUpdater* vu : sim.vlasovUpds_) {
+      sim.volZoneNames_.push_back(vu->name() + ":volume");
+      sim.surfZoneNames_.push_back(vu->name() + ":surface");
+    }
+    MetricsRegistry& m = sim.profiler_->metrics();
+    for (int s = 0; s < sim.numSpecies(); ++s) {
+      const auto ss = static_cast<std::size_t>(s);
+      const std::string& name = sim.species_[ss].name;
+      sim.absorbedKeys_.push_back("absorbed:" + name);
+      m.set("batch.lanes:vlasov:" + name, sim.vlasov_[ss]->activeBatchLanes());
+      if (sim.lbo_[ss]) m.set("batch.lanes:lbo:" + name, sim.lbo_[ss]->activeBatchLanes());
+    }
+  }
+
   // Make the t = 0 electrostatic field consistent with f before any step.
   // Single-rank only: the refresh is collective, and a DistributedSimulation
   // builds its ranks sequentially — it runs the refresh itself afterwards,
@@ -476,9 +552,12 @@ double Simulation::rhs(double t, StateVector& u, StateVector& k) {
   StateView in = u.view();
   StateView out = k.view();
   double freq = 0.0;
+  Profiler* const prof = profiler_.get();
   if (!overlapActive()) {
-    for (const std::unique_ptr<Updater>& upd : pipeline_)
-      freq = std::max(freq, upd->apply(t, in, out));
+    for (std::size_t i = 0; i < pipeline_.size(); ++i) {
+      const ScopedTimer zone(prof, prof ? zoneNames_[i].c_str() : "");
+      freq = std::max(freq, pipeline_[i]->apply(t, in, out));
+    }
     return freq;
   }
   // Split-phase schedule, bitwise identical to the blocking loop above:
@@ -491,21 +570,40 @@ double Simulation::rhs(double t, StateVector& u, StateVector& k) {
   std::size_t i = 0;
   // Updaters ahead of the boundary sync (the electrostatic field fixup)
   // read the state the sync is about to repair from, so they run first.
-  for (; pipeline_[i].get() != static_cast<Updater*>(bsyncUpd_); ++i)
+  for (; pipeline_[i].get() != static_cast<Updater*>(bsyncUpd_); ++i) {
+    const ScopedTimer zone(prof, prof ? zoneNames_[i].c_str() : "");
     freq = std::max(freq, pipeline_[i]->apply(t, in, out));
-  bsyncUpd_->beginApply(in);
-  for (VlasovRhsUpdater* vu : vlasovUpds_) freq = std::max(freq, vu->applyVolume(in, out));
-  bsyncUpd_->finishApply(in);
-  for (VlasovRhsUpdater* vu : vlasovUpds_) vu->applySurface(in, out);
+  }
+  {
+    const ScopedTimer zone(prof, "sync:begin");
+    bsyncUpd_->beginApply(in);
+  }
+  for (std::size_t s = 0; s < vlasovUpds_.size(); ++s) {
+    const ScopedTimer zone(prof, prof ? volZoneNames_[s].c_str() : "");
+    freq = std::max(freq, vlasovUpds_[s]->applyVolume(in, out));
+  }
+  {
+    const ScopedTimer zone(prof, "sync:finish");
+    bsyncUpd_->finishApply(in);
+  }
+  for (std::size_t s = 0; s < vlasovUpds_.size(); ++s) {
+    const ScopedTimer zone(prof, prof ? surfZoneNames_[s].c_str() : "");
+    vlasovUpds_[s]->applySurface(in, out);
+  }
   // Skip past the sync and the Vlasov updaters (they are contiguous by
   // construction of build()); everything after runs in pipeline order.
   i += 1 + vlasovUpds_.size();
   assert(i <= pipeline_.size());
-  for (; i < pipeline_.size(); ++i) freq = std::max(freq, pipeline_[i]->apply(t, in, out));
+  for (; i < pipeline_.size(); ++i) {
+    const ScopedTimer zone(prof, prof ? zoneNames_[i].c_str() : "");
+    freq = std::max(freq, pipeline_[i]->apply(t, in, out));
+  }
   return freq;
 }
 
 double Simulation::step(double dtFixed) {
+  Profiler* const prof = profiler_.get();
+  const ScopedTimer stepZone(prof, "step");
   // Wall-bounded runs account the discrete boundary mass flux of every RK
   // stage: the mass mode of the stage RHS integrates, over the domain, to
   // exactly the net flux through the walls (interior DG faces telescope;
@@ -526,7 +624,11 @@ double Simulation::step(double dtFixed) {
   // Stage 1: k = L(u^n); pick dt from the *global* CFL frequency (the
   // reduction is an identity for SerialComm; across ranks it guarantees
   // every rank steps with the same dt).
-  const double freq = comm_->allReduceMax(rhs(time_, state_, k_));
+  double freq;
+  {
+    const ScopedTimer zone(prof, "rk:stage1");
+    freq = comm_->allReduceMax(rhs(time_, state_, k_));
+  }
   double dt = dtFixed;
   if (dt <= 0.0) {
     if (freq <= 0.0) throw std::runtime_error("Simulation::step: zero CFL frequency");
@@ -539,7 +641,10 @@ double Simulation::step(double dtFixed) {
       //                         = u + dt (1/2 k1 + 1/2 k2).
       tapRates(0.5);
       stage_[0].combine(1.0, state_, dt, k_);
-      rhs(time_ + dt, stage_[0], k_);
+      {
+        const ScopedTimer zone(prof, "rk:stage2");
+        rhs(time_ + dt, stage_[0], k_);
+      }
       tapRates(0.5);
       state_.combine(0.5, state_, 0.5, stage_[0]);
       state_.axpy(0.5 * dt, k_);
@@ -550,11 +655,17 @@ double Simulation::step(double dtFixed) {
       // as a flat combination u^{n+1} = u + dt (1/6 k1 + 1/6 k2 + 2/3 k3).
       tapRates(1.0 / 6.0);
       stage_[0].combine(1.0, state_, dt, k_);
-      rhs(time_ + dt, stage_[0], k_);
+      {
+        const ScopedTimer zone(prof, "rk:stage2");
+        rhs(time_ + dt, stage_[0], k_);
+      }
       tapRates(1.0 / 6.0);
       stage_[1].combine(0.75, state_, 0.25, stage_[0]);
       stage_[1].axpy(0.25 * dt, k_);
-      rhs(time_ + 0.5 * dt, stage_[1], k_);
+      {
+        const ScopedTimer zone(prof, "rk:stage3");
+        rhs(time_ + 0.5 * dt, stage_[1], k_);
+      }
       tapRates(2.0 / 3.0);
       state_.combine(1.0 / 3.0, state_, 2.0 / 3.0, stage_[1]);
       state_.axpy(2.0 / 3.0 * dt, k_);
@@ -566,6 +677,7 @@ double Simulation::step(double dtFixed) {
     // One deterministic (rank-ordered) reduction per species: every rank
     // books the same global loss. Diagnostic only — it never feeds back
     // into the trajectory.
+    const ScopedTimer zone(prof, "wall-loss");
     for (int s = 0; s < numSpecies(); ++s) {
       const auto ss = static_cast<std::size_t>(s);
       const double r = comm_->allReduceSum(rate[ss]);
@@ -581,6 +693,36 @@ double Simulation::step(double dtFixed) {
   // and the pipeline must stay correct for callers that mutate state()
   // (scatter, tests) between steps.
   refreshDerivedFields();
+  if (prof) {
+    MetricsRegistry& m = prof->metrics();
+    m.add("steps", 1.0);
+    m.set("cfl.dt", dt);
+    m.set("cfl.maxFreq", freq);
+    m.set("sim.time", time_);
+    const HaloStats hs = comm_->haloStats();
+    m.set("halo.bytes", static_cast<double>(hs.bytes));
+    m.set("halo.cells", static_cast<double>(hs.cells));
+    m.set("halo.seconds", hs.totalSec());
+    if (poissonUpd_) m.add("krylov.iterations", poissonUpd_->lastSolveStats().iterations);
+    if (trackWallLoss_)
+      for (int s = 0; s < numSpecies(); ++s)
+        m.set(absorbedKeys_[static_cast<std::size_t>(s)], absorbed_[static_cast<std::size_t>(s)]);
+    prof->stepCompleted(time_);
+    // The periodic report rewrite runs only when this simulation owns the
+    // profiler (serial run: no other thread can be mid-zone here, so the
+    // arenas are safe to read). Shared profilers export at their owner's
+    // end-of-run instead.
+    const ProfilingSpec& ps = prof->spec();
+    if (ownsProfilerOutput_ && ps.reportEvery > 0 && !ps.reportPath.empty() &&
+        prof->stepCount() % static_cast<std::uint64_t>(ps.reportEvery) == 0) {
+      try {
+        prof->writeReportJson(ps.reportPath);
+      } catch (...) {
+        // Periodic diagnostic write failure must not kill the run; the
+        // final flush will surface a persistent IO problem.
+      }
+    }
+  }
   return dt;
 }
 
@@ -608,6 +750,7 @@ void Simulation::restore(const StateVector& src, double t) {
 
 void Simulation::refreshDerivedFields() {
   if (!poissonUpd_) return;
+  const ScopedTimer zone(profiler_.get(), "field:refresh");
   StateView in = state_.view();
   StateView out = k_.view();  // scratch; the fixup never writes `out`
   poissonUpd_->apply(time_, in, out);

@@ -36,6 +36,7 @@
 #include "dg/poisson.hpp"
 #include "dg/vlasov.hpp"
 #include "grid/grid.hpp"
+#include "obs/profiler.hpp"
 
 namespace vdg {
 
@@ -162,6 +163,18 @@ class Simulation {
   /// reduction run through (SerialComm for a non-distributed run).
   [[nodiscard]] Communicator& comm() const { return *comm_; }
 
+  /// The instrumentation attached at build time (Builder::profiling /
+  /// Builder::profiler / VDG_TRACE env), or null when off. When the
+  /// simulation owns the profiler's output (it was constructed from a
+  /// spec, not shared), the trace/report files are written when the
+  /// simulation is destroyed (or on an explicit flushProfilerOutput()).
+  [[nodiscard]] Profiler* profiler() const { return profiler_.get(); }
+  /// Write the profiler's configured trace/report files now, once — or,
+  /// when zones are on but no file was asked for (VDG_PROFILE=1), print
+  /// the zone table to stderr (idempotent; no-op when the profiler is off
+  /// or externally owned).
+  void flushProfilerOutput() noexcept;
+
   /// Whether rhs() runs the split-phase schedule (dimension-0 halo sends
   /// posted, Vlasov volume terms computed while they fly, then wait +
   /// remaining sync + surface terms). Takes effect only on a communicator
@@ -257,6 +270,15 @@ class Simulation {
   std::vector<std::unique_ptr<Updater>> pipeline_;
   std::unique_ptr<ThreadExec> ownedExec_;  ///< set when Builder::threads(n>0)
   Communicator* comm_ = nullptr;           ///< non-owning; SerialComm by default
+
+  std::shared_ptr<Profiler> profiler_;  ///< null == instrumentation off
+  bool ownsProfilerOutput_ = false;     ///< write trace/report at destruction
+  /// Zone names cached at build time: Updater::name() allocates, and the
+  /// stepper must not allocate per zone on the hot path.
+  std::vector<std::string> zoneNames_;      ///< per pipeline_ entry
+  std::vector<std::string> volZoneNames_;   ///< per vlasovUpds_ entry (overlap)
+  std::vector<std::string> surfZoneNames_;  ///< per vlasovUpds_ entry (overlap)
+  std::vector<std::string> absorbedKeys_;   ///< per species metrics key
 
   std::unique_ptr<BcTable> bcTable_;  ///< physical BCs; null == periodic
   std::array<bool, kMaxDim> periodicDims_{};
@@ -359,6 +381,23 @@ class Simulation::Builder {
   /// same value to every rank of a distributed run.
   Builder& overlapHalo(bool on);
 
+  /// Instrumentation (src/obs/): an active spec makes build() construct a
+  /// Profiler, zone the stepper/pipeline/halo phases, and feed the metrics
+  /// registry; trace/report files are written when the Simulation is
+  /// destroyed. An explicit call — active or not — overrides the
+  /// VDG_TRACE/VDG_PROFILE environment opt-in (profiling({}) forces off).
+  Builder& profiling(ProfilingSpec spec);
+  /// Share an externally owned profiler instead of constructing one: the
+  /// simulation records into it but never writes its files
+  /// (DistributedSimulation's per-rank profilers and the Ensemble's
+  /// campaign profiler come through here). Wins over profiling()/env.
+  Builder& profiler(std::shared_ptr<Profiler> p);
+  /// The spec build() will act on: the explicit profiling() spec when one
+  /// was given, else ProfilingSpec::fromEnv(). DistributedSimulation and
+  /// the Ensemble read this to hoist the trace/report destination up to
+  /// their own merged exporters.
+  [[nodiscard]] ProfilingSpec resolvedProfilingSpec() const;
+
   /// The configured configuration grid (throws if confGrid(...) has not
   /// been called) — DistributedSimulation reads this to decompose it.
   [[nodiscard]] const Grid& confGrid() const;
@@ -384,6 +423,9 @@ class Simulation::Builder {
   int batchLanes_ = 0;
   Communicator* comm_ = nullptr;
   bool overlapHalo_ = false;
+  ProfilingSpec profSpec_;
+  bool profilingSet_ = false;  ///< explicit profiling() call wins over env
+  std::shared_ptr<Profiler> sharedProfiler_;
 
   /// Requested conditions of one domain face.
   struct FaceSpec {

@@ -1,17 +1,12 @@
 #include "ensemble/async_writer.hpp"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-namespace vdg {
+#include "obs/clock.hpp"
+#include "obs/profiler.hpp"
 
-namespace {
-using Clock = std::chrono::steady_clock;
-double secondsSince(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-}  // namespace
+namespace vdg {
 
 AsyncWriter::AsyncWriter() : AsyncWriter(Options()) {}
 
@@ -63,9 +58,12 @@ void AsyncWriter::enqueue(Job job) {
     // thread can wait on IO, it is bounded by the high-water mark, and the
     // time is accounted so the bench can prove it never happens in a
     // healthy campaign.
-    const auto t0 = Clock::now();
+    const auto t0 = MonoClock::now();
     spaceCv_.wait(lock, [this] { return enqueued_ - written_ < opts_.maxQueue || stop_; });
-    stats_.producerStallSeconds += secondsSince(t0);
+    const auto t1 = MonoClock::now();
+    stats_.producerStallSeconds += secondsBetween(t0, t1);
+    if (Profiler* p = prof_.load(std::memory_order_acquire))
+      p->leafZone("io:stall", t0, t1);  // same timestamps as the stat
     if (stop_) throw std::logic_error("AsyncWriter: enqueue after close()");
   }
   front_.push_back(std::move(job));
@@ -75,6 +73,7 @@ void AsyncWriter::enqueue(Job job) {
 }
 
 void AsyncWriter::writerLoop() {
+  Profiler::setThisThreadTrack(1000, "io-writer");
   std::vector<Job> back;
   while (true) {
     {
@@ -86,7 +85,7 @@ void AsyncWriter::writerLoop() {
       back.swap(front_);
       ++stats_.batches;
     }
-    const auto t0 = Clock::now();
+    const auto t0 = MonoClock::now();
     for (Job& job : back) {
       try {
         process(job);
@@ -110,10 +109,13 @@ void AsyncWriter::writerLoop() {
         if (!error_) error_ = std::current_exception();
       }
     }
+    const auto tEnd = MonoClock::now();
     {
       std::lock_guard<std::mutex> lock(m_);
-      stats_.ioSeconds += secondsSince(t0);
+      stats_.ioSeconds += secondsBetween(t0, tEnd);
     }
+    if (Profiler* p = prof_.load(std::memory_order_acquire))
+      p->leafZone("io:drain", t0, tEnd);  // one zone per drained batch
     back.clear();
     drainCv_.notify_all();
   }

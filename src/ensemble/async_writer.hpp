@@ -19,6 +19,7 @@
 // enqueueing, but everything it enqueued before dying — including its
 // last checkpoint — is still written. Nothing here cancels queued work.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -32,6 +33,8 @@
 #include "io/time_series.hpp"
 
 namespace vdg {
+
+class Profiler;
 
 class AsyncWriter final : public RowSink {
  public:
@@ -76,6 +79,12 @@ class AsyncWriter final : public RowSink {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Attach an obs Profiler (null detaches). Producer stalls become
+  /// io:stall leaf zones (the exact timestamps of producerStallSeconds)
+  /// and each drained batch an io:drain zone on the writer's "io-writer"
+  /// track. Settable at any time; the writer thread observes it lazily.
+  void setProfiler(Profiler* p) { prof_.store(p, std::memory_order_release); }
+
  private:
   struct Job {
     enum class Kind { OpenCsv, Line, Checkpoint } kind = Kind::Line;
@@ -91,6 +100,7 @@ class AsyncWriter final : public RowSink {
   void process(Job& job);
 
   const Options opts_;
+  std::atomic<Profiler*> prof_{nullptr};
 
   mutable std::mutex m_;
   std::condition_variable jobsCv_;   ///< writer waits for work

@@ -1,6 +1,6 @@
 #include "ensemble/engine.hpp"
 
-#include <chrono>
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <limits>
@@ -13,16 +13,12 @@
 #include "app/distributed.hpp"
 #include "app/projection.hpp"
 #include "io/field_io.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace vdg {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 // Same formatting as TimeSeriesWriter's rows (default ostream precision),
 // so sharded members' CSVs are indistinguishable from packed ones.
@@ -80,6 +76,17 @@ Ensemble::Ensemble(std::vector<ScenarioSpec> specs, EnsembleOptions opts)
     if (!names.insert(s.name).second)
       throw std::invalid_argument("Ensemble: duplicate member name '" + s.name + "'");
   }
+
+  // Instrumentation: an explicit spec wins; an all-default one defers to
+  // the VDG_TRACE / VDG_PROFILE environment, same as Simulation::Builder.
+  if (!opts_.profiling.active()) opts_.profiling = ProfilingSpec::fromEnv();
+  if (opts_.profiling.active()) {
+    ProfilingSpec cs = opts_.profiling;
+    cs.enabled = true;
+    profiler_ = std::make_shared<Profiler>(std::move(cs), /*rank=*/0);
+  }
+  memberZones_.reserve(specs_.size());
+  for (const ScenarioSpec& s : specs_) memberZones_.push_back("member:" + s.name);
 
   schedule_ = scheduleMembers(specs_, opts_.numRanks);
   results_.resize(specs_.size());
@@ -141,6 +148,7 @@ void Ensemble::run() {
   std::filesystem::create_directories(opts_.outputDir, ec);
 
   AsyncWriter writer({.maxQueue = opts_.maxQueuedJobs});
+  writer.setProfiler(profiler_.get());  // null-safe: no-op when off
 
   // One thread per rank draining its queue in schedule order. A sharded
   // member occupies its whole block through the lead thread (the
@@ -152,6 +160,8 @@ void Ensemble::run() {
   for (int r = 0; r < numRanks; ++r) {
     pool.emplace_back([this, r, &writer, &rankError] {
       try {
+        if (profiler_)  // tid 0 is the owning thread; pool ranks start at 1
+          Profiler::setThisThreadTrack(r + 1, "pool rank " + std::to_string(r));
         for (int m : schedule_.rankQueue[static_cast<std::size_t>(r)]) runMember(m, writer);
       } catch (...) {
         // runMember absorbs member failures; anything landing here is an
@@ -171,6 +181,23 @@ void Ensemble::run() {
   for (const std::exception_ptr& e : rankError)
     if (e) std::rethrow_exception(e);
 
+  if (profiler_) {
+    // Fold the writer-thread tallies into the campaign metrics, then write
+    // the requested artifacts (the engine owns this shared profiler's
+    // output, as Simulation::build's ownsProfilerOutput_ contract states).
+    MetricsRegistry& met = profiler_->metrics();
+    met.set("io.linesWritten", static_cast<double>(ioStats_.linesWritten));
+    met.set("io.checkpointFields", static_cast<double>(ioStats_.checkpointFieldsWritten));
+    met.set("io.batches", static_cast<double>(ioStats_.batches));
+    met.set("io.maxQueueDepth", static_cast<double>(ioStats_.maxQueueDepth));
+    met.set("io.writerSeconds", ioStats_.ioSeconds);
+    met.set("io.producerStallSeconds", ioStats_.producerStallSeconds);
+    if (!opts_.profiling.tracePath.empty())
+      writeChromeTrace(opts_.profiling.tracePath, *profiler_);
+    if (!opts_.profiling.reportPath.empty())
+      profiler_->writeReportJson(opts_.profiling.reportPath);
+  }
+
   if (opts_.writeResultTable) {
     writeResultTableCsv(outPath("ensemble_results.csv"), results_);
     writeResultTableJson(outPath("ensemble_results.json"), results_);
@@ -181,13 +208,24 @@ void Ensemble::runMember(int m, AsyncWriter& writer) {
   const ScenarioSpec& spec = specs_[static_cast<std::size_t>(m)];
   const MemberPlacement& pl = schedule_.members[static_cast<std::size_t>(m)];
   MemberResult& res = results_[static_cast<std::size_t>(m)];
-  const auto t0 = Clock::now();
+  const ScopedTimer memberZone(profiler_.get(),
+                               memberZones_[static_cast<std::size_t>(m)].c_str());
+  const auto t0 = MonoClock::now();
   try {
     Simulation::Builder b = spec.toBuilder();
     if (spec.field == ScenarioSpec::FieldKind::Poisson) {
       if (auto it = sharedPoisson_.find(spec.shareKey()); it != sharedPoisson_.end())
         b.poissonSolver(it->second);
     }
+    // Packed members share the campaign profiler (their step trees nest
+    // under this thread's member zone). Sharded members carry their own
+    // always-on per-rank profilers inside DistributedSimulation; either
+    // way the builder's env fallback is suppressed so member builds never
+    // race to write the campaign's trace/report files themselves.
+    if (pl.numRanks == 1 && profiler_)
+      b.profiler(profiler_);
+    else
+      b.profiling(ProfilingSpec{});
     if (pl.numRanks == 1) {
       // Packed member: serial RHS executor — the rank pool is the
       // parallelism, and a fixed executor keeps the trajectory bitwise
@@ -218,6 +256,11 @@ void Ensemble::runMember(int m, AsyncWriter& writer) {
     res.error = "unknown error";
   }
   res.wallSeconds = secondsSince(t0);
+  // Packed members have no halo traffic; compute is the wall minus the
+  // enqueue-side IO time. Sharded members got the profiler-backed split
+  // from their DistributedSimulation inside runSharded.
+  if (pl.numRanks == 1)
+    res.computeSeconds = std::max(0.0, res.wallSeconds - res.ioSeconds);
 }
 
 void Ensemble::checkpointState(const std::string& prefix, const StateVector& state, double time,
@@ -237,12 +280,14 @@ void Ensemble::runPacked(int m, Simulation& sim, AsyncWriter& writer) {
 
   std::optional<TimeSeriesWriter> ts;
   if (opts_.sampleEvery > 0) {
+    const auto io0 = MonoClock::now();
     res.seriesPath = outPath(spec.name + ".csv");
     ts.emplace(res.seriesPath, sim, &writer, resumed);
     if (!resumed) {  // the t = 0 row was already written by the first leg
       ts->sample(sim);
       if (opts_.keepSeries) res.series.push_back(ts->lastRow());
     }
+    res.ioSeconds += secondsSince(io0);
   }
 
   const std::string ckptPrefix = outPath(spec.name + ".ckpt");
@@ -259,13 +304,17 @@ void Ensemble::runPacked(int m, Simulation& sim, AsyncWriter& writer) {
       throw std::runtime_error(spec.name + ": non-finite dt at step " +
                                std::to_string(res.steps) + " (member diverged)");
     if (ts && res.steps % opts_.sampleEvery == 0) {
+      const auto io0 = MonoClock::now();
       ts->sample(sim);
       if (opts_.keepSeries) res.series.push_back(ts->lastRow());
+      res.ioSeconds += secondsSince(io0);
     }
     if (sim.time() >= nextCkpt) {
+      const auto io0 = MonoClock::now();
       res.checkpointPrefix = ckptPrefix;
       checkpointState(ckptPrefix, sim.state(), sim.time(), writer);
       nextCkpt += opts_.checkpointInterval;
+      res.ioSeconds += secondsSince(io0);
     }
     if (opts_.maxStepsPerMember > 0 &&
         static_cast<std::uint64_t>(res.steps) >= opts_.maxStepsPerMember &&
@@ -274,8 +323,10 @@ void Ensemble::runPacked(int m, Simulation& sim, AsyncWriter& writer) {
                                std::to_string(opts_.maxStepsPerMember) + ") before tEnd");
   }
   if (opts_.finalCheckpoint) {
+    const auto io0 = MonoClock::now();
     res.checkpointPrefix = ckptPrefix;
     checkpointState(ckptPrefix, sim.state(), sim.time(), writer);
+    res.ioSeconds += secondsSince(io0);
   }
   if (opts_.keepFinalState) {
     res.finalState = sim.state();
@@ -293,6 +344,7 @@ void Ensemble::runSharded(int m, DistributedSimulation& dsim, AsyncWriter& write
   // formatting) and feeds the sink directly.
   const bool sampling = opts_.sampleEvery > 0;
   if (sampling) {
+    const auto io0 = MonoClock::now();
     res.seriesPath = outPath(spec.name + ".csv");
     writer.openCsv(res.seriesPath, TimeSeriesWriter::headerFor(dsim.rankSim(0)), resumed);
     if (!resumed) {
@@ -300,6 +352,7 @@ void Ensemble::runSharded(int m, DistributedSimulation& dsim, AsyncWriter& write
       writer.appendLine(res.seriesPath, formatRow(row));
       if (opts_.keepSeries) res.series.push_back(std::move(row));
     }
+    res.ioSeconds += secondsSince(io0);
   }
 
   const std::string ckptPrefix = outPath(spec.name + ".ckpt");
@@ -314,14 +367,18 @@ void Ensemble::runSharded(int m, DistributedSimulation& dsim, AsyncWriter& write
       throw std::runtime_error(spec.name + ": non-finite dt at step " +
                                std::to_string(res.steps) + " (member diverged)");
     if (sampling && res.steps % opts_.sampleEvery == 0) {
+      const auto io0 = MonoClock::now();
       std::vector<double> row = sampleShardedRow(dsim);
       writer.appendLine(res.seriesPath, formatRow(row));
       if (opts_.keepSeries) res.series.push_back(std::move(row));
+      res.ioSeconds += secondsSince(io0);
     }
     if (dsim.time() >= nextCkpt) {
+      const auto io0 = MonoClock::now();
       res.checkpointPrefix = ckptPrefix;
       checkpointState(ckptPrefix, dsim.gather(), dsim.time(), writer);
       nextCkpt += opts_.checkpointInterval;
+      res.ioSeconds += secondsSince(io0);
     }
     if (opts_.maxStepsPerMember > 0 &&
         static_cast<std::uint64_t>(res.steps) >= opts_.maxStepsPerMember &&
@@ -330,13 +387,19 @@ void Ensemble::runSharded(int m, DistributedSimulation& dsim, AsyncWriter& write
                                std::to_string(opts_.maxStepsPerMember) + ") before tEnd");
   }
   if (opts_.finalCheckpoint) {
+    const auto io0 = MonoClock::now();
     res.checkpointPrefix = ckptPrefix;
     checkpointState(ckptPrefix, dsim.gather(), dsim.time(), writer);
+    res.ioSeconds += secondsSince(io0);
   }
   if (opts_.keepFinalState) {
     res.finalState = dsim.gather();
     res.hasFinalState = true;
   }
+  // The profiler-backed two-level split: mean rank "step" seconds minus
+  // halo (compute) and the HaloStats facade mean (halo).
+  res.haloSeconds = dsim.haloSeconds();
+  res.computeSeconds = dsim.computeSeconds();
 }
 
 }  // namespace vdg

@@ -35,6 +35,7 @@
 #include "ensemble/result_table.hpp"
 #include "ensemble/scenario.hpp"
 #include "ensemble/scheduler.hpp"
+#include "obs/profiler.hpp"
 
 namespace vdg {
 
@@ -67,6 +68,13 @@ struct EnsembleOptions {
   std::size_t maxQueuedJobs = 4096;
   /// Write <outputDir>/ensemble_results.{csv,json} after the run.
   bool writeResultTable = true;
+  /// Campaign-wide instrumentation (src/obs). Default-inactive specs fall
+  /// back to the VDG_TRACE / VDG_PROFILE environment opt-in. When active,
+  /// one campaign Profiler is shared by the pool threads (each a labeled
+  /// track: "pool rank r"), packed members' Simulations, and the
+  /// AsyncWriter thread; member boundaries appear as member:<name> zones
+  /// and the trace/report files are written at the end of run().
+  ProfilingSpec profiling;
 };
 
 class Ensemble {
@@ -101,6 +109,10 @@ class Ensemble {
   /// IO-thread statistics captured at the end of run() (stall time is the
   /// bench's "stepping never blocks on IO" evidence).
   [[nodiscard]] const AsyncWriter::Stats& ioStats() const { return ioStats_; }
+  /// The campaign profiler (null when instrumentation is inactive). After
+  /// run(), its zone tree holds member:<name> wall zones, packed members'
+  /// full step trees, and the io:stall/io:drain writer zones.
+  [[nodiscard]] const Profiler* profiler() const { return profiler_.get(); }
 
  private:
   void runMember(int m, AsyncWriter& writer);
@@ -116,6 +128,8 @@ class Ensemble {
   std::map<std::string, std::shared_ptr<const PoissonSolver>> sharedPoisson_;
   std::vector<MemberResult> results_;
   AsyncWriter::Stats ioStats_;
+  std::shared_ptr<Profiler> profiler_;       ///< campaign-wide; null when off
+  std::vector<std::string> memberZones_;     ///< cached "member:<name>" zone names
   bool ran_ = false;
 };
 

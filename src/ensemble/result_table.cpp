@@ -55,13 +55,15 @@ void writeResultTableCsv(const std::string& path, const std::vector<MemberResult
 
   std::ofstream os(path, std::ios::trunc);
   if (!os) throw std::runtime_error("writeResultTableCsv: cannot open " + path);
-  os << "name,status,leadRank,numRanks,steps,finalTime,wallSeconds";
+  os << "name,status,leadRank,numRanks,steps,finalTime,wallSeconds,haloSeconds,"
+        "computeSeconds,ioSeconds";
   for (const std::string& k : keys) os << "," << k;
   os << ",error\n";
   for (const MemberResult& r : results) {
     os << csvEscape(r.name) << "," << toString(r.status) << "," << r.leadRank << ","
        << r.numRanks << "," << r.steps << "," << formatDouble(r.finalTime) << ","
-       << formatDouble(r.wallSeconds);
+       << formatDouble(r.wallSeconds) << "," << formatDouble(r.haloSeconds) << ","
+       << formatDouble(r.computeSeconds) << "," << formatDouble(r.ioSeconds);
     for (const std::string& k : keys) {
       os << ",";
       if (auto it = r.params.find(k); it != r.params.end()) os << formatDouble(it->second);
@@ -82,7 +84,10 @@ void writeResultTableJson(const std::string& path, const std::vector<MemberResul
     os << "  {\"name\": \"" << jsonEscape(r.name) << "\", \"status\": \"" << toString(r.status)
        << "\", \"leadRank\": " << r.leadRank << ", \"numRanks\": " << r.numRanks
        << ", \"steps\": " << r.steps << ", \"finalTime\": " << jsonNumber(r.finalTime)
-       << ", \"wallSeconds\": " << jsonNumber(r.wallSeconds) << ", \"params\": {";
+       << ", \"wallSeconds\": " << jsonNumber(r.wallSeconds)
+       << ", \"haloSeconds\": " << jsonNumber(r.haloSeconds)
+       << ", \"computeSeconds\": " << jsonNumber(r.computeSeconds)
+       << ", \"ioSeconds\": " << jsonNumber(r.ioSeconds) << ", \"params\": {";
     bool first = true;
     for (const auto& [k, v] : r.params) {
       os << (first ? "" : ", ") << "\"" << jsonEscape(k) << "\": " << jsonNumber(v);

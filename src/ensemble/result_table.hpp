@@ -30,6 +30,14 @@ struct MemberResult {
   int steps = 0;
   double finalTime = 0.0;
   double wallSeconds = 0.0;
+  /// Lead-thread timing split (src/obs instrumentation): ghost-exchange
+  /// seconds (sharded members; 0 for packed — no halo traffic), stepping
+  /// seconds net of halo and IO, and enqueue-side IO seconds (series
+  /// sampling + checkpoint copies; the writer-thread disk time is the
+  /// campaign-wide ioStats()).
+  double haloSeconds = 0.0;
+  double computeSeconds = 0.0;
+  double ioSeconds = 0.0;
 
   std::string seriesPath;        ///< per-member time-series CSV ("" if sampling off)
   std::string checkpointPrefix;  ///< last checkpoint prefix ("" if none written)
@@ -47,7 +55,8 @@ struct MemberResult {
 [[nodiscard]] const char* toString(MemberResult::Status s);
 
 /// Write the member table as CSV (name,status,leadRank,numRanks,steps,
-/// finalTime,wallSeconds,error + one column per parameter key seen).
+/// finalTime,wallSeconds,haloSeconds,computeSeconds,ioSeconds,error + one
+/// column per parameter key seen).
 void writeResultTableCsv(const std::string& path, const std::vector<MemberResult>& results);
 
 /// Write the member table as a JSON array.

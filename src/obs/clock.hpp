@@ -1,0 +1,24 @@
+#pragma once
+// The one monotonic clock of the codebase. Every subsystem that measures
+// wall time — the communicator's HaloStats buckets, the profiler's zones,
+// the ensemble engine's member timing, the AsyncWriter's stall accounting —
+// reads this clock through these helpers, so durations from different
+// layers are directly comparable (and the three private copies of
+// `secondsSince` that used to live in ensemble/, app/ and par/ are gone).
+
+#include <chrono>
+
+namespace vdg {
+
+using MonoClock = std::chrono::steady_clock;
+
+[[nodiscard]] inline double secondsBetween(MonoClock::time_point t0,
+                                           MonoClock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+[[nodiscard]] inline double secondsSince(MonoClock::time_point t0) {
+  return secondsBetween(t0, MonoClock::now());
+}
+
+}  // namespace vdg

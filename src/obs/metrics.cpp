@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+namespace vdg {
+
+void MetricsRegistry::add(std::string_view name, double delta) {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end())
+    it->second += delta;
+  else
+    counters_.emplace(std::string(name), delta);
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end())
+    it->second = value;
+  else
+    gauges_.emplace(std::string(name), value);
+}
+
+double MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0.0;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot(double simTime,
+                                                    std::uint64_t step) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  Snapshot s;
+  s.simTime = simTime;
+  s.step = step;
+  s.counters.assign(counters_.begin(), counters_.end());
+  s.gauges.assign(gauges_.begin(), gauges_.end());
+  return s;
+}
+
+void MetricsRegistry::recordSnapshot(double simTime, std::uint64_t step) {
+  Snapshot s = snapshot(simTime, step);
+  const std::lock_guard<std::mutex> lk(m_);
+  history_.push_back(std::move(s));
+}
+
+std::vector<MetricsRegistry::Snapshot> MetricsRegistry::history() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return history_;
+}
+
+}  // namespace vdg

@@ -1,0 +1,60 @@
+#pragma once
+// Named numeric metrics for a run: counters (monotone accumulators: halo
+// bytes, Krylov iterations, absorbed mass, writer lines) and gauges
+// (last-value-wins: CFL dt, batched lane width, queue depth). The registry
+// is a side-channel next to the Profiler's zone tree — zones answer "where
+// did the time go", metrics answer "how much work was that". Snapshots
+// taken per step / per interval give the periodic structured report its
+// time axis.
+//
+// Thread safety: every member is mutex-guarded; concurrent add/set from
+// worker or pool threads is safe (gauges are last-write-wins).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vdg {
+
+class MetricsRegistry {
+ public:
+  /// One frozen view of all counters and gauges, stamped with the
+  /// simulation clock. `counters`/`gauges` are sorted by name.
+  struct Snapshot {
+    double simTime = 0.0;
+    std::uint64_t step = 0;
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+  };
+
+  /// Accumulate into a counter (created at zero on first use).
+  void add(std::string_view name, double delta);
+
+  /// Set a gauge (created on first use; last write wins).
+  void set(std::string_view name, double value);
+
+  /// Current counter / gauge value; 0.0 when the name was never touched.
+  [[nodiscard]] double counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Freeze the current values (does not touch the history).
+  [[nodiscard]] Snapshot snapshot(double simTime = 0.0,
+                                  std::uint64_t step = 0) const;
+
+  /// Freeze and append to the retained history (the periodic report's rows).
+  void recordSnapshot(double simTime, std::uint64_t step);
+
+  [[nodiscard]] std::vector<Snapshot> history() const;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace vdg

@@ -1,0 +1,342 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/num_format.hpp"
+
+namespace vdg {
+
+namespace {
+
+/// Identity of the calling thread's track, set by setThisThreadTrack.
+/// Plain thread_locals: only the owning thread reads or writes them.
+thread_local int tlsTid = 0;
+thread_local std::string tlsLabel;  // empty -> "main" / "tid N"
+
+/// Thread-local arena lookup cache. Keyed by (profiler address, serial):
+/// a profiler may be destroyed and another constructed at the same
+/// address, so the address alone would resurrect a dangling arena — the
+/// globally unique serial number disambiguates reincarnations.
+struct TlsSlot {
+  const void* prof = nullptr;
+  std::uint64_t serial = 0;
+  void* arena = nullptr;
+};
+thread_local std::vector<TlsSlot> tlsSlots;
+
+std::atomic<std::uint64_t> gProfilerSerial{1};
+
+void escapeJson(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  escapeJson(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+ProfilingSpec ProfilingSpec::fromEnv() {
+  ProfilingSpec s;
+  if (const char* t = std::getenv("VDG_TRACE"); t != nullptr && *t != '\0') {
+    s.enabled = true;
+    s.tracePath = t;
+  }
+  if (const char* p = std::getenv("VDG_PROFILE");
+      p != nullptr && *p != '\0' && std::string_view(p) != "0") {
+    s.enabled = true;
+    if (std::string_view(p) != "1") s.reportPath = p;
+  }
+  return s;
+}
+
+Profiler::Profiler(ProfilingSpec spec, int rank)
+    : spec_(std::move(spec)), rank_(rank), tracing_(spec_.tracing()),
+      serial_(gProfilerSerial.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(MonoClock::now()) {}
+
+Profiler::~Profiler() = default;
+
+void Profiler::setThisThreadTrack(int tid, std::string label) {
+  tlsTid = tid;
+  tlsLabel = std::move(label);
+}
+
+Profiler::Arena& Profiler::arena() {
+  for (const TlsSlot& s : tlsSlots)
+    if (s.prof == this && s.serial == serial_)
+      return *static_cast<Arena*>(s.arena);
+  // First zone on this thread for this profiler: register a new arena.
+  auto up = std::make_unique<Arena>();
+  up->tid = tlsTid;
+  up->label = tlsLabel.empty()
+                  ? (tlsTid == 0 ? std::string("main")
+                                 : "tid " + std::to_string(tlsTid))
+                  : tlsLabel;
+  up->nodes.emplace_back();  // root
+  up->stack.push_back(0);
+  Arena* a = up.get();
+  {
+    const std::lock_guard<std::mutex> lk(arenasM_);
+    arenas_.push_back(std::move(up));
+  }
+  tlsSlots.push_back({this, serial_, a});
+  return *a;
+}
+
+int Profiler::childNode(Arena& a, int parent, const char* name) {
+  for (int c = a.nodes[static_cast<std::size_t>(parent)].firstChild; c != -1;
+       c = a.nodes[static_cast<std::size_t>(c)].nextSibling)
+    if (a.nodes[static_cast<std::size_t>(c)].name == name) return c;
+  const int id = static_cast<int>(a.nodes.size());
+  Node n;
+  n.name = name;
+  n.parent = parent;
+  n.nextSibling = a.nodes[static_cast<std::size_t>(parent)].firstChild;
+  a.nodes.push_back(std::move(n));
+  a.nodes[static_cast<std::size_t>(parent)].firstChild = id;
+  return id;
+}
+
+void Profiler::enter(const char* name) {
+  Arena& a = arena();
+  const int node = childNode(a, a.stack.back(), name);
+  a.stack.push_back(node);
+  a.openT0.push_back(MonoClock::now());
+}
+
+void Profiler::exit() {
+  const auto t1 = MonoClock::now();
+  Arena& a = arena();
+  if (a.stack.size() <= 1) return;  // unbalanced exit: ignore
+  const int node = a.stack.back();
+  const auto t0 = a.openT0.back();
+  a.stack.pop_back();
+  a.openT0.pop_back();
+  Node& n = a.nodes[static_cast<std::size_t>(node)];
+  n.count += 1;
+  n.seconds += secondsBetween(t0, t1);
+  if (tracing_) a.events.push_back({node, t0, t1});
+}
+
+void Profiler::leafZone(const char* name, MonoClock::time_point t0,
+                        MonoClock::time_point t1) {
+  Arena& a = arena();
+  const int node = childNode(a, a.stack.back(), name);
+  Node& n = a.nodes[static_cast<std::size_t>(node)];
+  n.count += 1;
+  n.seconds += secondsBetween(t0, t1);
+  if (tracing_) a.events.push_back({node, t0, t1});
+}
+
+void Profiler::stepCompleted(double simTime) {
+  const std::lock_guard<std::mutex> lk(stepM_);
+  ++steps_;
+  if (spec_.reportEvery > 0 &&
+      steps_ % static_cast<std::uint64_t>(spec_.reportEvery) == 0)
+    metrics_.recordSnapshot(simTime, steps_);
+}
+
+std::uint64_t Profiler::stepCount() const {
+  const std::lock_guard<std::mutex> lk(stepM_);
+  return steps_;
+}
+
+std::vector<ZoneReport> Profiler::report() const {
+  const std::lock_guard<std::mutex> lk(arenasM_);
+  // Merge arena trees by (parent path, name) into one pool; children keep
+  // first-visit order, which is execution order per thread.
+  struct MNode {
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+    std::vector<int> kids;
+  };
+  std::vector<MNode> pool(1);
+  const auto childOf = [&pool](int parent, const std::string& name) {
+    for (const int c : pool[static_cast<std::size_t>(parent)].kids)
+      if (pool[static_cast<std::size_t>(c)].name == name) return c;
+    const int id = static_cast<int>(pool.size());
+    pool.push_back({name, 0, 0.0, {}});
+    pool[static_cast<std::size_t>(parent)].kids.push_back(id);
+    return id;
+  };
+  for (const auto& ap : arenas_) {
+    const Arena& a = *ap;
+    const std::function<void(int, int)> walk = [&](int anode, int mparent) {
+      std::vector<int> kids;
+      for (int c = a.nodes[static_cast<std::size_t>(anode)].firstChild;
+           c != -1; c = a.nodes[static_cast<std::size_t>(c)].nextSibling)
+        kids.push_back(c);
+      std::reverse(kids.begin(), kids.end());  // prepend order -> entry order
+      for (const int c : kids) {
+        const Node& cn = a.nodes[static_cast<std::size_t>(c)];
+        const int m = childOf(mparent, cn.name);
+        pool[static_cast<std::size_t>(m)].count += cn.count;
+        pool[static_cast<std::size_t>(m)].seconds += cn.seconds;
+        walk(c, m);
+      }
+    };
+    walk(0, 0);
+  }
+  std::vector<ZoneReport> out;
+  const std::function<void(int, const std::string&, int)> emit =
+      [&](int m, const std::string& prefix, int depth) {
+        for (const int c : pool[static_cast<std::size_t>(m)].kids) {
+          const MNode& cn = pool[static_cast<std::size_t>(c)];
+          ZoneReport zr;
+          zr.name = cn.name;
+          zr.path = prefix.empty() ? cn.name : prefix + "/" + cn.name;
+          zr.depth = depth;
+          zr.count = cn.count;
+          zr.seconds = cn.seconds;
+          const std::string path = zr.path;
+          out.push_back(std::move(zr));
+          emit(c, path, depth + 1);
+        }
+      };
+  emit(0, "", 0);
+  return out;
+}
+
+double Profiler::zoneSeconds(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(arenasM_);
+  double s = 0.0;
+  for (const auto& ap : arenas_)
+    for (const Node& n : ap->nodes)
+      if (n.name == name) s += n.seconds;
+  return s;
+}
+
+std::string Profiler::table() const {
+  const std::vector<ZoneReport> rows = report();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-48s %10s %14s\n", "zone", "count",
+                "seconds");
+  out += line;
+  for (const ZoneReport& r : rows) {
+    std::string name(static_cast<std::size_t>(2 * r.depth), ' ');
+    name += r.name;
+    std::snprintf(line, sizeof(line), "%-48s %10llu %14.6e\n", name.c_str(),
+                  static_cast<unsigned long long>(r.count), r.seconds);
+    out += line;
+  }
+  return out;
+}
+
+std::string Profiler::reportJson() const {
+  std::string out = "{\n  \"rank\": " + std::to_string(rank_) +
+                    ",\n  \"steps\": " + std::to_string(stepCount()) +
+                    ",\n  \"zones\": [";
+  bool first = true;
+  for (const ZoneReport& r : report()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": " + quoted(r.path) +
+           ", \"depth\": " + std::to_string(r.depth) +
+           ", \"count\": " + std::to_string(r.count) +
+           ", \"seconds\": " + jsonNumber(r.seconds) + "}";
+  }
+  out += "\n  ],\n";
+  const auto emitKv =
+      [&out](const std::vector<std::pair<std::string, double>>& kv) {
+        bool f = true;
+        for (const auto& [k, v] : kv) {
+          out += f ? "" : ", ";
+          f = false;
+          out += quoted(k) + ": " + jsonNumber(v);
+        }
+      };
+  const MetricsRegistry::Snapshot now = metrics_.snapshot(0.0, stepCount());
+  out += "  \"counters\": {";
+  emitKv(now.counters);
+  out += "},\n  \"gauges\": {";
+  emitKv(now.gauges);
+  out += "},\n  \"snapshots\": [";
+  first = true;
+  for (const MetricsRegistry::Snapshot& s : metrics_.history()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"step\": " + std::to_string(s.step) +
+           ", \"simTime\": " + jsonNumber(s.simTime) + ", \"counters\": {";
+    emitKv(s.counters);
+    out += "}, \"gauges\": {";
+    emitKv(s.gauges);
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void Profiler::writeReportJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("profiler: cannot open " + path);
+  os << reportJson();
+}
+
+void Profiler::appendTraceJson(std::ostream& os, MonoClock::time_point epoch,
+                               bool& first) const {
+  const std::lock_guard<std::mutex> lk(arenasM_);
+  const auto emit = [&os, &first](const std::string& json) {
+    if (!first) os << ",\n";
+    first = false;
+    os << json;
+  };
+  // Track labels: one thread_name record per tid (first arena wins; a
+  // fresh rank thread per step re-registers the same tid each time).
+  std::vector<int> seenTids;
+  emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+       std::to_string(rank_) + ",\"tid\":0,\"args\":{\"name\":" +
+       quoted("rank " + std::to_string(rank_)) + "}}");
+  for (const auto& ap : arenas_) {
+    if (std::find(seenTids.begin(), seenTids.end(), ap->tid) !=
+        seenTids.end())
+      continue;
+    seenTids.push_back(ap->tid);
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+         std::to_string(rank_) + ",\"tid\":" + std::to_string(ap->tid) +
+         ",\"args\":{\"name\":" + quoted(ap->label) + "}}");
+  }
+  for (const auto& ap : arenas_) {
+    const std::string head = "{\"ph\":\"X\",\"pid\":" + std::to_string(rank_) +
+                             ",\"tid\":" + std::to_string(ap->tid) +
+                             ",\"name\":";
+    for (const Event& e : ap->events) {
+      const double ts = secondsBetween(epoch, e.t0) * 1e6;
+      const double dur = secondsBetween(e.t0, e.t1) * 1e6;
+      emit(head +
+           quoted(ap->nodes[static_cast<std::size_t>(e.node)].name) +
+           ",\"ts\":" + formatDouble(ts) + ",\"dur\":" + formatDouble(dur) +
+           "}");
+    }
+  }
+}
+
+}  // namespace vdg

@@ -1,0 +1,190 @@
+#pragma once
+// Hierarchical phase profiler. A Profiler owns a forest of per-thread
+// arenas; each arena holds a zone tree (nodes keyed by name under their
+// parent) plus, when tracing, the raw begin/end event stream. Threads
+// enter/exit zones lock-free against each other (each thread only touches
+// its own arena; the profiler-wide mutex is taken once per thread to
+// register the arena), and the trees are merged by path at report time.
+//
+// The instrument is opt-in twice over: a null Profiler* makes ScopedTimer a
+// no-op (the disabled hot path is one pointer test — pinned allocation-free
+// by tests/test_obs.cpp), and an inactive ProfilingSpec makes the owning
+// layer not construct a Profiler at all.
+//
+// Zone taxonomy (see docs/ARCHITECTURE.md "Observability"):
+//   step > rk:stageN > <updater name()> > halo:pack/post/wait/unpack
+//   plus field:refresh, wall-loss, sync:begin/finish, exec:chunk,
+//   member:<name>, io:stall, io:drain.
+// The communicator's halo:* leaf zones are recorded with the *same*
+// timestamps that feed the HaloStats buckets: identical increments, so
+// the totals reconcile to summation rounding (the per-parent zone nodes
+// and the flat stats bucket may group the additions differently).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace vdg {
+
+/// What to measure and where to put it. An all-default spec is inactive:
+/// builders treat it as "instrumentation off" and skip constructing the
+/// profiler entirely.
+struct ProfilingSpec {
+  bool enabled = false;     ///< zone timing + metrics on
+  bool trace = false;       ///< record per-zone trace events (implies enabled)
+  std::string tracePath;    ///< write a Chrome trace-event JSON here (implies trace)
+  std::string reportPath;   ///< write the structured JSON report here
+  int reportEvery = 0;      ///< snapshot metrics / rewrite report every N steps (0 = only at end)
+
+  [[nodiscard]] bool tracing() const { return trace || !tracePath.empty(); }
+  [[nodiscard]] bool active() const {
+    return enabled || tracing() || !reportPath.empty();
+  }
+
+  /// Environment opt-in, read by Simulation::Builder and the Ensemble when
+  /// no explicit spec was given:
+  ///   VDG_TRACE=out.json   -> enabled + Chrome trace written to out.json
+  ///   VDG_PROFILE=1        -> enabled (zone table printable, no files)
+  ///   VDG_PROFILE=out.json -> enabled + JSON report written to out.json
+  [[nodiscard]] static ProfilingSpec fromEnv();
+};
+
+/// One flat row of the merged zone tree, in depth-first (execution) order.
+struct ZoneReport {
+  std::string path;   ///< "step/rk:stage1/vlasov:elc/halo:wait"
+  std::string name;   ///< last path component
+  int depth = 0;      ///< 0 = top-level zone
+  std::uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilingSpec spec = {}, int rank = 0);
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] const ProfilingSpec& spec() const { return spec_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] bool tracing() const { return tracing_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  /// Construction instant; trace timestamps are relative to the earliest
+  /// epoch of the profilers sharing one trace file.
+  [[nodiscard]] MonoClock::time_point epoch() const { return epoch_; }
+
+  // --- hot path (called by ScopedTimer and the communicator backends) ----
+
+  /// Open a zone on the calling thread. `name` must outlive the profiler
+  /// or be interned by the caller (zone-name strings are copied only on
+  /// the first visit per thread).
+  void enter(const char* name);
+  /// Close the innermost open zone on the calling thread.
+  void exit();
+  /// Book a completed interval as a child of the calling thread's current
+  /// zone without opening it: the communicator/IO layers pass the exact
+  /// timestamps they already took for their own stats, so zone seconds
+  /// reconcile with the stats buckets to summation rounding.
+  void leafZone(const char* name, MonoClock::time_point t0,
+                MonoClock::time_point t1);
+
+  /// Label the calling thread's track in reports and traces (ThreadExec
+  /// workers, ensemble pool ranks, the AsyncWriter thread). Applies to
+  /// arenas the thread registers *after* the call; thread-local, so it
+  /// affects every profiler the thread subsequently touches.
+  static void setThisThreadTrack(int tid, std::string label);
+
+  // --- per-step bookkeeping --------------------------------------------
+
+  /// Advance the step counter; snapshots metrics every spec().reportEvery
+  /// steps. Thread-safe (the ensemble's pool threads share one profiler).
+  void stepCompleted(double simTime);
+  [[nodiscard]] std::uint64_t stepCount() const;
+
+  // --- reporting (call when the instrumented threads are quiescent) -----
+
+  /// Merge all arenas' trees by path; rows in depth-first order.
+  [[nodiscard]] std::vector<ZoneReport> report() const;
+  /// Total seconds over every node named `name`, across all threads and
+  /// parents ("step", "halo:wait", ...).
+  [[nodiscard]] double zoneSeconds(std::string_view name) const;
+  /// Human-readable indented table of the merged tree.
+  [[nodiscard]] std::string table() const;
+  /// Structured report: zones + metrics + snapshot history (io/num_format
+  /// numerals, round-trip exact).
+  [[nodiscard]] std::string reportJson() const;
+  void writeReportJson(const std::string& path) const;
+
+  /// Emit this profiler's trace events (plus thread_name metadata) into an
+  /// open Chrome trace-event array; used by writeChromeTrace. `first`
+  /// tracks the leading-comma state across profilers.
+  void appendTraceJson(std::ostream& os, MonoClock::time_point epoch,
+                       bool& first) const;
+
+ private:
+  struct Node {
+    std::string name;
+    int parent = -1;
+    int firstChild = -1;
+    int nextSibling = -1;  ///< prepend order; reversed when reporting
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  struct Event {
+    int node = -1;
+    MonoClock::time_point t0, t1;
+  };
+  struct Arena {
+    int tid = 0;
+    std::string label;
+    std::vector<Node> nodes;    ///< nodes[0] is the unnamed root
+    std::vector<int> stack;     ///< open-zone node indices; starts at {0}
+    std::vector<MonoClock::time_point> openT0;
+    std::vector<Event> events;  ///< only filled when tracing
+  };
+
+  Arena& arena();
+  int childNode(Arena& a, int parent, const char* name);
+
+  ProfilingSpec spec_;
+  int rank_ = 0;
+  bool tracing_ = false;
+  std::uint64_t serial_ = 0;  ///< distinguishes reincarnations at one address
+  MonoClock::time_point epoch_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex arenasM_;
+  /// Owned by the profiler (not the threads) so short-lived rank threads'
+  /// arenas survive for the merge.
+  std::vector<std::unique_ptr<Arena>> arenas_;
+
+  mutable std::mutex stepM_;
+  std::uint64_t steps_ = 0;
+};
+
+/// RAII zone guard; the profiler may be null (disabled: a no-op whose cost
+/// is one branch, no clock read, no allocation).
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* p, const char* name) : p_(p) {
+    if (p_) p_->enter(name);
+  }
+  ~ScopedTimer() {
+    if (p_) p_->exit();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* p_;
+};
+
+}  // namespace vdg

@@ -1,0 +1,33 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/profiler.hpp"
+
+namespace vdg {
+
+void writeChromeTrace(const std::string& path,
+                      std::span<const Profiler* const> profilers) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  // Shared epoch: the earliest profiler construction instant, so per-rank
+  // tracks line up on one wall-clock axis.
+  MonoClock::time_point epoch = MonoClock::time_point::max();
+  for (const Profiler* p : profilers)
+    if (p != nullptr) epoch = std::min(epoch, p->epoch());
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Profiler* p : profilers)
+    if (p != nullptr) p->appendTraceJson(os, epoch, first);
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  if (!os) throw std::runtime_error("trace: write failed for " + path);
+}
+
+void writeChromeTrace(const std::string& path, const Profiler& profiler) {
+  const Profiler* const one[] = {&profiler};
+  writeChromeTrace(path, one);
+}
+
+}  // namespace vdg

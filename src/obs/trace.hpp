@@ -1,0 +1,24 @@
+#pragma once
+// Chrome trace-event exporter: one JSON timeline loadable in
+// chrome://tracing or https://ui.perfetto.dev, with one process track per
+// rank (pid = rank) and one thread track per instrumented thread (main,
+// ThreadExec workers, ensemble pool ranks, the AsyncWriter). Complete
+// ("ph":"X") events only; timestamps are microseconds relative to the
+// earliest profiler epoch so all ranks share one time axis.
+
+#include <span>
+#include <string>
+
+namespace vdg {
+
+class Profiler;
+
+/// Merge the profilers' event streams into one trace file. Call when the
+/// instrumented threads are quiescent. Throws on IO failure.
+void writeChromeTrace(const std::string& path,
+                      std::span<const Profiler* const> profilers);
+
+/// Single-profiler convenience overload.
+void writeChromeTrace(const std::string& path, const Profiler& profiler);
+
+}  // namespace vdg

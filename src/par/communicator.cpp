@@ -5,6 +5,9 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/clock.hpp"
+#include "obs/profiler.hpp"
+
 namespace vdg {
 
 SerialComm& SerialComm::instance() {
@@ -15,11 +18,7 @@ SerialComm& SerialComm::instance() {
 // -------------------------------------------------------------- ThreadComm
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using Clock = MonoClock;
 }  // namespace
 
 /// One rank's endpoint into the shared ThreadComm state. The halo protocol
@@ -123,7 +122,9 @@ class ThreadComm::Endpoint final : public Communicator {
     // ghost cells, so the cell counter is untouched.
     stats_.bytes += static_cast<std::uint64_t>(numRanks() - 1) *
                     static_cast<std::uint64_t>(v.size()) * sizeof(double);
-    stats_.reduceSec += since(t0);
+    const auto t1 = Clock::now();
+    stats_.reduceSec += secondsBetween(t0, t1);
+    if (prof_) prof_->leafZone("halo:reduce", t0, t1);
   }
 
   void barrier() override { owner_->bar_.arrive_and_wait(); }
@@ -136,7 +137,7 @@ class ThreadComm::Endpoint final : public Communicator {
     std::vector<double> buf(n);
     f.packGhost(d, mySide, buf);
     const auto t1 = Clock::now();
-    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.packSec += secondsBetween(t0, t1);
     if (owner_->fault_) owner_->fault_(rank_, dst, d, dstSide);
     Channel& ch = owner_->channel(dst, d, dstSide);
     auto ready = Clock::now();
@@ -148,7 +149,12 @@ class ThreadComm::Endpoint final : public Communicator {
       ch.q.push_back({ready, std::move(buf)});
     }
     ch.cv.notify_one();
-    stats_.postSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.postSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:pack", t0, t1);
+      prof_->leafZone("halo:post", t1, t2);
+    }
   }
 
   void receive(Field& f, int d, int side, std::size_t n) {
@@ -171,13 +177,18 @@ class ThreadComm::Endpoint final : public Communicator {
       ch.q.pop_front();
     }
     const auto t1 = Clock::now();
-    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.waitSec += secondsBetween(t0, t1);
     // Neighbors along d share every transverse block extent, so their
     // slab shapes match this rank's exactly.
     assert(buf.size() == n);
     (void)n;
     f.unpackGhost(d, side, buf);
-    stats_.unpackSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.unpackSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:wait", t0, t1);
+      prof_->leafZone("halo:unpack", t1, t2);
+    }
     stats_.bytes += buf.size() * sizeof(double);
     stats_.cells += buf.size() / static_cast<std::size_t>(f.ncomp());
   }
@@ -193,7 +204,9 @@ class ThreadComm::Endpoint final : public Communicator {
     for (int r = 1; r < numRanks(); ++r)
       acc = op(acc, owner_->reduceSlots_[static_cast<std::size_t>(r)]);
     owner_->bar_.arrive_and_wait();  // slots free for the next reduction
-    stats_.reduceSec += since(t0);
+    const auto t1 = Clock::now();
+    stats_.reduceSec += secondsBetween(t0, t1);
+    if (prof_) prof_->leafZone("halo:reduce", t0, t1);
     return acc;
   }
 

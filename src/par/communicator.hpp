@@ -58,6 +58,8 @@
 
 namespace vdg {
 
+class Profiler;
+
 /// Wall-time and traffic split of the halo path, bucketed by protocol
 /// phase so overlapped exchange stays measurable: pack (slab -> send
 /// buffer), post (handing buffers to the transport), wait (blocked until
@@ -159,6 +161,22 @@ class Communicator {
   /// of every HaloStats bucket (the quantity an MPI profile would report
   /// as communication time).
   [[nodiscard]] virtual double haloSeconds() const { return haloStats().totalSec(); }
+
+  // --- instrumentation (src/obs/). HaloStats stays the timing facade; a
+  // backend with a profiler attached additionally books each phase as a
+  // halo:pack/post/wait/unpack/reduce leaf zone using the *same* timestamps
+  // that feed the stats buckets, so zone totals and HaloStats reconcile
+  // to summation rounding.
+  /// Attach a profiler (non-owning; nullptr detaches). Set before the rank
+  /// thread starts driving collectives — the pointer is read unguarded on
+  /// the halo hot path. Never attach to the shared SerialComm::instance():
+  /// it is stateless by contract and used concurrently by packed ensemble
+  /// members (Simulation::build guards this).
+  void setProfiler(Profiler* p) { prof_ = p; }
+  [[nodiscard]] Profiler* profiler() const { return prof_; }
+
+ protected:
+  Profiler* prof_ = nullptr;
 };
 
 /// The single-rank backend: periodic wrap, no synchronization, no traffic.

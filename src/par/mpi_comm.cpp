@@ -19,14 +19,13 @@ bool mpiAvailable() {
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/clock.hpp"
+#include "obs/profiler.hpp"
+
 namespace vdg {
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using Clock = MonoClock;
 
 int haloTag(int d, int side) { return d * 2 + (side > 0 ? 1 : 0); }
 
@@ -102,12 +101,17 @@ void MpiComm::beginSyncConfGhostsDim(Field& f, int d, bool periodic) {
     p.buf.resize(n);
     f.packGhost(d, mySide, p.buf);
     const auto t1 = Clock::now();
-    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.packSec += secondsBetween(t0, t1);
     check(MPI_Isend(p.buf.data(), static_cast<int>(n), MPI_DOUBLE, dst, haloTag(d, dstSide),
                     comm_, &p.req),
           "MPI_Isend");
     sendQ_.push_back(std::move(p));
-    stats_.postSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.postSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:pack", t0, t1);
+      prof_->leafZone("halo:post", t1, t2);
+    }
   };
   if (ln != kNoNeighbor) postSend(-1, ln, +1);
   if (un != kNoNeighbor) postSend(+1, un, -1);
@@ -129,9 +133,14 @@ void MpiComm::endSyncConfGhostsDim(Field& f, int d, bool periodic) {
     const auto t0 = Clock::now();
     check(MPI_Wait(&p.req, MPI_STATUS_IGNORE), "MPI_Wait");
     const auto t1 = Clock::now();
-    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.waitSec += secondsBetween(t0, t1);
     f.unpackGhost(d, side, p.buf);
-    stats_.unpackSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.unpackSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:wait", t0, t1);
+      prof_->leafZone("halo:unpack", t1, t2);
+    }
     stats_.bytes += p.buf.size() * sizeof(double);
     stats_.cells += p.buf.size() / static_cast<std::size_t>(f.ncomp());
   };
@@ -156,7 +165,9 @@ double MpiComm::reduce(double v, Op op) {
     for (int r = 1; r < size_; ++r) acc = op(acc, gatherBuf_[static_cast<std::size_t>(r)]);
   }
   check(MPI_Bcast(&acc, 1, MPI_DOUBLE, 0, comm_), "MPI_Bcast");
-  stats_.reduceSec += since(t0);
+  const auto t1 = Clock::now();
+  stats_.reduceSec += secondsBetween(t0, t1);
+  if (prof_) prof_->leafZone("halo:reduce", t0, t1);
   return acc;
 }
 
@@ -187,7 +198,9 @@ void MpiComm::allReduceSum(std::span<double> v) {
   std::copy(gatherBuf_.begin(), gatherBuf_.begin() + static_cast<long>(v.size()), v.begin());
   stats_.bytes += static_cast<std::uint64_t>(size_ - 1) *
                   static_cast<std::uint64_t>(v.size()) * sizeof(double);
-  stats_.reduceSec += since(t0);
+  const auto t1 = Clock::now();
+  stats_.reduceSec += secondsBetween(t0, t1);
+  if (prof_) prof_->leafZone("halo:reduce", t0, t1);
 }
 
 void MpiComm::barrier() { check(MPI_Barrier(comm_), "MPI_Barrier"); }

@@ -17,14 +17,13 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/clock.hpp"
+#include "obs/profiler.hpp"
+
 namespace vdg {
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using Clock = MonoClock;
 
 // Frame tags. Halo slabs use d*2 + (side > 0), i.e. [0, kMaxDim*2); the
 // reduction star gets the two tags above that range. Matching is by tag,
@@ -260,9 +259,14 @@ void ProcessComm::beginSyncConfGhostsDim(Field& f, int d, bool periodic) {
     const auto t0 = Clock::now();
     f.packGhost(d, mySide, buf);
     const auto t1 = Clock::now();
-    stats_.packSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.packSec += secondsBetween(t0, t1);
     send(dst, haloTag(d, dstSide), buf.data(), buf.size());
-    stats_.postSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.postSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:pack", t0, t1);
+      prof_->leafZone("halo:post", t1, t2);
+    }
   };
   if (ln != kNoNeighbor) postSlab(-1, ln, +1);
   if (un != kNoNeighbor) postSlab(+1, un, -1);
@@ -281,11 +285,16 @@ void ProcessComm::endSyncConfGhostsDim(Field& f, int d, bool periodic) {
     const auto t0 = Clock::now();
     const std::vector<double> buf = recvMatch(src, haloTag(d, side));
     const auto t1 = Clock::now();
-    stats_.waitSec += std::chrono::duration<double>(t1 - t0).count();
+    stats_.waitSec += secondsBetween(t0, t1);
     assert(buf.size() == n);
     (void)n;
     f.unpackGhost(d, side, buf);
-    stats_.unpackSec += since(t1);
+    const auto t2 = Clock::now();
+    stats_.unpackSec += secondsBetween(t1, t2);
+    if (prof_) {
+      prof_->leafZone("halo:wait", t0, t1);
+      prof_->leafZone("halo:unpack", t1, t2);
+    }
     stats_.bytes += buf.size() * sizeof(double);
     stats_.cells += buf.size() / static_cast<std::size_t>(f.ncomp());
   };
@@ -313,7 +322,9 @@ double ProcessComm::reduce(double v, Op op) {
     assert(m.size() == 1);
     acc = m[0];
   }
-  stats_.reduceSec += since(t0);
+  const auto t1 = Clock::now();
+  stats_.reduceSec += secondsBetween(t0, t1);
+  if (prof_) prof_->leafZone("halo:reduce", t0, t1);
   return acc;
 }
 
@@ -347,7 +358,9 @@ void ProcessComm::allReduceSum(std::span<double> v) {
   // star's physical traffic is asymmetric.
   stats_.bytes += static_cast<std::uint64_t>(numRanks() - 1) *
                   static_cast<std::uint64_t>(v.size()) * sizeof(double);
-  stats_.reduceSec += since(t0);
+  const auto t1 = Clock::now();
+  stats_.reduceSec += secondsBetween(t0, t1);
+  if (prof_) prof_->leafZone("halo:reduce", t0, t1);
 }
 
 void ProcessComm::barrier() {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/profiler.hpp"
 
 namespace vdg {
 
@@ -92,6 +95,7 @@ void ThreadExec::parallelFor(std::size_t n, const RangeFn& fn) {
 }
 
 void ThreadExec::workerLoop(int t) {
+  Profiler::setThisThreadTrack(t, "worker " + std::to_string(t));
   std::uint64_t seen = 0;
   while (true) {
     const RangeFn* job = nullptr;
@@ -109,6 +113,7 @@ void ThreadExec::workerLoop(int t) {
     if (!job || c >= nchunks) continue;  // surplus worker: not awaited
     std::exception_ptr err;
     try {
+      const ScopedTimer zone(prof_.load(std::memory_order_acquire), "exec:chunk");
       (*job)(c * n / nchunks, (c + 1) * n / nchunks);
     } catch (...) {
       err = std::current_exception();

@@ -25,6 +25,8 @@
 
 namespace vdg {
 
+class Profiler;
+
 /// A fixed-size pool of worker threads executing blocking parallel-for
 /// loops. The calling thread participates (it runs chunk 0), so a pool of
 /// size 1 degenerates to a plain serial loop with no synchronization.
@@ -54,6 +56,15 @@ class ThreadExec {
   /// The process-wide default pool used by the updaters.
   static ThreadExec& global();
 
+  /// Attach a profiler (non-owning; nullptr detaches): workers label their
+  /// trace tracks "worker N" and wrap each executed chunk in an exec:chunk
+  /// zone, so a trace shows how evenly the per-cell loops spread across the
+  /// pool. Atomic because workers may already be parked when the owning
+  /// Simulation attaches. Never attached to the shared global() pool — a
+  /// profiler must not outlive instrumented code, and the global pool
+  /// outlives every Simulation (Builder wires only owned pools).
+  void setProfiler(Profiler* p) { prof_.store(p, std::memory_order_release); }
+
  private:
   void workerLoop(int t);
 
@@ -70,6 +81,7 @@ class ThreadExec {
   std::uint64_t generation_ = 0;
   std::exception_ptr jobError_;  ///< first exception thrown by a chunk
   bool stop_ = false;
+  std::atomic<Profiler*> prof_{nullptr};
 };
 
 /// parallelFor with a nullable pool: the serial fallback every chunked

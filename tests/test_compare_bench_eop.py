@@ -6,7 +6,8 @@ used to be indistinguishable from a genuine throughput regression. These
 tests pin the documented contract:
 
   0 -- within tolerance
-  1 -- regression (throughput floor or batched-slower-than-scalar)
+  1 -- regression (throughput floor, batched-slower-than-scalar, or
+       profiler-enabled overhead beyond --max-overhead)
   2 -- missing/unreadable input file
   3 -- valid JSON but missing schema key
 
@@ -25,8 +26,11 @@ import unittest
 SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "tools" / "compare_bench_eop.py"
 
 
-def bench_doc(batched, scalar):
-    return {"eop": {"vlasov": batched, "vlasov_scalar": scalar}}
+def bench_doc(batched, scalar, profiled=None):
+    eop = {"vlasov": batched, "vlasov_scalar": scalar}
+    if profiled is not None:
+        eop["vlasov_profiled"] = profiled
+    return {"eop": eop}
 
 
 class CompareBenchEopExitCodes(unittest.TestCase):
@@ -69,6 +73,31 @@ class CompareBenchEopExitCodes(unittest.TestCase):
         proc = self.run_guard(cur, base)
         self.assertEqual(proc.returncode, 1, proc.stderr)
         self.assertIn("slower than scalar", proc.stderr)
+
+    def test_profiled_within_overhead_exits_0(self):
+        # 1% slowdown with the profiler on: inside the 2% default budget.
+        cur = self.write("cur.json", bench_doc(2.0e9, 1.0e9, profiled=1.98e9))
+        base = self.write("base.json", bench_doc(2.0e9, 1.0e9))
+        proc = self.run_guard(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("profiler-enabled", proc.stdout)
+
+    def test_profiled_overhead_beyond_budget_exits_1(self):
+        # 5% slowdown with the profiler on: over the 2% budget.
+        cur = self.write("cur.json", bench_doc(2.0e9, 1.0e9, profiled=1.9e9))
+        base = self.write("base.json", bench_doc(2.0e9, 1.0e9))
+        proc = self.run_guard(cur, base)
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("overhead too high", proc.stderr)
+
+    def test_pre_instrumentation_schema_still_compares(self):
+        # Old BENCH_eop.json without eop.vlasov_profiled: the overhead gate
+        # is skipped rather than tripping the schema error.
+        cur = self.write("cur.json", bench_doc(2.0e9, 1.0e9))
+        base = self.write("base.json", bench_doc(2.0e9, 1.0e9))
+        proc = self.run_guard(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("profiler-enabled", proc.stdout)
 
     def test_missing_file_exits_2_with_one_line_message(self):
         base = self.write("base.json", bench_doc(2.0e9, 1.0e9))

@@ -546,16 +546,18 @@ TEST(ResultTable, RoundTripsDoublesAndEmitsValidJson) {
     std::ifstream is(csvPath);
     std::string header, row;
     std::getline(is, header);
-    EXPECT_EQ(header, "name,status,leadRank,numRanks,steps,finalTime,wallSeconds,amp,k,error");
+    EXPECT_EQ(header,
+              "name,status,leadRank,numRanks,steps,finalTime,wallSeconds,haloSeconds,"
+              "computeSeconds,ioSeconds,amp,k,error");
     std::getline(is, row);
     std::vector<std::string> cols;
     std::stringstream ss(row);
     for (std::string c; std::getline(ss, c, ',');) cols.push_back(c);
-    ASSERT_GE(cols.size(), 9u);
+    ASSERT_GE(cols.size(), 12u);
     EXPECT_EQ(std::strtod(cols[5].c_str(), nullptr), t) << cols[5];
     EXPECT_EQ(std::strtod(cols[6].c_str(), nullptr), wall) << cols[6];
-    EXPECT_EQ(std::strtod(cols[7].c_str(), nullptr), 1e-12) << cols[7];
-    EXPECT_EQ(std::strtod(cols[8].c_str(), nullptr), k) << cols[8];
+    EXPECT_EQ(std::strtod(cols[10].c_str(), nullptr), 1e-12) << cols[10];
+    EXPECT_EQ(std::strtod(cols[11].c_str(), nullptr), k) << cols[11];
   }
 
   // JSON: the document parses, non-finite values are null, finite ones

@@ -1,0 +1,534 @@
+// The instrumentation layer's contract (src/obs/):
+//
+//   1. mechanics — hierarchical zone nesting, reentrancy (one name at two
+//      depths is two paths), cross-thread arena merge, leaf zones, and
+//      unbalanced-exit tolerance;
+//   2. cost — the disabled path (null Profiler*) performs zero heap
+//      allocations, and the enabled path allocates nothing in steady
+//      state (zone names are copied only on first visit per thread);
+//   3. non-interference — trajectories are bitwise identical with
+//      profiling off and on: serial, threaded RHS execution, and a
+//      2-rank forked ProcessComm run (skipped under TSan, where fork is
+//      unsupported — the ThreadComm cases are the TSan job's targets);
+//   4. reconciliation — the rank profilers' halo:* zone totals match the
+//      HaloStats facade to summation rounding (identical timestamp
+//      increments, possibly different grouping);
+//   5. artifacts — the Chrome trace and the JSON report are valid JSON
+//      (in-test recursive-descent parser, no third-party deps) with the
+//      expected tracks and zones, and VDG_TRACE alone is enough to get a
+//      trace out of a builder-assembled run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/conformance.hpp"
+#include "app/distributed.hpp"
+#include "app/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "par/process_comm.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define VDG_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VDG_TSAN 1
+#endif
+#endif
+#ifndef VDG_TSAN
+#define VDG_TSAN 0
+#endif
+
+// ------------------------------------------------- allocation observatory
+// Whole-binary operator new/delete override counting every heap
+// allocation; the zero-allocation assertions below read the counter
+// around instrumented loops. Constant-initialized atomic: safe for
+// allocations that happen before main().
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vdg {
+namespace {
+
+// ------------------------------------------------------- JSON validation
+// Minimal recursive-descent validator (same shape as the one pinning the
+// ensemble result tables): enough of RFC 8259 to reject bare nan/inf and
+// structural breakage in the exporters' output.
+
+namespace json {
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') i += s[i] == '\\' ? 2 : 1;
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    char* end = nullptr;
+    std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) return false;
+    if (s[i] != '-' && (s[i] < '0' || s[i] > '9')) return false;
+    i = static_cast<std::size_t>(end - s.c_str());
+    return true;
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '"') return string();
+    if (s[i] == '{') {
+      ++i;
+      ws();
+      if (s[i] == '}') return ++i, true;
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        break;
+      }
+      if (i >= s.size() || s[i] != '}') return false;
+      return ++i, true;
+    }
+    if (s[i] == '[') {
+      ++i;
+      ws();
+      if (s[i] == ']') return ++i, true;
+      while (true) {
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        break;
+      }
+      if (i >= s.size() || s[i] != ']') return false;
+      return ++i, true;
+    }
+    return lit("true") || lit("false") || lit("null") || number();
+  }
+};
+
+bool valid(const std::string& text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.ws();
+  return p.i == text.size();
+}
+
+}  // namespace json
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::string tmpPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+ProfilingSpec enabledSpec() {
+  ProfilingSpec s;
+  s.enabled = true;
+  return s;
+}
+
+ProfilingSpec tracingSpec() {
+  ProfilingSpec s;
+  s.enabled = true;
+  s.trace = true;
+  return s;
+}
+
+/// Bitwise comparison of two full StateVectors.
+int mismatchedCoeffs(const StateVector& a, const StateVector& b) {
+  int bad = 0;
+  for (int i = 0; i < a.numSlots(); ++i) {
+    const Field& fa = a.slot(i);
+    const Field& fb = b.slot(i);
+    forEachCell(fa.grid(), [&](const MultiIndex& idx) {
+      for (int c = 0; c < fa.ncomp(); ++c)
+        if (fa.at(idx)[c] != fb.at(idx)[c]) ++bad;
+    });
+  }
+  return bad;
+}
+
+// ------------------------------------------------------------- mechanics
+
+TEST(Profiler, NestedZonesReentrancyAndPaths) {
+  Profiler p(enabledSpec());
+  {
+    const ScopedTimer a(&p, "a");
+    {
+      const ScopedTimer b(&p, "b");
+    }
+    {
+      const ScopedTimer b(&p, "b");
+    }
+  }
+  {
+    const ScopedTimer b(&p, "b");  // same name, different depth: new path
+  }
+  const std::vector<ZoneReport> rows = p.report();
+  ASSERT_EQ(rows.size(), 3u);
+  // Depth-first, first-entry order.
+  EXPECT_EQ(rows[0].path, "a");
+  EXPECT_EQ(rows[0].depth, 0);
+  EXPECT_EQ(rows[0].count, 1u);
+  EXPECT_EQ(rows[1].path, "a/b");
+  EXPECT_EQ(rows[1].depth, 1);
+  EXPECT_EQ(rows[1].count, 2u);
+  EXPECT_EQ(rows[2].path, "b");
+  EXPECT_EQ(rows[2].depth, 0);
+  EXPECT_EQ(rows[2].count, 1u);
+  // zoneSeconds sums every node of the name, across parents.
+  EXPECT_GE(p.zoneSeconds("b"), rows[1].seconds);
+  EXPECT_EQ(p.zoneSeconds("b"), p.zoneSeconds("b"));  // stable under re-read
+  EXPECT_GE(rows[0].seconds, rows[1].seconds);        // parent contains child
+  // The indented table mentions every zone.
+  const std::string table = p.table();
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("  b"), std::string::npos);
+}
+
+TEST(Profiler, UnbalancedExitIsIgnored) {
+  Profiler p(enabledSpec());
+  p.exit();  // nothing open: must not crash or underflow
+  p.enter("z");
+  p.exit();
+  p.exit();  // extra exit after balanced close
+  const std::vector<ZoneReport> rows = p.report();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].path, "z");
+  EXPECT_EQ(rows[0].count, 1u);
+}
+
+TEST(Profiler, LeafZoneBooksUnderOpenZone) {
+  Profiler p(enabledSpec());
+  const auto t0 = MonoClock::now();
+  const auto t1 = t0 + std::chrono::microseconds(250);
+  p.enter("halo");
+  p.leafZone("halo:pack", t0, t1);
+  p.leafZone("halo:pack", t0, t1);
+  p.exit();
+  const std::vector<ZoneReport> rows = p.report();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].path, "halo/halo:pack");
+  EXPECT_EQ(rows[1].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].seconds, 2.0 * secondsBetween(t0, t1));
+}
+
+TEST(Profiler, MergesArenasAcrossThreads) {
+  Profiler p(tracingSpec());
+  {
+    const ScopedTimer a(&p, "work");
+  }
+  std::thread t([&p] {
+    Profiler::setThisThreadTrack(7, "helper 7");
+    const ScopedTimer a(&p, "work");
+    const ScopedTimer b(&p, "inner");
+  });
+  t.join();
+  const std::vector<ZoneReport> rows = p.report();
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].path, "work");
+  EXPECT_EQ(rows[0].count, 2u);  // one per thread, merged by path
+  EXPECT_EQ(rows[1].path, "work/inner");
+  EXPECT_EQ(rows[1].count, 1u);
+  // The trace carries the helper thread's labeled track.
+  std::ostringstream os;
+  bool first = true;
+  p.appendTraceJson(os, p.epoch(), first);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("helper 7"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Metrics, CountersGaugesAndSnapshots) {
+  MetricsRegistry m;
+  m.add("halo.bytes", 100.0);
+  m.add("halo.bytes", 50.0);  // counters accumulate
+  m.set("cfl.dt", 0.25);
+  m.set("cfl.dt", 0.125);  // gauges overwrite
+  EXPECT_EQ(m.counter("halo.bytes"), 150.0);
+  EXPECT_EQ(m.gauge("cfl.dt"), 0.125);
+  m.recordSnapshot(1.0, 10);
+  m.add("halo.bytes", 1.0);
+  m.recordSnapshot(2.0, 20);
+  const auto& hist = m.history();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].step, 10u);
+  EXPECT_EQ(hist[0].counters.front().second, 150.0);
+  EXPECT_EQ(hist[1].counters.front().second, 151.0);
+  EXPECT_EQ(hist[1].simTime, 2.0);
+}
+
+// ------------------------------------------------------------------ cost
+
+TEST(Profiler, DisabledPathAllocatesNothing) {
+  Profiler* const none = nullptr;
+  const std::uint64_t before = gAllocCount.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    const ScopedTimer zone(none, "hot");
+  }
+  EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed), before)
+      << "null-profiler ScopedTimer must be one branch, no heap traffic";
+}
+
+TEST(Profiler, EnabledSteadyStateAllocatesNothing) {
+  Profiler p(enabledSpec());  // non-tracing: no event stream growth
+  // Warm up: register the arena, intern the zone names, size the stacks.
+  for (int i = 0; i < 4; ++i) {
+    const ScopedTimer a(&p, "outer");
+    const ScopedTimer b(&p, "inner");
+  }
+  const std::uint64_t before = gAllocCount.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    const ScopedTimer a(&p, "outer");
+    const ScopedTimer b(&p, "inner");
+  }
+  EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed), before)
+      << "revisiting interned zones must not allocate";
+}
+
+// ------------------------------------------------------ non-interference
+
+TEST(ObsIdentity, SerialTrajectoryBitwiseUnchanged) {
+  Simulation::Builder base = conformanceScenario("landau");
+  Simulation::Builder boff = base;
+  boff.profiling(ProfilingSpec{});
+  Simulation off = boff.build();
+  Simulation::Builder bon = base;
+  bon.profiling(tracingSpec());
+  Simulation on = bon.build();
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(off.step(), on.step()) << "step " << s;
+  EXPECT_EQ(mismatchedCoeffs(off.state(), on.state()), 0);
+  EXPECT_NE(on.profiler(), nullptr);
+  EXPECT_EQ(off.profiler(), nullptr);
+  EXPECT_GT(on.profiler()->zoneSeconds("step"), 0.0);
+}
+
+TEST(ObsIdentity, ThreadedTrajectoryBitwiseUnchanged) {
+  Simulation::Builder base = conformanceScenario("landau");
+  base.threads(2);
+  Simulation::Builder boff = base;
+  boff.profiling(ProfilingSpec{});
+  Simulation off = boff.build();
+  Simulation::Builder bon = base;
+  bon.profiling(tracingSpec());
+  Simulation on = bon.build();
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(off.step(), on.step()) << "step " << s;
+  EXPECT_EQ(mismatchedCoeffs(off.state(), on.state()), 0);
+}
+
+TEST(ObsIdentity, ProcessCommTrajectoryMatchesOracleWithProfilingOn) {
+  if (VDG_TSAN) GTEST_SKIP() << "fork-based backend not exercised under TSan";
+  Simulation::Builder builder = conformanceScenario("landau");
+  builder.profiling(tracingSpec());  // events recorded, no file output
+  const CartDecomp decomp = conformanceDecomp(builder, 2);
+  const auto outcomes = ProcessGroup::run(
+      decomp,
+      [&](ProcessComm& pc) {
+        return packConformance(runConformanceRank(builder, decomp, pc, 3));
+      },
+      /*recvTimeoutSec=*/120.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (int r = 0; r < 2; ++r) {
+    const auto& o = outcomes[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(o.ok) << "rank " << r << ": " << o.error;
+    const ConformanceResult res = unpackConformance(o.values);
+    EXPECT_EQ(res.mismatches, 0.0) << "rank " << r;
+    EXPECT_EQ(res.rank.dts, res.oracle.dts) << "rank " << r;
+  }
+}
+
+// -------------------------------------------------------- reconciliation
+
+TEST(ObsReconcile, HaloZonesMatchHaloStats) {
+  Simulation::Builder builder = conformanceScenario("landau");
+  builder.profiling(ProfilingSpec{});  // rank profilers are on regardless
+  DistributedSimulation dist(builder, 2);
+  for (int s = 0; s < 3; ++s) dist.step();
+  for (int r = 0; r < 2; ++r) {
+    const HaloStats& hs = dist.comm().endpoint(r).haloStats();
+    const Profiler& p = dist.rankProfiler(r);
+    const auto near = [](double zone, double stat) {
+      // Identical increments, possibly different summation grouping.
+      EXPECT_NEAR(zone, stat, 1e-12 + 1e-9 * stat);
+    };
+    near(p.zoneSeconds("halo:pack"), hs.packSec);
+    near(p.zoneSeconds("halo:post"), hs.postSec);
+    near(p.zoneSeconds("halo:wait"), hs.waitSec);
+    near(p.zoneSeconds("halo:unpack"), hs.unpackSec);
+    near(p.zoneSeconds("halo:reduce"), hs.reduceSec);
+    EXPECT_GT(hs.waitSec + hs.packSec + hs.unpackSec, 0.0) << "rank " << r;
+  }
+  // And the public split reads the same instruments.
+  EXPECT_GT(dist.computeSeconds(), 0.0);
+  EXPECT_GT(dist.haloSeconds(), 0.0);
+}
+
+TEST(ObsReconcile, ZoneSummaryAggregatesAcrossRanks) {
+  Simulation::Builder builder = conformanceScenario("landau");
+  builder.profiling(ProfilingSpec{});
+  DistributedSimulation dist(builder, 2);
+  const int steps = dist.advanceTo(0.2);
+  ASSERT_GT(steps, 0);
+  const auto summary = dist.zoneSummary();
+  bool sawStep = false;
+  for (const auto& zs : summary) {
+    EXPECT_LE(zs.minSec, zs.meanSec + 1e-15) << zs.path;
+    EXPECT_LE(zs.meanSec, zs.maxSec + 1e-15) << zs.path;
+    if (zs.path == "step") {
+      sawStep = true;
+      EXPECT_EQ(zs.count, static_cast<std::uint64_t>(steps));
+      EXPECT_GT(zs.meanSec, 0.0);
+    }
+  }
+  EXPECT_TRUE(sawStep) << "zoneSummary lost the step zone";
+}
+
+// ------------------------------------------------------------- artifacts
+
+TEST(ObsArtifacts, ChromeTraceIsValidAndCarriesRankTracks) {
+  const std::string path = tmpPath("vdg_obs_trace.json");
+  {
+    Simulation::Builder builder = conformanceScenario("landau");
+    builder.profiling(tracingSpec());
+    DistributedSimulation dist(builder, 2);
+    for (int s = 0; s < 2; ++s) dist.step();
+    dist.writeTrace(path);
+  }
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json::valid(text)) << text.substr(0, 400);
+  // Per-rank process tracks and the zone taxonomy's key phases.
+  EXPECT_NE(text.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"rk:stage1\""), std::string::npos);
+  EXPECT_NE(text.find("halo:pack"), std::string::npos);
+  EXPECT_NE(text.find("halo:wait"), std::string::npos);
+  EXPECT_NE(text.find("halo:unpack"), std::string::npos);
+  EXPECT_NE(text.find("vlasov:"), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsArtifacts, ReportJsonIsValidWithMetricsAndSnapshots) {
+  const std::string path = tmpPath("vdg_obs_report.json");
+  {
+    ProfilingSpec spec;
+    spec.enabled = true;
+    spec.reportPath = path;
+    spec.reportEvery = 1;  // snapshot after every step
+    Simulation::Builder builder = conformanceScenario("landau");
+    builder.profiling(spec);
+    Simulation sim = builder.build();
+    sim.step();
+    sim.step();
+  }  // destructor flushes the report
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json::valid(text)) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"steps\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"zones\""), std::string::npos);
+  EXPECT_NE(text.find("\"path\": \"step\""), std::string::npos);
+  EXPECT_NE(text.find("\"cfl.dt\""), std::string::npos);
+  EXPECT_NE(text.find("\"snapshots\""), std::string::npos);
+  EXPECT_NE(text.find("\"step\": 1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsArtifacts, EnvVarAloneProducesTrace) {
+  const std::string path = tmpPath("vdg_obs_env_trace.json");
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("VDG_TRACE"); }
+  } guard;
+  setenv("VDG_TRACE", path.c_str(), 1);
+  {
+    Simulation::Builder builder = conformanceScenario("landau");
+    Simulation sim = builder.build();  // no explicit spec: env opt-in
+    sim.step();
+  }  // destructor writes the trace
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "VDG_TRACE did not produce a trace file";
+  EXPECT_TRUE(json::valid(text)) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"name\":\"step\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsArtifacts, FromEnvParsesProfileVariable) {
+  struct EnvGuard {
+    ~EnvGuard() {
+      unsetenv("VDG_TRACE");
+      unsetenv("VDG_PROFILE");
+    }
+  } guard;
+  unsetenv("VDG_TRACE");
+  unsetenv("VDG_PROFILE");
+  EXPECT_FALSE(ProfilingSpec::fromEnv().active());
+  setenv("VDG_PROFILE", "1", 1);
+  ProfilingSpec s = ProfilingSpec::fromEnv();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_TRUE(s.reportPath.empty());
+  EXPECT_FALSE(s.tracing());
+  setenv("VDG_PROFILE", "prof.json", 1);
+  s = ProfilingSpec::fromEnv();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.reportPath, "prof.json");
+  setenv("VDG_PROFILE", "0", 1);
+  EXPECT_FALSE(ProfilingSpec::fromEnv().active());
+  setenv("VDG_TRACE", "t.json", 1);
+  s = ProfilingSpec::fromEnv();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_TRUE(s.tracing());
+  EXPECT_EQ(s.tracePath, "t.json");
+}
+
+}  // namespace
+}  // namespace vdg

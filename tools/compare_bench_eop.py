@@ -8,7 +8,11 @@ when either
   * the batched Vlasov Eop throughput regressed more than --tolerance
     (default 15%) below the baseline, or
   * the batched path fell below the scalar path measured in the same
-    run — the batched kernels must never be a pessimization.
+    run — the batched kernels must never be a pessimization, or
+  * the profiler-enabled Vlasov Eop (eop.vlasov_profiled, present in
+    current files once bench_eop grew the instrumented column) fell more
+    than --max-overhead (default 2%) below the uninstrumented Eop of the
+    same run — enabled instrumentation must stay in the noise.
 
 Absolute Eop numbers are hardware-dependent, so CI runners should
 refresh the baseline when the fleet changes; the scalar-vs-batched
@@ -42,6 +46,12 @@ def main() -> int:
         type=float,
         default=0.15,
         help="allowed fractional regression of batched Vlasov Eop vs baseline",
+    )
+    ap.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.02,
+        help="allowed fractional Eop loss with the profiler enabled (same run)",
     )
     args = ap.parse_args()
 
@@ -101,8 +111,25 @@ def main() -> int:
             f"batched {cur_batched:.3e} < scalar {cur_scalar:.3e}"
         )
 
+    # Same-run instrumentation overhead gate. Conditional on the key so
+    # older BENCH_eop.json files (pre-instrumentation schema) still compare
+    # cleanly against the new tool.
+    cur_profiled = cur.get("eop", {}).get("vlasov_profiled")
+    if cur_profiled is not None:
+        prof_floor = cur_batched * (1.0 - args.max_overhead)
+        if cur_profiled < prof_floor:
+            overhead = cur_batched / cur_profiled - 1.0
+            failures.append(
+                f"profiler-enabled Eop overhead too high: {cur_profiled:.3e} < "
+                f"{prof_floor:.3e} ({overhead:.1%} slowdown, allowed "
+                f"{args.max_overhead:.0%})"
+            )
+
     speedup = cur_batched / cur_scalar if cur_scalar else float("nan")
     print(f"eop: batched {cur_batched:.3e}  scalar {cur_scalar:.3e}  speedup {speedup:.2f}x")
+    if cur_profiled is not None:
+        print(f"profiler-enabled {cur_profiled:.3e}  (allowed floor "
+              f"{cur_batched * (1.0 - args.max_overhead):.3e})")
     print(f"baseline batched {base_batched:.3e}  (floor {floor:.3e})")
 
     if failures:
